@@ -1,0 +1,58 @@
+//! Ablation: the hand-rolled FxHash maps (rae-data) vs std's SipHash maps on
+//! the workloads that dominate preprocessing — bucket-key and tuple-key
+//! insert/lookup. Justifies vendoring FxHash (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rae_data::{FxHashMap, Value};
+use std::collections::HashMap;
+use std::time::Duration;
+
+type Key = Box<[Value]>;
+
+fn keys(n: usize) -> Vec<Key> {
+    (0..n)
+        .map(|i| vec![Value::Int(i as i64), Value::Int((i * 31) as i64 % 1024)].into_boxed_slice())
+        .collect()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let keys = keys(20_000);
+    let mut group = c.benchmark_group("hash_ablation");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    group.bench_function("fx_insert_lookup", |b| {
+        b.iter(|| {
+            let mut map: FxHashMap<&Key, u32> = FxHashMap::default();
+            for (i, k) in keys.iter().enumerate() {
+                map.insert(k, i as u32);
+            }
+            let mut hits = 0u32;
+            for k in &keys {
+                hits += map[k];
+            }
+            std::hint::black_box(hits)
+        });
+    });
+
+    group.bench_function("siphash_insert_lookup", |b| {
+        b.iter(|| {
+            let mut map: HashMap<&Key, u32> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                map.insert(k, i as u32);
+            }
+            let mut hits = 0u32;
+            for k in &keys {
+                hits += map[k];
+            }
+            std::hint::black_box(hits)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash);
+criterion_main!(benches);

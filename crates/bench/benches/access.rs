@@ -1,0 +1,57 @@
+//! Random-access latency (Algorithm 3) and inverted-access latency
+//! (Algorithm 4) across growing database sizes — the O(log n) / O(1)
+//! claims of Theorem 4.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rae_core::CqIndex;
+use rae_tpch::{generate, queries, TpchScale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_access");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for sf_milli in [1u64, 4, 16] {
+        let sf = sf_milli as f64 / 1000.0;
+        let db = generate(&TpchScale::from_sf(sf), 42);
+        let idx = CqIndex::build(&queries::q3(), &db).expect("builds");
+        let n = idx.count();
+        group.bench_with_input(BenchmarkId::new("access", sf_milli), &idx, |b, idx| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let j = rng.gen_range(0..n);
+                std::hint::black_box(idx.access(j))
+            });
+        });
+        idx.prepare_inverted_access();
+        group.bench_with_input(
+            BenchmarkId::new("inverted_access", sf_milli),
+            &idx,
+            |b, idx| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    let j = rng.gen_range(0..n);
+                    let ans = idx.access(j).expect("in range");
+                    std::hint::black_box(idx.inverted_access(&ans))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_count(c: &mut Criterion) {
+    let db = generate(&TpchScale::from_sf(0.004), 42);
+    let idx = CqIndex::build(&queries::q9(), &db).expect("builds");
+    c.bench_function("cq_count_is_o1", |b| {
+        b.iter(|| std::hint::black_box(idx.count()))
+    });
+}
+
+criterion_group!(benches, bench_access, bench_count);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Sequential enumeration: access-based (`Enum⟨lin, log⟩`, Fact 3.5) vs the
+//! constant-delay odometer cursor (`Enum⟨lin, const⟩`, Theorem 4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rae_core::CqIndex;
+use rae_tpch::{generate, queries, TpchScale};
+use std::time::Duration;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let db = generate(&TpchScale::from_sf(0.002), 42);
+    let idx = CqIndex::build(&queries::q3(), &db).expect("builds");
+    let k = (idx.count() / 4).max(1) as usize;
+
+    let mut group = c.benchmark_group("sequential_enumeration");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    group.bench_function("access_based_log_delay", |b| {
+        b.iter(|| std::hint::black_box(idx.enumerate().take(k).count()))
+    });
+    group.bench_function("cursor_const_delay", |b| {
+        b.iter(|| std::hint::black_box(idx.sequential().take(k).count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

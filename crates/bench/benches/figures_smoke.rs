@@ -1,0 +1,30 @@
+//! Smoke versions of the figure generators under `cargo bench`, so every
+//! figure path is continuously exercised end to end (at sf 0.001).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rae_bench::figures::{fig1, fig4, fig5};
+use rae_bench::BenchConfig;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = BenchConfig::smoke();
+    let mut group = c.benchmark_group("figures_smoke");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("fig8_q3", |b| {
+        b.iter(|| std::hint::black_box(fig1::fig8(&cfg)))
+    });
+    group.bench_function("fig4a", |b| {
+        b.iter(|| std::hint::black_box(fig4::fig4a(&cfg)))
+    });
+    group.bench_function("fig5", |b| {
+        b.iter(|| std::hint::black_box(fig5::fig5(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Preprocessing (Algorithm 2 + Proposition 4.2) throughput per benchmark
+//! query — the linear-time phase of Theorem 4.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rae_core::{CqIndex, McUcqIndex};
+use rae_tpch::{generate, prepare_selections, queries, TpchScale};
+use std::time::Duration;
+
+fn bench_cq_preprocessing(c: &mut Criterion) {
+    let db = generate(&TpchScale::from_sf(0.002), 42);
+    let mut group = c.benchmark_group("cq_preprocessing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (name, cq) in queries::all_cqs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cq, |b, cq| {
+            b.iter(|| std::hint::black_box(CqIndex::build(cq, &db).expect("builds")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcucq_preprocessing(c: &mut Criterion) {
+    let mut db = generate(&TpchScale::from_sf(0.002), 42);
+    prepare_selections(&mut db).expect("selections");
+    let mut group = c.benchmark_group("mcucq_preprocessing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (name, ucq) in queries::all_ucqs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ucq, |b, ucq| {
+            b.iter(|| std::hint::black_box(McUcqIndex::build(ucq, &db).expect("builds")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cq_preprocessing, bench_mcucq_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Per-answer delay of the three random-order enumerators: REnum(CQ)
+//! (O(log n)), REnum(UCQ) (expected O(log n)), REnum(mcUCQ) (O(log² n)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rae_core::{CqIndex, McUcqIndex, UcqShuffle};
+use rae_tpch::{generate, prepare_selections, queries, TpchScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_shuffles(c: &mut Criterion) {
+    let mut db = generate(&TpchScale::from_sf(0.002), 42);
+    prepare_selections(&mut db).expect("selections");
+
+    let mut group = c.benchmark_group("random_order_delay");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    // REnum(CQ) on Q3: delay per emitted answer (fresh shuffle per batch).
+    let idx = CqIndex::build(&queries::q3(), &db).expect("builds");
+    let batch = (idx.count() / 10).max(1) as usize;
+    group.bench_function("renum_cq_q3", |b| {
+        b.iter(|| {
+            let shuffle = idx.random_permutation(StdRng::seed_from_u64(1));
+            std::hint::black_box(shuffle.take(batch).count())
+        });
+    });
+
+    // REnum(UCQ) on Q7S ∪ Q7C (build excluded from the measured region).
+    let ucq = queries::q7s_q7c();
+    group.bench_function("renum_ucq_q7s_q7c", |b| {
+        b.iter_with_setup(
+            || UcqShuffle::build(&ucq, &db, StdRng::seed_from_u64(1)).expect("builds"),
+            |shuffle| std::hint::black_box(shuffle.take(batch).count()),
+        );
+    });
+
+    // REnum(mcUCQ) on the same union.
+    let mc = McUcqIndex::build(&ucq, &db).expect("builds");
+    let mc_batch = (mc.count() / 10).max(1) as usize;
+    group.bench_function("renum_mcucq_q7s_q7c", |b| {
+        b.iter(|| {
+            let shuffle = mc.random_permutation(StdRng::seed_from_u64(1));
+            std::hint::black_box(shuffle.take(mc_batch).count())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffles);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Per-answer delay recording for the Figures 2/3/7 experiments.
+
+use rae_core::CqIndex;
+use rae_sampler::{EwSampler, WithoutReplacement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Records the delay (ns) before each of the first `k` answers of a fresh
+/// `REnum(CQ)` run (Fisher–Yates over random access).
+pub fn renum_cq_delays(index: &CqIndex, k: usize, seed: u64) -> Vec<u64> {
+    let mut shuffle = index.random_permutation(StdRng::seed_from_u64(seed));
+    let mut delays = Vec::with_capacity(k);
+    for _ in 0..k {
+        let t = Instant::now();
+        let item = shuffle.next();
+        let dt = t.elapsed().as_nanos() as u64;
+        if item.is_none() {
+            break;
+        }
+        delays.push(dt);
+    }
+    delays
+}
+
+/// Records the delay (ns) before each of the first `k` *distinct* answers of
+/// a `Sample(EW)` run (with-replacement sampling + duplicate elimination) —
+/// duplicates make late delays grow, which is the effect the paper's delay
+/// plots visualize.
+pub fn sample_ew_delays(index: &CqIndex, k: usize, seed: u64) -> Vec<u64> {
+    let sampler = EwSampler::new(index);
+    let mut wr = WithoutReplacement::new(sampler);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut delays = Vec::with_capacity(k);
+    for _ in 0..k {
+        let t = Instant::now();
+        let item = wr.next_distinct(&mut rng);
+        let dt = t.elapsed().as_nanos() as u64;
+        if item.is_none() {
+            break;
+        }
+        delays.push(dt);
+    }
+    delays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::BenchConfig;
+    use rae_tpch::queries;
+
+    #[test]
+    fn delay_vectors_have_requested_length() {
+        let db = BenchConfig::smoke().build_db();
+        let idx = CqIndex::build(&queries::q0(), &db).unwrap();
+        let n = idx.count() as usize;
+        let k = (n / 2).max(1);
+        assert_eq!(renum_cq_delays(&idx, k, 1).len(), k);
+        assert_eq!(sample_ew_delays(&idx, k, 1).len(), k);
+        // Requesting more than available stops at n.
+        assert_eq!(renum_cq_delays(&idx, n + 10, 1).len(), n);
+    }
+}

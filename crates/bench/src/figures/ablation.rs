@@ -1,0 +1,201 @@
+//! Ablations of the design choices called out in DESIGN.md §7.
+
+use crate::setup::BenchConfig;
+use crate::stats::{fmt_dur, fmt_ns};
+use crate::table::Table;
+use rae_core::{CqIndex, McUcqIndex, RankStrategy, UcqShuffle};
+use rae_query::RootPreference;
+use rae_yannakakis::ReduceOptions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Ablation: Algorithm 5 with vs without the delete-on-rejection rule
+/// (lines 6–7). Deletion is what bounds each answer to one rejection and
+/// makes the Figure 5 rejection time decay.
+pub fn ablation_delete(cfg: &BenchConfig) -> String {
+    let db = cfg.build_db();
+    let mut table = Table::new(
+        "Ablation: Algorithm 5 deletion-on-rejection",
+        &["union", "variant", "answers", "rejections", "enumerate"],
+    );
+    for (name, ucq) in rae_tpch::queries::all_ucqs() {
+        for (variant, delete) in [("with deletion", true), ("without deletion", false)] {
+            let mut shuffle = UcqShuffle::build(&ucq, &db, StdRng::seed_from_u64(cfg.seed))
+                .expect("builds")
+                .with_rejection_deletion(delete);
+            let t = Instant::now();
+            let mut answers = 0u64;
+            while let Some(ev) = shuffle.next_event() {
+                if matches!(ev, rae_core::UcqEvent::Answer(_)) {
+                    answers += 1;
+                }
+            }
+            table.row(vec![
+                name.to_string(),
+                variant.into(),
+                answers.to_string(),
+                shuffle.rejections().to_string(),
+                fmt_dur(t.elapsed()),
+            ]);
+        }
+    }
+    table.note("deletion bounds rejections by the number of shared answers (Lemma 5.2)");
+    format!(
+        "# Ablation: UCQ rejection deletion\n(sf = {}, seed = {})\n\n{table}",
+        cfg.sf, cfg.seed
+    )
+}
+
+/// Ablation: mc-UCQ rank computation by binary search (the Theorem 5.5 log²
+/// routine) vs a linear scan of the intersection index.
+pub fn ablation_binary(cfg: &BenchConfig) -> String {
+    let db = cfg.build_db();
+    let mut table = Table::new(
+        "Ablation: mc-UCQ rank via binary search vs linear scan",
+        &["union", "strategy", "accesses", "mean access time"],
+    );
+    let accesses = 512usize;
+    for (name, ucq) in rae_tpch::queries::all_ucqs() {
+        for (label, strategy) in [
+            ("binary search (paper)", RankStrategy::BinarySearch),
+            ("linear scan", RankStrategy::LinearScan),
+        ] {
+            let mut mc = McUcqIndex::build(&ucq, &db).expect("mc-compatible");
+            mc.set_rank_strategy(strategy);
+            let n = mc.count();
+            if n == 0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let positions: Vec<u128> = (0..accesses).map(|_| rng.gen_range(0..n)).collect();
+            let t = Instant::now();
+            for &j in &positions {
+                std::hint::black_box(mc.access(j));
+            }
+            let per_access = t.elapsed().as_nanos() as f64 / accesses as f64;
+            table.row(vec![
+                name.to_string(),
+                label.into(),
+                accesses.to_string(),
+                fmt_ns(per_access),
+            ]);
+        }
+    }
+    table.note("the gap grows with |Q_i ∩ Q_j|; disjoint unions never call the rank routine");
+    format!(
+        "# Ablation: mc-UCQ rank strategy\n(sf = {}, seed = {})\n\n{table}",
+        cfg.sf, cfg.seed
+    )
+}
+
+/// Ablation: join-tree layout — our default fan-in layout with subset
+/// folding vs the per-atom fan-out layout the samplers use. Quantifies why
+/// the default layout is the right one for the enumeration structures.
+pub fn ablation_fold(cfg: &BenchConfig) -> String {
+    let db = cfg.build_db();
+    let mut table = Table::new(
+        "Ablation: join-tree layout (orientation × subset folding)",
+        &["query", "layout", "nodes", "build", "mean access"],
+    );
+    let layouts: [(&str, ReduceOptions); 3] = [
+        (
+            "fan-in + folded (default)",
+            ReduceOptions {
+                root_preference: RootPreference::LargestAtom,
+                fold_subset_nodes: true,
+            },
+        ),
+        (
+            "fan-in, unfolded",
+            ReduceOptions {
+                root_preference: RootPreference::LargestAtom,
+                fold_subset_nodes: false,
+            },
+        ),
+        (
+            "fan-out, unfolded (sampler layout)",
+            ReduceOptions {
+                root_preference: RootPreference::SmallestAtom,
+                fold_subset_nodes: false,
+            },
+        ),
+    ];
+    let accesses = 2048usize;
+    for (name, cq) in rae_tpch::queries::all_cqs() {
+        for (label, options) in layouts {
+            let t = Instant::now();
+            let idx = CqIndex::build_with(&cq, &db, options).expect("builds");
+            let build = t.elapsed();
+            let n = idx.count();
+            if n == 0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let positions: Vec<u128> = (0..accesses).map(|_| rng.gen_range(0..n)).collect();
+            let t = Instant::now();
+            for &j in &positions {
+                std::hint::black_box(idx.access(j));
+            }
+            let per_access = t.elapsed().as_nanos() as f64 / accesses as f64;
+            table.row(vec![
+                name.into(),
+                label.into(),
+                idx.node_count().to_string(),
+                fmt_dur(build),
+                fmt_ns(per_access),
+            ]);
+        }
+    }
+    table.note("all layouts produce identical answer sets; only constants differ");
+    format!(
+        "# Ablation: join-tree layout\n(sf = {}, seed = {})\n\n{table}",
+        cfg.sf, cfg.seed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_ablation_delete_runs() {
+        let out = ablation_delete(&BenchConfig::smoke());
+        assert!(out.contains("without deletion"));
+    }
+
+    #[test]
+    fn smoke_ablation_binary_runs() {
+        let out = ablation_binary(&BenchConfig::smoke());
+        assert!(out.contains("binary search"));
+    }
+
+    #[test]
+    fn smoke_ablation_fold_runs() {
+        let out = ablation_fold(&BenchConfig::smoke());
+        assert!(out.contains("fan-out"));
+    }
+
+    #[test]
+    fn layouts_agree_on_counts_and_answers() {
+        let db = BenchConfig::smoke().build_db();
+        let cq = rae_tpch::queries::q3();
+        let a = CqIndex::build(&cq, &db).unwrap();
+        let b = CqIndex::build_with(
+            &cq,
+            &db,
+            ReduceOptions {
+                root_preference: RootPreference::SmallestAtom,
+                fold_subset_nodes: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(a.count(), b.count());
+        // Same answer sets (different orders are fine).
+        let mut xs: Vec<_> = a.enumerate().collect();
+        let mut ys: Vec<_> = b.enumerate().collect();
+        xs.sort();
+        ys.sort();
+        assert_eq!(xs, ys);
+    }
+}

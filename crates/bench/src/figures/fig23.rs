@@ -1,0 +1,132 @@
+//! Figures 2 and 3 (delay box plots) and the Figure 7 tables (delay mean /
+//! SD / outlier percentages).
+
+use crate::delays::{renum_cq_delays, sample_ew_delays};
+use crate::setup::BenchConfig;
+use crate::stats::{fmt_ns, BoxStats};
+use crate::table::Table;
+use rae_core::CqIndex;
+use rae_query::{ConjunctiveQuery, RootPreference};
+use rae_yannakakis::ReduceOptions;
+
+/// The fan-out, per-atom layout the sampling baselines walk (see fig1).
+fn sampler_index(cq: &ConjunctiveQuery, db: &rae_data::Database) -> CqIndex {
+    CqIndex::build_with(
+        cq,
+        db,
+        ReduceOptions {
+            root_preference: RootPreference::SmallestAtom,
+            fold_subset_nodes: false,
+        },
+    )
+    .expect("benchmark query builds in fan-out layout")
+}
+
+/// Figure 2: the delay distribution over a full enumeration.
+pub fn fig2(cfg: &BenchConfig) -> String {
+    delay_report(
+        cfg,
+        1.0,
+        "Figure 2: delay box-plot statistics over a FULL enumeration",
+    )
+}
+
+/// Figure 3: the delay distribution when enumerating 50% of the answers.
+pub fn fig3(cfg: &BenchConfig) -> String {
+    delay_report(
+        cfg,
+        0.5,
+        "Figure 3: delay box-plot statistics at 50% of the answers",
+    )
+}
+
+/// Figure 7 (appendix): mean, standard deviation and outlier percentage at
+/// 50% and 100% enumeration.
+pub fn fig7(cfg: &BenchConfig) -> String {
+    let db = cfg.build_db();
+    let mut out = format!(
+        "# Figure 7 (appendix): delay mean/SD/outliers\n(sf = {}, seed = {})\n\n",
+        cfg.sf, cfg.seed
+    );
+    for (fraction, label) in [(0.5, "50% of answers"), (1.0, "full enumeration")] {
+        let mut table = Table::new(
+            format!("delays over {label}"),
+            &["algorithm", "query", "mean", "SD", "outliers [%]"],
+        );
+        for (name, cq) in rae_tpch::queries::all_cqs() {
+            let index = CqIndex::build(&cq, &db).expect("builds");
+            let ew_index = sampler_index(&cq, &db);
+            let k = ((index.count() as f64 * fraction) as usize).max(1);
+            for (alg, delays) in [
+                ("REnum(CQ)", renum_cq_delays(&index, k, cfg.seed)),
+                ("Sample(EW)", sample_ew_delays(&ew_index, k, cfg.seed)),
+            ] {
+                let s = BoxStats::from_samples(&delays);
+                table.row(vec![
+                    alg.into(),
+                    name.into(),
+                    fmt_ns(s.mean),
+                    fmt_ns(s.sd),
+                    format!("{:.2}", s.outlier_pct),
+                ]);
+            }
+        }
+        out.push_str(&table.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn delay_report(cfg: &BenchConfig, fraction: f64, title: &str) -> String {
+    let db = cfg.build_db();
+    let mut table = Table::new(
+        "per-answer delay statistics",
+        &[
+            "query",
+            "algorithm",
+            "whisker-",
+            "Q1",
+            "median",
+            "Q3",
+            "whisker+",
+            "outliers [%]",
+        ],
+    );
+    for (name, cq) in rae_tpch::queries::all_cqs() {
+        let index = CqIndex::build(&cq, &db).expect("builds");
+        let ew_index = sampler_index(&cq, &db);
+        let k = ((index.count() as f64 * fraction) as usize).max(1);
+        for (alg, delays) in [
+            ("REnum(CQ)", renum_cq_delays(&index, k, cfg.seed)),
+            ("Sample(EW)", sample_ew_delays(&ew_index, k, cfg.seed)),
+        ] {
+            let s = BoxStats::from_samples(&delays);
+            table.row(vec![
+                name.into(),
+                alg.into(),
+                fmt_ns(s.whisker_lo),
+                fmt_ns(s.q1),
+                fmt_ns(s.median),
+                fmt_ns(s.q3),
+                fmt_ns(s.whisker_hi),
+                format!("{:.2}", s.outlier_pct),
+            ]);
+        }
+    }
+    format!(
+        "# {title}\n(sf = {}, seed = {})\n\n{table}",
+        cfg.sf, cfg.seed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fig3_runs() {
+        let out = fig3(&BenchConfig::smoke());
+        assert!(out.contains("Q9"));
+        assert!(out.contains("median"));
+    }
+}

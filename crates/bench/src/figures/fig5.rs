@@ -1,0 +1,85 @@
+//! Figure 5: where REnum(UCQ) spends its time — answers vs rejections —
+//! across a full enumeration of Q7S ∪ Q7C. The paper shows rejection time
+//! decaying over the run (shared answers are found — and deleted — early).
+
+use crate::setup::BenchConfig;
+use crate::stats::fmt_ns;
+use crate::table::Table;
+use rae_core::{UcqEvent, UcqShuffle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Runs the experiment and renders per-decile answer/rejection time.
+pub fn fig5(cfg: &BenchConfig) -> String {
+    let db = cfg.build_db();
+    let ucq = rae_tpch::queries::q7s_q7c();
+
+    let mut shuffle =
+        UcqShuffle::build(&ucq, &db, StdRng::seed_from_u64(cfg.seed)).expect("builds");
+
+    // First pass to learn the union size would consume the shuffle, so
+    // collect (event, duration) pairs and bucket afterwards.
+    let mut events: Vec<(bool, u64)> = Vec::new();
+    loop {
+        let t = Instant::now();
+        let ev = shuffle.next_event();
+        let dt = t.elapsed().as_nanos() as u64;
+        match ev {
+            Some(UcqEvent::Answer(_)) => events.push((true, dt)),
+            Some(UcqEvent::Rejected) => events.push((false, dt)),
+            None => break,
+        }
+    }
+    let total_answers = events.iter().filter(|(is_answer, _)| *is_answer).count();
+
+    let mut table = Table::new(
+        "Figure 5: time on answers vs rejections per decile of a full Q7S ∪ Q7C run",
+        &["progress", "answer time", "rejection time", "rejections"],
+    );
+    let deciles = 10usize;
+    let per_decile = total_answers.div_ceil(deciles).max(1);
+    let mut bucket_answer_ns = vec![0u64; deciles];
+    let mut bucket_reject_ns = vec![0u64; deciles];
+    let mut bucket_rejects = vec![0u64; deciles];
+    let mut answers_seen = 0usize;
+    for (is_answer, dt) in events {
+        let bucket = (answers_seen / per_decile).min(deciles - 1);
+        if is_answer {
+            bucket_answer_ns[bucket] += dt;
+            answers_seen += 1;
+        } else {
+            bucket_reject_ns[bucket] += dt;
+            bucket_rejects[bucket] += 1;
+        }
+    }
+    for d in 0..deciles {
+        table.row(vec![
+            format!("{}%", (d + 1) * 10),
+            fmt_ns(bucket_answer_ns[d] as f64),
+            fmt_ns(bucket_reject_ns[d] as f64),
+            bucket_rejects[d].to_string(),
+        ]);
+    }
+    table.note(format!(
+        "{} answers, {} rejections in total",
+        total_answers,
+        shuffle.rejections()
+    ));
+    format!(
+        "# Figure 5\n(sf = {}, seed = {})\n\n{table}",
+        cfg.sf, cfg.seed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fig5_runs() {
+        let out = fig5(&BenchConfig::smoke());
+        assert!(out.contains("rejections"));
+        assert!(out.contains("100%"));
+    }
+}

@@ -1,0 +1,8 @@
+//! One module per paper artifact; each `run` returns the rendered tables.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig23;
+pub mod fig4;
+pub mod fig5;
+pub mod rs_note;

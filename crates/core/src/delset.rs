@@ -1,0 +1,198 @@
+//! Lemma 5.3: a set supporting sampling, membership testing, deletion, and
+//! counting over the indices `0..n` of an enumeration problem.
+//!
+//! The structure is the deletion-capable variant of the Algorithm 1 shuffle
+//! described in Section 5.1: a conceptual array `a` whose prefix
+//! `a[0..deleted]` holds deleted indices and whose suffix holds the
+//! remaining ones, plus the reverse index `b`. Both arrays are simulated
+//! with hash maps (identity by default), so construction is O(1).
+
+use crate::weight::Weight;
+use rae_data::FxHashMap;
+use rand::Rng;
+
+/// A deletable set over the index universe `0..n`.
+///
+/// All operations are O(1) expected time. `sample` draws uniformly among the
+/// non-deleted indices *with* replacement — Algorithm 5 performs its own
+/// rejection/deletion bookkeeping on top.
+#[derive(Debug, Clone)]
+pub struct DeletableSet {
+    n: Weight,
+    deleted: Weight,
+    /// Sparse position → original index (identity where absent).
+    a: FxHashMap<Weight, Weight>,
+    /// Sparse original index → position (identity where absent).
+    b: FxHashMap<Weight, Weight>,
+}
+
+impl DeletableSet {
+    /// Creates the full set `{0, …, n−1}`.
+    pub fn new(n: Weight) -> Self {
+        DeletableSet {
+            n,
+            deleted: 0,
+            a: FxHashMap::default(),
+            b: FxHashMap::default(),
+        }
+    }
+
+    #[inline]
+    fn a_at(&self, pos: Weight) -> Weight {
+        self.a.get(&pos).copied().unwrap_or(pos)
+    }
+
+    #[inline]
+    fn b_at(&self, original: Weight) -> Weight {
+        self.b.get(&original).copied().unwrap_or(original)
+    }
+
+    /// Number of non-deleted indices (the paper's `Count`).
+    pub fn remaining(&self) -> Weight {
+        self.n - self.deleted
+    }
+
+    /// The size of the original universe.
+    pub fn universe(&self) -> Weight {
+        self.n
+    }
+
+    /// Uniformly samples a non-deleted index (with replacement), or `None`
+    /// if the set is empty (the paper's `Sample`).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<Weight> {
+        if self.deleted >= self.n {
+            return None;
+        }
+        let pos = rng.gen_range(self.deleted..self.n);
+        Some(self.a_at(pos))
+    }
+
+    /// Whether `original` (which must be `< n`) is still in the set (the
+    /// paper's `Test`, modulo the inverted-access lookup done by callers).
+    pub fn contains(&self, original: Weight) -> bool {
+        original < self.n && self.b_at(original) >= self.deleted
+    }
+
+    /// Deletes `original`; returns `false` if it was already deleted or out
+    /// of range (the paper's `Delete`).
+    pub fn delete(&mut self, original: Weight) -> bool {
+        if original >= self.n {
+            return false;
+        }
+        let pos = self.b_at(original);
+        if pos < self.deleted {
+            return false;
+        }
+        let boundary = self.deleted;
+        let at_boundary = self.a_at(boundary);
+        // Swap a[pos] ↔ a[boundary]; maintain b.
+        self.a.insert(pos, at_boundary);
+        self.b.insert(at_boundary, pos);
+        self.a.insert(boundary, original);
+        self.b.insert(original, boundary);
+        self.deleted += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_and_membership() {
+        let mut s = DeletableSet::new(5);
+        assert_eq!(s.remaining(), 5);
+        assert!(s.contains(0));
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+
+        assert!(s.delete(2));
+        assert!(!s.contains(2));
+        assert_eq!(s.remaining(), 4);
+
+        // Double delete is a no-op.
+        assert!(!s.delete(2));
+        assert_eq!(s.remaining(), 4);
+    }
+
+    #[test]
+    fn sample_never_returns_deleted() {
+        let mut s = DeletableSet::new(10);
+        for i in [0u128, 3, 5, 7, 9] {
+            s.delete(i);
+        }
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng).unwrap();
+            assert!(s.contains(v), "sampled deleted index {v}");
+        }
+    }
+
+    #[test]
+    fn sample_is_uniform_over_survivors() {
+        let mut s = DeletableSet::new(6);
+        s.delete(1);
+        s.delete(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 6];
+        for _ in 0..4000 {
+            counts[s.sample(&mut rng).unwrap() as usize] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[4], 0);
+        for &i in &[0usize, 2, 3, 5] {
+            assert!(
+                (830..=1170).contains(&counts[i]),
+                "index {i} sampled {} times (expected ≈1000)",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn delete_everything_then_sample_none() {
+        let mut s = DeletableSet::new(3);
+        for i in 0..3u128 {
+            assert!(s.delete(i));
+        }
+        assert_eq!(s.remaining(), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn interleaved_delete_and_sample() {
+        let mut s = DeletableSet::new(100);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut alive: std::collections::BTreeSet<u128> = (0..100).collect();
+        for step in 0..99 {
+            let v = s.sample(&mut rng).unwrap();
+            assert!(alive.contains(&v), "step {step}: sampled dead index {v}");
+            s.delete(v);
+            alive.remove(&v);
+            assert_eq!(s.remaining() as usize, alive.len());
+        }
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = DeletableSet::new(0);
+        assert_eq!(s.remaining(), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.sample(&mut rng), None);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn sparse_memory_use() {
+        let mut s = DeletableSet::new(1_000_000_000);
+        for i in 0..50u128 {
+            s.delete(i * 1000);
+        }
+        assert!(s.a.len() <= 100 && s.b.len() <= 100);
+        assert_eq!(s.remaining(), 1_000_000_000 - 50);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the core enumeration algorithms.
+
+use rae_query::QueryError;
+use std::fmt;
+
+/// Errors raised while building or using the enumeration structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying query/data-layer error (including "not free-connex").
+    Query(QueryError),
+    /// Weight arithmetic overflowed `u128` (astronomically many answers).
+    WeightOverflow,
+    /// A union has more disjuncts than the mc-UCQ builder supports; the
+    /// preprocessing cost grows as `2^m`.
+    TooManyDisjuncts {
+        /// Maximum supported.
+        max: usize,
+        /// Requested.
+        got: usize,
+    },
+    /// mc-UCQ members do not reduce to the same join-tree template.
+    IncompatibleTemplates {
+        /// Name of the first disjunct (the template donor).
+        first: String,
+        /// Name of the mismatching disjunct.
+        other: String,
+    },
+    /// A head attribute is not covered by any plan bag.
+    UncoveredHeadAttribute(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Query(e) => write!(f, "{e}"),
+            CoreError::WeightOverflow => {
+                write!(f, "answer-count weight overflowed u128 during preprocessing")
+            }
+            CoreError::TooManyDisjuncts { max, got } => write!(
+                f,
+                "mc-UCQ random access supports at most {max} disjuncts (2^m preprocessing), got {got}"
+            ),
+            CoreError::IncompatibleTemplates { first, other } => write!(
+                f,
+                "disjunct {other} does not share the join-tree template of {first}; \
+                 mc-UCQ random access requires a common template"
+            ),
+            CoreError::UncoveredHeadAttribute(a) => {
+                write!(f, "head attribute {a} is not covered by any join-tree bag")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<rae_data::DataError> for CoreError {
+    fn from(e: rae_data::DataError) -> Self {
+        CoreError::Query(QueryError::Data(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e = CoreError::TooManyDisjuncts { max: 12, got: 20 };
+        assert!(e.to_string().contains("12"));
+        let q: CoreError = QueryError::EmptyUnion.into();
+        assert!(std::error::Error::source(&q).is_some());
+    }
+}

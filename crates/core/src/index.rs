@@ -1,0 +1,888 @@
+//! Algorithms 2–4: the random-access data structure for free-connex CQs
+//! (Theorem 4.3).
+//!
+//! Preprocessing ([`CqIndex::build`]):
+//! 1. reduce the free-connex CQ to a full acyclic join over a join-tree plan
+//!    (Proposition 4.2, implemented in `rae-yannakakis`);
+//! 2. partition every node relation into *buckets* by the attributes shared
+//!    with the parent (`pAtts`), sorting rows canonically by
+//!    `(pAtts, full row)`;
+//! 3. leaf-to-root, give every row a *weight* — the number of answers of the
+//!    subtree below it (product of the matching child-bucket totals) — and a
+//!    *startIndex*, the running weight sum within its bucket.
+//!
+//! Random access ([`CqIndex::access`]) descends root-to-leaf: binary search
+//! for the row owning the requested index inside the current bucket, then
+//! split the remainder across the children in mixed radix (`SplitIndex`).
+//! Inverted access ([`CqIndex::inverted_access`]) runs the same walk guided
+//! by the answer instead of the index, combining child indexes with
+//! `CombineIndex`. Counting is O(1): the total weight at the (virtual) root.
+//!
+//! The enumeration order realized by `access` is the lexicographic order on
+//! the DFS sequence of bag tuples; two indexes over the same [`TreePlan`]
+//! whose node relations are subsets of one another therefore enumerate in
+//! *compatible* orders (used by the mc-UCQ structure, Theorem 5.5).
+
+use crate::error::CoreError;
+use crate::renum_cq::CqShuffle;
+use crate::weight::{checked_product, combine_index, split_index, Weight};
+use crate::Result;
+use rae_data::{key_of, Database, FxHashMap, Relation, RowKey, Symbol, Value};
+use rae_query::{ConjunctiveQuery, TreePlan};
+use rae_yannakakis::{
+    full_reduce, reduce_to_full_acyclic, reduce_to_full_acyclic_with, FullAcyclicJoin,
+    ReduceOptions,
+};
+use rand::Rng;
+use std::sync::OnceLock;
+
+/// A bucket of a node relation: a contiguous, canonically ordered row range
+/// sharing one `pAtts` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketView {
+    /// First row id of the bucket.
+    pub start: u32,
+    /// One past the last row id.
+    pub end: u32,
+    /// Total weight (number of subtree answers) of the bucket.
+    pub total: Weight,
+    /// Maximum row weight in the bucket (used by Olken-style samplers).
+    pub max_weight: Weight,
+}
+
+#[derive(Debug)]
+struct NodeIndex {
+    rel: Relation,
+    /// Positions (in the bag) of the attributes shared with the parent.
+    key_cols: Vec<usize>,
+    /// Per-row subtree answer count (Algorithm 2's `w(t)`), always ≥ 1.
+    weights: Vec<Weight>,
+    /// Per-row start index within its bucket (Algorithm 2's `startIndex`).
+    starts: Vec<Weight>,
+    buckets: Vec<BucketView>,
+    /// `pAtts` key → bucket id.
+    bucket_by_key: FxHashMap<RowKey, u32>,
+    /// Bucket id of each row.
+    bucket_of_row: Vec<u32>,
+    /// `child_buckets[c][row]`: bucket id in child `c` matched by `row`.
+    child_buckets: Vec<Vec<u32>>,
+    /// For each bag column, the head position it feeds.
+    bag_to_head: Vec<usize>,
+    /// Lazily built full-tuple → row id lookup (Algorithm 4, line 4). The
+    /// paper's implementation also builds this index only when inverted
+    /// access is actually needed (Section 6.1).
+    row_by_tuple: OnceLock<FxHashMap<RowKey, u32>>,
+}
+
+impl NodeIndex {
+    fn row_lookup(&self) -> &FxHashMap<RowKey, u32> {
+        self.row_by_tuple.get_or_init(|| {
+            self.rel
+                .rows()
+                .enumerate()
+                .map(|(i, row)| {
+                    (
+                        row.to_vec().into_boxed_slice(),
+                        u32::try_from(i).expect("row ids fit in u32"),
+                    )
+                })
+                .collect()
+        })
+    }
+}
+
+/// The Theorem 4.3 structure: linear-time preprocessing, O(1) count,
+/// O(log n) random access, O(1) inverted access for a free-connex CQ.
+#[derive(Debug)]
+pub struct CqIndex {
+    plan: TreePlan,
+    nodes: Vec<NodeIndex>,
+    head: Vec<Symbol>,
+    root_totals: Vec<Weight>,
+    total: Weight,
+}
+
+impl CqIndex {
+    /// Builds the index for a free-connex CQ over a database.
+    ///
+    /// Fails with a [`rae_query::QueryError::NotFreeConnex`] /
+    /// [`rae_query::QueryError::NotAcyclic`] wrapped error when the query is
+    /// outside the tractable class of Theorem 4.3.
+    pub fn build(cq: &ConjunctiveQuery, db: &Database) -> Result<Self> {
+        let fj = reduce_to_full_acyclic(cq, db)?;
+        Self::from_full_join(fj)
+    }
+
+    /// [`CqIndex::build`] with explicit join-tree layout options (root
+    /// orientation, subset folding). All layouts are correct; they differ in
+    /// constant factors — the `ablation-fold` experiment quantifies this,
+    /// and the sampling baselines use the fan-out layout (DESIGN.md §4).
+    pub fn build_with(
+        cq: &ConjunctiveQuery,
+        db: &Database,
+        options: ReduceOptions,
+    ) -> Result<Self> {
+        let fj = reduce_to_full_acyclic_with(cq, db, options)?;
+        Self::from_full_join(fj)
+    }
+
+    /// Builds the index from an already-reduced full acyclic join.
+    pub fn from_full_join(fj: FullAcyclicJoin) -> Result<Self> {
+        Self::from_parts(fj.plan, fj.relations, fj.head)
+    }
+
+    /// Builds the index from raw parts: a plan, one relation per node (schema
+    /// = bag), and the head attribute order.
+    ///
+    /// Every bag attribute must be a head attribute and vice versa (the
+    /// structure enumerates distinct full-join tuples, so non-head bag
+    /// attributes would produce duplicate answers). Relations are reduced
+    /// and canonically sorted here, so any consistent input is accepted —
+    /// this is the entry point the mc-UCQ builder uses with intersected
+    /// relations.
+    pub fn from_parts(
+        plan: TreePlan,
+        mut relations: Vec<Relation>,
+        head: Vec<Symbol>,
+    ) -> Result<Self> {
+        assert_eq!(
+            plan.node_count(),
+            relations.len(),
+            "one relation per plan node"
+        );
+        // Validate attribute coverage in both directions.
+        for i in 0..plan.node_count() {
+            for attr in plan.bag(i) {
+                if !head.contains(attr) {
+                    return Err(CoreError::UncoveredHeadAttribute(format!(
+                        "bag attribute {attr} is not a head attribute"
+                    )));
+                }
+            }
+        }
+        for attr in &head {
+            if !(0..plan.node_count()).any(|i| plan.bag(i).binary_search(attr).is_ok()) {
+                return Err(CoreError::UncoveredHeadAttribute(attr.to_string()));
+            }
+        }
+
+        // Set semantics + global consistency (idempotent when already done).
+        for rel in &mut relations {
+            rel.sort_dedup();
+        }
+        full_reduce(&plan, &mut relations)?;
+        if relations.iter().any(Relation::is_empty) {
+            for r in &mut relations {
+                r.retain_rows(|_| false);
+            }
+        }
+
+        let n = plan.node_count();
+        let mut nodes: Vec<Option<NodeIndex>> = (0..n).map(|_| None).collect();
+
+        for &node in plan.leaf_to_root() {
+            let mut rel = std::mem::replace(
+                &mut relations[node],
+                Relation::new(rae_data::Schema::new(Vec::<Symbol>::new())?),
+            );
+            let key_cols = plan.parent_shared_cols(node);
+            rel.sort_by_key_then_row(&key_cols);
+
+            let children = plan.children(node);
+            // For each child: the positions in *this* bag holding the child's
+            // pAtts attributes, in the child's key-column order.
+            let probe_cols: Vec<Vec<usize>> = children
+                .iter()
+                .map(|&c| {
+                    plan.parent_shared_cols(c)
+                        .iter()
+                        .map(|&cc| {
+                            let attr = &plan.bag(c)[cc];
+                            plan.bag(node)
+                                .binary_search(attr)
+                                .expect("shared attribute occurs in parent bag")
+                        })
+                        .collect()
+                })
+                .collect();
+
+            let row_count = rel.len();
+            let mut weights: Vec<Weight> = Vec::with_capacity(row_count);
+            let mut child_buckets: Vec<Vec<u32>> =
+                vec![Vec::with_capacity(row_count); children.len()];
+            for row_id in 0..row_count {
+                let row = rel.row(row_id);
+                let mut w: Weight = 1;
+                for (c, &child) in children.iter().enumerate() {
+                    let child_node = nodes[child].as_ref().expect("children built first");
+                    let key = key_of(row, &probe_cols[c]);
+                    let bucket_id = *child_node
+                        .bucket_by_key
+                        .get(&key)
+                        .expect("full reduction guarantees matching child buckets");
+                    child_buckets[c].push(bucket_id);
+                    let bucket_total = child_node.buckets[bucket_id as usize].total;
+                    w = w
+                        .checked_mul(bucket_total)
+                        .ok_or(CoreError::WeightOverflow)?;
+                }
+                debug_assert!(w >= 1);
+                weights.push(w);
+            }
+
+            // Buckets: contiguous runs of equal pAtts keys.
+            let mut starts: Vec<Weight> = vec![0; row_count];
+            let mut buckets: Vec<BucketView> = Vec::new();
+            let mut bucket_by_key: FxHashMap<RowKey, u32> = FxHashMap::default();
+            let mut bucket_of_row: Vec<u32> = vec![0; row_count];
+            let mut row_id = 0usize;
+            while row_id < row_count {
+                let bucket_key = key_of(rel.row(row_id), &key_cols);
+                let bucket_id = u32::try_from(buckets.len()).expect("bucket ids fit in u32");
+                let start = row_id;
+                let mut running: Weight = 0;
+                let mut max_weight: Weight = 0;
+                while row_id < row_count && key_of(rel.row(row_id), &key_cols) == bucket_key {
+                    starts[row_id] = running;
+                    running = running
+                        .checked_add(weights[row_id])
+                        .ok_or(CoreError::WeightOverflow)?;
+                    max_weight = max_weight.max(weights[row_id]);
+                    bucket_of_row[row_id] = bucket_id;
+                    row_id += 1;
+                }
+                buckets.push(BucketView {
+                    start: u32::try_from(start).expect("row ids fit in u32"),
+                    end: u32::try_from(row_id).expect("row ids fit in u32"),
+                    total: running,
+                    max_weight,
+                });
+                bucket_by_key.insert(bucket_key, bucket_id);
+            }
+
+            let bag_to_head: Vec<usize> = plan
+                .bag(node)
+                .iter()
+                .map(|attr| {
+                    head.iter()
+                        .position(|h| h == attr)
+                        .expect("validated above")
+                })
+                .collect();
+
+            nodes[node] = Some(NodeIndex {
+                rel,
+                key_cols,
+                weights,
+                starts,
+                buckets,
+                bucket_by_key,
+                bucket_of_row,
+                child_buckets,
+                bag_to_head,
+                row_by_tuple: OnceLock::new(),
+            });
+        }
+
+        let nodes: Vec<NodeIndex> = nodes.into_iter().map(|n| n.expect("built")).collect();
+        let root_totals: Vec<Weight> = plan
+            .roots()
+            .iter()
+            .map(|&r| nodes[r].buckets.first().map_or(0, |b| b.total))
+            .collect();
+        let total = if root_totals.contains(&0) {
+            0
+        } else {
+            checked_product(root_totals.iter().copied()).ok_or(CoreError::WeightOverflow)?
+        };
+
+        Ok(CqIndex {
+            plan,
+            nodes,
+            head,
+            root_totals,
+            total,
+        })
+    }
+
+    /// The number of answers `|Q(D)|` — O(1) (Theorem 4.3).
+    #[inline]
+    pub fn count(&self) -> Weight {
+        self.total
+    }
+
+    /// Counts the answers using only the access routine, as in the proof of
+    /// Theorem 3.7: binary-search for the first out-of-bound position with
+    /// `O(log |Q(D)|)` access calls. Provided for parity with the paper
+    /// (structures whose counts are not free get their counts this way);
+    /// [`CqIndex::count`] is the O(1) version.
+    pub fn count_via_access(&self) -> Weight {
+        // Exponential search for an upper bound, then binary search.
+        if self.access(0).is_none() {
+            return 0;
+        }
+        let mut hi: Weight = 1;
+        while self.access(hi).is_some() {
+            hi = hi.saturating_mul(2);
+        }
+        let mut lo: Weight = hi / 2; // access(lo) is Some
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.access(mid).is_some() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    /// The head attributes, in answer order.
+    pub fn head(&self) -> &[Symbol] {
+        &self.head
+    }
+
+    /// The join-tree plan the index is built over.
+    pub fn plan(&self) -> &TreePlan {
+        &self.plan
+    }
+
+    /// Algorithm 3: the `j`-th answer (0-based) of the enumeration order, or
+    /// `None` if `j ≥ count()`.
+    pub fn access(&self, j: Weight) -> Option<Vec<Value>> {
+        if j >= self.total {
+            return None;
+        }
+        let mut answer = vec![Value::Int(0); self.head.len()];
+        let mut digits = Vec::with_capacity(self.root_totals.len());
+        split_index(j, &self.root_totals, &mut digits);
+        for (&root, &digit) in self.plan.roots().iter().zip(digits.iter()) {
+            self.descend(root, 0, digit, &mut answer);
+        }
+        Some(answer)
+    }
+
+    fn descend(&self, node: usize, bucket_id: u32, j: Weight, answer: &mut [Value]) {
+        let nd = &self.nodes[node];
+        let bucket = &nd.buckets[bucket_id as usize];
+        debug_assert!(j < bucket.total);
+        // Binary search: the last row of the bucket with startIndex ≤ j.
+        let slice = &nd.starts[bucket.start as usize..bucket.end as usize];
+        let offset = slice.partition_point(|&s| s <= j);
+        let row_id = bucket.start as usize + offset - 1;
+        let remainder = j - nd.starts[row_id];
+        debug_assert!(remainder < nd.weights[row_id]);
+
+        let row = nd.rel.row(row_id);
+        for (col, &head_pos) in nd.bag_to_head.iter().enumerate() {
+            answer[head_pos] = row[col].clone();
+        }
+
+        let children = self.plan.children(node);
+        if children.is_empty() {
+            debug_assert_eq!(remainder, 0);
+            return;
+        }
+        let radices: Vec<Weight> = children
+            .iter()
+            .enumerate()
+            .map(|(c, &child)| {
+                let child_bucket = nd.child_buckets[c][row_id];
+                self.nodes[child].buckets[child_bucket as usize].total
+            })
+            .collect();
+        let mut digits = Vec::with_capacity(children.len());
+        split_index(remainder, &radices, &mut digits);
+        for ((c, &child), &digit) in children.iter().enumerate().zip(digits.iter()) {
+            self.descend(child, nd.child_buckets[c][row_id], digit, answer);
+        }
+    }
+
+    /// Algorithm 4: the position of `answer` in the enumeration order, or
+    /// `None` if it is not an answer ("not-a-member").
+    ///
+    /// The per-node tuple lookup tables are built lazily on first use (as in
+    /// the paper's implementation); see [`CqIndex::prepare_inverted_access`].
+    pub fn inverted_access(&self, answer: &[Value]) -> Option<Weight> {
+        if answer.len() != self.head.len() || self.total == 0 {
+            return None;
+        }
+        let mut digits = Vec::with_capacity(self.plan.roots().len());
+        for &root in self.plan.roots() {
+            digits.push(self.inv_descend(root, answer)?);
+        }
+        Some(combine_index(&self.root_totals, &digits))
+    }
+
+    fn inv_descend(&self, node: usize, answer: &[Value]) -> Option<Weight> {
+        let nd = &self.nodes[node];
+        let key: RowKey = nd
+            .bag_to_head
+            .iter()
+            .map(|&head_pos| answer[head_pos].clone())
+            .collect();
+        let &row_id = nd.row_lookup().get(&key)?;
+        let row_id = row_id as usize;
+
+        let children = self.plan.children(node);
+        if children.is_empty() {
+            return Some(nd.starts[row_id]);
+        }
+        let mut radices = Vec::with_capacity(children.len());
+        let mut digits = Vec::with_capacity(children.len());
+        for (c, &child) in children.iter().enumerate() {
+            let child_bucket = nd.child_buckets[c][row_id];
+            radices.push(self.nodes[child].buckets[child_bucket as usize].total);
+            let digit = self.inv_descend(child, answer)?;
+            // The child's matched row must live in the bucket this row
+            // points at; holds whenever `answer` is consistent, which the
+            // per-node lookups already guarantee.
+            debug_assert!(digit < *radices.last().expect("just pushed"));
+            digits.push(digit);
+        }
+        Some(nd.starts[row_id] + combine_index(&radices, &digits))
+    }
+
+    /// Whether `answer` is an answer (membership test via inverted access).
+    pub fn contains(&self, answer: &[Value]) -> bool {
+        self.inverted_access(answer).is_some()
+    }
+
+    /// Forces construction of the inverted-access lookup tables (otherwise
+    /// built lazily on the first [`CqIndex::inverted_access`] call).
+    pub fn prepare_inverted_access(&self) {
+        for nd in &self.nodes {
+            let _ = nd.row_lookup();
+        }
+    }
+
+    /// Sequential enumeration in the index's order (Fact 3.5: random access
+    /// yields enumeration by accessing 0, 1, 2, …) — O(log n) delay. For the
+    /// constant-delay enumerator of Theorem 4.1 use [`CqIndex::sequential`].
+    pub fn enumerate(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.total).map(move |j| self.access(j).expect("j < count"))
+    }
+
+    /// Constant-delay sequential enumeration (`Enum⟨lin, const⟩`,
+    /// Theorem 4.1): an odometer cursor over the join tree emitting answers
+    /// in the same order as [`CqIndex::enumerate`] without per-answer binary
+    /// searches.
+    pub fn sequential(&self) -> crate::enumerate::CqSequential<'_> {
+        crate::enumerate::CqSequential::new(self)
+    }
+
+    /// A uniformly random permutation of the answers (Theorem 3.7:
+    /// Fisher–Yates over random access), with O(log n) delay.
+    pub fn random_permutation<R: Rng>(&self, rng: R) -> CqShuffle<'_, R> {
+        CqShuffle::new(self, rng)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw structure accessors (used by the `rae-sampler` baselines and the
+    // benchmark harness; not needed for ordinary query answering).
+    // ------------------------------------------------------------------
+
+    /// Number of plan nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The canonical (sorted) relation stored at a node.
+    pub fn node_relation(&self, node: usize) -> &Relation {
+        &self.nodes[node].rel
+    }
+
+    /// The subtree-answer weight of a row.
+    pub fn row_weight(&self, node: usize, row: u32) -> Weight {
+        self.nodes[node].weights[row as usize]
+    }
+
+    /// The single bucket of a root node, if the index is non-empty.
+    pub fn root_bucket(&self, root: usize) -> Option<BucketView> {
+        debug_assert!(self.plan.roots().contains(&root));
+        self.nodes[root].buckets.first().copied()
+    }
+
+    /// The bucket of child `child_pos` of `node` matched by `row`.
+    pub fn child_bucket(&self, node: usize, row: u32, child_pos: usize) -> BucketView {
+        let nd = &self.nodes[node];
+        let child = self.plan.children(node)[child_pos];
+        let bucket_id = nd.child_buckets[child_pos][row as usize];
+        self.nodes[child].buckets[bucket_id as usize]
+    }
+
+    /// Writes the head values contributed by `row` of `node` into `answer`.
+    pub fn write_row_values(&self, node: usize, row: u32, answer: &mut [Value]) {
+        let nd = &self.nodes[node];
+        let row = nd.rel.row(row as usize);
+        for (col, &head_pos) in nd.bag_to_head.iter().enumerate() {
+            answer[head_pos] = row[col].clone();
+        }
+    }
+
+    /// The number of head attributes.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// The `pAtts` positions (within the node's bag) — empty for roots.
+    pub fn node_key_cols(&self, node: usize) -> &[usize] {
+        &self.nodes[node].key_cols
+    }
+
+    /// The id of the bucket containing `row` of `node`.
+    pub fn bucket_of_row(&self, node: usize, row: u32) -> u32 {
+        self.nodes[node].bucket_of_row[row as usize]
+    }
+
+    /// A bucket of `node` by id.
+    pub fn bucket(&self, node: usize, bucket_id: u32) -> BucketView {
+        self.nodes[node].buckets[bucket_id as usize]
+    }
+
+    /// Number of buckets of `node`.
+    pub fn bucket_count(&self, node: usize) -> usize {
+        self.nodes[node].buckets.len()
+    }
+
+    /// The startIndex of `row` within its bucket (Algorithm 2).
+    pub fn row_start(&self, node: usize, row: u32) -> Weight {
+        self.nodes[node].starts[row as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_data::Schema;
+    use rae_query::parser::parse_cq;
+
+    fn rel_str(attrs: &[&str], rows: &[&[&str]]) -> Relation {
+        Relation::from_rows(
+            Schema::new(attrs.iter().copied()).unwrap(),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::str(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(
+            Schema::new(attrs.iter().copied()).unwrap(),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    /// The database of the paper's Example 4.4.
+    fn example_4_4_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            "R1",
+            rel_str(
+                &["v", "w", "x"],
+                &[
+                    &["a1", "b1", "c1"],
+                    &["a1", "b1", "c2"],
+                    &["a2", "b2", "c1"],
+                    &["a2", "b2", "c2"],
+                ],
+            ),
+        )
+        .unwrap();
+        db.add_relation(
+            "R2",
+            rel_str(
+                &["w", "y"],
+                &[&["b1", "d1"], &["b1", "d2"], &["b2", "d2"], &["b2", "d3"]],
+            ),
+        )
+        .unwrap();
+        db.add_relation(
+            "R3",
+            rel_str(
+                &["x", "z"],
+                &[&["c1", "e1"], &["c1", "e2"], &["c1", "e3"], &["c2", "e4"]],
+            ),
+        )
+        .unwrap();
+        db
+    }
+
+    fn example_4_4_index() -> CqIndex {
+        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        CqIndex::build(&cq, &example_4_4_db()).unwrap()
+    }
+
+    #[test]
+    fn example_4_4() {
+        // Reproduces the paper's worked example end to end.
+        let idx = example_4_4_index();
+        assert_eq!(idx.count(), 16);
+
+        // Access(13) = (a2, b2, c1, d3, e3).
+        let ans = idx.access(13).unwrap();
+        let expected: Vec<Value> = ["a2", "b2", "c1", "d3", "e3"]
+            .iter()
+            .map(Value::str)
+            .collect();
+        assert_eq!(ans, expected);
+
+        // InvertedAccess(a2, b2, c1, d3, e3) = 13.
+        assert_eq!(idx.inverted_access(&expected), Some(13));
+
+        // Out of bounds.
+        assert!(idx.access(16).is_none());
+        assert!(idx.access(Weight::MAX).is_none());
+    }
+
+    #[test]
+    fn example_4_4_weights_and_starts() {
+        // The paper's table: R1 weights (6, 2, 6, 2), startIndex (0, 6, 8, 14).
+        let idx = example_4_4_index();
+        let root = idx.plan().roots()[0];
+        let weights: Vec<Weight> = (0..4).map(|r| idx.row_weight(root, r)).collect();
+        assert_eq!(weights, vec![6, 2, 6, 2]);
+        let starts: Vec<Weight> = (0..4).map(|r| idx.nodes[root].starts[r as usize]).collect();
+        assert_eq!(starts, vec![0, 6, 8, 14]);
+    }
+
+    #[test]
+    fn count_via_access_matches_o1_count() {
+        let idx = example_4_4_index();
+        assert_eq!(idx.count_via_access(), idx.count());
+        // Empty index.
+        let mut db = Database::new();
+        db.add_relation(
+            "R",
+            Relation::from_rows(rae_data::Schema::new(["a", "b"]).unwrap(), Vec::new()).unwrap(),
+        )
+        .unwrap();
+        let cq = rae_query::parser::parse_cq("Q(x, y) :- R(x, y)").unwrap();
+        let empty = CqIndex::build(&cq, &db).unwrap();
+        assert_eq!(empty.count_via_access(), 0);
+        // Singleton.
+        db.set_relation(
+            "R",
+            rel_int(&["a", "b"], &[&[1, 2]]),
+        );
+        let mut db1 = Database::new();
+        db1.add_relation("R", rel_int(&["a", "b"], &[&[1, 2]])).unwrap();
+        let one = CqIndex::build(&cq, &db1).unwrap();
+        assert_eq!(one.count_via_access(), 1);
+    }
+
+    #[test]
+    fn access_inverted_roundtrip_all_positions() {
+        let idx = example_4_4_index();
+        for j in 0..idx.count() {
+            let ans = idx.access(j).unwrap();
+            assert_eq!(idx.inverted_access(&ans), Some(j), "roundtrip at {j}");
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_naive_answers() {
+        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let db = example_4_4_db();
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        let expected = rae_query::naive_eval(&cq, &db).unwrap();
+        let mut got: Vec<Vec<Value>> = idx.enumerate().collect();
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len() as Weight, idx.count());
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.rows()) {
+            assert_eq!(g.as_slice(), e);
+        }
+    }
+
+    #[test]
+    fn non_answers_are_rejected_by_inverted_access() {
+        let idx = example_4_4_index();
+        // Locally valid pieces, globally inconsistent combination: (a1,…,c2)
+        // exists but e1 only pairs with c1.
+        let bogus: Vec<Value> = ["a1", "b1", "c2", "d1", "e1"]
+            .iter()
+            .map(Value::str)
+            .collect();
+        assert_eq!(idx.inverted_access(&bogus), None);
+        // Wrong arity.
+        assert_eq!(idx.inverted_access(&[Value::str("a1")]), None);
+        // Unknown constant.
+        let unknown: Vec<Value> = ["zz", "b1", "c1", "d1", "e1"]
+            .iter()
+            .map(Value::str)
+            .collect();
+        assert_eq!(idx.inverted_access(&unknown), None);
+    }
+
+    #[test]
+    fn projection_query_index_matches_naive() {
+        let mut db = Database::new();
+        db.add_relation(
+            "R",
+            rel_int(&["a", "b"], &[&[1, 10], &[1, 11], &[2, 10], &[3, 12]]),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            rel_int(&["b", "c"], &[&[10, 0], &[11, 0], &[12, 1], &[13, 1]]),
+        )
+        .unwrap();
+        let cq = parse_cq("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        let expected = rae_query::naive_eval(&cq, &db).unwrap();
+        assert_eq!(idx.count() as usize, expected.len());
+        for j in 0..idx.count() {
+            let ans = idx.access(j).unwrap();
+            assert!(expected.contains_row(&ans), "access({j}) not an answer");
+            assert_eq!(idx.inverted_access(&ans), Some(j));
+        }
+    }
+
+    #[test]
+    fn empty_result_index() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a", "b"], &[&[1, 10]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["b", "c"], &[&[99, 0]]))
+            .unwrap();
+        let cq = parse_cq("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        assert_eq!(idx.count(), 0);
+        assert!(idx.access(0).is_none());
+        assert_eq!(idx.inverted_access(&[Value::Int(1), Value::Int(10)]), None);
+    }
+
+    #[test]
+    fn boolean_query_index() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a", "b"], &[&[1, 10]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["b", "c"], &[&[10, 0]]))
+            .unwrap();
+        let cq = parse_cq("Q() :- R(x, y), S(y, z)").unwrap();
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        assert_eq!(idx.count(), 1);
+        assert_eq!(idx.access(0).unwrap(), Vec::<Value>::new());
+        assert_eq!(idx.inverted_access(&[]), Some(0));
+        assert!(idx.access(1).is_none());
+    }
+
+    #[test]
+    fn cross_product_index() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a"], &[&[1], &[2], &[3]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["b"], &[&[10], &[20]]))
+            .unwrap();
+        let cq = parse_cq("Q(x, y) :- R(x), S(y)").unwrap();
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        assert_eq!(idx.count(), 6);
+        let mut seen: Vec<Vec<Value>> = idx.enumerate().collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+        for j in 0..6 {
+            let ans = idx.access(j).unwrap();
+            assert_eq!(idx.inverted_access(&ans), Some(j));
+        }
+    }
+
+    #[test]
+    fn not_free_connex_is_rejected() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a", "b"], &[&[1, 10]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["b", "c"], &[&[10, 0]]))
+            .unwrap();
+        let cq = parse_cq("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(matches!(
+            CqIndex::build(&cq, &db),
+            Err(CoreError::Query(rae_query::QueryError::NotFreeConnex(_)))
+        ));
+    }
+
+    #[test]
+    fn enumeration_order_is_lexicographic_on_dfs_attrs() {
+        // With sorted node relations the realized order must be the
+        // lexicographic order on the DFS attribute sequence.
+        let idx = example_4_4_index();
+        let dfs_attrs = idx.plan().attrs_dfs();
+        let positions: Vec<usize> = dfs_attrs
+            .iter()
+            .map(|a| idx.head().iter().position(|h| h == a).unwrap())
+            .collect();
+        let mut prev: Option<Vec<Value>> = None;
+        for j in 0..idx.count() {
+            let ans = idx.access(j).unwrap();
+            let key: Vec<Value> = positions.iter().map(|&p| ans[p].clone()).collect();
+            if let Some(prev_key) = &prev {
+                assert!(prev_key < &key, "order violated at position {j}");
+            }
+            prev = Some(key);
+        }
+    }
+
+    #[test]
+    fn compatible_orders_for_sub_relations() {
+        // Build the same query over D and over a selection of D; shared
+        // answers must appear in the same relative order (DESIGN.md §3).
+        let db = example_4_4_db();
+        let mut db_sel = Database::new();
+        db_sel
+            .add_relation(
+                "R1",
+                rel_str(
+                    &["v", "w", "x"],
+                    &[&["a1", "b1", "c1"], &["a2", "b2", "c1"]],
+                ),
+            )
+            .unwrap();
+        db_sel
+            .add_relation(
+                "R2",
+                rel_str(&["w", "y"], &[&["b1", "d2"], &["b2", "d2"], &["b2", "d3"]]),
+            )
+            .unwrap();
+        db_sel
+            .add_relation(
+                "R3",
+                rel_str(&["x", "z"], &[&["c1", "e1"], &["c1", "e3"], &["c2", "e4"]]),
+            )
+            .unwrap();
+        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let big = CqIndex::build(&cq, &db).unwrap();
+        let small = CqIndex::build(&cq, &db_sel).unwrap();
+        assert!(big.plan().same_shape(small.plan()));
+        // The small enumeration must be a subsequence of the big one.
+        let big_seq: Vec<Vec<Value>> = big.enumerate().collect();
+        let small_seq: Vec<Vec<Value>> = small.enumerate().collect();
+        let mut big_iter = big_seq.iter();
+        for item in &small_seq {
+            assert!(
+                big_iter.any(|b| b == item),
+                "small enumeration is not a subsequence of the big one"
+            );
+        }
+    }
+
+    #[test]
+    fn self_join_index() {
+        let mut db = Database::new();
+        db.add_relation(
+            "E",
+            rel_int(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 4], &[2, 4]]),
+        )
+        .unwrap();
+        let cq = parse_cq("Q(x, y, z) :- E(x, y), E(y, z)").unwrap();
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        let expected = rae_query::naive_eval(&cq, &db).unwrap();
+        assert_eq!(idx.count() as usize, expected.len());
+        for j in 0..idx.count() {
+            assert!(expected.contains_row(&idx.access(j).unwrap()));
+        }
+    }
+}

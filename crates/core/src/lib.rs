@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # rae-core
+//!
+//! The algorithms of *"Answering (Unions of) Conjunctive Queries using
+//! Random Access and Random-Order Enumeration"* (Carmeli, Zeevi, Berkholz,
+//! Kimelfeld, Schweikardt — PODS 2020):
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Algorithm 1 (lazy Fisher–Yates) | [`LazyShuffle`] |
+//! | Algorithm 2 (preprocessing: buckets, weights, startIndex) | [`CqIndex::build`] |
+//! | Algorithm 3 (random access) | [`CqIndex::access`] |
+//! | Algorithm 4 (inverted access) | [`CqIndex::inverted_access`] |
+//! | Theorem 3.7 (access + count ⇒ random permutation) | [`CqIndex::random_permutation`] / [`CqShuffle`] |
+//! | Lemma 5.3 (sample/test/delete/count sets) | [`DeletableSet`] |
+//! | Algorithm 5 (REnum(UCQ)) | [`UcqShuffle`] |
+//! | Algorithms 6–8 + Theorem 5.5 (mc-UCQ random access) | [`McUcqIndex`] / [`McUcqShuffle`] |
+//!
+//! The entry points are [`CqIndex::build`] for a single free-connex CQ,
+//! [`UcqShuffle::build`] for random-order enumeration of any union of
+//! free-connex CQs, and [`McUcqIndex::build`] for random access over
+//! mutually-compatible unions (shared-template UCQs).
+
+pub mod delset;
+pub mod enumerate;
+pub mod error;
+pub mod index;
+pub mod mcucq;
+pub mod renum_cq;
+pub mod renum_ucq;
+pub mod shuffle;
+pub mod weight;
+
+pub use delset::DeletableSet;
+pub use enumerate::CqSequential;
+pub use error::CoreError;
+pub use index::{BucketView, CqIndex};
+pub use mcucq::{McUcqIndex, McUcqShuffle, RankStrategy};
+pub use renum_cq::CqShuffle;
+pub use renum_ucq::{UcqEvent, UcqShuffle};
+pub use shuffle::LazyShuffle;
+pub use weight::{combine_index, split_index, Weight};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

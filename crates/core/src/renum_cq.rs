@@ -1,0 +1,142 @@
+//! REnum(CQ): random-order enumeration of a free-connex CQ (Theorem 3.7).
+//!
+//! Composes the lazy Fisher–Yates shuffle (Algorithm 1) with random access
+//! (Algorithm 3): linear preprocessing, O(log n) delay, provably uniform
+//! permutation of the answers.
+
+use crate::index::CqIndex;
+use crate::shuffle::LazyShuffle;
+use crate::weight::Weight;
+use rae_data::Value;
+use rand::Rng;
+
+/// An iterator emitting every answer of a [`CqIndex`] exactly once, in
+/// uniformly random order.
+#[derive(Debug)]
+pub struct CqShuffle<'a, R: Rng> {
+    index: &'a CqIndex,
+    shuffle: LazyShuffle<R>,
+}
+
+impl<'a, R: Rng> CqShuffle<'a, R> {
+    /// Starts a fresh random permutation over `index`.
+    pub fn new(index: &'a CqIndex, rng: R) -> Self {
+        CqShuffle {
+            index,
+            shuffle: LazyShuffle::new(index.count(), rng),
+        }
+    }
+
+    /// Answers not yet emitted.
+    pub fn remaining(&self) -> Weight {
+        self.shuffle.remaining()
+    }
+}
+
+impl<R: Rng> Iterator for CqShuffle<'_, R> {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        self.shuffle
+            .next()
+            .map(|j| self.index.access(j).expect("shuffle stays in range"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.shuffle.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_data::{Database, Relation, Schema};
+    use rae_query::parser::parse_cq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn small_index() -> (CqIndex, Database) {
+        let mut db = Database::new();
+        db.add_relation(
+            "R",
+            Relation::from_rows(
+                Schema::new(["a", "b"]).unwrap(),
+                (0..4i64).map(|i| vec![Value::Int(i), Value::Int(i % 2)]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            Relation::from_rows(
+                Schema::new(["b", "c"]).unwrap(),
+                (0..3i64).map(|i| vec![Value::Int(i % 2), Value::Int(i * 10)]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let cq = parse_cq("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        (idx, db)
+    }
+
+    #[test]
+    fn emits_every_answer_exactly_once() {
+        let (idx, _db) = small_index();
+        let shuffle = idx.random_permutation(StdRng::seed_from_u64(1));
+        let mut got: Vec<Vec<Value>> = shuffle.collect();
+        assert_eq!(got.len() as Weight, idx.count());
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len() as Weight, idx.count(), "duplicates emitted");
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let (idx, _db) = small_index();
+        let a: Vec<Vec<Value>> = idx.random_permutation(StdRng::seed_from_u64(1)).collect();
+        let b: Vec<Vec<Value>> = idx.random_permutation(StdRng::seed_from_u64(2)).collect();
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b, "two seeds should almost surely give different orders");
+    }
+
+    #[test]
+    fn first_answer_is_uniform() {
+        let (idx, _db) = small_index();
+        let n = idx.count();
+        assert!(n >= 4);
+        let mut counts: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
+        let trials = 3000usize;
+        let mut seed_rng = StdRng::seed_from_u64(99);
+        for _ in 0..trials {
+            let seed = rand::Rng::gen::<u64>(&mut seed_rng);
+            let mut shuffle = idx.random_permutation(StdRng::seed_from_u64(seed));
+            let first = shuffle.next().unwrap();
+            *counts.entry(first).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len() as Weight, n, "every answer must appear first");
+        let expected = trials as f64 / n as f64;
+        for (ans, count) in counts {
+            let ratio = count as f64 / expected;
+            assert!(
+                (0.7..=1.3).contains(&ratio),
+                "answer {ans:?} first {count} times (expected ≈{expected:.0})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_index_yields_nothing() {
+        let mut db = Database::new();
+        db.add_relation(
+            "R",
+            Relation::from_rows(Schema::new(["a", "b"]).unwrap(), Vec::new()).unwrap(),
+        )
+        .unwrap();
+        let cq = parse_cq("Q(x, y) :- R(x, y)").unwrap();
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        let mut shuffle = idx.random_permutation(StdRng::seed_from_u64(0));
+        assert!(shuffle.next().is_none());
+    }
+}

@@ -1,0 +1,402 @@
+//! Algorithm 5 / Theorem 5.4 — REnum(UCQ): random-order enumeration of a
+//! union of free-connex CQs with expected logarithmic delay.
+//!
+//! Every iteration samples a member CQ weighted by its remaining answer
+//! count, samples an element of that member uniformly, determines the
+//! element's *providers* (members still containing it) and its *owner* (the
+//! provider with the least index), deletes the element from the non-owners,
+//! and emits it only when it was reached through its owner — otherwise the
+//! iteration *rejects*. Each element is rejected at most once overall, which
+//! gives the amortized-constant and expected-constant iteration bounds of
+//! Lemma 5.2.
+
+use crate::delset::DeletableSet;
+use crate::index::CqIndex;
+use crate::weight::Weight;
+use crate::Result;
+use rae_data::{Database, Value};
+use rae_query::UnionQuery;
+use rand::Rng;
+use std::sync::Arc;
+
+/// One step of Algorithm 5: either an emitted answer or a rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UcqEvent {
+    /// A fresh answer, uniform among those not yet emitted.
+    Answer(Vec<Value>),
+    /// A rejected iteration (the element was reached via a non-owner; it has
+    /// now been deleted from all non-owners and will not be rejected again).
+    Rejected,
+}
+
+/// Random-order enumeration of a union of free-connex CQs.
+///
+/// The iterator interface yields answers only; use
+/// [`UcqShuffle::next_event`] to observe rejections (the Figure 5
+/// experiment measures the time they consume).
+#[derive(Debug)]
+pub struct UcqShuffle<R: Rng> {
+    members: Vec<Member>,
+    rng: R,
+    rejections: u64,
+    emitted: u64,
+    /// Lines 6–7 of Algorithm 5. Disabling turns the "each answer rejected
+    /// at most once" amortization off — kept as an ablation knob for the
+    /// benchmark harness; always `true` in normal use.
+    delete_on_rejection: bool,
+}
+
+#[derive(Debug)]
+struct Member {
+    index: Arc<CqIndex>,
+    set: DeletableSet,
+}
+
+impl<R: Rng> UcqShuffle<R> {
+    /// Builds the per-disjunct indexes (with inverted access) and starts the
+    /// enumeration. Linear preprocessing in `|D|` per disjunct.
+    pub fn build(ucq: &UnionQuery, db: &Database, rng: R) -> Result<Self> {
+        let mut indexes = Vec::with_capacity(ucq.len());
+        for d in ucq.disjuncts() {
+            let idx = CqIndex::build(d, db)?;
+            idx.prepare_inverted_access();
+            indexes.push(Arc::new(idx));
+        }
+        Ok(Self::from_indexes(indexes, rng))
+    }
+
+    /// Starts the enumeration over pre-built member indexes. All members
+    /// must share the same head arity (guaranteed when they come from one
+    /// [`UnionQuery`]).
+    pub fn from_indexes(indexes: Vec<Arc<CqIndex>>, rng: R) -> Self {
+        let members = indexes
+            .into_iter()
+            .map(|index| {
+                let set = DeletableSet::new(index.count());
+                Member { index, set }
+            })
+            .collect();
+        UcqShuffle {
+            members,
+            rng,
+            rejections: 0,
+            emitted: 0,
+            delete_on_rejection: true,
+        }
+    }
+
+    /// Ablation knob: disables the deletion of rejected elements from
+    /// non-owner members (Algorithm 5, lines 6–7). The permutation stays
+    /// uniform, but shared answers can then be rejected repeatedly, losing
+    /// the amortized-constant guarantee of Lemma 5.2.
+    pub fn with_rejection_deletion(mut self, enabled: bool) -> Self {
+        self.delete_on_rejection = enabled;
+        self
+    }
+
+    /// Total remaining (not yet emitted) indices across members, counting an
+    /// answer shared by `k` members up to `k` times until its duplicates are
+    /// discovered and deleted.
+    pub fn remaining_indices(&self) -> Weight {
+        self.members.iter().map(|m| m.set.remaining()).sum()
+    }
+
+    /// Number of rejected iterations so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Number of answers emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Runs one iteration of Algorithm 5.
+    ///
+    /// Returns `None` once every answer has been emitted.
+    pub fn next_event(&mut self) -> Option<UcqEvent> {
+        let total: Weight = self.remaining_indices();
+        if total == 0 {
+            return None;
+        }
+
+        // Line 2: choose a member weighted by its remaining count.
+        let mut pick = self.rng.gen_range(0..total);
+        let mut chosen = 0usize;
+        for (i, m) in self.members.iter().enumerate() {
+            let c = m.set.remaining();
+            if pick < c {
+                chosen = i;
+                break;
+            }
+            pick -= c;
+        }
+
+        // Line 3: sample an element of the chosen member uniformly.
+        let chosen_idx = self.members[chosen]
+            .set
+            .sample(&mut self.rng)
+            .expect("chosen member is non-empty");
+        let element = self.members[chosen]
+            .index
+            .access(chosen_idx)
+            .expect("sampled index is in range");
+
+        // Line 4: providers — members that still contain the element.
+        let mut providers: Vec<(usize, Weight)> = Vec::with_capacity(self.members.len());
+        for (i, m) in self.members.iter().enumerate() {
+            if let Some(idx) = m.index.inverted_access(&element) {
+                if m.set.contains(idx) {
+                    providers.push((i, idx));
+                }
+            }
+        }
+        debug_assert!(providers.iter().any(|&(i, _)| i == chosen));
+
+        // Line 5: the owner is the provider with the minimum index.
+        let &(owner, owner_idx) = providers.first().expect("chosen is a provider");
+
+        // Lines 6–7: delete from all non-owners.
+        if self.delete_on_rejection || owner == chosen {
+            for &(i, idx) in &providers[1..] {
+                debug_assert_ne!(i, owner);
+                self.members[i].set.delete(idx);
+            }
+        }
+
+        // Lines 8–9: emit only when reached through the owner.
+        if owner == chosen {
+            self.members[owner].set.delete(owner_idx);
+            self.emitted += 1;
+            Some(UcqEvent::Answer(element))
+        } else {
+            self.rejections += 1;
+            Some(UcqEvent::Rejected)
+        }
+    }
+}
+
+impl<R: Rng> Iterator for UcqShuffle<R> {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        loop {
+            match self.next_event()? {
+                UcqEvent::Answer(a) => return Some(a),
+                UcqEvent::Rejected => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_data::{Relation, Schema};
+    use rae_query::naive_eval_union;
+    use rae_query::parser::parse_ucq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(
+            Schema::new(attrs.iter().copied()).unwrap(),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    fn overlapping_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            "R",
+            rel_int(&["a", "b"], &[&[1, 1], &[1, 2], &[2, 1], &[3, 3]]),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            rel_int(&["a", "b"], &[&[1, 1], &[2, 1], &[4, 4], &[5, 1]]),
+        )
+        .unwrap();
+        db
+    }
+
+    fn union() -> UnionQuery {
+        parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).").unwrap()
+    }
+
+    #[test]
+    fn emits_union_without_duplicates() {
+        let db = overlapping_db();
+        let u = union();
+        let shuffle = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(3)).unwrap();
+        let mut got: Vec<Vec<Value>> = shuffle.collect();
+        let expected = naive_eval_union(&u, &db).unwrap();
+        assert_eq!(got.len(), expected.len());
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), expected.len(), "duplicates emitted");
+        for row in expected.rows() {
+            assert!(got.iter().any(|g| g.as_slice() == row));
+        }
+    }
+
+    #[test]
+    fn each_shared_answer_rejected_at_most_once() {
+        let db = overlapping_db();
+        let u = union();
+        let mut shuffle = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(17)).unwrap();
+        let mut events = 0usize;
+        while shuffle.next_event().is_some() {
+            events += 1;
+        }
+        // Shared answers: (1,1) and (2,1) ⇒ at most 2 rejections; total
+        // iterations ≤ answers + shared.
+        assert!(shuffle.rejections() <= 2, "too many rejections");
+        assert_eq!(shuffle.emitted(), 6);
+        assert!(events <= 8);
+    }
+
+    #[test]
+    fn disjoint_union_never_rejects() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a"], &[&[1], &[2]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["a"], &[&[3], &[4]]))
+            .unwrap();
+        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        let mut shuffle = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(0)).unwrap();
+        while shuffle.next_event().is_some() {}
+        assert_eq!(shuffle.rejections(), 0);
+        assert_eq!(shuffle.emitted(), 4);
+    }
+
+    #[test]
+    fn identical_members_emit_once() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a"], &[&[1], &[2], &[3]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["a"], &[&[1], &[2], &[3]]))
+            .unwrap();
+        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        let got: Vec<Vec<Value>> = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(5))
+            .unwrap()
+            .collect();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn permutation_is_uniform_over_answers() {
+        // Q1 ∪ Q2 with 2+2 disjoint answers; the first emitted answer must be
+        // uniform over all 4.
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a"], &[&[1], &[2]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["a"], &[&[3], &[4]]))
+            .unwrap();
+        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+        let mut seed_rng = StdRng::seed_from_u64(1234);
+        let trials = 4000usize;
+        for _ in 0..trials {
+            let seed = rand::Rng::gen::<u64>(&mut seed_rng);
+            let mut s = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(seed)).unwrap();
+            let first = s.next().unwrap();
+            *counts.entry(first[0].as_int().unwrap()).or_insert(0) += 1;
+        }
+        for (v, c) in counts {
+            assert!(
+                (800..=1200).contains(&c),
+                "answer {v} first {c} times (expected ≈1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_answers_not_overrepresented() {
+        // (1) is in both members, (2) and (3) in one each. A biased sampler
+        // would emit (1) first about half the time; the correct algorithm
+        // emits each answer first with probability 1/3.
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a"], &[&[1], &[2]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["a"], &[&[1], &[3]]))
+            .unwrap();
+        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+        let mut seed_rng = StdRng::seed_from_u64(77);
+        let trials = 6000usize;
+        for _ in 0..trials {
+            let seed = rand::Rng::gen::<u64>(&mut seed_rng);
+            let mut s = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(seed)).unwrap();
+            let first = s.next().unwrap();
+            *counts.entry(first[0].as_int().unwrap()).or_insert(0) += 1;
+        }
+        let expected = trials as f64 / 3.0;
+        for (v, c) in counts {
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.85..=1.15).contains(&ratio),
+                "answer {v} first {c} times (expected ≈{expected:.0})"
+            );
+        }
+    }
+
+    #[test]
+    fn three_way_union_matches_naive() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a", "b"], &[&[1, 1], &[2, 2]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["a", "b"], &[&[2, 2], &[3, 3]]))
+            .unwrap();
+        db.add_relation("T", rel_int(&["a", "b"], &[&[3, 3], &[1, 1], &[4, 4]]))
+            .unwrap();
+        let u =
+            parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y). Q3(x, y) :- T(x, y).").unwrap();
+        let expected = naive_eval_union(&u, &db).unwrap();
+        let mut got: Vec<Vec<Value>> = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(2))
+            .unwrap()
+            .collect();
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), expected.len());
+    }
+
+    #[test]
+    fn ablation_disabling_deletion_stays_correct_but_rejects_more() {
+        let db = overlapping_db();
+        let u = union();
+        let expected = naive_eval_union(&u, &db).unwrap();
+
+        let mut with_del = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(3)).unwrap();
+        let mut without_del = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(3))
+            .unwrap()
+            .with_rejection_deletion(false);
+        let mut got = Vec::new();
+        while let Some(ev) = without_del.next_event() {
+            if let UcqEvent::Answer(a) = ev {
+                got.push(a);
+            }
+        }
+        while with_del.next_event().is_some() {}
+
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), expected.len(), "ablation must stay correct");
+        // The deletion rule bounds rejections by the number of shared
+        // answers; without it rejections can only be ≥.
+        assert!(without_del.rejections() >= with_del.rejections());
+    }
+
+    #[test]
+    fn empty_union_enumerates_nothing() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a"], &[])).unwrap();
+        db.add_relation("S", rel_int(&["a"], &[])).unwrap();
+        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        let mut s = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(0)).unwrap();
+        assert!(s.next_event().is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Algorithm 1: the lazy Fisher–Yates shuffle.
+//!
+//! Generates a uniformly random permutation of `0..n` with O(1) preprocessing
+//! and O(1) delay (Proposition 3.6). The conceptual array `a` (where an
+//! uninitialized cell `a[k]` holds `k`) is simulated with a hash map, so the
+//! memory used is proportional to the number of elements *emitted so far*,
+//! never to `n` upfront.
+
+use crate::weight::Weight;
+use rae_data::FxHashMap;
+use rand::Rng;
+
+/// A lazily materialized Fisher–Yates shuffle of `0..n`.
+///
+/// Iterating yields each value exactly once, and every ordering of `0..n`
+/// has probability `1/n!` — the definition of a random permutation used
+/// throughout the paper.
+#[derive(Debug)]
+pub struct LazyShuffle<R: Rng> {
+    n: Weight,
+    next: Weight,
+    /// Sparse view of the conceptual array: absent key `k` means `a[k] = k`.
+    slots: FxHashMap<Weight, Weight>,
+    rng: R,
+}
+
+impl<R: Rng> LazyShuffle<R> {
+    /// Creates a shuffle of `0..n`.
+    pub fn new(n: Weight, rng: R) -> Self {
+        LazyShuffle {
+            n,
+            next: 0,
+            slots: FxHashMap::default(),
+            rng,
+        }
+    }
+
+    /// How many values have been emitted so far.
+    pub fn emitted(&self) -> Weight {
+        self.next
+    }
+
+    /// How many values remain.
+    pub fn remaining(&self) -> Weight {
+        self.n - self.next
+    }
+}
+
+impl<R: Rng> Iterator for LazyShuffle<R> {
+    type Item = Weight;
+
+    fn next(&mut self) -> Option<Weight> {
+        if self.next >= self.n {
+            return None;
+        }
+        let i = self.next;
+        let j = self.rng.gen_range(i..self.n);
+        // a[i] is never read again once position i is emitted, so its slot
+        // can be reclaimed; only a[j] (the value moved backwards) persists.
+        let a_i = self.slots.remove(&i).unwrap_or(i);
+        let out = if j == i {
+            a_i
+        } else {
+            let a_j = self.slots.get(&j).copied().unwrap_or(j);
+            self.slots.insert(j, a_i);
+            a_j
+        };
+        self.next += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = usize::try_from(self.remaining()).unwrap_or(usize::MAX);
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn emits_each_value_exactly_once() {
+        for n in [0u128, 1, 2, 7, 100] {
+            let shuffle = LazyShuffle::new(n, StdRng::seed_from_u64(42));
+            let mut seen: Vec<Weight> = shuffle.collect();
+            assert_eq!(seen.len(), n as usize);
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn permutation_distribution_is_uniform() {
+        // All 6 permutations of 0..3 should appear with roughly equal
+        // frequency. With 6000 trials each expectation is 1000; allow ±20%.
+        let mut counts: BTreeMap<Vec<Weight>, usize> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..6000 {
+            let seed = rng.gen::<u64>();
+            let perm: Vec<Weight> = LazyShuffle::new(3, StdRng::seed_from_u64(seed)).collect();
+            *counts.entry(perm).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 6, "all 6 permutations must occur");
+        for (perm, count) in counts {
+            assert!(
+                (800..=1200).contains(&count),
+                "permutation {perm:?} occurred {count} times (expected ≈1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn first_element_is_uniform() {
+        let mut counts = [0usize; 5];
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5000 {
+            let seed = rng.gen::<u64>();
+            let mut s = LazyShuffle::new(5, StdRng::seed_from_u64(seed));
+            counts[s.next().unwrap() as usize] += 1;
+        }
+        for (value, &count) in counts.iter().enumerate() {
+            assert!(
+                (850..=1150).contains(&count),
+                "value {value} drawn first {count} times (expected ≈1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stays_sparse() {
+        let mut s = LazyShuffle::new(1_000_000, StdRng::seed_from_u64(3));
+        for _ in 0..100 {
+            s.next();
+        }
+        // At most one slot per emission survives.
+        assert!(s.slots.len() <= 100);
+    }
+
+    #[test]
+    fn counters_track_progress() {
+        let mut s = LazyShuffle::new(10, StdRng::seed_from_u64(1));
+        assert_eq!(s.remaining(), 10);
+        s.next();
+        s.next();
+        assert_eq!(s.emitted(), 2);
+        assert_eq!(s.remaining(), 8);
+        assert_eq!(s.size_hint(), (8, Some(8)));
+    }
+
+    #[test]
+    fn works_beyond_u64_range() {
+        // Indices above u64::MAX exercise the u128 sampling path.
+        let n = (u64::MAX as u128) + 1000;
+        let mut s = LazyShuffle::new(n, StdRng::seed_from_u64(5));
+        let v = s.next().unwrap();
+        assert!(v < n);
+    }
+}

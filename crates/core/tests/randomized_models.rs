@@ -1,0 +1,95 @@
+//! Model-based randomized tests: [`DeletableSet`] against a `BTreeSet`
+//! model, and [`LazyShuffle`] permutation properties across sizes.
+
+use proptest::prelude::*;
+use rae_core::{DeletableSet, LazyShuffle, Weight};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Operations driven against both the structure and the model.
+#[derive(Debug, Clone)]
+enum Op {
+    Delete(Weight),
+    Contains(Weight),
+    Sample(u64),
+}
+
+fn ops_strategy(universe: Weight) -> impl Strategy<Value = Vec<Op>> {
+    let u = universe.max(1) as u64;
+    prop::collection::vec(
+        prop_oneof![
+            (0..u * 2).prop_map(|v| Op::Delete(v as Weight)),
+            (0..u * 2).prop_map(|v| Op::Contains(v as Weight)),
+            any::<u64>().prop_map(Op::Sample),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn deletable_set_matches_btreeset_model(
+        universe in 0u128..40,
+        ops in ops_strategy(40),
+    ) {
+        let mut sut = DeletableSet::new(universe);
+        let mut model: BTreeSet<Weight> = (0..universe).collect();
+        for op in ops {
+            match op {
+                Op::Delete(v) => {
+                    let expected = model.remove(&v);
+                    prop_assert_eq!(sut.delete(v), expected, "delete({})", v);
+                }
+                Op::Contains(v) => {
+                    prop_assert_eq!(sut.contains(v), model.contains(&v), "contains({})", v);
+                }
+                Op::Sample(seed) => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    match sut.sample(&mut rng) {
+                        None => prop_assert!(model.is_empty(), "sample() = None on non-empty set"),
+                        Some(v) => prop_assert!(
+                            model.contains(&v),
+                            "sampled deleted/out-of-range value {}", v
+                        ),
+                    }
+                }
+            }
+            prop_assert_eq!(sut.remaining() as usize, model.len());
+        }
+    }
+
+    #[test]
+    fn lazy_shuffle_is_always_a_permutation(n in 0u128..300, seed in any::<u64>()) {
+        let shuffle = LazyShuffle::new(n, StdRng::seed_from_u64(seed));
+        let mut seen: Vec<Weight> = shuffle.collect();
+        prop_assert_eq!(seen.len() as Weight, n);
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len() as Weight, n, "duplicates in permutation");
+        if n > 0 {
+            prop_assert_eq!(*seen.first().unwrap(), 0);
+            prop_assert_eq!(*seen.last().unwrap(), n - 1);
+        }
+    }
+
+    #[test]
+    fn delete_all_then_empty(universe in 1u128..30, seed in any::<u64>()) {
+        let mut sut = DeletableSet::new(universe);
+        // Delete in a shuffled order to exercise the swap bookkeeping.
+        let order: Vec<Weight> =
+            LazyShuffle::new(universe, StdRng::seed_from_u64(seed)).collect();
+        for (i, v) in order.iter().enumerate() {
+            prop_assert!(sut.delete(*v));
+            prop_assert_eq!(sut.remaining(), universe - i as Weight - 1);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(sut.sample(&mut rng), None);
+        // Every index reports deleted.
+        for v in 0..universe {
+            prop_assert!(!sut.contains(v));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Named collections of relations.
+
+use crate::error::DataError;
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use crate::symbol::Symbol;
+use crate::Result;
+use std::fmt;
+
+/// A database: a mapping from relation symbols to relations.
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: FxHashMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers `rel` under `name`, rejecting duplicates.
+    pub fn add_relation(&mut self, name: impl Into<Symbol>, rel: Relation) -> Result<()> {
+        let name = name.into();
+        if self.relations.contains_key(&name) {
+            return Err(DataError::DuplicateRelation(name));
+        }
+        self.relations.insert(name, rel);
+        Ok(())
+    }
+
+    /// Registers or replaces `rel` under `name`.
+    pub fn set_relation(&mut self, name: impl Into<Symbol>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Fetches a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| DataError::UnknownRelation(Symbol::new(name)))
+    }
+
+    /// Whether a relation named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all registered relations (arbitrary order).
+    pub fn relation_names(&self) -> impl Iterator<Item = &Symbol> {
+        self.relations.keys()
+    }
+
+    /// Number of registered relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations (the paper's `|D|`).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Derives a new relation by filtering an existing one, registering it
+    /// under `target`. This is how the benchmark queries materialize
+    /// selections such as `n_name = 'UNITED STATES'` (see DESIGN.md §4).
+    pub fn derive_selection(
+        &mut self,
+        source: &str,
+        target: impl Into<Symbol>,
+        pred: impl FnMut(&[crate::Value]) -> bool,
+    ) -> Result<()> {
+        let mut rel = self.relation(source)?.clone();
+        rel.retain_rows(pred);
+        self.add_relation(target, rel)
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&Symbol> = self.relations.keys().collect();
+        names.sort();
+        writeln!(f, "Database [{} relations]", names.len())?;
+        for name in names {
+            let rel = &self.relations[name];
+            writeln!(f, "  {name}{:?}: {} rows", rel.schema(), rel.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn sample_rel() -> Relation {
+        Relation::from_rows(
+            Schema::new(["x", "y"]).unwrap(),
+            (0..4i64).map(|i| vec![Value::Int(i), Value::Int(i * i)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = Database::new();
+        db.add_relation("R", sample_rel()).unwrap();
+        assert!(db.contains("R"));
+        assert_eq!(db.relation("R").unwrap().len(), 4);
+        assert!(matches!(
+            db.relation("S"),
+            Err(DataError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut db = Database::new();
+        db.add_relation("R", sample_rel()).unwrap();
+        assert!(matches!(
+            db.add_relation("R", sample_rel()),
+            Err(DataError::DuplicateRelation(_))
+        ));
+        // set_relation overwrites without error.
+        db.set_relation("R", sample_rel());
+    }
+
+    #[test]
+    fn total_tuples_sums_relations() {
+        let mut db = Database::new();
+        db.add_relation("R", sample_rel()).unwrap();
+        db.add_relation("S", sample_rel()).unwrap();
+        assert_eq!(db.total_tuples(), 8);
+        assert_eq!(db.relation_count(), 2);
+    }
+
+    #[test]
+    fn derive_selection_filters_rows() {
+        let mut db = Database::new();
+        db.add_relation("R", sample_rel()).unwrap();
+        db.derive_selection("R", "R_even", |row| row[0].as_int().unwrap() % 2 == 0)
+            .unwrap();
+        assert_eq!(db.relation("R_even").unwrap().len(), 2);
+        // Source is untouched.
+        assert_eq!(db.relation("R").unwrap().len(), 4);
+    }
+}

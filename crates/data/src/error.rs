@@ -1,0 +1,91 @@
+//! Error type for the data layer.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// Errors raised by relation and database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A row's length does not match the relation's arity.
+    ArityMismatch {
+        /// Relation or context name.
+        context: String,
+        /// Arity expected by the schema.
+        expected: usize,
+        /// Length of the offending row.
+        actual: usize,
+    },
+    /// A schema declared the same attribute twice.
+    DuplicateAttribute(Symbol),
+    /// A lookup referenced a relation absent from the database.
+    UnknownRelation(Symbol),
+    /// A lookup referenced an attribute absent from a schema.
+    UnknownAttribute {
+        /// The missing attribute.
+        attribute: Symbol,
+        /// The schema's attributes, for the message.
+        schema: Vec<Symbol>,
+    },
+    /// Registering a relation under a name already in use.
+    DuplicateRelation(Symbol),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch in {context}: expected {expected} values, got {actual}"
+            ),
+            DataError::DuplicateAttribute(a) => {
+                write!(f, "attribute {a} declared more than once in schema")
+            }
+            DataError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            DataError::UnknownAttribute { attribute, schema } => {
+                write!(f, "unknown attribute {attribute} (schema: ")?;
+                for (i, a) in schema.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            DataError::DuplicateRelation(r) => {
+                write!(f, "relation {r} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DataError::ArityMismatch {
+            context: "R".into(),
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expected 2"));
+        let e = DataError::UnknownAttribute {
+            attribute: Symbol::new("z"),
+            schema: vec![Symbol::new("x"), Symbol::new("y")],
+        };
+        assert!(e.to_string().contains("x, y"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DataError::UnknownRelation(Symbol::new("R")));
+        assert!(e.to_string().contains("R"));
+    }
+}

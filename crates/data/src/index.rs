@@ -1,0 +1,114 @@
+//! Hash indexes over relation columns.
+
+use crate::fxhash::FxHashMap;
+use crate::relation::{key_of, Relation, RowKey};
+use crate::value::Value;
+
+/// A hash index mapping a key (values of selected columns) to the row ids
+/// holding that key.
+///
+/// Built in one linear pass; used for semijoins and bucket construction.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    map: FxHashMap<RowKey, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Builds an index on `key_cols` of `rel`.
+    pub fn build(rel: &Relation, key_cols: &[usize]) -> Self {
+        let mut map: FxHashMap<RowKey, Vec<u32>> = FxHashMap::default();
+        for (i, row) in rel.rows().enumerate() {
+            map.entry(key_of(row, key_cols))
+                .or_default()
+                .push(u32::try_from(i).expect("row count fits in u32"));
+        }
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            map,
+        }
+    }
+
+    /// The columns this index is keyed on.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Row ids matching `key`, or an empty slice.
+    pub fn get(&self, key: &[Value]) -> &[u32] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether any row matches `key`.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Looks up using the values of `probe_cols` in `row`.
+    pub fn probe(&self, row: &[Value], probe_cols: &[usize]) -> &[u32] {
+        debug_assert_eq!(probe_cols.len(), self.key_cols.len());
+        let key = key_of(row, probe_cols);
+        self.get(&key)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(key, row ids)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RowKey, &[u32])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel(rows: &[(i64, i64)]) -> Relation {
+        Relation::from_rows(
+            Schema::new(["x", "y"]).unwrap(),
+            rows.iter()
+                .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_rows_by_key() {
+        let r = rel(&[(1, 10), (2, 20), (1, 11)]);
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.get(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(idx.get(&[Value::Int(2)]), &[1]);
+        assert_eq!(idx.get(&[Value::Int(3)]), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn empty_key_groups_everything() {
+        let r = rel(&[(1, 10), (2, 20)]);
+        let idx = HashIndex::build(&r, &[]);
+        assert_eq!(idx.get(&[]), &[0, 1]);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn probe_uses_other_relations_columns() {
+        let r = rel(&[(1, 10), (2, 20)]);
+        let idx = HashIndex::build(&r, &[0]);
+        // Probe with a row whose column 1 should match r's column 0.
+        let probe_row = [Value::Int(99), Value::Int(2)];
+        assert_eq!(idx.probe(&probe_row, &[1]), &[1]);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let r = rel(&[(1, 10), (1, 11), (1, 10)]);
+        let idx = HashIndex::build(&r, &[0, 1]);
+        assert_eq!(idx.get(&[Value::Int(1), Value::Int(10)]), &[0, 2]);
+        assert!(idx.contains(&[Value::Int(1), Value::Int(11)]));
+        assert!(!idx.contains(&[Value::Int(2), Value::Int(10)]));
+    }
+}

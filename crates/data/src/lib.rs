@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # rae-data
+//!
+//! In-memory relational substrate used throughout the `rae` workspace: typed
+//! [`Value`]s, interned [`Symbol`]s, flat row-major [`Relation`]s, hash
+//! indexes, and a named-relation [`Database`].
+//!
+//! The representation is deliberately simple: a relation is a schema (ordered
+//! attribute names) plus a flat `Vec<Value>` of rows. All higher layers
+//! (query classification, Yannakakis reduction, the enumeration indexes of
+//! the paper) operate on these types.
+//!
+//! The hash maps exported from [`fxhash`] use a small hand-rolled FxHash
+//! implementation (the classic Firefox/rustc hash) because hashing tuples of
+//! values is on the hot path of preprocessing and inverted access, and the
+//! default SipHash is measurably slower there (see the `ablation_hash`
+//! benchmark in `rae-bench`).
+
+pub mod database;
+pub mod error;
+pub mod fxhash;
+pub mod index;
+pub mod relation;
+pub mod schema;
+pub mod symbol;
+pub mod tbl;
+pub mod value;
+
+pub use database::Database;
+pub use error::DataError;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use index::HashIndex;
+pub use relation::{key_of, Relation, RowKey};
+pub use schema::Schema;
+pub use symbol::Symbol;
+pub use tbl::{read_tbl, write_tbl, ColumnType};
+pub use value::Value;
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

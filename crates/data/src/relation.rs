@@ -1,0 +1,401 @@
+//! Flat, row-major relations.
+
+use crate::error::DataError;
+use crate::fxhash::FxHashSet;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An owned row used as a hash-map key (bucket keys, inverted access).
+pub type RowKey = Box<[Value]>;
+
+/// Extracts the values of `row` at `cols` as an owned key.
+#[inline]
+pub fn key_of(row: &[Value], cols: &[usize]) -> RowKey {
+    cols.iter().map(|&c| row[c].clone()).collect()
+}
+
+/// A set of same-arity tuples with named attributes, stored row-major in a
+/// single flat vector.
+///
+/// The flat layout keeps preprocessing cache-friendly and makes "row id"
+/// (`usize` index) a natural tuple identity for the index structures.
+/// `Relation` itself does not enforce set semantics on insert; callers that
+/// need sets use [`Relation::sort_dedup`] (the Yannakakis layer always does).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    data: Vec<Value>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty relation from attribute names.
+    pub fn with_attrs(attrs: impl IntoIterator<Item = impl Into<crate::Symbol>>) -> Result<Self> {
+        Ok(Relation::new(Schema::new(attrs)?))
+    }
+
+    /// Builds a relation from rows, validating arity.
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<Self> {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.push_row(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of attributes per row.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.arity() == 0 {
+            // Arity-0 relations distinguish "empty" from "contains the empty
+            // tuple" via an explicit marker value count.
+            self.data.len()
+        } else {
+            self.data.len() / self.arity()
+        }
+    }
+
+    /// Whether the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `i`-th row.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        let a = self.arity();
+        if a == 0 {
+            assert!(i < self.len(), "row index out of bounds");
+            &[]
+        } else {
+            &self.data[i * a..(i + 1) * a]
+        }
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// Appends a row, validating arity.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.arity() {
+            return Err(DataError::ArityMismatch {
+                context: format!("relation {:?}", self.schema),
+                expected: self.arity(),
+                actual: row.len(),
+            });
+        }
+        if self.arity() == 0 {
+            // Represent an arity-0 row with a sentinel so len() works.
+            self.data.push(Value::Int(0));
+        } else {
+            self.data.extend(row);
+        }
+        Ok(())
+    }
+
+    /// Appends a row from a slice, validating arity.
+    pub fn push_row_slice(&mut self, row: &[Value]) -> Result<()> {
+        self.push_row(row.to_vec())
+    }
+
+    /// Compares two rows lexicographically in schema order.
+    #[inline]
+    pub fn cmp_rows(a: &[Value], b: &[Value]) -> Ordering {
+        a.cmp(b)
+    }
+
+    /// Sorts rows lexicographically and removes duplicates (set semantics).
+    pub fn sort_dedup(&mut self) {
+        let a = self.arity();
+        if a == 0 {
+            let n = self.len().min(1);
+            self.data.truncate(n);
+            return;
+        }
+        let mut perm: Vec<usize> = (0..self.len()).collect();
+        perm.sort_by(|&i, &j| self.row(i).cmp(self.row(j)));
+        perm.dedup_by(|&mut i, &mut j| self.row(i) == self.row(j));
+        self.apply_permutation(&perm);
+    }
+
+    /// Sorts rows by `(key columns, full row)` lexicographically.
+    ///
+    /// This is the canonical node order of the enumeration indexes: rows
+    /// sharing a bucket key become contiguous, and the within-bucket order is
+    /// the restriction of one global total order (so sub-relations stay
+    /// order-compatible; see DESIGN.md §3).
+    pub fn sort_by_key_then_row(&mut self, key_cols: &[usize]) {
+        if self.arity() == 0 {
+            return;
+        }
+        let mut perm: Vec<usize> = (0..self.len()).collect();
+        perm.sort_by(|&i, &j| {
+            let (ri, rj) = (self.row(i), self.row(j));
+            for &c in key_cols {
+                match ri[c].cmp(&rj[c]) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            ri.cmp(rj)
+        });
+        self.apply_permutation(&perm);
+    }
+
+    fn apply_permutation(&mut self, perm: &[usize]) {
+        let a = self.arity();
+        let mut new_data = Vec::with_capacity(perm.len() * a);
+        for &i in perm {
+            new_data.extend_from_slice(self.row(i));
+        }
+        self.data = new_data;
+    }
+
+    /// Keeps only rows satisfying `pred`.
+    pub fn retain_rows(&mut self, mut pred: impl FnMut(&[Value]) -> bool) {
+        let a = self.arity();
+        if a == 0 {
+            if !self.data.is_empty() && !pred(&[]) {
+                self.data.clear();
+            }
+            return;
+        }
+        let mut write = 0usize;
+        for read in 0..self.len() {
+            let keep = {
+                let row = &self.data[read * a..(read + 1) * a];
+                pred(row)
+            };
+            if keep {
+                if write != read {
+                    let (head, tail) = self.data.split_at_mut(read * a);
+                    head[write * a..(write + 1) * a].clone_from_slice(&tail[..a]);
+                }
+                write += 1;
+            }
+        }
+        self.data.truncate(write * a);
+    }
+
+    /// Keeps rows whose index satisfies `keep`.
+    pub fn retain_by_index(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.len(), "mask length mismatch");
+        let mut i = 0;
+        self.retain_rows(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+
+    /// Projects onto the given columns (no dedup; combine with
+    /// [`Relation::sort_dedup`] for set projection).
+    pub fn project(&self, cols: &[usize], attrs: Schema) -> Result<Self> {
+        if cols.len() != attrs.arity() {
+            return Err(DataError::ArityMismatch {
+                context: "projection schema".into(),
+                expected: cols.len(),
+                actual: attrs.arity(),
+            });
+        }
+        let mut out = Relation::new(attrs);
+        for row in self.rows() {
+            out.push_row(cols.iter().map(|&c| row[c].clone()).collect())?;
+        }
+        Ok(out)
+    }
+
+    /// Set intersection with another relation over the same schema.
+    pub fn intersect(&self, other: &Relation) -> Result<Relation> {
+        if self.schema != other.schema {
+            return Err(DataError::ArityMismatch {
+                context: format!("intersect {:?} with {:?}", self.schema, other.schema),
+                expected: self.arity(),
+                actual: other.arity(),
+            });
+        }
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let set: FxHashSet<&[Value]> = small.rows().collect();
+        let mut out = Relation::new(self.schema.clone());
+        let mut seen: FxHashSet<&[Value]> = FxHashSet::default();
+        for row in large.rows() {
+            if set.contains(row) && seen.insert(row) {
+                out.push_row_slice(row)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `row` occurs in the relation (linear scan; tests only).
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        self.rows().any(|r| r == row)
+    }
+
+    /// Memory footprint estimate in values.
+    pub fn value_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation{:?} [{} rows]", self.schema, self.len())?;
+        for row in self.rows().take(20) {
+            writeln!(f, "  {row:?}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  ... ({} more)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(attrs: &[&str], rows: &[&[i64]]) -> Relation {
+        let schema = Schema::new(attrs.iter().copied()).unwrap();
+        Relation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let mut r = Relation::with_attrs(["x", "y"]).unwrap();
+        assert!(r.push_row(vec![Value::Int(1)]).is_err());
+        assert!(r.push_row(vec![Value::Int(1), Value::Int(2)]).is_ok());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), &[Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn sort_dedup_gives_set_semantics() {
+        let mut r = rel(&["x", "y"], &[&[2, 1], &[1, 1], &[2, 1], &[1, 0]]);
+        r.sort_dedup();
+        let rows: Vec<Vec<i64>> = r
+            .rows()
+            .map(|row| row.iter().map(|v| v.as_int().unwrap()).collect())
+            .collect();
+        assert_eq!(rows, vec![vec![1, 0], vec![1, 1], vec![2, 1]]);
+    }
+
+    #[test]
+    fn sort_by_key_groups_buckets() {
+        let mut r = rel(&["k", "v"], &[&[2, 9], &[1, 5], &[2, 3], &[1, 7]]);
+        r.sort_by_key_then_row(&[0]);
+        let rows: Vec<Vec<i64>> = r
+            .rows()
+            .map(|row| row.iter().map(|v| v.as_int().unwrap()).collect())
+            .collect();
+        assert_eq!(rows, vec![vec![1, 5], vec![1, 7], vec![2, 3], vec![2, 9]]);
+    }
+
+    #[test]
+    fn sort_by_key_secondary_is_full_row() {
+        // Same key, order decided by the remaining columns.
+        let mut r = rel(&["k", "a", "b"], &[&[1, 2, 9], &[1, 2, 3], &[1, 1, 8]]);
+        r.sort_by_key_then_row(&[0]);
+        let rows: Vec<i64> = r.rows().map(|row| row[2].as_int().unwrap()).collect();
+        assert_eq!(rows, vec![8, 3, 9]);
+    }
+
+    #[test]
+    fn retain_rows_filters_in_place() {
+        let mut r = rel(&["x"], &[&[1], &[2], &[3], &[4]]);
+        r.retain_rows(|row| row[0].as_int().unwrap() % 2 == 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0), &[Value::Int(2)]);
+        assert_eq!(r.row(1), &[Value::Int(4)]);
+    }
+
+    #[test]
+    fn retain_by_index_uses_mask() {
+        let mut r = rel(&["x"], &[&[1], &[2], &[3]]);
+        r.retain_by_index(&[true, false, true]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains_row(&[Value::Int(1)]));
+        assert!(!r.contains_row(&[Value::Int(2)]));
+    }
+
+    #[test]
+    fn project_and_dedup() {
+        let r = rel(&["x", "y"], &[&[1, 5], &[1, 6], &[2, 5]]);
+        let mut p = r.project(&[0], Schema::new(["x"]).unwrap()).unwrap();
+        p.sort_dedup();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn intersect_is_set_intersection() {
+        let a = rel(&["x"], &[&[1], &[2], &[3], &[3]]);
+        let b = rel(&["x"], &[&[3], &[4], &[1]]);
+        let mut i = a.intersect(&b).unwrap();
+        i.sort_dedup();
+        assert_eq!(i.len(), 2);
+        assert!(i.contains_row(&[Value::Int(1)]));
+        assert!(i.contains_row(&[Value::Int(3)]));
+    }
+
+    #[test]
+    fn intersect_rejects_schema_mismatch() {
+        let a = rel(&["x"], &[&[1]]);
+        let b = rel(&["y"], &[&[1]]);
+        assert!(a.intersect(&b).is_err());
+    }
+
+    #[test]
+    fn arity_zero_relation_tracks_empty_tuple() {
+        let mut r = Relation::with_attrs(Vec::<&str>::new()).unwrap();
+        assert!(r.is_empty());
+        r.push_row(vec![]).unwrap();
+        r.push_row(vec![]).unwrap();
+        assert_eq!(r.len(), 2);
+        r.sort_dedup();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), &[] as &[Value]);
+    }
+
+    #[test]
+    fn key_of_extracts_columns() {
+        let row = [Value::Int(1), Value::Int(2), Value::Int(3)];
+        let key = key_of(&row, &[2, 0]);
+        assert_eq!(&*key, &[Value::Int(3), Value::Int(1)]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Relation schemas: ordered lists of distinct attribute names.
+
+use crate::error::DataError;
+use crate::symbol::Symbol;
+use crate::Result;
+use std::fmt;
+
+/// An ordered list of distinct attribute names.
+///
+/// Attribute order matters: rows are stored positionally, and the canonical
+/// lexicographic tuple order (used for the enumeration indexes) compares
+/// values in schema order.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<Symbol>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attributes.
+    pub fn new(attrs: impl IntoIterator<Item = impl Into<Symbol>>) -> Result<Self> {
+        let attrs: Vec<Symbol> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(DataError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attributes in declaration order.
+    #[inline]
+    pub fn attrs(&self) -> &[Symbol] {
+        &self.attrs
+    }
+
+    /// Position of `attr`, if present. Linear scan — arities are tiny.
+    pub fn position(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.as_str() == attr)
+    }
+
+    /// Positions of several attributes, failing on the first missing one.
+    pub fn positions(&self, attrs: &[Symbol]) -> Result<Vec<usize>> {
+        attrs
+            .iter()
+            .map(|a| {
+                self.position(a).ok_or_else(|| DataError::UnknownAttribute {
+                    attribute: a.clone(),
+                    schema: self.attrs.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Whether `attr` is part of the schema.
+    pub fn contains(&self, attr: &str) -> bool {
+        self.position(attr).is_some()
+    }
+
+    /// Attributes shared with `other`, in `self`'s order.
+    pub fn shared_with(&self, other: &Schema) -> Vec<Symbol> {
+        self.attrs
+            .iter()
+            .filter(|a| other.contains(a))
+            .cloned()
+            .collect()
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(attrs: &[&str]) -> Schema {
+        Schema::new(attrs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::new(["x", "y", "x"]).unwrap_err();
+        assert_eq!(err, DataError::DuplicateAttribute(Symbol::new("x")));
+    }
+
+    #[test]
+    fn positions_resolve_in_order() {
+        let s = schema(&["a", "b", "c"]);
+        assert_eq!(s.position("b"), Some(1));
+        assert_eq!(s.position("z"), None);
+        let pos = s.positions(&[Symbol::new("c"), Symbol::new("a")]).unwrap();
+        assert_eq!(pos, vec![2, 0]);
+        assert!(s.positions(&[Symbol::new("nope")]).is_err());
+    }
+
+    #[test]
+    fn shared_with_preserves_self_order() {
+        let s = schema(&["a", "b", "c"]);
+        let t = schema(&["c", "a", "d"]);
+        assert_eq!(s.shared_with(&t), vec![Symbol::new("a"), Symbol::new("c")]);
+    }
+
+    #[test]
+    fn empty_schema_is_legal() {
+        let s = schema(&[]);
+        assert_eq!(s.arity(), 0);
+        assert!(s.shared_with(&s).is_empty());
+    }
+
+    #[test]
+    fn display_lists_attrs() {
+        assert_eq!(schema(&["x", "y"]).to_string(), "(x, y)");
+    }
+}

@@ -1,0 +1,115 @@
+//! Cheaply clonable interned-ish strings used for attribute names, variable
+//! names, and relation names.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A reference-counted immutable string.
+///
+/// `Symbol` is used wherever the engine needs a name: relation symbols,
+/// attributes, and query variables. Cloning is a reference-count bump, and
+/// equality/hashing go through the underlying string slice so a `Symbol` can
+/// be looked up by `&str`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// The symbol's text.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol(Arc::from(s))
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fxhash::FxHashMap;
+
+    #[test]
+    fn equality_and_ordering_follow_text() {
+        let a = Symbol::new("alpha");
+        let b = Symbol::new("beta");
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(a, Symbol::from("alpha"));
+    }
+
+    #[test]
+    fn lookup_by_str_via_borrow() {
+        let mut map: FxHashMap<Symbol, u32> = FxHashMap::default();
+        map.insert(Symbol::new("R"), 7);
+        assert_eq!(map.get("R"), Some(&7));
+        assert_eq!(map.get("S"), None);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Symbol::new("shared");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::new("x1");
+        assert_eq!(s.to_string(), "x1");
+        assert_eq!(format!("{s:?}"), "\"x1\"");
+    }
+}

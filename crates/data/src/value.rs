@@ -1,0 +1,145 @@
+//! The value domain: 64-bit integers and reference-counted strings.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A single attribute value.
+///
+/// The paper's algorithms are agnostic to the value domain; integers cover
+/// all TPC-H keys, and strings cover the name columns used by the selection
+/// queries (e.g. `n_name = 'UNITED STATES'`). The total order (integers
+/// before strings, each ordered naturally) defines the canonical
+/// lexicographic tuple order used by the enumeration indexes, so it must be
+/// stable across the whole workspace.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Immutable shared string.
+    Str(Symbol),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Symbol::new(s))
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s.as_str()),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{:?}", s.as_str()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => f.write_str(s.as_str()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i64::try_from(i).expect("usize value fits in i64"))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut values = vec![
+            Value::str("b"),
+            Value::Int(10),
+            Value::str("a"),
+            Value::Int(-3),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::Int(-3),
+                Value::Int(10),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3usize), Value::Int(3));
+        assert_eq!(Value::from("s"), Value::str("s"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::str("EUROPE").to_string(), "EUROPE");
+        assert_eq!(format!("{:?}", Value::str("EU")), "\"EU\"");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the relation substrate: set semantics, canonical
+//! sorting, projection, intersection, and `.tbl` round-trips.
+
+use proptest::prelude::*;
+use rae_data::{key_of, read_tbl, write_tbl, ColumnType, Relation, Schema, Value};
+use std::collections::BTreeSet;
+
+type Rows = Vec<(i64, i64)>;
+
+fn relation(rows: &Rows) -> Relation {
+    Relation::from_rows(
+        Schema::new(["a", "b"]).unwrap(),
+        rows.iter()
+            .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
+    )
+    .unwrap()
+}
+
+fn rows_strategy() -> impl Strategy<Value = Rows> {
+    prop::collection::vec((-5..5i64, -5..5i64), 0..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn sort_dedup_yields_the_set_in_order(rows in rows_strategy()) {
+        let mut rel = relation(&rows);
+        rel.sort_dedup();
+        let expected: BTreeSet<(i64, i64)> = rows.iter().copied().collect();
+        let got: Vec<(i64, i64)> = rel
+            .rows()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got.len(), expected.len());
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+        prop_assert!(got.iter().all(|t| expected.contains(t)));
+        // Idempotent.
+        let before = rel.clone();
+        rel.sort_dedup();
+        prop_assert_eq!(rel, before);
+    }
+
+    #[test]
+    fn key_sort_groups_buckets_contiguously(rows in rows_strategy()) {
+        let mut rel = relation(&rows);
+        rel.sort_by_key_then_row(&[1]);
+        // Every key's rows must form one contiguous run.
+        let keys: Vec<i64> = rel.rows().map(|r| r[1].as_int().unwrap()).collect();
+        let mut seen: BTreeSet<i64> = BTreeSet::new();
+        let mut prev: Option<i64> = None;
+        for k in keys {
+            if prev != Some(k) {
+                prop_assert!(seen.insert(k), "bucket for key {} split", k);
+                prev = Some(k);
+            }
+        }
+        prop_assert_eq!(rel.len(), rows.len(), "sorting must not drop rows");
+    }
+
+    #[test]
+    fn key_sort_is_a_restriction_of_one_global_order(
+        rows in rows_strategy(),
+        mask in prop::collection::vec(any::<bool>(), 25),
+    ) {
+        // The canonical order of a sub-relation must be a subsequence of the
+        // full relation's order — the compatibility property the mc-UCQ
+        // structure relies on.
+        let mut full = relation(&rows);
+        full.sort_dedup();
+        let sub_rows: Rows = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, r)| *r)
+            .collect();
+        let mut sub = relation(&sub_rows);
+        sub.sort_dedup();
+        full.sort_by_key_then_row(&[0]);
+        sub.sort_by_key_then_row(&[0]);
+        let full_seq: Vec<Vec<Value>> = full.rows().map(|r| r.to_vec()).collect();
+        let sub_seq: Vec<Vec<Value>> = sub.rows().map(|r| r.to_vec()).collect();
+        let mut iter = full_seq.iter();
+        for item in &sub_seq {
+            prop_assert!(
+                iter.any(|f| f == item),
+                "sub-relation order is not a subsequence"
+            );
+        }
+    }
+
+    #[test]
+    fn intersect_matches_set_semantics(a in rows_strategy(), b in rows_strategy()) {
+        let ra = relation(&a);
+        let rb = relation(&b);
+        let mut got = ra.intersect(&rb).unwrap();
+        got.sort_dedup();
+        let sa: BTreeSet<(i64, i64)> = a.iter().copied().collect();
+        let sb: BTreeSet<(i64, i64)> = b.iter().copied().collect();
+        let expected: BTreeSet<(i64, i64)> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(got.len(), expected.len());
+        for row in got.rows() {
+            let t = (row[0].as_int().unwrap(), row[1].as_int().unwrap());
+            prop_assert!(expected.contains(&t));
+        }
+    }
+
+    #[test]
+    fn projection_then_dedup_matches_set_projection(rows in rows_strategy()) {
+        let rel = relation(&rows);
+        let mut proj = rel
+            .project(&[0], Schema::new(["a"]).unwrap())
+            .unwrap();
+        proj.sort_dedup();
+        let expected: BTreeSet<i64> = rows.iter().map(|&(x, _)| x).collect();
+        prop_assert_eq!(proj.len(), expected.len());
+    }
+
+    #[test]
+    fn tbl_roundtrip_preserves_relations(rows in rows_strategy()) {
+        let mut rel = relation(&rows);
+        rel.sort_dedup();
+        let mut buffer = Vec::new();
+        write_tbl(&rel, &mut buffer).unwrap();
+        let back = read_tbl(
+            buffer.as_slice(),
+            Schema::new(["a", "b"]).unwrap(),
+            &[ColumnType::Int, ColumnType::Int],
+        )
+        .unwrap();
+        prop_assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn key_of_is_projection(row in (any::<i64>(), any::<i64>(), any::<i64>())) {
+        let values = [Value::Int(row.0), Value::Int(row.1), Value::Int(row.2)];
+        let key = key_of(&values, &[2, 0]);
+        prop_assert_eq!(&*key, &[Value::Int(row.2), Value::Int(row.0)]);
+    }
+}

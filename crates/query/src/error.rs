@@ -1,0 +1,124 @@
+//! Error type for query construction, parsing, and classification.
+
+use rae_data::{DataError, Symbol};
+use std::fmt;
+
+/// Errors raised while constructing, parsing, or analysing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An underlying data-layer error.
+    Data(DataError),
+    /// A head variable does not occur in the body (violates safety).
+    UnsafeHeadVariable(Symbol),
+    /// The same variable occurs twice in the head.
+    DuplicateHeadVariable(Symbol),
+    /// A CQ has an empty body.
+    EmptyBody,
+    /// A union whose disjuncts do not share the same head-variable sequence.
+    MismatchedUnionHeads {
+        /// Head of the first disjunct.
+        expected: Vec<Symbol>,
+        /// Head of the offending disjunct.
+        actual: Vec<Symbol>,
+    },
+    /// A union with no disjuncts.
+    EmptyUnion,
+    /// Text could not be parsed.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset into the input.
+        offset: usize,
+    },
+    /// An operation required an acyclic CQ.
+    NotAcyclic(Symbol),
+    /// An operation required a free-connex CQ.
+    NotFreeConnex(Symbol),
+    /// An atom's arity does not match its relation's arity.
+    AtomArityMismatch {
+        /// The relation symbol.
+        relation: Symbol,
+        /// Arity of the stored relation.
+        relation_arity: usize,
+        /// Arity of the atom.
+        atom_arity: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Data(e) => write!(f, "data error: {e}"),
+            QueryError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            QueryError::DuplicateHeadVariable(v) => {
+                write!(f, "head variable {v} occurs more than once")
+            }
+            QueryError::EmptyBody => write!(f, "conjunctive query has an empty body"),
+            QueryError::MismatchedUnionHeads { expected, actual } => write!(
+                f,
+                "all disjuncts of a union must share the head variables {expected:?}, got {actual:?}"
+            ),
+            QueryError::EmptyUnion => write!(f, "union of conjunctive queries has no disjuncts"),
+            QueryError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::NotAcyclic(q) => write!(f, "query {q} is not acyclic"),
+            QueryError::NotFreeConnex(q) => write!(f, "query {q} is not free-connex"),
+            QueryError::AtomArityMismatch {
+                relation,
+                relation_arity,
+                atom_arity,
+            } => write!(
+                f,
+                "atom over {relation} has arity {atom_arity} but the relation has arity {relation_arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for QueryError {
+    fn from(e: DataError) -> Self {
+        QueryError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<QueryError> = vec![
+            QueryError::UnsafeHeadVariable(Symbol::new("x")),
+            QueryError::DuplicateHeadVariable(Symbol::new("x")),
+            QueryError::EmptyBody,
+            QueryError::EmptyUnion,
+            QueryError::Parse {
+                message: "unexpected token".into(),
+                offset: 3,
+            },
+            QueryError::NotAcyclic(Symbol::new("Q")),
+            QueryError::NotFreeConnex(Symbol::new("Q")),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn data_error_converts_and_chains() {
+        let e: QueryError = DataError::UnknownRelation(Symbol::new("R")).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

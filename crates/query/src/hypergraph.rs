@@ -1,0 +1,118 @@
+//! Query hypergraphs.
+
+use rae_data::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A hypergraph over named vertices.
+///
+/// Edges are stored in insertion order and indexed by position; the same
+/// vertex set may appear in several edges (e.g. self-joins or duplicate
+/// atoms). Vertex identity is by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    edges: Vec<BTreeSet<Symbol>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph from edges.
+    pub fn new(edges: Vec<BTreeSet<Symbol>>) -> Self {
+        Hypergraph { edges }
+    }
+
+    /// Creates an empty hypergraph.
+    pub fn empty() -> Self {
+        Hypergraph { edges: Vec::new() }
+    }
+
+    /// Adds an edge, returning its index.
+    pub fn add_edge(&mut self, edge: BTreeSet<Symbol>) -> usize {
+        self.edges.push(edge);
+        self.edges.len() - 1
+    }
+
+    /// The edges in insertion order.
+    pub fn edges(&self) -> &[BTreeSet<Symbol>] {
+        &self.edges
+    }
+
+    /// The `i`-th edge.
+    pub fn edge(&self, i: usize) -> &BTreeSet<Symbol> {
+        &self.edges[i]
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All vertices (union of edges), sorted.
+    pub fn vertices(&self) -> BTreeSet<Symbol> {
+        self.edges.iter().flatten().cloned().collect()
+    }
+
+    /// Returns a copy with an extra edge appended (used for the free-connex
+    /// test: the body hypergraph plus the head hyperedge).
+    pub fn with_extra_edge(&self, edge: BTreeSet<Symbol>) -> Self {
+        let mut h = self.clone();
+        h.add_edge(edge);
+        h
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, v) in e.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(vs: &[&str]) -> BTreeSet<Symbol> {
+        vs.iter().map(Symbol::new).collect()
+    }
+
+    #[test]
+    fn vertices_is_union_of_edges() {
+        let h = Hypergraph::new(vec![edge(&["x", "y"]), edge(&["y", "z"])]);
+        assert_eq!(h.vertices(), edge(&["x", "y", "z"]));
+        assert_eq!(h.edge_count(), 2);
+    }
+
+    #[test]
+    fn with_extra_edge_does_not_mutate() {
+        let h = Hypergraph::new(vec![edge(&["x"])]);
+        let h2 = h.with_extra_edge(edge(&["x", "y"]));
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h2.edge_count(), 2);
+        assert_eq!(h2.edge(1), &edge(&["x", "y"]));
+    }
+
+    #[test]
+    fn duplicate_edges_are_kept() {
+        let h = Hypergraph::new(vec![edge(&["x"]), edge(&["x"])]);
+        assert_eq!(h.edge_count(), 2);
+    }
+
+    #[test]
+    fn display_shape() {
+        let h = Hypergraph::new(vec![edge(&["x", "y"])]);
+        assert_eq!(h.to_string(), "{{x,y}}");
+    }
+}

@@ -1,0 +1,320 @@
+//! Rooted join-tree plans over attribute bags.
+//!
+//! A [`TreePlan`] is the *shape* shared by the enumeration indexes of
+//! `rae-core`: a forest of nodes, each carrying an ordered bag of attributes,
+//! satisfying the running-intersection property. Two indexes built over the
+//! same plan have compatible enumeration orders (DESIGN.md §3), which is the
+//! property Theorem 5.5 (mc-UCQs) relies on.
+
+use crate::error::QueryError;
+use crate::gyo::JoinForest;
+use crate::hypergraph::Hypergraph;
+use crate::Result;
+use rae_data::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A rooted join forest over attribute bags.
+///
+/// Node ids are dense `usize` indices. Bags store attributes in sorted order
+/// (the canonical layout used for template identity across mc-UCQ members).
+#[derive(Clone, PartialEq, Eq)]
+pub struct TreePlan {
+    bags: Vec<Vec<Symbol>>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+    topo: Vec<usize>,
+}
+
+impl TreePlan {
+    /// Builds a plan from bags and parent pointers, validating tree shape and
+    /// the running-intersection property.
+    pub fn new(bags: Vec<BTreeSet<Symbol>>, parent: Vec<Option<usize>>) -> Result<Self> {
+        assert_eq!(bags.len(), parent.len(), "bags/parent length mismatch");
+        let n = bags.len();
+        let bags: Vec<Vec<Symbol>> = bags
+            .into_iter()
+            .map(|b| b.into_iter().collect()) // BTreeSet iterates sorted
+            .collect();
+
+        let mut children = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (i, p) in parent.iter().enumerate() {
+            match p {
+                Some(p) => {
+                    assert!(*p < n, "parent index out of range");
+                    children[*p].push(i);
+                }
+                None => roots.push(i),
+            }
+        }
+
+        // Topological order: children before parents (leaf-to-root).
+        let mut topo = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Iterative post-order from each root.
+        for &root in &roots {
+            let mut stack = vec![(root, 0usize)];
+            while let Some((node, child_idx)) = stack.pop() {
+                if child_idx < children[node].len() {
+                    stack.push((node, child_idx + 1));
+                    stack.push((children[node][child_idx], 0));
+                } else {
+                    visited[node] = true;
+                    topo.push(node);
+                }
+            }
+        }
+        if topo.len() != n || visited.iter().any(|v| !v) {
+            // Some node unreachable from a root ⇒ parent pointers contain a
+            // cycle. This is a programming error in the caller.
+            panic!("parent pointers do not form a forest");
+        }
+
+        let plan = TreePlan {
+            bags,
+            parent,
+            children,
+            roots,
+            topo,
+        };
+        plan.check_running_intersection()?;
+        Ok(plan)
+    }
+
+    /// Builds a plan from a GYO forest over a hypergraph, using each edge's
+    /// vertex set as its bag.
+    pub fn from_forest(h: &Hypergraph, forest: &JoinForest) -> Result<Self> {
+        TreePlan::new(h.edges().to_vec(), forest.parent.clone())
+    }
+
+    fn check_running_intersection(&self) -> Result<()> {
+        // For every attribute, nodes containing it must form a connected
+        // sub-forest. Equivalent local condition: for node i with parent p,
+        // every attribute of bag(i) that also occurs outside the subtree of i
+        // must be in bag(p). We verify via the global definition for clarity.
+        let n = self.bags.len();
+        let mut all_attrs: BTreeSet<&Symbol> = BTreeSet::new();
+        for b in &self.bags {
+            all_attrs.extend(b.iter());
+        }
+        for attr in all_attrs {
+            let members: Vec<usize> = (0..n)
+                .filter(|&i| self.bags[i].binary_search(attr).is_ok())
+                .collect();
+            if members.len() <= 1 {
+                continue;
+            }
+            // Connected iff exactly one member has no member parent.
+            let member_set: BTreeSet<usize> = members.iter().copied().collect();
+            let tops = members
+                .iter()
+                .filter(|&&i| match self.parent[i] {
+                    Some(p) => !member_set.contains(&p),
+                    None => true,
+                })
+                .count();
+            if tops != 1 {
+                return Err(QueryError::Parse {
+                    message: format!(
+                        "bags containing attribute {attr} are not connected in the plan"
+                    ),
+                    offset: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The sorted attribute bag of node `i`.
+    pub fn bag(&self, i: usize) -> &[Symbol] {
+        &self.bags[i]
+    }
+
+    /// The parent of node `i`.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// The children of node `i`, in fixed order.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// The roots, in fixed order (children of the implicit empty-bag root).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Node indices in leaf-to-root (children before parents) order.
+    pub fn leaf_to_root(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Positions (within `bag(i)`) of the attributes shared with the parent
+    /// bag — the paper's `pAtts`. Empty for roots.
+    pub fn parent_shared_cols(&self, i: usize) -> Vec<usize> {
+        match self.parent[i] {
+            None => Vec::new(),
+            Some(p) => {
+                let parent_bag = &self.bags[p];
+                self.bags[i]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| parent_bag.binary_search(a).is_ok())
+                    .map(|(idx, _)| idx)
+                    .collect()
+            }
+        }
+    }
+
+    /// All attributes in the plan, in DFS discovery order (root-first). This
+    /// is the attribute sequence whose lexicographic order equals the
+    /// enumeration order of an index built on this plan.
+    pub fn attrs_dfs(&self) -> Vec<Symbol> {
+        let mut seen: BTreeSet<Symbol> = BTreeSet::new();
+        let mut out = Vec::new();
+        let mut stack: Vec<usize> = self.roots.iter().rev().copied().collect();
+        while let Some(node) = stack.pop() {
+            for a in &self.bags[node] {
+                if seen.insert(a.clone()) {
+                    out.push(a.clone());
+                }
+            }
+            for &c in self.children[node].iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Whether two plans have the same shape (bags, parents, child order) —
+    /// the template identity required of mc-UCQ members.
+    pub fn same_shape(&self, other: &TreePlan) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Debug for TreePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TreePlan [{} nodes]", self.node_count())?;
+        fn rec(
+            plan: &TreePlan,
+            node: usize,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            writeln!(
+                f,
+                "{:indent$}#{node} {:?}",
+                "",
+                plan.bags[node],
+                indent = depth * 2
+            )?;
+            for &c in &plan.children[node] {
+                rec(plan, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        for &r in &self.roots {
+            rec(self, r, 0, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(vs: &[&str]) -> BTreeSet<Symbol> {
+        vs.iter().map(Symbol::new).collect()
+    }
+
+    fn plan(bags: &[&[&str]], parent: Vec<Option<usize>>) -> Result<TreePlan> {
+        TreePlan::new(bags.iter().map(|b| bag(b)).collect(), parent)
+    }
+
+    #[test]
+    fn example_4_4_plan() {
+        // R1(v,w,x) root; R2(v,y), R3(w,z) children.
+        let p = plan(
+            &[&["v", "w", "x"], &["v", "y"], &["w", "z"]],
+            vec![None, Some(0), Some(0)],
+        )
+        .unwrap();
+        assert_eq!(p.roots(), &[0]);
+        assert_eq!(p.children(0), &[1, 2]);
+        // pAtts of R2 = {v} at position 0 of its sorted bag [v, y].
+        assert_eq!(p.parent_shared_cols(1), vec![0]);
+        assert_eq!(p.parent_shared_cols(2), vec![0]);
+        assert_eq!(p.parent_shared_cols(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn rejects_disconnected_attribute() {
+        // x occurs in two bags that are not adjacent.
+        let err = plan(
+            &[&["x", "y"], &["y", "z"], &["z", "x"]],
+            vec![None, Some(0), Some(1)],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn leaf_to_root_puts_children_first() {
+        let p = plan(
+            &[&["a", "b"], &["b", "c"], &["c", "d"]],
+            vec![None, Some(0), Some(1)],
+        )
+        .unwrap();
+        let order = p.leaf_to_root();
+        let pos = |n: usize| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(2) < pos(1));
+        assert!(pos(1) < pos(0));
+    }
+
+    #[test]
+    fn forest_with_two_roots() {
+        let p = plan(&[&["x"], &["y"]], vec![None, None]).unwrap();
+        assert_eq!(p.roots(), &[0, 1]);
+        assert_eq!(p.attrs_dfs(), vec![Symbol::new("x"), Symbol::new("y")]);
+    }
+
+    #[test]
+    fn attrs_dfs_is_root_first_and_dedup() {
+        let p = plan(
+            &[&["v", "w", "x"], &["v", "y"], &["w", "z"]],
+            vec![None, Some(0), Some(0)],
+        )
+        .unwrap();
+        assert_eq!(
+            p.attrs_dfs(),
+            ["v", "w", "x", "y", "z"]
+                .iter()
+                .map(Symbol::new)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn same_shape_is_structural_equality() {
+        let a = plan(&[&["x", "y"], &["y"]], vec![None, Some(0)]).unwrap();
+        let b = plan(&[&["x", "y"], &["y"]], vec![None, Some(0)]).unwrap();
+        let c = plan(&[&["x", "y"], &["x"]], vec![None, Some(0)]).unwrap();
+        assert!(a.same_shape(&b));
+        assert!(!a.same_shape(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "forest")]
+    fn cyclic_parents_panic() {
+        let _ = plan(&[&["x"], &["x"]], vec![Some(1), Some(0)]);
+    }
+}

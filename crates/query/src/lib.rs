@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # rae-query
+//!
+//! Conjunctive queries (CQs) and unions of CQs (UCQs): abstract syntax, a
+//! small datalog-style text parser, query hypergraphs, the GYO reduction,
+//! join trees, acyclicity / free-connexity classification, and a naive
+//! evaluator used as ground truth by tests and benchmarks.
+//!
+//! Terminology follows the paper (Carmeli et al., PODS 2020, Section 2):
+//! a CQ `Q(x⃗) :- R1(t⃗1), …, Rn(t⃗n)` is *acyclic* if its hypergraph has a
+//! join tree, and *free-connex* if additionally the hypergraph extended with
+//! a hyperedge over the free (head) variables is acyclic.
+
+pub mod ast;
+pub mod classify;
+pub mod error;
+pub mod gyo;
+pub mod hypergraph;
+pub mod join_tree;
+pub mod naive;
+pub mod parser;
+
+pub use ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
+pub use classify::{classify, CqClass};
+pub use error::QueryError;
+pub use gyo::{gyo_reduce, gyo_reduce_with, JoinForest, RootPreference};
+pub use hypergraph::Hypergraph;
+pub use join_tree::TreePlan;
+pub use naive::{naive_eval, naive_eval_union};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

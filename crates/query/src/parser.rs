@@ -1,0 +1,360 @@
+//! A small datalog-style text syntax for CQs and UCQs.
+//!
+//! ```text
+//! Q(x, y) :- R(x, z), S(z, y, 7), T(x, "EUROPE").
+//! ```
+//!
+//! * Variables and names are identifiers: `[A-Za-z_][A-Za-z0-9_@']*`.
+//! * Integer constants: optional `-` followed by digits.
+//! * String constants: double-quoted, `\"` and `\\` escapes.
+//! * A UCQ is a sequence of rules separated by `;` (or just whitespace);
+//!   every rule must have the same head-variable list.
+
+use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
+use crate::error::QueryError;
+use crate::Result;
+use rae_data::Value;
+
+/// Parses a single conjunctive query.
+pub fn parse_cq(input: &str) -> Result<ConjunctiveQuery> {
+    let mut p = Parser::new(input);
+    let cq = p.rule()?;
+    p.skip_ws();
+    p.eat_optional('.');
+    p.skip_ws();
+    p.eat_optional(';');
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input after query"));
+    }
+    Ok(cq)
+}
+
+/// Parses a union of conjunctive queries (one or more rules).
+pub fn parse_ucq(input: &str) -> Result<UnionQuery> {
+    let mut p = Parser::new(input);
+    let mut disjuncts = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        disjuncts.push(p.rule()?);
+        p.skip_ws();
+        p.eat_optional('.');
+        p.skip_ws();
+        p.eat_optional(';');
+    }
+    UnionQuery::new(disjuncts)
+}
+
+impl std::str::FromStr for ConjunctiveQuery {
+    type Err = QueryError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        parse_cq(s)
+    }
+}
+
+impl std::str::FromStr for UnionQuery {
+    type Err = QueryError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        parse_ucq(s)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' {
+                // Comment to end of line.
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, expected: char) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(expected as u8) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{expected}'")))
+        }
+    }
+
+    fn eat_optional(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected as u8) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.pos += 1,
+            _ => return Err(self.error("expected identifier")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'@' || c == b'\'' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn rule(&mut self) -> Result<ConjunctiveQuery> {
+        let name = self.ident()?.to_owned();
+        self.eat('(')?;
+        let mut head = Vec::new();
+        self.skip_ws();
+        if !self.eat_optional(')') {
+            loop {
+                head.push(self.ident()?.to_owned());
+                self.skip_ws();
+                if self.eat_optional(')') {
+                    break;
+                }
+                self.eat(',')?;
+            }
+        }
+        self.skip_ws();
+        // Accept ':-' or '<-'.
+        if self.eat_optional(':') || self.eat_optional('<') {
+            self.eat('-')?;
+        } else {
+            return Err(self.error("expected ':-' or '<-'"));
+        }
+        let mut body = Vec::new();
+        loop {
+            body.push(self.atom()?);
+            self.skip_ws();
+            if self.eat_optional(',') {
+                continue;
+            }
+            break;
+        }
+        ConjunctiveQuery::new(name, head, body)
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let relation = self.ident()?.to_owned();
+        self.eat('(')?;
+        let mut terms = Vec::new();
+        self.skip_ws();
+        if !self.eat_optional(')') {
+            loop {
+                terms.push(self.term()?);
+                self.skip_ws();
+                if self.eat_optional(')') {
+                    break;
+                }
+                self.eat(',')?;
+            }
+        }
+        Ok(Atom::with_terms(relation, terms))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek() {
+                        None => return Err(self.error("unterminated string literal")),
+                        Some(b'"') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            match self.peek() {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                _ => return Err(self.error("invalid escape in string")),
+                            }
+                            self.pos += 1;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 character.
+                            let rest = &self.input[self.pos..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            s.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                    }
+                }
+                Ok(Term::Const(Value::str(s)))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                if c == b'-' {
+                    self.pos += 1;
+                }
+                let digits_start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == digits_start {
+                    return Err(self.error("expected digits after '-'"));
+                }
+                let text = &self.input[start..self.pos];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| self.error(format!("integer literal out of range: {text}")))?;
+                Ok(Term::Const(Value::Int(value)))
+            }
+            _ => Ok(Term::var(self.ident()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_data::Symbol;
+
+    #[test]
+    fn parses_simple_rule() {
+        let q = parse_cq("Q(x, y) :- R(x, z), S(z, y).").unwrap();
+        assert_eq!(q.name().as_str(), "Q");
+        assert_eq!(q.head(), &[Symbol::new("x"), Symbol::new("y")]);
+        assert_eq!(q.body().len(), 2);
+        assert_eq!(q.to_string(), "Q(x, y) :- R(x, z), S(z, y)");
+    }
+
+    #[test]
+    fn parses_constants() {
+        let q = parse_cq(r#"Q(x) :- R(x, 7), S(x, -3, "UNITED STATES")"#).unwrap();
+        let s = &q.body()[1];
+        assert_eq!(s.terms[1], Term::Const(Value::Int(-3)));
+        assert_eq!(s.terms[2], Term::Const(Value::str("UNITED STATES")));
+    }
+
+    #[test]
+    fn parses_escapes_in_strings() {
+        let q = parse_cq(r#"Q(x) :- R(x, "a\"b\\c")"#).unwrap();
+        assert_eq!(q.body()[0].terms[1], Term::Const(Value::str("a\"b\\c")));
+    }
+
+    #[test]
+    fn parses_arrow_syntax_and_comments() {
+        let q = parse_cq("# a comment\nQ(x) <- R(x) # trailing\n.").unwrap();
+        assert_eq!(q.head().len(), 1);
+    }
+
+    #[test]
+    fn parses_boolean_query_head() {
+        let q = parse_cq("Q() :- R(x, y)").unwrap();
+        assert!(q.head().is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_cq("Q(x)").is_err());
+        assert!(parse_cq("Q(x) :- ").is_err());
+        assert!(parse_cq("Q(x) :- R(x) extra").is_err());
+        assert!(parse_cq(r#"Q(x) :- R(x, "unterminated)"#).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse_cq("Q(x) ?- R(x)").unwrap_err();
+        match err {
+            QueryError::Parse { offset, .. } => assert_eq!(offset, 5),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn safety_checked_after_parse() {
+        assert!(matches!(
+            parse_cq("Q(w) :- R(x)"),
+            Err(QueryError::UnsafeHeadVariable(_))
+        ));
+    }
+
+    #[test]
+    fn parses_union() {
+        let u = parse_ucq(
+            "Q1(x, y) :- R(x, y).\n\
+             Q2(x, y) :- S(x, y);",
+        )
+        .unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.head(), &[Symbol::new("x"), Symbol::new("y")]);
+    }
+
+    #[test]
+    fn union_head_mismatch_rejected() {
+        assert!(matches!(
+            parse_ucq("Q1(x) :- R(x). Q2(y) :- S(y)."),
+            Err(QueryError::MismatchedUnionHeads { .. })
+        ));
+    }
+
+    #[test]
+    fn from_str_impls() {
+        let q: ConjunctiveQuery = "Q(x) :- R(x)".parse().unwrap();
+        assert_eq!(q.head().len(), 1);
+        let u: UnionQuery = "Q(x) :- R(x). Q2(x) :- S(x).".parse().unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn idents_allow_primes_and_at() {
+        let q = parse_cq("Q(x') :- R(x', y@1)").unwrap();
+        assert_eq!(q.head(), &[Symbol::new("x'")]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Exhaustive validation of the GYO reduction: for every small hypergraph,
+//! `gyo_reduce` succeeds **iff** some valid join forest exists (checked by
+//! brute force over all parent assignments), and when it succeeds the
+//! produced forest satisfies the running-intersection property.
+
+use proptest::prelude::*;
+use rae_data::Symbol;
+use rae_query::gyo::{gyo_reduce, gyo_reduce_with, is_valid_join_forest, JoinForest};
+use rae_query::{Hypergraph, RootPreference};
+use std::collections::BTreeSet;
+
+/// Brute force: does any parent assignment form a valid join forest?
+fn join_forest_exists(h: &Hypergraph) -> bool {
+    let n = h.edge_count();
+    if n == 0 {
+        return true;
+    }
+    // parent[i] ∈ {None, Some(0), …, Some(n-1)} \ {Some(i)}: n^n options,
+    // n ≤ 4 keeps this tiny.
+    let mut choice = vec![0usize; n]; // 0 = None, k+1 = Some(k)
+    loop {
+        let parent: Vec<Option<usize>> = choice
+            .iter()
+            .map(|&c| if c == 0 { None } else { Some(c - 1) })
+            .collect();
+        let valid_shape = parent.iter().enumerate().all(|(i, p)| *p != Some(i));
+        if valid_shape {
+            let forest = JoinForest {
+                parent: parent.clone(),
+                roots: (0..n).filter(|&i| parent[i].is_none()).collect(),
+                elimination_order: Vec::new(),
+            };
+            if is_valid_join_forest(h, &forest) {
+                return true;
+            }
+        }
+        // Next assignment.
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                return false;
+            }
+            choice[pos] += 1;
+            if choice[pos] <= n {
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    // Up to 4 edges over 5 vertices, each edge non-empty.
+    prop::collection::vec(prop::collection::btree_set(0..5u8, 1..4usize), 1..5usize).prop_map(
+        |edges| {
+            Hypergraph::new(
+                edges
+                    .into_iter()
+                    .map(|e| {
+                        e.into_iter()
+                            .map(|v| Symbol::new(format!("v{v}")))
+                            .collect::<BTreeSet<_>>()
+                    })
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn gyo_decides_acyclicity_exactly(h in small_hypergraph()) {
+        let gyo = gyo_reduce(&h);
+        let exists = join_forest_exists(&h);
+        prop_assert_eq!(
+            gyo.is_some(),
+            exists,
+            "GYO and brute force disagree on {}",
+            h
+        );
+        if let Some(forest) = gyo {
+            prop_assert!(
+                is_valid_join_forest(&h, &forest),
+                "GYO produced an invalid forest for {}",
+                h
+            );
+        }
+    }
+
+    #[test]
+    fn both_root_preferences_agree_on_acyclicity(h in small_hypergraph()) {
+        let largest = gyo_reduce_with(&h, RootPreference::LargestAtom);
+        let smallest = gyo_reduce_with(&h, RootPreference::SmallestAtom);
+        prop_assert_eq!(largest.is_some(), smallest.is_some());
+        if let (Some(a), Some(b)) = (largest, smallest) {
+            prop_assert!(is_valid_join_forest(&h, &a));
+            prop_assert!(is_valid_join_forest(&h, &b));
+        }
+    }
+
+    #[test]
+    fn elimination_order_is_always_leaf_to_root(h in small_hypergraph()) {
+        if let Some(forest) = gyo_reduce(&h) {
+            let mut rank = vec![usize::MAX; h.edge_count()];
+            for (r, &e) in forest.elimination_order.iter().enumerate() {
+                rank[e] = r;
+            }
+            for (i, p) in forest.parent.iter().enumerate() {
+                if let Some(p) = p {
+                    prop_assert!(
+                        rank[i] < rank[*p],
+                        "edge {} eliminated after its witness {}", i, p
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Known hard instances beyond the random sweep.
+#[test]
+fn known_cyclic_instances() {
+    let edge = |vs: &[&str]| -> BTreeSet<Symbol> { vs.iter().map(Symbol::new).collect() };
+    // Triangle.
+    let h = Hypergraph::new(vec![
+        edge(&["x", "y"]),
+        edge(&["y", "z"]),
+        edge(&["x", "z"]),
+    ]);
+    assert!(gyo_reduce(&h).is_none());
+    assert!(!join_forest_exists(&h));
+
+    // 3-uniform tetrahedron ((4,3)-hyperclique).
+    let h = Hypergraph::new(vec![
+        edge(&["a", "b", "c"]),
+        edge(&["a", "b", "d"]),
+        edge(&["a", "c", "d"]),
+        edge(&["b", "c", "d"]),
+    ]);
+    assert!(gyo_reduce(&h).is_none());
+    assert!(!join_forest_exists(&h));
+}

@@ -1,0 +1,152 @@
+//! The without-replacement adaptor: repeated sampling + duplicate rejection.
+
+use crate::JoinSampler;
+use rae_core::Weight;
+use rae_data::{FxHashSet, Value};
+use rand::Rng;
+
+/// Turns any with-replacement [`JoinSampler`] into a stream of *distinct*
+/// answers by rejecting previously seen ones — the paper's "naive
+/// transformation into a sampling-without-replacement algorithm by duplicate
+/// elimination" (Section 6.2). The coupon-collector effect makes the cost of
+/// the k-th distinct answer grow as the fraction of answers already seen
+/// grows, which is the behaviour Figures 1–3 measure.
+#[derive(Debug)]
+pub struct WithoutReplacement<S> {
+    sampler: S,
+    seen: FxHashSet<Vec<Value>>,
+    /// With-replacement draws performed (including duplicates).
+    draws: u64,
+    /// Draws that returned an already-seen answer.
+    duplicates: u64,
+    /// Internal sampler rejections (e.g. Olken walk restarts).
+    rejections: u64,
+}
+
+impl<S: JoinSampler> WithoutReplacement<S> {
+    /// Wraps a sampler.
+    pub fn new(sampler: S) -> Self {
+        WithoutReplacement {
+            sampler,
+            seen: FxHashSet::default(),
+            draws: 0,
+            duplicates: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Number of distinct answers produced so far.
+    pub fn produced(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Total with-replacement draws performed.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Draws rejected as duplicates.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Internal sampler rejections.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// The wrapped sampler.
+    pub fn sampler(&self) -> &S {
+        &self.sampler
+    }
+
+    /// Produces the next distinct answer, or `None` once all answers of the
+    /// underlying index have been produced.
+    pub fn next_distinct<R: Rng>(&mut self, rng: &mut R) -> Option<Vec<Value>> {
+        let total = self.sampler.index().count();
+        if (self.seen.len() as Weight) >= total {
+            return None;
+        }
+        loop {
+            match self.sampler.attempt(rng) {
+                None => {
+                    self.rejections += 1;
+                }
+                Some(answer) => {
+                    self.draws += 1;
+                    if self.seen.insert(answer.clone()) {
+                        return Some(answer);
+                    }
+                    self.duplicates += 1;
+                }
+            }
+        }
+    }
+
+    /// Produces up to `k` further distinct answers.
+    pub fn take_distinct<R: Rng>(&mut self, rng: &mut R, k: usize) -> Vec<Vec<Value>> {
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            match self.next_distinct(rng) {
+                Some(a) => out.push(a),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ew::EwSampler;
+    use crate::test_support::skewed_index;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_every_answer_exactly_once() {
+        let idx = skewed_index();
+        let total = idx.count() as usize;
+        let mut wr = WithoutReplacement::new(EwSampler::new(&idx));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut got = Vec::new();
+        while let Some(a) = wr.next_distinct(&mut rng) {
+            got.push(a);
+        }
+        assert_eq!(got.len(), total);
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), total);
+        assert_eq!(wr.produced(), total);
+    }
+
+    #[test]
+    fn duplicate_rate_grows_with_coverage() {
+        let idx = skewed_index();
+        let total = idx.count() as usize;
+        let mut wr = WithoutReplacement::new(EwSampler::new(&idx));
+        let mut rng = StdRng::seed_from_u64(5);
+        // First half: few duplicates expected.
+        wr.take_distinct(&mut rng, total / 2);
+        let dups_first_half = wr.duplicates();
+        // Second half: coupon collector kicks in.
+        wr.take_distinct(&mut rng, total - total / 2);
+        let dups_second_half = wr.duplicates() - dups_first_half;
+        assert!(
+            dups_second_half >= dups_first_half,
+            "expected more duplicates late: {dups_first_half} then {dups_second_half}"
+        );
+    }
+
+    #[test]
+    fn take_distinct_stops_at_total() {
+        let idx = skewed_index();
+        let total = idx.count() as usize;
+        let mut wr = WithoutReplacement::new(EwSampler::new(&idx));
+        let mut rng = StdRng::seed_from_u64(1);
+        let got = wr.take_distinct(&mut rng, total + 50);
+        assert_eq!(got.len(), total);
+        assert!(wr.next_distinct(&mut rng).is_none());
+    }
+}

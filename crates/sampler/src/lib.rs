@@ -1,0 +1,161 @@
+#![warn(missing_docs)]
+
+//! # rae-sampler
+//!
+//! Join-sampling baselines in the style of Zhao et al., *"Random Sampling
+//! over Joins Revisited"* (SIGMOD 2018) — the state-of-the-art comparator of
+//! the paper's Section 6 experiments. All samplers draw answers **uniformly
+//! with replacement** from the answer set of a free-connex CQ, reusing the
+//! weighted join-tree structure of [`rae_core::CqIndex`]:
+//!
+//! * [`EwSampler`] (**EW**, *exact weight*): every level samples exactly
+//!   proportionally to the precomputed subtree weights — equivalent to
+//!   `access(uniform index)`. No rejections.
+//! * [`EoSampler`] (**EO**, *Olken everywhere*): a root-to-leaf random walk
+//!   choosing rows uniformly within buckets and accepting each visited
+//!   non-root bucket with probability `|bucket| / max-bucket-size`; rejects
+//!   restart the walk.
+//! * [`OeSampler`] (**OE**, *hybrid*): the root row is chosen uniformly and
+//!   accepted with probability `w(t) / max-weight`, after which the
+//!   completion below is sampled exactly.
+//! * [`RsSampler`] (**RS**, *naive rejection*): one uniform row from every
+//!   node relation, accepted only if they happen to join.
+//!
+//! The four variants correspond to the EW/EO/OE/RS configurations compared
+//! in the paper's appendix (Figures 6 and 8 and the RS note); our EO/OE/RS
+//! are interpretations of those initialization strategies with the same
+//! rejection behaviour (see DESIGN.md §4 on substitutions). All four are
+//! provably uniform over the answer set.
+//!
+//! [`WithoutReplacement`] converts any of them into a *distinct-answer*
+//! stream by rejecting previously seen answers — the "naive transformation"
+//! the paper benchmarks `REnum(CQ)` against (Section 6.2, footnote 3).
+
+pub mod dedup;
+pub mod eo;
+pub mod ew;
+pub mod oe;
+pub mod rs;
+
+pub use dedup::WithoutReplacement;
+pub use eo::EoSampler;
+pub use ew::EwSampler;
+pub use oe::OeSampler;
+pub use rs::RsSampler;
+
+use rae_core::CqIndex;
+use rae_data::Value;
+use rand::Rng;
+
+/// A uniform with-replacement sampler over the answers of a [`CqIndex`].
+pub trait JoinSampler {
+    /// One sampling attempt: `Some(answer)` on success, `None` on an
+    /// internal rejection (the attempt must then be retried).
+    fn attempt<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>>;
+
+    /// The underlying index.
+    fn index(&self) -> &CqIndex;
+
+    /// Short name for reports ("EW", "EO", …).
+    fn name(&self) -> &'static str;
+
+    /// Samples one answer uniformly with replacement, retrying rejections.
+    /// Returns `None` iff the query has no answers.
+    fn sample<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+        if self.index().count() == 0 {
+            return None;
+        }
+        loop {
+            if let Some(a) = self.attempt(rng) {
+                return Some(a);
+            }
+        }
+    }
+
+    /// Samples with a rejection budget: gives up after `max_attempts`
+    /// rejected attempts (used to reproduce the paper's timeout handling of
+    /// EO/RS). Returns `Err(attempts_made)` on giving up.
+    fn sample_with_budget<R: Rng>(
+        &self,
+        rng: &mut R,
+        max_attempts: u64,
+    ) -> Result<Vec<Value>, u64> {
+        if self.index().count() == 0 {
+            return Err(0);
+        }
+        for _ in 0..max_attempts {
+            if let Some(a) = self.attempt(rng) {
+                return Ok(a);
+            }
+        }
+        Err(max_attempts)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use rae_core::CqIndex;
+    use rae_data::{Database, Relation, Schema, Value};
+    use rae_query::parser::parse_cq;
+
+    pub fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(
+            Schema::new(attrs.iter().copied()).unwrap(),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    /// A two-hop join with skewed fan-out (weights differ across rows), so
+    /// uniformity bugs show up in frequency tests.
+    pub fn skewed_index() -> CqIndex {
+        let mut db = Database::new();
+        db.add_relation(
+            "R",
+            rel_int(&["a", "b"], &[&[1, 1], &[2, 1], &[3, 2], &[4, 3]]),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            rel_int(
+                &["b", "c"],
+                &[&[1, 10], &[1, 11], &[1, 12], &[2, 20], &[3, 30], &[3, 31]],
+            ),
+        )
+        .unwrap();
+        let cq = parse_cq("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        CqIndex::build(&cq, &db).unwrap()
+    }
+
+    /// Uniformity check: every answer's frequency within `tolerance` of the
+    /// expectation.
+    pub fn assert_uniform<S: super::JoinSampler>(sampler: &S, trials: usize, tolerance: f64) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let idx = sampler.index();
+        let n = idx.count() as usize;
+        assert!(n > 0);
+        let mut counts: std::collections::BTreeMap<Vec<Value>, usize> = Default::default();
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        for _ in 0..trials {
+            let a = sampler.sample(&mut rng).unwrap();
+            *counts.entry(a).or_insert(0) += 1;
+        }
+        assert_eq!(
+            counts.len(),
+            n,
+            "{}: some answer was never sampled",
+            sampler.name()
+        );
+        let expected = trials as f64 / n as f64;
+        for (ans, c) in counts {
+            let ratio = c as f64 / expected;
+            assert!(
+                (1.0 - tolerance..=1.0 + tolerance).contains(&ratio),
+                "{}: answer {ans:?} sampled {c} times (expected ≈{expected:.0})",
+                sampler.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # rae-tpch
+//!
+//! A deterministic, seeded, laptop-scale substitute for the TPC-H `dbgen`
+//! tool, plus the benchmark queries of the paper's Section 6 / Appendix B.
+//!
+//! The generator reproduces the *structure* the algorithms care about — the
+//! standard table cardinality ratios (25 nations over 5 regions, 4 suppliers
+//! per part, 1–7 lineitems per order, …) and the join fan-outs they induce —
+//! while keeping schemas trimmed to the columns the paper's queries touch
+//! (see DESIGN.md §4 on substitutions). Nation names and keys follow the
+//! real TPC-H mapping, so the paper's selection constants (`UNITED STATES`,
+//! nationkeys 23/24, `n_nationkey = 0`) carry over verbatim.
+
+pub mod gen;
+pub mod queries;
+pub mod scale;
+
+pub use gen::{generate, generate_with, prepare_selections, Skew};
+pub use scale::TpchScale;
+
+/// The 25 TPC-H nations as `(nationkey, name, regionkey)`.
+pub const NATIONS: [(i64, &str, i64); 25] = [
+    (0, "ALGERIA", 0),
+    (1, "ARGENTINA", 1),
+    (2, "BRAZIL", 1),
+    (3, "CANADA", 1),
+    (4, "EGYPT", 4),
+    (5, "ETHIOPIA", 0),
+    (6, "FRANCE", 3),
+    (7, "GERMANY", 3),
+    (8, "INDIA", 2),
+    (9, "INDONESIA", 2),
+    (10, "IRAN", 4),
+    (11, "IRAQ", 4),
+    (12, "JAPAN", 2),
+    (13, "JORDAN", 4),
+    (14, "KENYA", 0),
+    (15, "MOROCCO", 0),
+    (16, "MOZAMBIQUE", 0),
+    (17, "PERU", 1),
+    (18, "CHINA", 2),
+    (19, "ROMANIA", 3),
+    (20, "SAUDI ARABIA", 4),
+    (21, "VIETNAM", 2),
+    (22, "RUSSIA", 3),
+    (23, "UNITED KINGDOM", 3),
+    (24, "UNITED STATES", 1),
+];
+
+/// The 5 TPC-H regions as `(regionkey, name)`.
+pub const REGIONS: [(i64, &str); 5] = [
+    (0, "AFRICA"),
+    (1, "AMERICA"),
+    (2, "ASIA"),
+    (3, "EUROPE"),
+    (4, "MIDDLE EAST"),
+];

@@ -1,0 +1,195 @@
+//! The paper's benchmark queries (Section 6.2 and Appendix B.1).
+//!
+//! Each function returns the datalog form of the corresponding SQL query.
+//! The CQ experiments use `Q0, Q2, Q3, Q7, Q9, Q10` (full joins after the
+//! paper's added output attributes); the UCQ experiments use
+//! `Q7S ∪ Q7C`, `QN2 ∪ QP2 ∪ QS2`, and `QA ∪ QE` over the derived selection
+//! relations of [`crate::gen::prepare_selections`].
+
+use rae_query::parser::{parse_cq, parse_ucq};
+use rae_query::{ConjunctiveQuery, UnionQuery};
+
+/// All six CQ benchmark queries with their paper names.
+pub fn all_cqs() -> Vec<(&'static str, ConjunctiveQuery)> {
+    vec![
+        ("Q0", q0()),
+        ("Q2", q2()),
+        ("Q3", q3()),
+        ("Q7", q7()),
+        ("Q9", q9()),
+        ("Q10", q10()),
+    ]
+}
+
+/// All three UCQ benchmark unions with their paper names.
+pub fn all_ucqs() -> Vec<(&'static str, UnionQuery)> {
+    vec![
+        ("QA ∪ QE", qa_qe()),
+        ("Q7S ∪ Q7C", q7s_q7c()),
+        ("QN2 ∪ QP2 ∪ QS2", qn2_qp2_qs2()),
+    ]
+}
+
+fn must_cq(text: &str) -> ConjunctiveQuery {
+    parse_cq(text).expect("benchmark query parses")
+}
+
+fn must_ucq(text: &str) -> UnionQuery {
+    parse_ucq(text).expect("benchmark union parses")
+}
+
+/// Q0: chain join region–nation–supplier–partsupp.
+pub fn q0() -> ConjunctiveQuery {
+    must_cq(
+        "Q0(rk, nk, sk, pk) :- region(rk, rn), nation(nk, nn, rk), \
+         supplier(sk, nk), partsupp(pk, sk)",
+    )
+}
+
+/// Q2: Q0 plus the part table on `ps_partkey = p_partkey`.
+pub fn q2() -> ConjunctiveQuery {
+    must_cq(
+        "Q2(rk, nk, sk, pk) :- region(rk, rn), nation(nk, nn, rk), \
+         supplier(sk, nk), partsupp(pk, sk), part(pk, psz)",
+    )
+}
+
+/// Q3: customer–orders–lineitem (with the lineitem attributes the paper
+/// adds for set/bag equivalence).
+pub fn q3() -> ConjunctiveQuery {
+    must_cq(
+        "Q3(ok, ck, pk, sk, ln) :- customer(ck, cn), orders(ok, ck), \
+         lineitem(ok, ln, pk, sk)",
+    )
+}
+
+/// Q7: Q3 plus supplier and the two nation self-join atoms.
+pub fn q7() -> ConjunctiveQuery {
+    must_cq(
+        "Q7(ok, ck, nk1, sk, pk, ln, nk2) :- supplier(sk, nk1), \
+         lineitem(ok, ln, pk, sk), orders(ok, ck), customer(ck, nk2), \
+         nation(nk1, n1, r1), nation(nk2, n2, r2)",
+    )
+}
+
+/// Q9: nation–supplier–lineitem–partsupp–orders–part.
+pub fn q9() -> ConjunctiveQuery {
+    must_cq(
+        "Q9(nk, sk, ok, ln, pk) :- nation(nk, nn, rk), supplier(sk, nk), \
+         lineitem(ok, ln, pk, sk), partsupp(pk, sk), orders(ok, ck), \
+         part(pk, psz)",
+    )
+}
+
+/// Q10: Q3 plus the customer's nation.
+pub fn q10() -> ConjunctiveQuery {
+    must_cq(
+        "Q10(ok, ck, pk, sk, ln, nk) :- lineitem(ok, ln, pk, sk), \
+         orders(ok, ck), customer(ck, nk), nation(nk, nn, rk)",
+    )
+}
+
+/// Q7S ∪ Q7C (Section 5.2): the Q7 shape where either the supplier's or the
+/// customer's nation is restricted to UNITED STATES. Uses the derived
+/// `nation_us` selection; both disjuncts share one join-tree template, so
+/// the union is an mc-UCQ.
+pub fn q7s_q7c() -> UnionQuery {
+    must_ucq(
+        "Q7S(o, c, a, b, p, s, l, m, n) :- supplier(s, a), lineitem(o, l, p, s), \
+           orders(o, c), customer(c, b), nation_us(a, m, ra), nation(b, n, rb).\n\
+         Q7C(o, c, a, b, p, s, l, m, n) :- supplier(s, a), lineitem(o, l, p, s), \
+           orders(o, c), customer(c, b), nation(a, m, ra), nation_us(b, n, rb).",
+    )
+}
+
+/// QN2 ∪ QP2 ∪ QS2 (Appendix B.1): three selections of Q2 — nationkey 0,
+/// even part keys, even supplier keys.
+pub fn qn2_qp2_qs2() -> UnionQuery {
+    must_ucq(
+        "QN2(rk, nk, sk, pk) :- region(rk, rn), nation_k0(nk, nn, rk), \
+           supplier(sk, nk), partsupp(pk, sk), part(pk, psz).\n\
+         QP2(rk, nk, sk, pk) :- region(rk, rn), nation(nk, nn, rk), \
+           supplier(sk, nk), partsupp_evenpart(pk, sk), part(pk, psz).\n\
+         QS2(rk, nk, sk, pk) :- region(rk, rn), nation(nk, nn, rk), \
+           supplier(sk, nk), partsupp_evensupp(pk, sk), part(pk, psz).",
+    )
+}
+
+/// QA ∪ QE (Appendix B.1): orders whose supplier is from the United States
+/// (nationkey 24) or the United Kingdom (nationkey 23) — a disjoint union.
+pub fn qa_qe() -> UnionQuery {
+    must_ucq(
+        "QA(ok, sk, nk, rk, rn) :- orders(ok, oc), lineitem(ok, ln, pk, sk), \
+           supplier(sk, nk), nation_k24(nk, nn, rk), region(rk, rn).\n\
+         QE(ok, sk, nk, rk, rn) :- orders(ok, oc), lineitem(ok, ln, pk, sk), \
+           supplier(sk, nk), nation_k23(nk, nn, rk), region(rk, rn).",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_query::{classify, CqClass};
+
+    #[test]
+    fn all_cq_benchmarks_are_free_connex() {
+        for (name, cq) in all_cqs() {
+            assert_eq!(
+                classify(&cq),
+                CqClass::FreeConnex,
+                "{name} must be free-connex"
+            );
+        }
+    }
+
+    #[test]
+    fn all_ucq_members_are_free_connex() {
+        for (name, ucq) in all_ucqs() {
+            for d in ucq.disjuncts() {
+                assert_eq!(
+                    classify(d),
+                    CqClass::FreeConnex,
+                    "{name} member {} must be free-connex",
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q7_has_a_self_join() {
+        assert!(q7().has_self_join());
+        assert!(!q0().has_self_join());
+    }
+
+    #[test]
+    fn cq_benchmarks_are_full_joins_modulo_padding() {
+        // The six CQ benchmarks project away only "padding" attributes
+        // (names, sizes, region keys) — every join attribute is in the head.
+        for (name, cq) in all_cqs() {
+            let head = cq.head_set();
+            // Attributes occurring in ≥ 2 atoms are join attributes.
+            let mut counts: std::collections::BTreeMap<_, usize> = Default::default();
+            for atom in cq.body() {
+                for v in atom.var_set() {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            for (v, c) in counts {
+                if c >= 2 {
+                    assert!(
+                        head.contains(&v),
+                        "{name}: join variable {v} projected away"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_heads_are_consistent() {
+        for (_, ucq) in all_ucqs() {
+            assert!(!ucq.head().is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Scale factors for the synthetic TPC-H generator.
+
+/// Table cardinalities, parameterized like TPC-H's scale factor.
+///
+/// At scale factor `sf`, TPC-H specifies 10,000·sf suppliers, 150,000·sf
+/// customers, 200,000·sf parts, 1,500,000·sf orders, 4 partsupp rows per
+/// part, and ~4 lineitems per order (1–7 uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpchScale {
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// Number of orders.
+    pub orders: usize,
+}
+
+impl TpchScale {
+    /// Standard TPC-H ratios at scale factor `sf` (each table at least 1
+    /// row; `sf = 5` matches the paper's setup, `sf ≈ 0.01` is the default
+    /// for the laptop-scale reproduction).
+    pub fn from_sf(sf: f64) -> Self {
+        let scaled = |base: f64| ((base * sf).round() as usize).max(1);
+        TpchScale {
+            suppliers: scaled(10_000.0),
+            customers: scaled(150_000.0),
+            parts: scaled(200_000.0),
+            orders: scaled(1_500_000.0),
+        }
+    }
+
+    /// A miniature instance for unit tests (every join still non-trivial).
+    pub fn tiny() -> Self {
+        TpchScale {
+            suppliers: 10,
+            customers: 15,
+            parts: 20,
+            orders: 40,
+        }
+    }
+
+    /// Expected total tuple count (lineitems estimated at 4 per order).
+    pub fn estimated_tuples(&self) -> usize {
+        5 + 25
+            + self.suppliers
+            + self.customers
+            + self.parts
+            + self.parts * 4
+            + self.orders
+            + self.orders * 4
+    }
+}
+
+impl Default for TpchScale {
+    fn default() -> Self {
+        TpchScale::from_sf(0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_ratios() {
+        let s = TpchScale::from_sf(1.0);
+        assert_eq!(s.suppliers, 10_000);
+        assert_eq!(s.customers, 150_000);
+        assert_eq!(s.parts, 200_000);
+        assert_eq!(s.orders, 1_500_000);
+    }
+
+    #[test]
+    fn small_sf_clamps_to_one() {
+        let s = TpchScale::from_sf(0.000001);
+        assert!(s.suppliers >= 1 && s.orders >= 1);
+    }
+
+    #[test]
+    fn default_is_laptop_scale() {
+        let s = TpchScale::default();
+        assert_eq!(s.suppliers, 100);
+        assert_eq!(s.orders, 15_000);
+        assert!(s.estimated_tuples() < 200_000);
+    }
+}

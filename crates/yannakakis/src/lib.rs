@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # rae-yannakakis
+//!
+//! The classical machinery the paper's Proposition 4.2 builds on:
+//!
+//! * atom instantiation — materializing the matching sub-relation of an atom
+//!   (applying constant selections and repeated-variable filters, projecting
+//!   onto its variables),
+//! * semijoin filters and the Yannakakis *full reduction* over a join tree
+//!   (removing all dangling tuples, yielding a globally consistent database),
+//! * the Proposition 4.2 pipeline: reducing a free-connex CQ `Q` over `D` to
+//!   a *full* acyclic join `Q'` over `D'` with `Q(D) = Q'(D')`.
+
+pub mod full_join;
+pub mod instantiate;
+pub mod reduce;
+pub mod semijoin;
+
+pub use full_join::{
+    reduce_to_full_acyclic, reduce_to_full_acyclic_with, FullAcyclicJoin, ReduceOptions,
+};
+pub use instantiate::instantiate_atom;
+pub use reduce::full_reduce;
+pub use semijoin::semijoin_filter;
+
+/// Result alias reusing the query-layer error.
+pub type Result<T> = std::result::Result<T, rae_query::QueryError>;

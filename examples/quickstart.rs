@@ -1,0 +1,74 @@
+//! Quickstart: build a random-access index for a free-connex CQ, count,
+//! access, invert, and enumerate in random order.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rae::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy social database: people, cities, and who follows whom.
+    let mut db = Database::new();
+    db.add_relation(
+        "person",
+        Relation::from_rows(
+            Schema::new(["pid", "city"])?,
+            vec![
+                vec![Value::Int(1), Value::str("Haifa")],
+                vec![Value::Int(2), Value::str("Berlin")],
+                vec![Value::Int(3), Value::str("Haifa")],
+                vec![Value::Int(4), Value::str("Berlin")],
+            ],
+        )?,
+    )?;
+    db.add_relation(
+        "follows",
+        Relation::from_rows(
+            Schema::new(["src", "dst"])?,
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(1), Value::Int(3)],
+                vec![Value::Int(2), Value::Int(3)],
+                vec![Value::Int(3), Value::Int(4)],
+                vec![Value::Int(4), Value::Int(1)],
+            ],
+        )?,
+    )?;
+
+    // Who follows whom, with both of their cities. The existential-free join
+    // is free-connex, so all of the paper's machinery applies.
+    let q: ConjunctiveQuery =
+        "Q(a, ca, b, cb) :- follows(a, b), person(a, ca), person(b, cb)".parse()?;
+    println!("query: {q}");
+    println!("class: {:?}", classify(&q));
+
+    // Theorem 4.3: linear-time preprocessing.
+    let index = CqIndex::build(&q, &db)?;
+    println!("answers: {}", index.count());
+
+    // O(log n) random access by position, O(1) inverted access.
+    for j in 0..index.count() {
+        let answer = index.access(j).expect("in range");
+        let back = index.inverted_access(&answer).expect("is an answer");
+        assert_eq!(back, j);
+        println!("  #{j}: {answer:?}");
+    }
+
+    // Membership testing comes for free via inverted access.
+    let probe = vec![
+        Value::Int(1),
+        Value::str("Haifa"),
+        Value::Int(2),
+        Value::str("Berlin"),
+    ];
+    println!("contains {probe:?}: {}", index.contains(&probe));
+
+    // Theorem 3.7: a uniformly random permutation with O(log n) delay.
+    println!("random order:");
+    for answer in index.random_permutation(StdRng::seed_from_u64(2024)) {
+        println!("  {answer:?}");
+    }
+
+    Ok(())
+}

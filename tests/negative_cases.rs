@@ -1,0 +1,128 @@
+//! Negative-path integration tests: the library must fail loudly and
+//! precisely outside the tractable classes and on malformed inputs.
+
+use rae::prelude::*;
+use rae_core::CoreError;
+use rae_query::QueryError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn db_with_binary(names: &[&str]) -> Database {
+    let mut db = Database::new();
+    for name in names {
+        db.add_relation(
+            *name,
+            Relation::from_rows(
+                Schema::new(["a", "b"]).unwrap(),
+                vec![vec![Value::Int(1), Value::Int(2)]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn matrix_multiplication_query_is_rejected() {
+    // The canonical non-free-connex acyclic CQ (sparse-BMM hard).
+    let db = db_with_binary(&["R", "S"]);
+    let cq: ConjunctiveQuery = "Q(x, z) :- R(x, y), S(y, z)".parse().unwrap();
+    assert_eq!(classify(&cq), CqClass::AcyclicNonFreeConnex);
+    match CqIndex::build(&cq, &db) {
+        Err(CoreError::Query(QueryError::NotFreeConnex(name))) => {
+            assert_eq!(name.as_str(), "Q");
+        }
+        other => panic!("expected NotFreeConnex, got {other:?}"),
+    }
+}
+
+#[test]
+fn triangle_query_is_rejected() {
+    let db = db_with_binary(&["R", "S", "T"]);
+    let cq: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z), T(x, z)".parse().unwrap();
+    assert_eq!(classify(&cq), CqClass::Cyclic);
+    assert!(matches!(
+        CqIndex::build(&cq, &db),
+        Err(CoreError::Query(QueryError::NotAcyclic(_)))
+    ));
+}
+
+#[test]
+fn hyperclique_style_query_is_rejected() {
+    // The (4,3)-hyperclique pattern over ternary relations.
+    let mut db = Database::new();
+    for name in ["E1", "E2", "E3", "E4"] {
+        db.add_relation(
+            name,
+            Relation::from_rows(
+                Schema::new(["a", "b", "c"]).unwrap(),
+                vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    let cq: ConjunctiveQuery =
+        "Q(w, x, y, z) :- E1(x, y, z), E2(w, y, z), E3(w, x, z), E4(w, x, y)"
+            .parse()
+            .unwrap();
+    assert_eq!(classify(&cq), CqClass::Cyclic);
+}
+
+#[test]
+fn unknown_relation_and_arity_mismatch() {
+    let db = db_with_binary(&["R"]);
+    let cq: ConjunctiveQuery = "Q(x) :- Missing(x)".parse().unwrap();
+    assert!(CqIndex::build(&cq, &db).is_err());
+
+    let cq: ConjunctiveQuery = "Q(x) :- R(x)".parse().unwrap();
+    assert!(matches!(
+        CqIndex::build(&cq, &db),
+        Err(CoreError::Query(QueryError::AtomArityMismatch { .. }))
+    ));
+}
+
+#[test]
+fn ucq_with_one_bad_member_fails_atomically() {
+    let db = db_with_binary(&["R", "S"]);
+    let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- R(x, z), S(z, y)."
+        .parse()
+        .unwrap();
+    assert!(UcqShuffle::build(&u, &db, StdRng::seed_from_u64(0)).is_err());
+    assert!(McUcqIndex::build(&u, &db).is_err());
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let db = db_with_binary(&["R", "S"]);
+    let cq: ConjunctiveQuery = "Q(x, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let err = CqIndex::build(&cq, &db).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("free-connex"),
+        "message should name the missing property: {msg}"
+    );
+}
+
+#[test]
+fn parse_errors_point_at_the_offset() {
+    let err = "Q(x) :- R(x,".parse::<ConjunctiveQuery>().unwrap_err();
+    match err {
+        QueryError::Parse { offset, .. } => assert!(offset >= 11),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn access_beyond_count_is_none_not_panic() {
+    let db = db_with_binary(&["R"]);
+    let cq: ConjunctiveQuery = "Q(x, y) :- R(x, y)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+    assert_eq!(idx.count(), 1);
+    assert!(idx.access(1).is_none());
+    assert!(idx.access(u128::MAX).is_none());
+    // Wrong arity answers are "not-a-member", not errors.
+    assert_eq!(idx.inverted_access(&[Value::Int(1)]), None);
+    assert_eq!(idx.inverted_access(&[]), None);
+}

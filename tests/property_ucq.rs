@@ -1,0 +1,204 @@
+//! Property-based tests for the union algorithms: Algorithm 5 (REnum(UCQ))
+//! and the Theorem 5.5 mc-UCQ random access, against naive union evaluation
+//! and a reference implementation of the Durand–Strozecki order.
+
+use proptest::prelude::*;
+use rae::prelude::*;
+use rae_data::FxHashSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type Edges = Vec<(i64, i64)>;
+
+fn edge_relation(edges: &Edges) -> Relation {
+    Relation::from_rows(
+        Schema::new(["a", "b"]).unwrap(),
+        edges
+            .iter()
+            .map(|&(u, v)| vec![Value::Int(u), Value::Int(v)]),
+    )
+    .unwrap()
+}
+
+fn db3(r: &Edges, s: &Edges, t: &Edges) -> Database {
+    let mut db = Database::new();
+    db.add_relation("R", edge_relation(r)).unwrap();
+    db.add_relation("S", edge_relation(s)).unwrap();
+    db.add_relation("T", edge_relation(t)).unwrap();
+    db
+}
+
+fn edges_strategy() -> impl Strategy<Value = Edges> {
+    prop::collection::vec((0..4i64, 0..4i64), 0..14)
+}
+
+/// Reference Algorithm 6 (Durand–Strozecki) over explicit member sequences.
+fn ds_reference(seqs: &[Vec<Vec<Value>>]) -> Vec<Vec<Value>> {
+    if seqs.len() == 1 {
+        return seqs[0].clone();
+    }
+    let b = ds_reference(&seqs[1..]);
+    let b_set: FxHashSet<&Vec<Value>> = b.iter().collect();
+    let mut out = Vec::new();
+    let mut b_iter = b.iter();
+    for a in &seqs[0] {
+        if b_set.contains(a) {
+            out.push(b_iter.next().expect("enough b elements").clone());
+        } else {
+            out.push(a.clone());
+        }
+    }
+    out.extend(b_iter.cloned());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn renum_ucq_equals_naive_union(
+        r in edges_strategy(),
+        s in edges_strategy(),
+        t in edges_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let db = db3(&r, &s, &t);
+        // Mixed-shape union: allowed for Algorithm 5 (it only needs
+        // per-member count/sample/test/delete, not a common template).
+        let u: UnionQuery = "Q1(x, y) :- R(x, y).
+                             Q2(x, y) :- S(x, y).
+                             Q3(x, y) :- T(x, y), T(y, w)."
+            .parse()
+            .unwrap();
+        let expected = naive_eval_union(&u, &db).unwrap();
+        let mut got: Vec<Vec<Value>> = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(seed))
+            .unwrap()
+            .collect();
+        prop_assert_eq!(got.len(), expected.len());
+        got.sort();
+        got.dedup();
+        prop_assert_eq!(got.len(), expected.len());
+    }
+
+    #[test]
+    fn non_free_connex_member_rejected(
+        r in edges_strategy(),
+        t in edges_strategy(),
+    ) {
+        // Q2's head omits the join variable z: acyclic but not free-connex,
+        // so the whole union must be rejected by Theorem 5.4's builder.
+        let db = db3(&r, &Vec::new(), &t);
+        let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- R(x, z), T(z, y)."
+            .parse()
+            .unwrap();
+        prop_assert!(UcqShuffle::build(&u, &db, StdRng::seed_from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn mc_ucq_access_matches_ds_reference(
+        r in edges_strategy(),
+        s in edges_strategy(),
+        t in edges_strategy(),
+    ) {
+        let db = db3(&r, &s, &t);
+        let u: UnionQuery = "Q1(x, y) :- R(x, y).
+                             Q2(x, y) :- S(x, y).
+                             Q3(x, y) :- T(x, y)."
+            .parse()
+            .unwrap();
+        let mc = McUcqIndex::build(&u, &db).expect("same template");
+
+        // Count agrees with naive.
+        let expected = naive_eval_union(&u, &db).unwrap();
+        prop_assert_eq!(mc.count() as usize, expected.len());
+
+        // The realized order IS the Durand–Strozecki order over the member
+        // enumeration orders.
+        let member_seqs: Vec<Vec<Vec<Value>>> = (0..3)
+            .map(|l| {
+                mc.intersection_index(1 << l)
+                    .expect("member")
+                    .enumerate()
+                    .collect()
+            })
+            .collect();
+        let reference = ds_reference(&member_seqs);
+        let got: Vec<Vec<Value>> = mc.enumerate().collect();
+        prop_assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn mc_ucq_shuffle_is_complete(
+        r in edges_strategy(),
+        s in edges_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let db = db3(&r, &s, &Vec::new());
+        let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y)."
+            .parse()
+            .unwrap();
+        let mc = McUcqIndex::build(&u, &db).unwrap();
+        let mut got: Vec<Vec<Value>> = mc
+            .random_permutation(StdRng::seed_from_u64(seed))
+            .collect();
+        prop_assert_eq!(got.len() as u128, mc.count());
+        got.sort();
+        got.dedup();
+        prop_assert_eq!(got.len() as u128, mc.count());
+    }
+
+    #[test]
+    fn intersection_indexes_match_intersection_cqs(
+        r in edges_strategy(),
+        s in edges_strategy(),
+        t in edges_strategy(),
+    ) {
+        // Two independent constructions of Q_I = ⋂_{i∈I} Q_i must agree:
+        // the mc-UCQ builder's node-wise relation intersections, and the
+        // syntactic intersection CQ (conjoined bodies with existentials
+        // renamed apart, Section 5.2) evaluated naively.
+        let db = db3(&r, &s, &t);
+        let u: UnionQuery = "Q1(x, y) :- R(x, y).
+                             Q2(x, y) :- S(x, y).
+                             Q3(x, y) :- T(x, y)."
+            .parse()
+            .unwrap();
+        let mc = McUcqIndex::build(&u, &db).expect("same template");
+        for mask in 1usize..8 {
+            let indices: Vec<usize> = (0..3).filter(|i| mask & (1 << i) != 0).collect();
+            let cap_cq = u.intersection_cq(&indices).unwrap();
+            let expected = rae_query::naive_eval(&cap_cq, &db).unwrap();
+            let idx = mc.intersection_index(mask).expect("built");
+            prop_assert_eq!(
+                idx.count() as usize,
+                expected.len(),
+                "mask {:#b}: count mismatch", mask
+            );
+            for answer in idx.enumerate() {
+                prop_assert!(expected.contains_row(&answer));
+            }
+        }
+    }
+
+    #[test]
+    fn ucq_and_mc_ucq_agree_on_answer_sets(
+        r in edges_strategy(),
+        s in edges_strategy(),
+        seed in 0u64..1000,
+    ) {
+        // Two independent union implementations must produce identical sets.
+        let db = db3(&r, &s, &Vec::new());
+        let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y)."
+            .parse()
+            .unwrap();
+        let mc = McUcqIndex::build(&u, &db).unwrap();
+        let mut via_mc: Vec<Vec<Value>> = mc.enumerate().collect();
+        let mut via_alg5: Vec<Vec<Value>> =
+            UcqShuffle::build(&u, &db, StdRng::seed_from_u64(seed))
+                .unwrap()
+                .collect();
+        via_mc.sort();
+        via_alg5.sort();
+        prop_assert_eq!(via_mc, via_alg5);
+    }
+}

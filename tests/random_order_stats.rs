@@ -1,0 +1,184 @@
+//! Statistical acceptance tests: the three random-order enumerators and the
+//! four samplers must be (empirically) uniform over the answer set, and the
+//! enumerators must induce a uniform distribution over *positions* too.
+//!
+//! All tests use fixed seeds and generous tolerances so they are
+//! deterministic and robust.
+
+use rae::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+fn small_join_db() -> Database {
+    let mut db = Database::new();
+    // Skewed fan-out so weight bugs show up.
+    let r: Vec<(i64, i64)> = vec![(1, 1), (2, 1), (3, 2), (4, 3), (5, 3)];
+    let s: Vec<(i64, i64)> = vec![(1, 10), (1, 11), (1, 12), (2, 20), (3, 30), (3, 31)];
+    db.add_relation(
+        "R",
+        Relation::from_rows(
+            Schema::new(["a", "b"]).unwrap(),
+            r.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.add_relation(
+        "S",
+        Relation::from_rows(
+            Schema::new(["b", "c"]).unwrap(),
+            s.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+fn assert_frequencies_uniform(counts: &BTreeMap<Vec<Value>, usize>, trials: usize, n: usize) {
+    assert_eq!(counts.len(), n, "every answer must occur");
+    let expected = trials as f64 / n as f64;
+    for (ans, &c) in counts {
+        let ratio = c as f64 / expected;
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "answer {ans:?}: {c} occurrences, expected ≈{expected:.0}"
+        );
+    }
+}
+
+#[test]
+fn renum_cq_every_position_is_uniform() {
+    let db = small_join_db();
+    let cq: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+    let n = idx.count() as usize;
+
+    // For a mid position (not just the first), the emitted answer must be
+    // uniform — this catches subtle Fisher–Yates slot bugs.
+    let position = n / 2;
+    let trials = 4000;
+    let mut counts: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
+    let mut seed_rng = StdRng::seed_from_u64(101);
+    for _ in 0..trials {
+        let seed = seed_rng.gen::<u64>();
+        let ans = idx
+            .random_permutation(StdRng::seed_from_u64(seed))
+            .nth(position)
+            .unwrap();
+        *counts.entry(ans).or_insert(0) += 1;
+    }
+    assert_frequencies_uniform(&counts, trials, n);
+}
+
+#[test]
+fn renum_ucq_first_answer_uniform_over_overlapping_union() {
+    let db = small_join_db();
+    let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- S(y2, x), R(x, y)."
+        .parse()
+        .unwrap();
+    // Q2 = R rows whose x occurs as some S value... (just a second member
+    // with overlap; correctness is what matters).
+    let expected = naive_eval_union(&u, &db).unwrap();
+    let n = expected.len();
+    let trials = 4000;
+    let mut counts: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
+    let mut seed_rng = StdRng::seed_from_u64(55);
+    for _ in 0..trials {
+        let seed = seed_rng.gen::<u64>();
+        let ans = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(seed))
+            .unwrap()
+            .next()
+            .unwrap();
+        *counts.entry(ans).or_insert(0) += 1;
+    }
+    assert_frequencies_uniform(&counts, trials, n);
+}
+
+#[test]
+fn renum_mcucq_first_answer_uniform() {
+    let mut db = small_join_db();
+    db.derive_selection("R", "R_small", |row| row[0].as_int().unwrap() <= 3)
+        .unwrap();
+    let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- R_small(x, y)."
+        .parse()
+        .unwrap();
+    let mc = McUcqIndex::build(&u, &db).unwrap();
+    let n = mc.count() as usize;
+    let trials = 4000;
+    let mut counts: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
+    let mut seed_rng = StdRng::seed_from_u64(77);
+    for _ in 0..trials {
+        let seed = seed_rng.gen::<u64>();
+        let ans = mc
+            .random_permutation(StdRng::seed_from_u64(seed))
+            .next()
+            .unwrap();
+        *counts.entry(ans).or_insert(0) += 1;
+    }
+    assert_frequencies_uniform(&counts, trials, n);
+}
+
+#[test]
+fn all_samplers_are_uniform_on_the_same_index() {
+    let db = small_join_db();
+    let cq: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+    let n = idx.count() as usize;
+    let trials = 8000;
+
+    fn collect<S: JoinSampler>(s: &S, trials: usize) -> BTreeMap<Vec<Value>, usize> {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut counts = BTreeMap::new();
+        for _ in 0..trials {
+            *counts.entry(s.sample(&mut rng).unwrap()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    assert_frequencies_uniform(&collect(&EwSampler::new(&idx), trials), trials, n);
+    assert_frequencies_uniform(&collect(&EoSampler::new(&idx), trials), trials, n);
+    assert_frequencies_uniform(&collect(&OeSampler::new(&idx), trials), trials, n);
+    assert_frequencies_uniform(&collect(&RsSampler::new(&idx), trials), trials, n);
+}
+
+#[test]
+fn permutation_pair_correlations_are_absent() {
+    // Beyond marginals: for a 4-answer query, all 12 (position, value)
+    // adjacent transpositions should be roughly equally likely; a biased
+    // swap implementation fails this.
+    let mut db = Database::new();
+    db.add_relation(
+        "R",
+        Relation::from_rows(
+            Schema::new(["a"]).unwrap(),
+            (0..4i64).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let cq: ConjunctiveQuery = "Q(x) :- R(x)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+    let trials = 24_000;
+    let mut pair_counts: BTreeMap<(i64, i64), usize> = BTreeMap::new();
+    let mut seed_rng = StdRng::seed_from_u64(31);
+    for _ in 0..trials {
+        let seed = seed_rng.gen::<u64>();
+        let perm: Vec<i64> = idx
+            .random_permutation(StdRng::seed_from_u64(seed))
+            .map(|a| a[0].as_int().unwrap())
+            .collect();
+        *pair_counts.entry((perm[0], perm[1])).or_insert(0) += 1;
+    }
+    // 4 × 3 ordered pairs, each with probability 1/12.
+    assert_eq!(pair_counts.len(), 12);
+    let expected = trials as f64 / 12.0;
+    for (pair, c) in pair_counts {
+        let ratio = c as f64 / expected;
+        assert!(
+            (0.85..=1.15).contains(&ratio),
+            "pair {pair:?}: {c} occurrences, expected ≈{expected:.0}"
+        );
+    }
+}
