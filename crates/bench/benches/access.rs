@@ -3,7 +3,7 @@
 //! claims of Theorem 4.3.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rae_core::CqIndex;
+use rae_core::{AccessScratch, CqIndex};
 use rae_tpch::{generate, queries, TpchScale};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +21,20 @@ fn bench_access(c: &mut Criterion) {
         let db = generate(&TpchScale::from_sf(sf), 42);
         let idx = CqIndex::build(&queries::q3(), &db).expect("builds");
         let n = idx.count();
+        // Seed-style baseline: recursive descent with per-node Vec allocs,
+        // reproduced in rae_bench::baseline over the same arrays.
+        group.bench_with_input(
+            BenchmarkId::new("access_seed_baseline", sf_milli),
+            &idx,
+            |b, idx| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    let j = rng.gen_range(0..n);
+                    std::hint::black_box(rae_bench::baseline::access_seed_style(idx, j))
+                });
+            },
+        );
+        // Today's allocating wrapper (fresh scratch per call) …
         group.bench_with_input(BenchmarkId::new("access", sf_milli), &idx, |b, idx| {
             let mut rng = StdRng::seed_from_u64(7);
             b.iter(|| {
@@ -28,7 +42,30 @@ fn bench_access(c: &mut Criterion) {
                 std::hint::black_box(idx.access(j))
             });
         });
+        // … versus the zero-allocation scratch path.
+        group.bench_with_input(BenchmarkId::new("access_into", sf_milli), &idx, |b, idx| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut scratch = AccessScratch::new();
+            b.iter(|| {
+                let j = rng.gen_range(0..n);
+                std::hint::black_box(idx.access_into(j, &mut scratch).is_some())
+            });
+        });
         idx.prepare_inverted_access();
+        group.bench_with_input(
+            BenchmarkId::new("inverted_access_seed_baseline", sf_milli),
+            &idx,
+            |b, idx| {
+                let inv = rae_bench::baseline::SeedInvertedAccess::new(idx);
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut scratch = AccessScratch::new();
+                b.iter(|| {
+                    let j = rng.gen_range(0..n);
+                    let ans = idx.access_into(j, &mut scratch).expect("in range");
+                    std::hint::black_box(inv.inverted_access(ans))
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("inverted_access", sf_milli),
             &idx,
@@ -38,6 +75,20 @@ fn bench_access(c: &mut Criterion) {
                     let j = rng.gen_range(0..n);
                     let ans = idx.access(j).expect("in range");
                     std::hint::black_box(idx.inverted_access(&ans))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("inverted_access_of", sf_milli),
+            &idx,
+            |b, idx| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut scratch = AccessScratch::new();
+                let mut probe = AccessScratch::new();
+                b.iter(|| {
+                    let j = rng.gen_range(0..n);
+                    let ans = idx.access_into(j, &mut scratch).expect("in range");
+                    std::hint::black_box(idx.inverted_access_of(ans, &mut probe))
                 });
             },
         );

@@ -20,8 +20,30 @@ fn bench_enumeration(c: &mut Criterion) {
     group.bench_function("access_based_log_delay", |b| {
         b.iter(|| std::hint::black_box(idx.enumerate().take(k).count()))
     });
+    group.bench_function("access_into_log_delay", |b| {
+        let mut scratch = rae_core::AccessScratch::new();
+        b.iter(|| {
+            let mut emitted = 0usize;
+            for j in 0..(k as rae_core::Weight) {
+                if idx.access_into(j, &mut scratch).is_some() {
+                    emitted += 1;
+                }
+            }
+            std::hint::black_box(emitted)
+        })
+    });
     group.bench_function("cursor_const_delay", |b| {
         b.iter(|| std::hint::black_box(idx.sequential().take(k).count()))
+    });
+    group.bench_function("cursor_const_delay_next_ref", |b| {
+        b.iter(|| {
+            let mut cursor = idx.sequential();
+            let mut emitted = 0usize;
+            while emitted < k && cursor.next_ref().is_some() {
+                emitted += 1;
+            }
+            std::hint::black_box(emitted)
+        })
     });
     group.finish();
 }

@@ -1,0 +1,71 @@
+//! A counting global allocator for verifying the zero-allocation claims.
+//!
+//! Install [`CountingAllocator`] as the `#[global_allocator]` of a test or
+//! binary, then wrap the region of interest in [`count_allocations`]: it
+//! returns how many heap allocations (`alloc` + `realloc`) the closure
+//! performed on the current thread's process-wide counter.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: rae_bench::alloc_counter::CountingAllocator =
+//!     rae_bench::alloc_counter::CountingAllocator;
+//!
+//! let (result, allocs) = rae_bench::alloc_counter::count_allocations(|| {
+//!     index.access_into(7, &mut scratch).map(<[_]>::to_vec)
+//! });
+//! assert_eq!(allocs, 0);
+//! ```
+//!
+//! The counter is process-global (an atomic), so tests using it must run
+//! the measured region single-threaded (`cargo test -- --test-threads=1`,
+//! or measure in a test binary with one test).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `System`-backed allocator that counts every allocation.
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`, only adding relaxed atomic
+// counter updates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Heap allocations performed since process start.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Heap bytes requested since process start.
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns `(f(), allocations performed during f)`.
+///
+/// Only meaningful when [`CountingAllocator`] is installed as the global
+/// allocator and no other thread allocates concurrently.
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocation_count();
+    let result = f();
+    let after = allocation_count();
+    (result, after - before)
+}

@@ -1,0 +1,169 @@
+//! Faithful reconstructions of the *seed implementation's* allocating hot
+//! paths, used as the "before" side of the before/after benchmarks
+//! (`benches/access.rs` and the `bench-json` report).
+//!
+//! The seed's `CqIndex::access` recursed through the join tree allocating a
+//! radix vector and a digit vector at every node plus the answer vector;
+//! its `inverted_access` probed per-node `FxHashMap<Box<[Value]>, u32>`
+//! tables, boxing a fresh key for every probe. Both are reproduced here
+//! over the public accessor API of today's [`CqIndex`], so they read the
+//! same underlying arrays as the optimized paths and differ **only** in
+//! allocation and traversal strategy.
+
+use rae_core::{split_index, CqIndex, Weight};
+use rae_data::{key_of, FxHashMap, RowKey, Value};
+
+/// Seed-style random access: recursive descent, fresh `Vec`s per node.
+pub fn access_seed_style(idx: &CqIndex, j: Weight) -> Option<Vec<Value>> {
+    if j >= idx.count() {
+        return None;
+    }
+    let mut answer = vec![Value::Int(0); idx.arity()];
+    let roots = idx.plan().roots();
+    let radices: Vec<Weight> = roots
+        .iter()
+        .map(|&r| idx.root_bucket(r).expect("non-empty index").total)
+        .collect();
+    let mut digits = Vec::with_capacity(radices.len());
+    split_index(j, &radices, &mut digits);
+    for (&root, &digit) in roots.iter().zip(digits.iter()) {
+        descend(idx, root, root_range(idx, root), digit, &mut answer);
+    }
+    Some(answer)
+}
+
+fn root_range(idx: &CqIndex, root: usize) -> (u32, u32) {
+    let b = idx.root_bucket(root).expect("non-empty index");
+    (b.start, b.end)
+}
+
+fn descend(idx: &CqIndex, node: usize, (start, end): (u32, u32), j: Weight, answer: &mut [Value]) {
+    // Binary search: the last row of the bucket with startIndex ≤ j.
+    let (mut lo, mut hi) = (start, end);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if idx.row_start(node, mid) <= j {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let row = lo - 1;
+    let remainder = j - idx.row_start(node, row);
+    idx.write_row_values(node, row, answer);
+
+    let children = idx.plan().children(node);
+    if children.is_empty() {
+        return;
+    }
+    let radices: Vec<Weight> = (0..children.len())
+        .map(|c| idx.child_bucket(node, row, c).total)
+        .collect();
+    let mut digits = Vec::with_capacity(children.len());
+    split_index(remainder, &radices, &mut digits);
+    for ((c, &child), &digit) in children.iter().enumerate().zip(digits.iter()) {
+        let bucket = idx.child_bucket(node, row, c);
+        descend(idx, child, (bucket.start, bucket.end), digit, answer);
+    }
+}
+
+/// The seed's per-node inverted-access lookup tables: full tuple (boxed
+/// values) → row id, probed by boxing a fresh key per node per call.
+pub struct SeedInvertedAccess<'a> {
+    idx: &'a CqIndex,
+    /// One `Box<[Value]>`-keyed table per node, as the seed built lazily.
+    tables: Vec<FxHashMap<RowKey, u32>>,
+    /// Per node: head position feeding each bag column.
+    head_cols: Vec<Vec<usize>>,
+}
+
+impl<'a> SeedInvertedAccess<'a> {
+    /// Builds the seed-style tables for every node.
+    pub fn new(idx: &'a CqIndex) -> Self {
+        let mut tables = Vec::with_capacity(idx.node_count());
+        let mut head_cols = Vec::with_capacity(idx.node_count());
+        for node in 0..idx.node_count() {
+            let rel = idx.node_relation(node);
+            let table: FxHashMap<RowKey, u32> = rel
+                .rows()
+                .enumerate()
+                .map(|(i, row)| (row.to_vec().into_boxed_slice(), i as u32))
+                .collect();
+            tables.push(table);
+            let bag = idx.plan().bag(node);
+            head_cols.push(
+                bag.iter()
+                    .map(|attr| {
+                        idx.head()
+                            .iter()
+                            .position(|h| h == attr)
+                            .expect("bag attrs are head attrs")
+                    })
+                    .collect(),
+            );
+        }
+        SeedInvertedAccess {
+            idx,
+            tables,
+            head_cols,
+        }
+    }
+
+    /// Seed-style inverted access: recursive, one boxed key per node probe,
+    /// fresh radix/digit vectors per node.
+    pub fn inverted_access(&self, answer: &[Value]) -> Option<Weight> {
+        let idx = self.idx;
+        if answer.len() != idx.arity() || idx.count() == 0 {
+            return None;
+        }
+        let roots = idx.plan().roots();
+        let mut radices = Vec::with_capacity(roots.len());
+        let mut digits = Vec::with_capacity(roots.len());
+        for &root in roots {
+            radices.push(idx.root_bucket(root).expect("non-empty").total);
+            digits.push(self.inv_descend(root, answer)?);
+        }
+        Some(rae_core::combine_index(&radices, &digits))
+    }
+
+    fn inv_descend(&self, node: usize, answer: &[Value]) -> Option<Weight> {
+        let idx = self.idx;
+        let key: RowKey = key_of(answer, &self.head_cols[node]);
+        let &row = self.tables[node].get(&key)?;
+        let children = idx.plan().children(node);
+        if children.is_empty() {
+            return Some(idx.row_start(node, row));
+        }
+        let mut radices = Vec::with_capacity(children.len());
+        let mut digits = Vec::with_capacity(children.len());
+        for (c, &child) in children.iter().enumerate() {
+            radices.push(idx.child_bucket(node, row, c).total);
+            digits.push(self.inv_descend(child, answer)?);
+        }
+        Some(idx.row_start(node, row) + rae_core::combine_index(&radices, &digits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_tpch::{generate, queries, TpchScale};
+
+    #[test]
+    fn seed_style_paths_agree_with_optimized_paths() {
+        let db = generate(&TpchScale::tiny(), 42);
+        let idx = CqIndex::build(&queries::q3(), &db).expect("builds");
+        let inv = SeedInvertedAccess::new(&idx);
+        let n = idx.count();
+        assert!(n > 0);
+        let step = (n / 50).max(1);
+        let mut j = 0;
+        while j < n {
+            let expected = idx.access(j).expect("in range");
+            assert_eq!(access_seed_style(&idx, j).as_deref(), Some(&expected[..]));
+            assert_eq!(inv.inverted_access(&expected), Some(j));
+            j += step;
+        }
+        assert!(access_seed_style(&idx, n).is_none());
+    }
+}

@@ -13,9 +13,15 @@
 //! the paper used sf 5 on a large server. Shapes, not absolute numbers, are
 //! the reproduction target — see EXPERIMENTS.md.
 
+use rae_bench::alloc_counter::CountingAllocator;
 use rae_bench::figures::{ablation, fig1, fig23, fig4, fig5, rs_note};
 use rae_bench::BenchConfig;
 use std::io::Write;
+
+/// Counting allocator so `bench-json` can report exact per-answer
+/// allocation counts (one relaxed atomic increment per alloc; negligible).
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
     let mut cfg = BenchConfig::default();
@@ -64,6 +70,12 @@ fn run_command(command: &str, cfg: &BenchConfig) -> String {
         "fig7" => fig23::fig7(cfg),
         "fig8" => fig1::fig8(cfg),
         "rs-note" => rs_note::rs_note(cfg),
+        "bench-json" => {
+            let json = rae_bench::perf_report::bench_json(cfg);
+            std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+            eprintln!("[repro] wrote BENCH_1.json");
+            json
+        }
         "ablation-delete" => ablation::ablation_delete(cfg),
         "ablation-fold" => ablation::ablation_fold(cfg),
         "ablation-binary" => ablation::ablation_binary(cfg),
@@ -102,7 +114,8 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: repro [--sf <scale>] [--seed <seed>] <command> [<command> ...]\n\
          commands: fig1 fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8\n\
-         \u{20}         rs-note ablation-delete ablation-binary ablation-fold all"
+         \u{20}         rs-note ablation-delete ablation-binary ablation-fold\n\
+         \u{20}         bench-json (writes BENCH_1.json) all"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }

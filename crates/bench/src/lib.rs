@@ -24,8 +24,11 @@
 //! wins, by what factor, where crossovers fall) are the reproduction target.
 //! See EXPERIMENTS.md for paper-vs-measured notes.
 
+pub mod alloc_counter;
+pub mod baseline;
 pub mod delays;
 pub mod figures;
+pub mod perf_report;
 pub mod setup;
 pub mod stats;
 pub mod table;

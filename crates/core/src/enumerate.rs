@@ -15,11 +15,18 @@ use rae_data::Value;
 
 /// A constant-delay cursor over the answers of a [`CqIndex`], in the
 /// index's enumeration order.
+///
+/// [`CqSequential::next_ref`] is the allocation-free lending interface: it
+/// advances the cursor and returns a borrow of an internal answer buffer.
+/// The `Iterator` implementation wraps it, cloning the buffer into an owned
+/// `Vec<Value>` per item for callers that need ownership.
 #[derive(Debug, Clone)]
 pub struct CqSequential<'a> {
     index: &'a CqIndex,
     /// Current row id per node (meaningful only while `state == Running`).
     rows: Vec<u32>,
+    /// Reused answer buffer backing [`CqSequential::next_ref`].
+    answer: Vec<Value>,
     state: State,
     emitted: Weight,
 }
@@ -40,6 +47,7 @@ impl<'a> CqSequential<'a> {
         let mut cursor = CqSequential {
             index,
             rows: vec![0; node_count],
+            answer: vec![Value::Int(0); index.arity()],
             state: State::Done,
             emitted: 0,
         };
@@ -60,11 +68,15 @@ impl<'a> CqSequential<'a> {
 
     /// Sets `node`'s row to `row` and every descendant to the first row of
     /// its matching bucket.
+    ///
+    /// `self.index` is copied to a local first so the recursion can borrow
+    /// the plan's child lists directly (they live as long as the index, not
+    /// as long as `&mut self`) — no `to_vec` on the per-answer path.
     fn reset_subtree(&mut self, node: usize, row: u32) {
+        let index = self.index;
         self.rows[node] = row;
-        let children = self.index.plan().children(node).to_vec();
-        for (child_pos, child) in children.into_iter().enumerate() {
-            let bucket = self.index.child_bucket(node, row, child_pos);
+        for (child_pos, &child) in index.plan().children(node).iter().enumerate() {
+            let bucket = index.child_bucket(node, row, child_pos);
             self.reset_subtree(child, bucket.start);
         }
     }
@@ -74,14 +86,15 @@ impl<'a> CqSequential<'a> {
     fn advance_subtree(&mut self, node: usize, bucket_start: u32, bucket_end: u32) -> bool {
         // Children are digits with the last child least significant
         // (Algorithm 3's SplitIndex convention).
-        let children = self.index.plan().children(node).to_vec();
+        let index = self.index;
+        let children = index.plan().children(node);
         let row = self.rows[node];
         for (child_pos, &child) in children.iter().enumerate().rev() {
-            let bucket = self.index.child_bucket(node, row, child_pos);
+            let bucket = index.child_bucket(node, row, child_pos);
             if self.advance_subtree(child, bucket.start, bucket.end) {
                 // Everything after `child` already wrapped; reset it.
                 for (later_pos, &later) in children.iter().enumerate().skip(child_pos + 1) {
-                    let later_bucket = self.index.child_bucket(node, row, later_pos);
+                    let later_bucket = index.child_bucket(node, row, later_pos);
                     self.reset_subtree(later, later_bucket.start);
                 }
                 return true;
@@ -99,12 +112,13 @@ impl<'a> CqSequential<'a> {
 
     /// Advances to the next answer; returns `false` when exhausted.
     fn advance(&mut self) -> bool {
-        let roots = self.index.plan().roots().to_vec();
+        let index = self.index;
+        let roots = index.plan().roots();
         for (pos, &root) in roots.iter().enumerate().rev() {
-            let bucket = self.index.root_bucket(root).expect("non-empty index");
+            let bucket = index.root_bucket(root).expect("non-empty index");
             if self.advance_subtree(root, bucket.start, bucket.end) {
                 for &later in roots.iter().skip(pos + 1) {
-                    let later_bucket = self.index.root_bucket(later).expect("non-empty");
+                    let later_bucket = index.root_bucket(later).expect("non-empty");
                     self.reset_subtree(later, later_bucket.start);
                 }
                 return true;
@@ -113,13 +127,38 @@ impl<'a> CqSequential<'a> {
         false
     }
 
-    fn current_answer(&self) -> Vec<Value> {
-        let mut answer = vec![Value::Int(0); self.index.arity()];
+    fn fill_answer(&mut self) {
         for node in 0..self.index.node_count() {
             self.index
-                .write_row_values(node, self.rows[node], &mut answer);
+                .write_row_values(node, self.rows[node], &mut self.answer);
         }
-        answer
+    }
+
+    /// Advances to the next answer and returns a borrow of it, or `None`
+    /// when exhausted — the constant-delay, zero-allocation interface.
+    ///
+    /// The returned slice is valid until the next call; clone it (or use the
+    /// `Iterator` impl) to keep answers.
+    pub fn next_ref(&mut self) -> Option<&[Value]> {
+        match self.state {
+            State::Done => None,
+            State::Fresh => {
+                self.state = State::Running;
+                self.emitted += 1;
+                self.fill_answer();
+                Some(&self.answer)
+            }
+            State::Running => {
+                if self.advance() {
+                    self.emitted += 1;
+                    self.fill_answer();
+                    Some(&self.answer)
+                } else {
+                    self.state = State::Done;
+                    None
+                }
+            }
+        }
     }
 }
 
@@ -127,23 +166,7 @@ impl Iterator for CqSequential<'_> {
     type Item = Vec<Value>;
 
     fn next(&mut self) -> Option<Vec<Value>> {
-        match self.state {
-            State::Done => None,
-            State::Fresh => {
-                self.state = State::Running;
-                self.emitted += 1;
-                Some(self.current_answer())
-            }
-            State::Running => {
-                if self.advance() {
-                    self.emitted += 1;
-                    Some(self.current_answer())
-                } else {
-                    self.state = State::Done;
-                    None
-                }
-            }
-        }
+        self.next_ref().map(<[Value]>::to_vec)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -27,6 +27,15 @@ pub enum CoreError {
     },
     /// A head attribute is not covered by any plan bag.
     UncoveredHeadAttribute(String),
+    /// A structural count (row ids, bucket ids) exceeded the `u32` id space
+    /// the index uses; relations beyond ~4.29 billion rows per node are not
+    /// supported by this layout.
+    CapacityExceeded {
+        /// What overflowed ("rows", "buckets", …).
+        what: &'static str,
+        /// The observed count.
+        count: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +57,10 @@ impl fmt::Display for CoreError {
             CoreError::UncoveredHeadAttribute(a) => {
                 write!(f, "head attribute {a} is not covered by any join-tree bag")
             }
+            CoreError::CapacityExceeded { what, count } => write!(
+                f,
+                "index capacity exceeded: {count} {what} do not fit the u32 id space"
+            ),
         }
     }
 }

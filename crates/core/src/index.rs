@@ -25,9 +25,10 @@
 
 use crate::error::CoreError;
 use crate::renum_cq::CqShuffle;
-use crate::weight::{checked_product, combine_index, split_index, Weight};
+use crate::scratch::AccessScratch;
+use crate::weight::{checked_product, split_index, Weight};
 use crate::Result;
-use rae_data::{key_of, Database, FxHashMap, Relation, RowKey, Symbol, Value};
+use rae_data::{dict, CodeKeyMap, Database, Relation, Symbol, Value, ValueCode};
 use rae_query::{ConjunctiveQuery, TreePlan};
 use rae_yannakakis::{
     full_reduce, reduce_to_full_acyclic, reduce_to_full_acyclic_with, FullAcyclicJoin,
@@ -50,6 +51,52 @@ pub struct BucketView {
     pub max_weight: Weight,
 }
 
+/// Per-row `startIndex` storage (Algorithm 2). Compact `u64` whenever every
+/// start fits (always, short of more than 2^64 answers below one bucket) —
+/// half the cache traffic per binary-search probe and no duplicated wide
+/// vector; the `u128` layout is kept only as the overflow fallback.
+#[derive(Debug)]
+enum StartIndex {
+    Compact(Vec<u64>),
+    Wide(Vec<Weight>),
+}
+
+impl StartIndex {
+    fn from_weights(starts: Vec<Weight>) -> Self {
+        match starts
+            .iter()
+            .map(|&s| u64::try_from(s).ok())
+            .collect::<Option<Vec<u64>>>()
+        {
+            Some(compact) => StartIndex::Compact(compact),
+            None => StartIndex::Wide(starts),
+        }
+    }
+
+    /// The startIndex of row `i`.
+    #[inline]
+    fn at(&self, i: usize) -> Weight {
+        match self {
+            StartIndex::Compact(v) => Weight::from(v[i]),
+            StartIndex::Wide(v) => v[i],
+        }
+    }
+
+    /// Number of rows in `[start, end)` whose startIndex is ≤ `j` (the
+    /// access binary search).
+    #[inline]
+    fn rank_leq(&self, start: usize, end: usize, j: Weight) -> usize {
+        match self {
+            StartIndex::Compact(v) => match u64::try_from(j) {
+                Ok(j64) => v[start..end].partition_point(|&s| s <= j64),
+                // Every compact start fits u64 < j: all rows qualify.
+                Err(_) => end - start,
+            },
+            StartIndex::Wide(v) => v[start..end].partition_point(|&s| s <= j),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct NodeIndex {
     rel: Relation,
@@ -58,35 +105,32 @@ struct NodeIndex {
     /// Per-row subtree answer count (Algorithm 2's `w(t)`), always ≥ 1.
     weights: Vec<Weight>,
     /// Per-row start index within its bucket (Algorithm 2's `startIndex`).
-    starts: Vec<Weight>,
+    starts: StartIndex,
     buckets: Vec<BucketView>,
-    /// `pAtts` key → bucket id.
-    bucket_by_key: FxHashMap<RowKey, u32>,
+    /// `pAtts` key (dictionary codes) → bucket id; probed with borrowed
+    /// code slices, so no key is ever materialized on the lookup path.
+    bucket_by_key: CodeKeyMap,
     /// Bucket id of each row.
     bucket_of_row: Vec<u32>,
     /// `child_buckets[c][row]`: bucket id in child `c` matched by `row`.
     child_buckets: Vec<Vec<u32>>,
     /// For each bag column, the head position it feeds.
     bag_to_head: Vec<usize>,
-    /// Lazily built full-tuple → row id lookup (Algorithm 4, line 4). The
-    /// paper's implementation also builds this index only when inverted
+    /// Lazily built full-tuple-codes → row id lookup (Algorithm 4, line 4).
+    /// The paper's implementation also builds this index only when inverted
     /// access is actually needed (Section 6.1).
-    row_by_tuple: OnceLock<FxHashMap<RowKey, u32>>,
+    row_by_tuple: OnceLock<CodeKeyMap>,
 }
 
 impl NodeIndex {
-    fn row_lookup(&self) -> &FxHashMap<RowKey, u32> {
+    fn row_lookup(&self) -> &CodeKeyMap {
         self.row_by_tuple.get_or_init(|| {
-            self.rel
-                .rows()
-                .enumerate()
-                .map(|(i, row)| {
-                    (
-                        row.to_vec().into_boxed_slice(),
-                        u32::try_from(i).expect("row ids fit in u32"),
-                    )
-                })
-                .collect()
+            // Row count was validated against u32 in `from_parts`.
+            let mut map = CodeKeyMap::with_capacity(self.rel.arity(), self.rel.len());
+            for i in 0..self.rel.len() {
+                map.insert(self.rel.row_codes(i), i as u32);
+            }
+            map
         })
     }
 }
@@ -207,18 +251,28 @@ impl CqIndex {
                 .collect();
 
             let row_count = rel.len();
+            // Row and bucket ids are u32; oversized relations are a
+            // recoverable error, not a panic.
+            if u32::try_from(row_count).is_err() {
+                return Err(CoreError::CapacityExceeded {
+                    what: "rows",
+                    count: row_count,
+                });
+            }
+            let mut key_buf: Vec<ValueCode> = Vec::new();
             let mut weights: Vec<Weight> = Vec::with_capacity(row_count);
             let mut child_buckets: Vec<Vec<u32>> =
                 vec![Vec::with_capacity(row_count); children.len()];
             for row_id in 0..row_count {
-                let row = rel.row(row_id);
+                let row_codes = rel.row_codes(row_id);
                 let mut w: Weight = 1;
                 for (c, &child) in children.iter().enumerate() {
                     let child_node = nodes[child].as_ref().expect("children built first");
-                    let key = key_of(row, &probe_cols[c]);
-                    let bucket_id = *child_node
+                    key_buf.clear();
+                    key_buf.extend(probe_cols[c].iter().map(|&cc| row_codes[cc]));
+                    let bucket_id = child_node
                         .bucket_by_key
-                        .get(&key)
+                        .get(&key_buf)
                         .expect("full reduction guarantees matching child buckets");
                     child_buckets[c].push(bucket_id);
                     let bucket_total = child_node.buckets[bucket_id as usize].total;
@@ -230,19 +284,26 @@ impl CqIndex {
                 weights.push(w);
             }
 
-            // Buckets: contiguous runs of equal pAtts keys.
+            // Buckets: contiguous runs of equal pAtts keys (compared on
+            // dictionary codes — equal codes ⟺ equal values).
             let mut starts: Vec<Weight> = vec![0; row_count];
             let mut buckets: Vec<BucketView> = Vec::new();
-            let mut bucket_by_key: FxHashMap<RowKey, u32> = FxHashMap::default();
+            let mut bucket_by_key = CodeKeyMap::with_capacity(key_cols.len(), 16);
             let mut bucket_of_row: Vec<u32> = vec![0; row_count];
             let mut row_id = 0usize;
             while row_id < row_count {
-                let bucket_key = key_of(rel.row(row_id), &key_cols);
-                let bucket_id = u32::try_from(buckets.len()).expect("bucket ids fit in u32");
+                let bucket_id =
+                    u32::try_from(buckets.len()).map_err(|_| CoreError::CapacityExceeded {
+                        what: "buckets",
+                        count: buckets.len(),
+                    })?;
                 let start = row_id;
                 let mut running: Weight = 0;
                 let mut max_weight: Weight = 0;
-                while row_id < row_count && key_of(rel.row(row_id), &key_cols) == bucket_key {
+                while row_id < row_count && {
+                    let (cur, first) = (rel.row_codes(row_id), rel.row_codes(start));
+                    key_cols.iter().all(|&c| cur[c] == first[c])
+                } {
                     starts[row_id] = running;
                     running = running
                         .checked_add(weights[row_id])
@@ -252,12 +313,14 @@ impl CqIndex {
                     row_id += 1;
                 }
                 buckets.push(BucketView {
-                    start: u32::try_from(start).expect("row ids fit in u32"),
-                    end: u32::try_from(row_id).expect("row ids fit in u32"),
+                    start: start as u32,
+                    end: row_id as u32,
                     total: running,
                     max_weight,
                 });
-                bucket_by_key.insert(bucket_key, bucket_id);
+                key_buf.clear();
+                key_buf.extend(key_cols.iter().map(|&c| rel.row_codes(start)[c]));
+                bucket_by_key.insert(&key_buf, bucket_id);
             }
 
             let bag_to_head: Vec<usize> = plan
@@ -274,7 +337,7 @@ impl CqIndex {
                 rel,
                 key_cols,
                 weights,
-                starts,
+                starts: StartIndex::from_weights(starts),
                 buckets,
                 bucket_by_key,
                 bucket_of_row,
@@ -349,98 +412,142 @@ impl CqIndex {
 
     /// Algorithm 3: the `j`-th answer (0-based) of the enumeration order, or
     /// `None` if `j ≥ count()`.
+    ///
+    /// Thin allocating wrapper over [`CqIndex::access_into`] (fresh scratch
+    /// plus an owned result per call). Steady-state callers should hold an
+    /// [`AccessScratch`] and use `access_into` directly: it performs zero
+    /// heap allocations per answer.
     pub fn access(&self, j: Weight) -> Option<Vec<Value>> {
+        let mut scratch = AccessScratch::new();
+        self.access_into(j, &mut scratch).map(<[Value]>::to_vec)
+    }
+
+    /// Algorithm 3 without allocation: writes the `j`-th answer into
+    /// `scratch` and returns a borrow of it, or `None` if `j ≥ count()`.
+    ///
+    /// The recursive descent of the paper is run as an explicit work-stack
+    /// walk over `scratch`; all buffers (answer, stack, digit vector) are
+    /// reused across calls, so after the first call on a given shape the
+    /// routine allocates nothing.
+    pub fn access_into<'s>(
+        &self,
+        j: Weight,
+        scratch: &'s mut AccessScratch,
+    ) -> Option<&'s [Value]> {
         if j >= self.total {
             return None;
         }
-        let mut answer = vec![Value::Int(0); self.head.len()];
-        let mut digits = Vec::with_capacity(self.root_totals.len());
-        split_index(j, &self.root_totals, &mut digits);
-        for (&root, &digit) in self.plan.roots().iter().zip(digits.iter()) {
-            self.descend(root, 0, digit, &mut answer);
+        scratch.reset_answer(self.head.len());
+        scratch.stack.clear();
+        let roots = self.plan.roots();
+        if let [root] = roots {
+            // Single root (the common case): the whole index is its digit.
+            scratch.stack.push((*root as u32, 0, j));
+        } else {
+            split_index(j, &self.root_totals, &mut scratch.digits);
+            for (&root, &digit) in roots.iter().zip(scratch.digits.iter()) {
+                scratch.stack.push((root as u32, 0, digit));
+            }
         }
-        Some(answer)
-    }
+        while let Some((node, bucket_id, sub_index)) = scratch.stack.pop() {
+            let nd = &self.nodes[node as usize];
+            let bucket = &nd.buckets[bucket_id as usize];
+            debug_assert!(sub_index < bucket.total);
+            // Binary search: the last row of the bucket with startIndex ≤ j,
+            // over the compact u64 layout whenever starts fit.
+            let offset = nd
+                .starts
+                .rank_leq(bucket.start as usize, bucket.end as usize, sub_index);
+            let row_id = bucket.start as usize + offset - 1;
+            let mut remainder = sub_index - nd.starts.at(row_id);
+            debug_assert!(remainder < nd.weights[row_id]);
 
-    fn descend(&self, node: usize, bucket_id: u32, j: Weight, answer: &mut [Value]) {
-        let nd = &self.nodes[node];
-        let bucket = &nd.buckets[bucket_id as usize];
-        debug_assert!(j < bucket.total);
-        // Binary search: the last row of the bucket with startIndex ≤ j.
-        let slice = &nd.starts[bucket.start as usize..bucket.end as usize];
-        let offset = slice.partition_point(|&s| s <= j);
-        let row_id = bucket.start as usize + offset - 1;
-        let remainder = j - nd.starts[row_id];
-        debug_assert!(remainder < nd.weights[row_id]);
+            let row = nd.rel.row(row_id);
+            for (&head_pos, value) in nd.bag_to_head.iter().zip(row) {
+                scratch.answer[head_pos].clone_from(value);
+            }
 
-        let row = nd.rel.row(row_id);
-        for (col, &head_pos) in nd.bag_to_head.iter().enumerate() {
-            answer[head_pos] = row[col].clone();
-        }
-
-        let children = self.plan.children(node);
-        if children.is_empty() {
-            debug_assert_eq!(remainder, 0);
-            return;
-        }
-        let radices: Vec<Weight> = children
-            .iter()
-            .enumerate()
-            .map(|(c, &child)| {
+            // SplitIndex inline: children are mixed-radix digits with the
+            // last child least significant, so peeling digits in reverse
+            // child order needs no radix/digit vectors at all.
+            let children = self.plan.children(node as usize);
+            for (c, &child) in children.iter().enumerate().rev() {
                 let child_bucket = nd.child_buckets[c][row_id];
-                self.nodes[child].buckets[child_bucket as usize].total
-            })
-            .collect();
-        let mut digits = Vec::with_capacity(children.len());
-        split_index(remainder, &radices, &mut digits);
-        for ((c, &child), &digit) in children.iter().enumerate().zip(digits.iter()) {
-            self.descend(child, nd.child_buckets[c][row_id], digit, answer);
+                let radix = self.nodes[child].buckets[child_bucket as usize].total;
+                debug_assert!(radix > 0, "zero-weight bucket reached during access");
+                scratch
+                    .stack
+                    .push((child as u32, child_bucket, remainder % radix));
+                remainder /= radix;
+            }
+            debug_assert_eq!(remainder, 0, "index exceeded the subtree weight");
         }
+        Some(&scratch.answer)
     }
 
     /// Algorithm 4: the position of `answer` in the enumeration order, or
     /// `None` if it is not an answer ("not-a-member").
     ///
-    /// The per-node tuple lookup tables are built lazily on first use (as in
+    /// Thin allocating wrapper over [`CqIndex::inverted_access_of`]. The
+    /// per-node tuple lookup tables are built lazily on first use (as in
     /// the paper's implementation); see [`CqIndex::prepare_inverted_access`].
     pub fn inverted_access(&self, answer: &[Value]) -> Option<Weight> {
+        let mut scratch = AccessScratch::new();
+        self.inverted_access_of(answer, &mut scratch)
+    }
+
+    /// Algorithm 4 without allocation: resolves the position of `answer`
+    /// using the buffers in `scratch`.
+    ///
+    /// The answer is first translated to dictionary codes (a value the
+    /// dictionary has never seen is definitively not an answer), then each
+    /// node resolves its row by an allocation-free [`CodeKeyMap`] probe.
+    /// Nodes are processed leaf-to-root so every node's mixed-radix digit is
+    /// available when its parent combines them — no recursion, no per-node
+    /// vectors.
+    pub fn inverted_access_of(
+        &self,
+        answer: &[Value],
+        scratch: &mut AccessScratch,
+    ) -> Option<Weight> {
         if answer.len() != self.head.len() || self.total == 0 {
             return None;
         }
-        let mut digits = Vec::with_capacity(self.plan.roots().len());
-        for &root in self.plan.roots() {
-            digits.push(self.inv_descend(root, answer)?);
+        scratch.answer_codes.clear();
+        // One reader-lock acquisition for the whole tuple.
+        if !dict::codes_of(answer, &mut scratch.answer_codes) {
+            return None;
         }
-        Some(combine_index(&self.root_totals, &digits))
-    }
-
-    fn inv_descend(&self, node: usize, answer: &[Value]) -> Option<Weight> {
-        let nd = &self.nodes[node];
-        let key: RowKey = nd
-            .bag_to_head
-            .iter()
-            .map(|&head_pos| answer[head_pos].clone())
-            .collect();
-        let &row_id = nd.row_lookup().get(&key)?;
-        let row_id = row_id as usize;
-
-        let children = self.plan.children(node);
-        if children.is_empty() {
-            return Some(nd.starts[row_id]);
+        scratch.node_digits.clear();
+        scratch.node_digits.resize(self.nodes.len(), 0);
+        for &node in self.plan.leaf_to_root() {
+            let nd = &self.nodes[node];
+            scratch.key_codes.clear();
+            for &head_pos in &nd.bag_to_head {
+                scratch.key_codes.push(scratch.answer_codes[head_pos]);
+            }
+            let row_id = nd.row_lookup().get(&scratch.key_codes)? as usize;
+            // CombineIndex inline over the children's digits (children were
+            // all processed earlier in leaf-to-root order). The child's
+            // matched row lives in the bucket this row points at whenever
+            // `answer` is consistent, which the per-node lookups guarantee.
+            let mut digit: Weight = 0;
+            for (c, &child) in self.plan.children(node).iter().enumerate() {
+                let child_bucket = nd.child_buckets[c][row_id];
+                let radix = self.nodes[child].buckets[child_bucket as usize].total;
+                let child_digit = scratch.node_digits[child];
+                debug_assert!(child_digit < radix);
+                digit = digit * radix + child_digit;
+            }
+            scratch.node_digits[node] = nd.starts.at(row_id) + digit;
         }
-        let mut radices = Vec::with_capacity(children.len());
-        let mut digits = Vec::with_capacity(children.len());
-        for (c, &child) in children.iter().enumerate() {
-            let child_bucket = nd.child_buckets[c][row_id];
-            radices.push(self.nodes[child].buckets[child_bucket as usize].total);
-            let digit = self.inv_descend(child, answer)?;
-            // The child's matched row must live in the bucket this row
-            // points at; holds whenever `answer` is consistent, which the
-            // per-node lookups already guarantee.
-            debug_assert!(digit < *radices.last().expect("just pushed"));
-            digits.push(digit);
+        let mut index: Weight = 0;
+        for (&root, &total) in self.plan.roots().iter().zip(self.root_totals.iter()) {
+            let digit = scratch.node_digits[root];
+            debug_assert!(digit < total);
+            index = index * total + digit;
         }
-        Some(nd.starts[row_id] + combine_index(&radices, &digits))
+        Some(index)
     }
 
     /// Whether `answer` is an answer (membership test via inverted access).
@@ -547,7 +654,7 @@ impl CqIndex {
 
     /// The startIndex of `row` within its bucket (Algorithm 2).
     pub fn row_start(&self, node: usize, row: u32) -> Weight {
-        self.nodes[node].starts[row as usize]
+        self.nodes[node].starts.at(row as usize)
     }
 }
 
@@ -644,7 +751,7 @@ mod tests {
         let root = idx.plan().roots()[0];
         let weights: Vec<Weight> = (0..4).map(|r| idx.row_weight(root, r)).collect();
         assert_eq!(weights, vec![6, 2, 6, 2]);
-        let starts: Vec<Weight> = (0..4).map(|r| idx.nodes[root].starts[r as usize]).collect();
+        let starts: Vec<Weight> = (0..4).map(|r| idx.row_start(root, r)).collect();
         assert_eq!(starts, vec![0, 6, 8, 14]);
     }
 
@@ -663,12 +770,10 @@ mod tests {
         let empty = CqIndex::build(&cq, &db).unwrap();
         assert_eq!(empty.count_via_access(), 0);
         // Singleton.
-        db.set_relation(
-            "R",
-            rel_int(&["a", "b"], &[&[1, 2]]),
-        );
+        db.set_relation("R", rel_int(&["a", "b"], &[&[1, 2]]));
         let mut db1 = Database::new();
-        db1.add_relation("R", rel_int(&["a", "b"], &[&[1, 2]])).unwrap();
+        db1.add_relation("R", rel_int(&["a", "b"], &[&[1, 2]]))
+            .unwrap();
         let one = CqIndex::build(&cq, &db1).unwrap();
         assert_eq!(one.count_via_access(), 1);
     }

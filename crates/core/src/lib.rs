@@ -29,6 +29,7 @@ pub mod index;
 pub mod mcucq;
 pub mod renum_cq;
 pub mod renum_ucq;
+pub mod scratch;
 pub mod shuffle;
 pub mod weight;
 
@@ -39,6 +40,7 @@ pub use index::{BucketView, CqIndex};
 pub use mcucq::{McUcqIndex, McUcqShuffle, RankStrategy};
 pub use renum_cq::CqShuffle;
 pub use renum_ucq::{UcqEvent, UcqShuffle};
+pub use scratch::AccessScratch;
 pub use shuffle::LazyShuffle;
 pub use weight::{combine_index, split_index, Weight};
 

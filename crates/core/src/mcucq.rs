@@ -22,6 +22,7 @@
 
 use crate::error::CoreError;
 use crate::index::CqIndex;
+use crate::scratch::AccessScratch;
 use crate::shuffle::LazyShuffle;
 use crate::weight::Weight;
 use crate::Result;
@@ -191,46 +192,72 @@ impl McUcqIndex {
     /// Algorithm 7 (iterated): the `j`-th answer of the union's
     /// Durand–Strozecki enumeration order, or `None` when `j ≥ count()`.
     pub fn access(&self, j: Weight) -> Option<Vec<Value>> {
+        let mut scratch = McScratch::default();
+        self.access_with(j, &mut scratch)
+    }
+
+    /// [`McUcqIndex::access`] reusing caller-held scratch buffers: the
+    /// access/inverted-access sub-calls of Algorithms 7–8 all run through
+    /// the two scratches, so only the returned answer is allocated.
+    pub(crate) fn access_with(&self, j: Weight, scratch: &mut McScratch) -> Option<Vec<Value>> {
         if j >= self.count() {
             return None;
         }
-        Some(self.access_level(0, j))
+        Some(self.access_level(0, j, scratch))
     }
 
-    fn access_level(&self, l: usize, j: Weight) -> Vec<Value> {
+    fn access_level(&self, l: usize, j: Weight, scratch: &mut McScratch) -> Vec<Value> {
         let a = self.member(l);
         if l == self.m - 1 {
-            return a.access(j).expect("index in range by invariant");
+            return a
+                .access_into(j, &mut scratch.access)
+                .expect("index in range by invariant")
+                .to_vec();
         }
         let a_count = a.count();
         if j < a_count {
-            let answer = a.access(j).expect("j < |A|");
-            if !self.in_suffix(l + 1, &answer) {
-                return answer;
+            let answer = a.access_into(j, &mut scratch.access).expect("j < |A|");
+            if !Self::in_suffix_of(&self.structs, self.m, l + 1, answer, &mut scratch.probe) {
+                return answer.to_vec();
             }
             // Algorithm 8: k = |{a_0..a_j} ∩ B| ≥ 1; emit b_{k-1}.
-            let k = self.rank_in_suffix_union(l, j);
+            let k = self.rank_in_suffix_union(l, j, scratch);
             debug_assert!(k >= 1);
-            self.access_level(l + 1, k - 1)
+            self.access_level(l + 1, k - 1, scratch)
         } else {
-            self.access_level(l + 1, j - a_count + self.cap_ab[l])
+            self.access_level(l + 1, j - a_count + self.cap_ab[l], scratch)
         }
     }
 
     /// Membership of `answer` in `S_from ∪ … ∪ S_{m-1}`.
-    fn in_suffix(&self, from: usize, answer: &[Value]) -> bool {
-        (from..self.m).any(|i| self.member(i).contains(answer))
+    ///
+    /// An associated function (not a method) so callers can hold `answer`
+    /// borrowed from one scratch while probing with the other.
+    fn in_suffix_of(
+        structs: &[Option<CqIndex>],
+        m: usize,
+        from: usize,
+        answer: &[Value],
+        probe: &mut AccessScratch,
+    ) -> bool {
+        (from..m).any(|i| {
+            structs[1 << i]
+                .as_ref()
+                .expect("member built")
+                .inverted_access_of(answer, probe)
+                .is_some()
+        })
     }
 
     /// `|{a_0, …, a_j} ∩ (S_{l+1} ∪ …)|` by inclusion–exclusion over the
     /// intersection indexes (Algorithm 8).
-    fn rank_in_suffix_union(&self, l: usize, j: Weight) -> Weight {
+    fn rank_in_suffix_union(&self, l: usize, j: Weight, scratch: &mut McScratch) -> Weight {
         let suffix_mask = (((1usize << self.m) - 1) >> (l + 1)) << (l + 1);
         let (mut plus, mut minus) = (0 as Weight, 0 as Weight);
         let mut sub = suffix_mask;
         while sub != 0 {
             let t = self.structs[sub | (1 << l)].as_ref().expect("built");
-            let r = self.rank_leq(t, l, j);
+            let r = self.rank_leq(t, l, j, scratch);
             if sub.count_ones() % 2 == 1 {
                 plus += r;
             } else {
@@ -244,16 +271,16 @@ impl McUcqIndex {
     /// Number of elements of `t` whose rank in `S_l`'s enumeration order is
     /// at most `j` — the proof of Theorem 5.5's `Largest` + `InvAcc`, fused
     /// into one binary search over `t`'s positions (O(log²) time).
-    fn rank_leq(&self, t: &CqIndex, l: usize, j: Weight) -> Weight {
+    fn rank_leq(&self, t: &CqIndex, l: usize, j: Weight, scratch: &mut McScratch) -> Weight {
         let a = self.member(l);
         match self.rank_strategy {
             RankStrategy::BinarySearch => {
                 let (mut lo, mut hi) = (0 as Weight, t.count());
                 while lo < hi {
                     let mid = lo + (hi - lo) / 2;
-                    let x = t.access(mid).expect("mid < |T|");
+                    let x = t.access_into(mid, &mut scratch.access).expect("mid < |T|");
                     let rank_in_a = a
-                        .inverted_access(&x)
+                        .inverted_access_of(x, &mut scratch.probe)
                         .expect("T ⊆ S_l with a compatible order");
                     if rank_in_a <= j {
                         lo = mid + 1;
@@ -268,9 +295,9 @@ impl McUcqIndex {
                 // so the first element beyond rank j ends the scan.
                 let mut rank = 0 as Weight;
                 for pos in 0..t.count() {
-                    let x = t.access(pos).expect("pos < |T|");
+                    let x = t.access_into(pos, &mut scratch.access).expect("pos < |T|");
                     let rank_in_a = a
-                        .inverted_access(&x)
+                        .inverted_access_of(x, &mut scratch.probe)
                         .expect("T ⊆ S_l with a compatible order");
                     if rank_in_a <= j {
                         rank += 1;
@@ -294,8 +321,18 @@ impl McUcqIndex {
         McUcqShuffle {
             index: self,
             shuffle: LazyShuffle::new(self.count(), rng),
+            scratch: McScratch::default(),
         }
     }
+}
+
+/// The scratch pair threaded through the Algorithm 7/8 walk: one buffer set
+/// for access descents, one for inverted-access probes (an answer borrowed
+/// from the first stays valid while the second probes).
+#[derive(Debug, Default)]
+pub(crate) struct McScratch {
+    access: AccessScratch,
+    probe: AccessScratch,
 }
 
 /// Random-order enumeration over an [`McUcqIndex`].
@@ -303,6 +340,7 @@ impl McUcqIndex {
 pub struct McUcqShuffle<'a, R: Rng> {
     index: &'a McUcqIndex,
     shuffle: LazyShuffle<R>,
+    scratch: McScratch,
 }
 
 impl<R: Rng> McUcqShuffle<'_, R> {
@@ -316,9 +354,12 @@ impl<R: Rng> Iterator for McUcqShuffle<'_, R> {
     type Item = Vec<Value>;
 
     fn next(&mut self) -> Option<Vec<Value>> {
-        self.shuffle
-            .next()
-            .map(|j| self.index.access(j).expect("in range"))
+        let j = self.shuffle.next()?;
+        Some(
+            self.index
+                .access_with(j, &mut self.scratch)
+                .expect("in range"),
+        )
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -5,6 +5,7 @@
 //! permutation of the answers.
 
 use crate::index::CqIndex;
+use crate::scratch::AccessScratch;
 use crate::shuffle::LazyShuffle;
 use crate::weight::Weight;
 use rae_data::Value;
@@ -12,10 +13,15 @@ use rand::Rng;
 
 /// An iterator emitting every answer of a [`CqIndex`] exactly once, in
 /// uniformly random order.
+///
+/// Internally reuses one [`AccessScratch`] across all accesses, so the only
+/// allocation per emitted answer is the owned `Vec<Value>` the iterator
+/// yields. [`CqShuffle::next_ref`] avoids even that.
 #[derive(Debug)]
 pub struct CqShuffle<'a, R: Rng> {
     index: &'a CqIndex,
     shuffle: LazyShuffle<R>,
+    scratch: AccessScratch,
 }
 
 impl<'a, R: Rng> CqShuffle<'a, R> {
@@ -24,6 +30,7 @@ impl<'a, R: Rng> CqShuffle<'a, R> {
         CqShuffle {
             index,
             shuffle: LazyShuffle::new(index.count(), rng),
+            scratch: AccessScratch::new(),
         }
     }
 
@@ -31,15 +38,25 @@ impl<'a, R: Rng> CqShuffle<'a, R> {
     pub fn remaining(&self) -> Weight {
         self.shuffle.remaining()
     }
+
+    /// Advances to the next answer of the permutation and returns a borrow
+    /// of it — the zero-allocation interface (amortized; the lazy shuffle's
+    /// sparse map still grows by O(1) entries per step).
+    pub fn next_ref(&mut self) -> Option<&[Value]> {
+        let j = self.shuffle.next()?;
+        Some(
+            self.index
+                .access_into(j, &mut self.scratch)
+                .expect("shuffle stays in range"),
+        )
+    }
 }
 
 impl<R: Rng> Iterator for CqShuffle<'_, R> {
     type Item = Vec<Value>;
 
     fn next(&mut self) -> Option<Vec<Value>> {
-        self.shuffle
-            .next()
-            .map(|j| self.index.access(j).expect("shuffle stays in range"))
+        self.next_ref().map(<[Value]>::to_vec)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

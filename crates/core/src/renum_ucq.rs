@@ -12,6 +12,7 @@
 
 use crate::delset::DeletableSet;
 use crate::index::CqIndex;
+use crate::scratch::AccessScratch;
 use crate::weight::Weight;
 use crate::Result;
 use rae_data::{Database, Value};
@@ -44,6 +45,13 @@ pub struct UcqShuffle<R: Rng> {
     /// at most once" amortization off — kept as an ablation knob for the
     /// benchmark harness; always `true` in normal use.
     delete_on_rejection: bool,
+    /// Scratch for producing the sampled element (holds the element between
+    /// access and emission).
+    element_scratch: AccessScratch,
+    /// Scratch for the providers' inverted-access probes.
+    probe_scratch: AccessScratch,
+    /// Reused provider list `(member, index-in-member)`.
+    providers: Vec<(usize, Weight)>,
 }
 
 #[derive(Debug)]
@@ -82,6 +90,9 @@ impl<R: Rng> UcqShuffle<R> {
             rejections: 0,
             emitted: 0,
             delete_on_rejection: true,
+            element_scratch: AccessScratch::new(),
+            probe_scratch: AccessScratch::new(),
+            providers: Vec::new(),
         }
     }
 
@@ -132,33 +143,39 @@ impl<R: Rng> UcqShuffle<R> {
             pick -= c;
         }
 
-        // Line 3: sample an element of the chosen member uniformly.
+        // Line 3: sample an element of the chosen member uniformly. The
+        // element lives in `element_scratch` — rejected iterations never
+        // materialize an owned answer.
         let chosen_idx = self.members[chosen]
             .set
             .sample(&mut self.rng)
             .expect("chosen member is non-empty");
-        let element = self.members[chosen]
+        self.members[chosen]
             .index
-            .access(chosen_idx)
+            .access_into(chosen_idx, &mut self.element_scratch)
             .expect("sampled index is in range");
 
         // Line 4: providers — members that still contain the element.
-        let mut providers: Vec<(usize, Weight)> = Vec::with_capacity(self.members.len());
+        self.providers.clear();
         for (i, m) in self.members.iter().enumerate() {
-            if let Some(idx) = m.index.inverted_access(&element) {
+            if let Some(idx) = m
+                .index
+                .inverted_access_of(self.element_scratch.answer(), &mut self.probe_scratch)
+            {
                 if m.set.contains(idx) {
-                    providers.push((i, idx));
+                    self.providers.push((i, idx));
                 }
             }
         }
-        debug_assert!(providers.iter().any(|&(i, _)| i == chosen));
+        debug_assert!(self.providers.iter().any(|&(i, _)| i == chosen));
 
         // Line 5: the owner is the provider with the minimum index.
-        let &(owner, owner_idx) = providers.first().expect("chosen is a provider");
+        let &(owner, owner_idx) = self.providers.first().expect("chosen is a provider");
 
         // Lines 6–7: delete from all non-owners.
         if self.delete_on_rejection || owner == chosen {
-            for &(i, idx) in &providers[1..] {
+            for p in 1..self.providers.len() {
+                let (i, idx) = self.providers[p];
                 debug_assert_ne!(i, owner);
                 self.members[i].set.delete(idx);
             }
@@ -168,7 +185,7 @@ impl<R: Rng> UcqShuffle<R> {
         if owner == chosen {
             self.members[owner].set.delete(owner_idx);
             self.emitted += 1;
-            Some(UcqEvent::Answer(element))
+            Some(UcqEvent::Answer(self.element_scratch.answer().to_vec()))
         } else {
             self.rejections += 1;
             Some(UcqEvent::Rejected)

@@ -1,8 +1,12 @@
 //! Model-based randomized tests: [`DeletableSet`] against a `BTreeSet`
-//! model, and [`LazyShuffle`] permutation properties across sizes.
+//! model, [`LazyShuffle`] permutation properties across sizes, and the
+//! zero-allocation access paths (`access_into`, `inverted_access_of`,
+//! `CqSequential::next_ref`) against their allocating counterparts over
+//! randomized acyclic instances.
 
 use proptest::prelude::*;
-use rae_core::{DeletableSet, LazyShuffle, Weight};
+use rae_core::{AccessScratch, CqIndex, DeletableSet, LazyShuffle, Weight};
+use rae_data::{Database, Relation, Schema, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -25,6 +29,47 @@ fn ops_strategy(universe: Weight) -> impl Strategy<Value = Vec<Op>> {
         ],
         0..60,
     )
+}
+
+type Edges = Vec<(i64, i64)>;
+
+fn edge_relation(edges: &Edges) -> Relation {
+    Relation::from_rows(
+        Schema::new(["a", "b"]).unwrap(),
+        edges
+            .iter()
+            .map(|&(u, v)| vec![Value::Int(u), Value::Int(v)]),
+    )
+    .unwrap()
+}
+
+fn db_from(r: &Edges, s: &Edges) -> Database {
+    let mut db = Database::new();
+    db.add_relation("R", edge_relation(r)).unwrap();
+    db.add_relation("S", edge_relation(s)).unwrap();
+    db
+}
+
+/// Free-connex shapes of varying head arity and tree depth, so one scratch
+/// is reused across differently-shaped queries inside each case.
+fn shape_portfolio(db: &Database) -> Vec<CqIndex> {
+    [
+        "Q(x, y, z) :- R(x, y), S(y, z)",
+        "Q(x, y) :- R(x, y), S(y, z)",
+        "Q(x) :- R(x, y)",
+        "Q(x, y, u, v) :- R(x, y), S(u, v)",
+        "Q(x, y, z) :- R(x, y), R(y, z)",
+    ]
+    .iter()
+    .map(|text| {
+        let cq = rae_query::parser::parse_cq(text).unwrap();
+        CqIndex::build(&cq, db).unwrap()
+    })
+    .collect()
+}
+
+fn edges_strategy() -> impl Strategy<Value = Edges> {
+    prop::collection::vec((0..5i64, 0..5i64), 0..15)
 }
 
 proptest! {
@@ -72,6 +117,68 @@ proptest! {
         if n > 0 {
             prop_assert_eq!(*seen.first().unwrap(), 0);
             prop_assert_eq!(*seen.last().unwrap(), n - 1);
+        }
+    }
+
+    #[test]
+    fn access_into_matches_allocating_access(
+        r in edges_strategy(),
+        s in edges_strategy(),
+    ) {
+        let db = db_from(&r, &s);
+        // ONE scratch deliberately shared across every index and position:
+        // reuse across differently-shaped queries must never leak state.
+        let mut scratch = AccessScratch::new();
+        for idx in shape_portfolio(&db) {
+            for j in 0..idx.count() {
+                let allocating = idx.access(j).expect("j < count");
+                let borrowed = idx.access_into(j, &mut scratch).expect("j < count");
+                prop_assert_eq!(
+                    allocating.as_slice(), borrowed,
+                    "access mismatch at {}", j
+                );
+            }
+            prop_assert!(idx.access_into(idx.count(), &mut scratch).is_none());
+        }
+    }
+
+    #[test]
+    fn inverted_access_of_matches_allocating_inverted_access(
+        r in edges_strategy(),
+        s in edges_strategy(),
+    ) {
+        let db = db_from(&r, &s);
+        let mut scratch = AccessScratch::new();
+        for idx in shape_portfolio(&db) {
+            for j in 0..idx.count() {
+                let answer = idx.access(j).expect("j < count");
+                prop_assert_eq!(idx.inverted_access(&answer), Some(j));
+                prop_assert_eq!(idx.inverted_access_of(&answer, &mut scratch), Some(j));
+            }
+            // Non-answers (including never-interned values) are rejected.
+            let bogus = vec![Value::Int(-999_999); idx.arity()];
+            prop_assert_eq!(
+                idx.inverted_access_of(&bogus, &mut scratch),
+                idx.inverted_access(&bogus)
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_next_ref_matches_iterator(
+        r in edges_strategy(),
+        s in edges_strategy(),
+    ) {
+        let db = db_from(&r, &s);
+        for idx in shape_portfolio(&db) {
+            let via_iter: Vec<Vec<Value>> = idx.sequential().collect();
+            let mut via_ref: Vec<Vec<Value>> = Vec::new();
+            let mut cursor = idx.sequential();
+            while let Some(answer) = cursor.next_ref() {
+                via_ref.push(answer.to_vec());
+            }
+            prop_assert_eq!(&via_iter, &via_ref);
+            prop_assert_eq!(via_iter.len() as Weight, idx.count());
         }
     }
 

@@ -1,0 +1,194 @@
+//! Dictionary encoding: a process-wide interner mapping every [`Value`] to a
+//! dense `u32` *code*.
+//!
+//! The enumeration indexes spend their hot path hashing and comparing tuple
+//! keys. Hashing a `Value` means branching on the enum discriminant and, for
+//! strings, walking the character data; comparing two `Box<[Value]>` keys
+//! repeats that per attribute. Interning each distinct value once at load
+//! time collapses all of that to `u32` word operations: two values are equal
+//! **iff** their codes are equal, so bucket keys, full-tuple lookups, and
+//! semijoin probes can run over borrowed `&[u32]` slices with zero
+//! allocation (see [`crate::codemap::CodeKeyMap`] and DESIGN.md §5).
+//!
+//! The dictionary is global (like [`crate::Symbol`]'s backing storage is
+//! per-instance but value-equal) rather than per-database: codes must agree
+//! across relations for cross-relation joins, and a global table also keeps
+//! codes stable when relations are cloned, filtered, and re-registered
+//! between databases — the mc-UCQ builder does exactly that. Codes are
+//! assigned in first-intern order, so they carry **no order information**;
+//! canonical sorting stays on `Value`s.
+//!
+//! Concurrency: a read-mostly [`RwLock`]. `code_of` (probe without
+//! inserting, used by inverted access) takes only the read lock; `intern`
+//! upgrades to the write lock on a genuine miss.
+//!
+//! Lifetime: the dictionary is append-only and **never evicts** — values
+//! interned by relations that have since been dropped stay resident. This
+//! is the right trade-off for the query-serving workloads the engine
+//! targets (bounded, reused value domains), but a process that streams
+//! unbounded fresh values through short-lived relations will grow the
+//! table without bound and can eventually exhaust the code space
+//! ([`DataError::DictionaryFull`]). Scoped or generational dictionaries
+//! are a known follow-up (see ROADMAP).
+
+use crate::fxhash::FxHashMap;
+use crate::value::Value;
+use crate::DataError;
+use std::sync::{OnceLock, RwLock};
+
+/// Codes are dense `u32`s; `u32::MAX` is reserved as a sentinel for hash-map
+/// internals, leaving room for 2^32 − 1 distinct values.
+pub type ValueCode = u32;
+
+/// The reserved sentinel code (never assigned to a value).
+pub const NO_CODE: ValueCode = u32::MAX;
+
+fn dict() -> &'static RwLock<FxHashMap<Value, ValueCode>> {
+    static DICT: OnceLock<RwLock<FxHashMap<Value, ValueCode>>> = OnceLock::new();
+    DICT.get_or_init(|| RwLock::new(FxHashMap::default()))
+}
+
+/// Interns `value`, returning its code (assigning a fresh one on first
+/// sight).
+///
+/// # Errors
+/// Returns [`DataError::DictionaryFull`] if 2^32 − 1 distinct values have
+/// already been interned.
+pub fn intern(value: &Value) -> Result<ValueCode, DataError> {
+    {
+        let map = dict().read().expect("value dictionary poisoned");
+        if let Some(&code) = map.get(value) {
+            return Ok(code);
+        }
+    }
+    let mut map = dict().write().expect("value dictionary poisoned");
+    if let Some(&code) = map.get(value) {
+        return Ok(code);
+    }
+    let next = map.len();
+    let code = ValueCode::try_from(next).map_err(|_| DataError::DictionaryFull)?;
+    if code == NO_CODE {
+        return Err(DataError::DictionaryFull);
+    }
+    map.insert(value.clone(), code);
+    Ok(code)
+}
+
+/// Looks up the code of `value` without interning.
+///
+/// `None` means the value has never been stored in any relation — for
+/// answer-membership probes that is a definitive "not an answer".
+pub fn code_of(value: &Value) -> Option<ValueCode> {
+    dict()
+        .read()
+        .expect("value dictionary poisoned")
+        .get(value)
+        .copied()
+}
+
+/// Looks up the codes of a whole tuple under **one** lock acquisition,
+/// appending them to `out` (not cleared). Returns `false` — leaving `out`
+/// in an unspecified, partially-extended state — as soon as any value is
+/// unknown, which for answer probes means "not an answer".
+///
+/// This is the hot-path variant for inverted access: per-value `code_of`
+/// calls would pay one reader-lock round-trip per attribute.
+pub fn codes_of(values: &[Value], out: &mut Vec<ValueCode>) -> bool {
+    let map = dict().read().expect("value dictionary poisoned");
+    for value in values {
+        match map.get(value) {
+            Some(&code) => out.push(code),
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Number of distinct values interned so far (diagnostics).
+pub fn interned_count() -> usize {
+    dict().read().expect("value dictionary poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_value_same_code() {
+        let a = intern(&Value::Int(123_456)).unwrap();
+        let b = intern(&Value::Int(123_456)).unwrap();
+        assert_eq!(a, b);
+        let s1 = intern(&Value::str("dict-test-string")).unwrap();
+        let s2 = intern(&Value::str("dict-test-string")).unwrap();
+        assert_eq!(s1, s2);
+        assert_ne!(a, s1);
+    }
+
+    #[test]
+    fn distinct_values_distinct_codes() {
+        let a = intern(&Value::Int(777_001)).unwrap();
+        let b = intern(&Value::Int(777_002)).unwrap();
+        assert_ne!(a, b);
+        // Int and Str with "same" content are different values.
+        let i = intern(&Value::Int(777_003)).unwrap();
+        let s = intern(&Value::str("777003")).unwrap();
+        assert_ne!(i, s);
+    }
+
+    #[test]
+    fn code_of_probes_without_inserting() {
+        // Probing must not intern: the value stays unknown until the
+        // explicit intern. (No global-count assertions here — the dictionary
+        // is process-wide and other tests intern concurrently.)
+        assert_eq!(code_of(&Value::str("never-interned-probe-xyzzy")), None);
+        assert_eq!(code_of(&Value::str("never-interned-probe-xyzzy")), None);
+        let code = intern(&Value::str("never-interned-probe-xyzzy")).unwrap();
+        assert_eq!(
+            code_of(&Value::str("never-interned-probe-xyzzy")),
+            Some(code)
+        );
+    }
+
+    #[test]
+    fn codes_of_batches_a_tuple_under_one_lock() {
+        let a = intern(&Value::Int(555_001)).unwrap();
+        let b = intern(&Value::str("codes-of-batch-test")).unwrap();
+        let mut out = Vec::new();
+        assert!(codes_of(
+            &[Value::Int(555_001), Value::str("codes-of-batch-test")],
+            &mut out
+        ));
+        assert_eq!(out, vec![a, b]);
+        // Unknown value anywhere in the tuple → false.
+        let mut out = Vec::new();
+        assert!(!codes_of(
+            &[Value::Int(555_001), Value::str("codes-of-never-interned")],
+            &mut out
+        ));
+    }
+
+    #[test]
+    fn concurrent_intern_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| intern(&Value::Int(900_000 + i)).unwrap())
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .zip(0..100)
+                        .map(move |(c, i)| (t, i, c))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<(i32, i64, u32)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread must have observed the same code per value.
+        for per_thread in &results[1..] {
+            for (a, b) in results[0].iter().zip(per_thread) {
+                assert_eq!(a.2, b.2, "value {} got two codes", a.1);
+            }
+        }
+    }
+}

@@ -28,6 +28,9 @@ pub enum DataError {
     },
     /// Registering a relation under a name already in use.
     DuplicateRelation(Symbol),
+    /// The global value dictionary ran out of `u32` codes (more than 2^32 − 1
+    /// distinct values interned).
+    DictionaryFull,
 }
 
 impl fmt::Display for DataError {
@@ -57,6 +60,9 @@ impl fmt::Display for DataError {
             }
             DataError::DuplicateRelation(r) => {
                 write!(f, "relation {r} is already registered")
+            }
+            DataError::DictionaryFull => {
+                write!(f, "value dictionary exhausted its u32 code space")
             }
         }
     }

@@ -11,13 +11,21 @@
 //! (query classification, Yannakakis reduction, the enumeration indexes of
 //! the paper) operate on these types.
 //!
+//! Every stored value is additionally *dictionary encoded* through the
+//! process-wide interner in [`dict`]: relations maintain a flat `u32` code
+//! mirror of their rows ([`Relation::row_codes`]), and the borrowed-slice
+//! hash map [`CodeKeyMap`] lets joins, bucket keys, and inverted-access
+//! probes run entirely on integer codes with zero per-probe allocation.
+//!
 //! The hash maps exported from [`fxhash`] use a small hand-rolled FxHash
 //! implementation (the classic Firefox/rustc hash) because hashing tuples of
 //! values is on the hot path of preprocessing and inverted access, and the
 //! default SipHash is measurably slower there (see the `ablation_hash`
 //! benchmark in `rae-bench`).
 
+pub mod codemap;
 pub mod database;
+pub mod dict;
 pub mod error;
 pub mod fxhash;
 pub mod index;
@@ -27,7 +35,9 @@ pub mod symbol;
 pub mod tbl;
 pub mod value;
 
+pub use codemap::CodeKeyMap;
 pub use database::Database;
+pub use dict::ValueCode;
 pub use error::DataError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use index::HashIndex;

@@ -1,7 +1,7 @@
-//! Flat, row-major relations.
+//! Flat, row-major relations with a dictionary-encoded code mirror.
 
+use crate::dict::{self, ValueCode};
 use crate::error::DataError;
-use crate::fxhash::FxHashSet;
 use crate::schema::Schema;
 use crate::value::Value;
 use crate::Result;
@@ -24,10 +24,18 @@ pub fn key_of(row: &[Value], cols: &[usize]) -> RowKey {
 /// (`usize` index) a natural tuple identity for the index structures.
 /// `Relation` itself does not enforce set semantics on insert; callers that
 /// need sets use [`Relation::sort_dedup`] (the Yannakakis layer always does).
+///
+/// Alongside the `Value` storage, every relation maintains a flat `u32`
+/// mirror of dictionary codes (one per value, via [`crate::dict`]), kept in
+/// lockstep by every mutation. Code equality is value equality, so hash
+/// probes on the hot path ([`crate::CodeKeyMap`]) run on borrowed
+/// `&[u32]` slices instead of owned `Box<[Value]>` keys.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Relation {
     schema: Schema,
     data: Vec<Value>,
+    /// Dictionary-code mirror of `data` (same length, same layout).
+    codes: Vec<ValueCode>,
 }
 
 impl Relation {
@@ -36,6 +44,7 @@ impl Relation {
         Relation {
             schema,
             data: Vec::new(),
+            codes: Vec::new(),
         }
     }
 
@@ -103,6 +112,28 @@ impl Relation {
         (0..self.len()).map(move |i| self.row(i))
     }
 
+    /// The dictionary codes of the `i`-th row (layout-parallel to
+    /// [`Relation::row`]).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row_codes(&self, i: usize) -> &[ValueCode] {
+        let a = self.arity();
+        if a == 0 {
+            assert!(i < self.len(), "row index out of bounds");
+            &[]
+        } else {
+            &self.codes[i * a..(i + 1) * a]
+        }
+    }
+
+    /// The full flat code mirror (row-major, like the value storage).
+    #[inline]
+    pub fn codes(&self) -> &[ValueCode] {
+        &self.codes
+    }
+
     /// Appends a row, validating arity.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.arity() {
@@ -115,7 +146,18 @@ impl Relation {
         if self.arity() == 0 {
             // Represent an arity-0 row with a sentinel so len() works.
             self.data.push(Value::Int(0));
+            self.codes.push(0);
         } else {
+            let start = self.codes.len();
+            for v in &row {
+                match dict::intern(v) {
+                    Ok(c) => self.codes.push(c),
+                    Err(e) => {
+                        self.codes.truncate(start);
+                        return Err(e);
+                    }
+                }
+            }
             self.data.extend(row);
         }
         Ok(())
@@ -138,6 +180,7 @@ impl Relation {
         if a == 0 {
             let n = self.len().min(1);
             self.data.truncate(n);
+            self.codes.truncate(n);
             return;
         }
         let mut perm: Vec<usize> = (0..self.len()).collect();
@@ -173,10 +216,13 @@ impl Relation {
     fn apply_permutation(&mut self, perm: &[usize]) {
         let a = self.arity();
         let mut new_data = Vec::with_capacity(perm.len() * a);
+        let mut new_codes = Vec::with_capacity(perm.len() * a);
         for &i in perm {
             new_data.extend_from_slice(self.row(i));
+            new_codes.extend_from_slice(self.row_codes(i));
         }
         self.data = new_data;
+        self.codes = new_codes;
     }
 
     /// Keeps only rows satisfying `pred`.
@@ -185,6 +231,7 @@ impl Relation {
         if a == 0 {
             if !self.data.is_empty() && !pred(&[]) {
                 self.data.clear();
+                self.codes.clear();
             }
             return;
         }
@@ -198,11 +245,13 @@ impl Relation {
                 if write != read {
                     let (head, tail) = self.data.split_at_mut(read * a);
                     head[write * a..(write + 1) * a].clone_from_slice(&tail[..a]);
+                    self.codes.copy_within(read * a..(read + 1) * a, write * a);
                 }
                 write += 1;
             }
         }
         self.data.truncate(write * a);
+        self.codes.truncate(write * a);
     }
 
     /// Keeps rows whose index satisfies `keep`.
@@ -227,8 +276,19 @@ impl Relation {
             });
         }
         let mut out = Relation::new(attrs);
-        for row in self.rows() {
-            out.push_row(cols.iter().map(|&c| row[c].clone()).collect())?;
+        if out.arity() == 0 {
+            for _ in 0..self.len() {
+                out.push_row(Vec::new())?;
+            }
+            return Ok(out);
+        }
+        for i in 0..self.len() {
+            let (row, row_codes) = (self.row(i), self.row_codes(i));
+            // Codes are copied straight from the mirror — no re-interning.
+            for &c in cols {
+                out.data.push(row[c].clone());
+                out.codes.push(row_codes[c]);
+            }
         }
         Ok(out)
     }
@@ -247,12 +307,20 @@ impl Relation {
         } else {
             (other, self)
         };
-        let set: FxHashSet<&[Value]> = small.rows().collect();
+        // Membership over dictionary codes: u32-slice hashing, and the probe
+        // side borrows straight from the code mirror.
+        let set: crate::FxHashSet<&[ValueCode]> =
+            (0..small.len()).map(|i| small.row_codes(i)).collect();
         let mut out = Relation::new(self.schema.clone());
-        let mut seen: FxHashSet<&[Value]> = FxHashSet::default();
-        for row in large.rows() {
-            if set.contains(row) && seen.insert(row) {
-                out.push_row_slice(row)?;
+        let mut seen: crate::FxHashSet<&[ValueCode]> = crate::FxHashSet::default();
+        for i in 0..large.len() {
+            let codes = large.row_codes(i);
+            if set.contains(codes) && seen.insert(codes) {
+                out.data.extend_from_slice(large.row(i));
+                out.codes.extend_from_slice(codes);
+                if out.arity() == 0 {
+                    out.push_row(Vec::new())?;
+                }
             }
         }
         Ok(out)

@@ -1,7 +1,7 @@
 //! The without-replacement adaptor: repeated sampling + duplicate rejection.
 
 use crate::JoinSampler;
-use rae_core::Weight;
+use rae_core::{AccessScratch, Weight};
 use rae_data::{FxHashSet, Value};
 use rand::Rng;
 
@@ -15,6 +15,9 @@ use rand::Rng;
 pub struct WithoutReplacement<S> {
     sampler: S,
     seen: FxHashSet<Vec<Value>>,
+    /// Scratch reused across draws: duplicates and rejections are
+    /// allocation-free; only a genuinely new answer is materialized.
+    scratch: AccessScratch,
     /// With-replacement draws performed (including duplicates).
     draws: u64,
     /// Draws that returned an already-seen answer.
@@ -29,6 +32,7 @@ impl<S: JoinSampler> WithoutReplacement<S> {
         WithoutReplacement {
             sampler,
             seen: FxHashSet::default(),
+            scratch: AccessScratch::new(),
             draws: 0,
             duplicates: 0,
             rejections: 0,
@@ -68,18 +72,20 @@ impl<S: JoinSampler> WithoutReplacement<S> {
             return None;
         }
         loop {
-            match self.sampler.attempt(rng) {
-                None => {
-                    self.rejections += 1;
-                }
-                Some(answer) => {
-                    self.draws += 1;
-                    if self.seen.insert(answer.clone()) {
-                        return Some(answer);
-                    }
-                    self.duplicates += 1;
-                }
+            if self.sampler.attempt_into(rng, &mut self.scratch).is_none() {
+                self.rejections += 1;
+                continue;
             }
+            self.draws += 1;
+            // Probe by borrowed slice first; allocate only for new answers.
+            let answer = self.scratch.answer();
+            if self.seen.contains(answer) {
+                self.duplicates += 1;
+                continue;
+            }
+            let owned = answer.to_vec();
+            self.seen.insert(owned.clone());
+            return Some(owned);
         }
     }
 

@@ -1,7 +1,7 @@
 //! The EO (Olken-style rejection) sampler.
 
 use crate::JoinSampler;
-use rae_core::CqIndex;
+use rae_core::{AccessScratch, CqIndex};
 use rae_data::Value;
 use rand::Rng;
 
@@ -74,18 +74,22 @@ impl<'a> EoSampler<'a> {
 }
 
 impl JoinSampler for EoSampler<'_> {
-    fn attempt<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+    fn attempt_into<'s, R: Rng>(
+        &self,
+        rng: &mut R,
+        scratch: &'s mut AccessScratch,
+    ) -> Option<&'s [Value]> {
         if self.index.count() == 0 {
             return None;
         }
-        let mut answer = vec![Value::Int(0); self.index.arity()];
+        scratch.reset_answer(self.index.arity());
         for &root in self.index.plan().roots() {
             let bucket = self.index.root_bucket(root)?;
-            if !self.walk(root, bucket, true, rng, &mut answer) {
+            if !self.walk(root, bucket, true, rng, scratch.answer_mut()) {
                 return None;
             }
         }
-        Some(answer)
+        Some(scratch.answer())
     }
 
     fn index(&self) -> &CqIndex {

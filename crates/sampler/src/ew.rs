@@ -1,7 +1,7 @@
 //! The EW (exact-weight) sampler.
 
 use crate::JoinSampler;
-use rae_core::CqIndex;
+use rae_core::{AccessScratch, CqIndex};
 use rae_data::Value;
 use rand::Rng;
 
@@ -25,13 +25,21 @@ impl<'a> EwSampler<'a> {
 }
 
 impl JoinSampler for EwSampler<'_> {
-    fn attempt<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+    fn attempt_into<'s, R: Rng>(
+        &self,
+        rng: &mut R,
+        scratch: &'s mut AccessScratch,
+    ) -> Option<&'s [Value]> {
         let n = self.index.count();
         if n == 0 {
             return None;
         }
         let j = rng.gen_range(0..n);
-        Some(self.index.access(j).expect("uniform index is in range"))
+        Some(
+            self.index
+                .access_into(j, scratch)
+                .expect("uniform index is in range"),
+        )
     }
 
     fn index(&self) -> &CqIndex {

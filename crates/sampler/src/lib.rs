@@ -43,15 +43,27 @@ pub use ew::EwSampler;
 pub use oe::OeSampler;
 pub use rs::RsSampler;
 
-use rae_core::CqIndex;
+use rae_core::{AccessScratch, CqIndex};
 use rae_data::Value;
 use rand::Rng;
 
 /// A uniform with-replacement sampler over the answers of a [`CqIndex`].
+///
+/// The primitive operation is [`JoinSampler::attempt_into`]: one sampling
+/// attempt writing into a caller-provided [`AccessScratch`], performing
+/// **zero heap allocations** — including on rejected attempts, which is
+/// where the Olken-style samplers spend most of their time on skewed data.
+/// The owned-result methods (`attempt`, `sample`, `sample_with_budget`) are
+/// thin wrappers that allocate only for the value they return.
 pub trait JoinSampler {
-    /// One sampling attempt: `Some(answer)` on success, `None` on an
-    /// internal rejection (the attempt must then be retried).
-    fn attempt<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>>;
+    /// One sampling attempt: on success writes the answer into `scratch`
+    /// and returns a borrow of it; `None` signals an internal rejection
+    /// (the attempt must then be retried). Allocation-free in steady state.
+    fn attempt_into<'s, R: Rng>(
+        &self,
+        rng: &mut R,
+        scratch: &'s mut AccessScratch,
+    ) -> Option<&'s [Value]>;
 
     /// The underlying index.
     fn index(&self) -> &CqIndex;
@@ -59,17 +71,37 @@ pub trait JoinSampler {
     /// Short name for reports ("EW", "EO", …).
     fn name(&self) -> &'static str;
 
-    /// Samples one answer uniformly with replacement, retrying rejections.
-    /// Returns `None` iff the query has no answers.
-    fn sample<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+    /// One sampling attempt returning an owned answer (fresh scratch per
+    /// call; prefer [`JoinSampler::attempt_into`] in loops).
+    fn attempt<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+        let mut scratch = AccessScratch::new();
+        self.attempt_into(rng, &mut scratch).map(<[Value]>::to_vec)
+    }
+
+    /// Samples one answer uniformly with replacement into `scratch`,
+    /// retrying rejections without allocating. Returns `None` iff the query
+    /// has no answers.
+    fn sample_into<'s, R: Rng>(
+        &self,
+        rng: &mut R,
+        scratch: &'s mut AccessScratch,
+    ) -> Option<&'s [Value]> {
         if self.index().count() == 0 {
             return None;
         }
         loop {
-            if let Some(a) = self.attempt(rng) {
-                return Some(a);
+            if self.attempt_into(rng, &mut *scratch).is_some() {
+                return Some(scratch.answer());
             }
         }
+    }
+
+    /// Samples one answer uniformly with replacement, retrying rejections.
+    /// Returns `None` iff the query has no answers. Allocates only the
+    /// returned vector (rejected attempts are free).
+    fn sample<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+        let mut scratch = AccessScratch::new();
+        self.sample_into(rng, &mut scratch).map(<[Value]>::to_vec)
     }
 
     /// Samples with a rejection budget: gives up after `max_attempts`
@@ -83,9 +115,10 @@ pub trait JoinSampler {
         if self.index().count() == 0 {
             return Err(0);
         }
+        let mut scratch = AccessScratch::new();
         for _ in 0..max_attempts {
-            if let Some(a) = self.attempt(rng) {
-                return Ok(a);
+            if self.attempt_into(rng, &mut scratch).is_some() {
+                return Ok(scratch.answer().to_vec());
             }
         }
         Err(max_attempts)

@@ -1,7 +1,7 @@
 //! The OE (hybrid Olken/exact) sampler.
 
 use crate::JoinSampler;
-use rae_core::{combine_index, CqIndex, Weight};
+use rae_core::{AccessScratch, CqIndex, Weight};
 use rae_data::Value;
 use rand::Rng;
 
@@ -27,15 +27,19 @@ impl<'a> OeSampler<'a> {
 }
 
 impl JoinSampler for OeSampler<'_> {
-    fn attempt<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+    fn attempt_into<'s, R: Rng>(
+        &self,
+        rng: &mut R,
+        scratch: &'s mut AccessScratch,
+    ) -> Option<&'s [Value]> {
         let idx = self.index;
         if idx.count() == 0 {
             return None;
         }
-        let roots = idx.plan().roots();
-        let mut radices: Vec<Weight> = Vec::with_capacity(roots.len());
-        let mut digits: Vec<Weight> = Vec::with_capacity(roots.len());
-        for &root in roots {
+        // CombineIndex streamed over the roots in order — no radix/digit
+        // vectors needed.
+        let mut global: Weight = 0;
+        for &root in idx.plan().roots() {
             let bucket = idx.root_bucket(root)?;
             let row = rng.gen_range(bucket.start..bucket.end);
             let w = idx.row_weight(root, row);
@@ -45,11 +49,12 @@ impl JoinSampler for OeSampler<'_> {
             }
             // Exact completion: a uniform offset inside this row's range.
             let offset = rng.gen_range(0..w);
-            radices.push(bucket.total);
-            digits.push(idx.row_start(root, row) + offset);
+            global = global * bucket.total + idx.row_start(root, row) + offset;
         }
-        let global = combine_index(&radices, &digits);
-        Some(idx.access(global).expect("index within count"))
+        Some(
+            idx.access_into(global, scratch)
+                .expect("index within count"),
+        )
     }
 
     fn index(&self) -> &CqIndex {

@@ -1,7 +1,7 @@
 //! The RS (naive rejection) sampler.
 
 use crate::JoinSampler;
-use rae_core::CqIndex;
+use rae_core::{AccessScratch, CqIndex};
 use rae_data::{Symbol, Value};
 use rand::Rng;
 
@@ -44,34 +44,45 @@ impl<'a> RsSampler<'a> {
 }
 
 impl JoinSampler for RsSampler<'_> {
-    fn attempt<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+    fn attempt_into<'s, R: Rng>(
+        &self,
+        rng: &mut R,
+        scratch: &'s mut AccessScratch,
+    ) -> Option<&'s [Value]> {
         let idx = self.index;
         if idx.count() == 0 {
             return None;
         }
-        // One uniform row per node.
-        let rows: Vec<u32> = (0..idx.node_count())
-            .map(|node| {
+        // One uniform row per node, into the reused row-id buffer.
+        {
+            let rows = scratch.row_ids();
+            rows.clear();
+            for node in 0..idx.node_count() {
                 let n = idx.node_relation(node).len();
                 debug_assert!(n > 0);
-                rng.gen_range(0..u32::try_from(n).expect("row count fits u32"))
-            })
-            .collect();
-        // Join check on every tree edge.
-        for (parent, child, parent_cols, child_cols) in &self.edges {
-            let p_row = idx.node_relation(*parent).row(rows[*parent] as usize);
-            let c_row = idx.node_relation(*child).row(rows[*child] as usize);
-            for (&pc, &cc) in parent_cols.iter().zip(child_cols.iter()) {
-                if p_row[pc] != c_row[cc] {
-                    return None;
+                rows.push(rng.gen_range(0..u32::try_from(n).expect("row count fits u32")));
+            }
+        }
+        // Join check on every tree edge, over dictionary codes (u32
+        // compares instead of Value compares).
+        {
+            let rows: &[u32] = scratch.row_ids();
+            for (parent, child, parent_cols, child_cols) in &self.edges {
+                let p_codes = idx.node_relation(*parent).row_codes(rows[*parent] as usize);
+                let c_codes = idx.node_relation(*child).row_codes(rows[*child] as usize);
+                for (&pc, &cc) in parent_cols.iter().zip(child_cols.iter()) {
+                    if p_codes[pc] != c_codes[cc] {
+                        return None;
+                    }
                 }
             }
         }
-        let mut answer = vec![Value::Int(0); idx.arity()];
+        scratch.reset_answer(idx.arity());
+        let (rows, answer) = scratch.rows_and_answer();
         for (node, &row) in rows.iter().enumerate() {
-            idx.write_row_values(node, row, &mut answer);
+            idx.write_row_values(node, row, answer);
         }
-        Some(answer)
+        Some(scratch.answer())
     }
 
     fn index(&self) -> &CqIndex {

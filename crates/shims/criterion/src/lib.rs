@@ -1,0 +1,343 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the `rae-bench` benchmarks use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_with_setup`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros — over a simple
+//! wall-clock harness: per sample, run a timed batch of iterations; report
+//! the median, minimum, and mean per-iteration time. No plotting, no saved
+//! baselines, no statistical regression analysis.
+//!
+//! A `--bench` CLI filter argument (as passed by `cargo bench <filter>`)
+//! restricts which benchmarks run, matching by substring on the full id.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion 0.5 exposes its own).
+pub use std::hint::black_box;
+
+/// Measurement settings shared by [`Criterion`] and groups.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 30,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`cargo bench -- <filter>`); called by
+    /// [`criterion_main!`].
+    pub fn configure_from_args(mut self) -> Self {
+        // Skip flags criterion's real CLI accepts (e.g. `--bench`); any bare
+        // token is a substring filter.
+        let filter: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        if !filter.is_empty() {
+            self.filter = Some(filter.join(" "));
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        if self.matches(name) {
+            run_benchmark(name, &self.settings, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    settings: Option<Settings>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn settings_mut(&mut self) -> &mut Settings {
+        self.settings
+            .get_or_insert_with(|| self.criterion.settings.clone())
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings_mut().sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().warm_up_time = d;
+        self
+    }
+
+    /// Sets the target measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().measurement_time = d;
+        self
+    }
+
+    fn effective_settings(&self) -> Settings {
+        self.settings
+            .clone()
+            .unwrap_or_else(|| self.criterion.settings.clone())
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, &self.effective_settings(), f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/name`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (provided for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the string id used for reporting and filtering.
+pub trait IntoBenchmarkId {
+    /// The full id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; records the timed routine.
+pub struct Bencher {
+    /// Iterations to run in the current timed batch.
+    iters: u64,
+    /// Measured duration of the batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` (untimed) before each call.
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut routine: F,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, mut f: F) {
+    // Warm-up: also calibrates how many iterations fit in one sample.
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    let mut warm_time = Duration::ZERO;
+    let mut warm_iters: u64 = 0;
+    loop {
+        let d = run_once(&mut f, iters);
+        warm_time += d;
+        warm_iters += iters;
+        if warm_up_start.elapsed() >= settings.warm_up_time {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 30);
+    }
+    let per_iter = warm_time.as_secs_f64() / warm_iters.max(1) as f64;
+    let per_sample = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    let iters_per_sample = ((per_sample / per_iter.max(1e-12)) as u64).clamp(1, 1 << 34);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let d = run_once(&mut f, iters_per_sample);
+        samples.push(d.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("benchmark time is finite"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "bench {id:<50} median {:>12}  min {:>12}  mean {:>12}  ({} samples x {} iters)",
+        format_time(median),
+        format_time(min),
+        format_time(mean),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_routine() {
+        let mut sink = 0u64;
+        let settings = Settings {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+        run_benchmark("shim_self_test", &settings, |b| {
+            b.iter(|| {
+                sink = sink.wrapping_add(1);
+                sink
+            })
+        });
+        assert!(sink > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(
+            BenchmarkId::new("access", 16).into_benchmark_id(),
+            "access/16"
+        );
+        assert_eq!(BenchmarkId::from_parameter("q3").into_benchmark_id(), "q3");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(3.2e-9).contains("ns"));
+        assert!(format_time(4.5e-5).contains("µs"));
+        assert!(format_time(0.012).contains("ms"));
+        assert!(format_time(2.0).contains("s"));
+    }
+}

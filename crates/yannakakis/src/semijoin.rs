@@ -1,11 +1,13 @@
 //! Semijoin filters.
 
-use rae_data::{key_of, FxHashSet, Relation, RowKey};
+use rae_data::{CodeKeyMap, Relation};
 
 /// Reduces `left` to the rows whose key (values at `left_cols`) occurs among
 /// the keys of `right` at `right_cols` — the semijoin `left ⋉ right`.
 ///
-/// Runs in one pass over each relation (building a hash set of right keys).
+/// Runs in one pass over each relation. Keys are compared via dictionary
+/// codes: the right side is loaded into a [`CodeKeyMap`] and every left row
+/// probes with a borrowed code slice — no per-row key allocation.
 ///
 /// # Panics
 /// Panics if the column lists have different lengths.
@@ -27,8 +29,23 @@ pub fn semijoin_filter(
         }
         return;
     }
-    let keys: FxHashSet<RowKey> = right.rows().map(|row| key_of(row, right_cols)).collect();
-    left.retain_rows(|row| keys.contains(&key_of(row, left_cols)));
+    let width = right_cols.len();
+    let mut keys = CodeKeyMap::with_capacity(width, right.len());
+    let mut scratch: Vec<u32> = Vec::with_capacity(width);
+    for i in 0..right.len() {
+        let codes = right.row_codes(i);
+        scratch.clear();
+        scratch.extend(right_cols.iter().map(|&c| codes[c]));
+        keys.insert(&scratch, 0);
+    }
+    let mut mask = vec![false; left.len()];
+    for (i, keep) in mask.iter_mut().enumerate() {
+        let codes = left.row_codes(i);
+        scratch.clear();
+        scratch.extend(left_cols.iter().map(|&c| codes[c]));
+        *keep = keys.contains(&scratch);
+    }
+    left.retain_by_index(&mask);
 }
 
 #[cfg(test)]

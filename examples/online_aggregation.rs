@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         customer_rows.push(vec![Value::Int(c), Value::Int(region)]);
         for _ in 0..orders_per_customer {
             // Price strongly depends on the region (100·region + noise).
-            let price = 100 * region + rng.gen_range(0..50);
+            let price = 100 * region + rng.gen_range(0..50i64);
             order_rows.push(vec![
                 Value::Int(order_key),
                 Value::Int(c),

@@ -70,8 +70,8 @@ pub use rae_yannakakis;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use rae_core::{
-        CqIndex, CqSequential, CqShuffle, DeletableSet, LazyShuffle, McUcqIndex, McUcqShuffle,
-        RankStrategy, UcqEvent, UcqShuffle, Weight,
+        AccessScratch, CqIndex, CqSequential, CqShuffle, DeletableSet, LazyShuffle, McUcqIndex,
+        McUcqShuffle, RankStrategy, UcqEvent, UcqShuffle, Weight,
     };
     pub use rae_data::{Database, Relation, Schema, Symbol, Value};
     pub use rae_query::{

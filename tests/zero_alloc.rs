@@ -1,0 +1,153 @@
+//! The acceptance test for the zero-allocation hot path: steady-state
+//! `access_into`, `inverted_access_of`, sequential `next_ref`, and every
+//! sampler's `attempt_into` must perform **zero** heap allocations per
+//! answer, measured by a counting global allocator.
+//!
+//! All measurements run inside single tests (the counter is process-global),
+//! and every path gets one warm-up call first so scratch buffers and lazy
+//! lookup tables reach their steady state.
+
+use rae::prelude::*;
+use rae_bench::alloc_counter::{count_allocations, CountingAllocator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn skewed_db() -> Database {
+    let mut db = Database::new();
+    let mut r_rows = Vec::new();
+    let mut s_rows = Vec::new();
+    for i in 0..200i64 {
+        r_rows.push(vec![Value::Int(i), Value::Int(i % 17)]);
+        // Skewed fan-out: key k appears k+1 times in S.
+        for j in 0..(i % 17 + 1) {
+            s_rows.push(vec![Value::Int(i % 17), Value::Int(1000 + 100 * i + j)]);
+        }
+    }
+    db.add_relation(
+        "R",
+        Relation::from_rows(Schema::new(["a", "b"]).unwrap(), r_rows).unwrap(),
+    )
+    .unwrap();
+    db.add_relation(
+        "S",
+        Relation::from_rows(Schema::new(["b", "c"]).unwrap(), s_rows).unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+fn index() -> CqIndex {
+    let q: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    CqIndex::build(&q, &skewed_db()).unwrap()
+}
+
+/// One combined test so no other test's allocations interleave with the
+/// measured regions.
+#[test]
+fn steady_state_answer_paths_do_not_allocate() {
+    let idx = index();
+    let n = idx.count();
+    assert!(n > 100);
+    let mut scratch = AccessScratch::new();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // --- access_into -----------------------------------------------------
+    idx.access_into(0, &mut scratch).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..1000 {
+            let j = rng.gen_range(0..n);
+            let answer = idx.access_into(j, &mut scratch).unwrap();
+            std::hint::black_box(answer);
+        }
+    });
+    assert_eq!(allocs, 0, "access_into allocated on the steady-state path");
+
+    // --- inverted_access_of ----------------------------------------------
+    idx.prepare_inverted_access();
+    let owned: Vec<Vec<Value>> = (0..64).map(|j| idx.access(j * (n / 64)).unwrap()).collect();
+    let mut probe = AccessScratch::new();
+    idx.inverted_access_of(&owned[0], &mut probe).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for answer in &owned {
+            let j = idx.inverted_access_of(answer, &mut probe).unwrap();
+            std::hint::black_box(j);
+        }
+    });
+    assert_eq!(allocs, 0, "inverted_access_of allocated on the probe path");
+
+    // --- sequential enumeration (next_ref) --------------------------------
+    let mut cursor = idx.sequential();
+    cursor.next_ref().unwrap(); // warm-up (cursor buffers are built in new())
+    let ((), allocs) = count_allocations(|| {
+        while let Some(answer) = cursor.next_ref() {
+            std::hint::black_box(answer);
+        }
+    });
+    assert_eq!(allocs, 0, "sequential next_ref allocated mid-stream");
+
+    // --- the four samplers -------------------------------------------------
+    let ew = EwSampler::new(&idx);
+    let eo = EoSampler::new(&idx);
+    let oe = OeSampler::new(&idx);
+    let rs = RsSampler::new(&idx);
+
+    fn check_sampler<S: JoinSampler>(sampler: &S, rng: &mut StdRng, scratch: &mut AccessScratch) {
+        // Warm-up: one accepted attempt sizes every buffer.
+        while sampler.attempt_into(rng, &mut *scratch).is_none() {}
+        let ((), allocs) = count_allocations(|| {
+            let mut accepted = 0u32;
+            // Attempts *including rejections* must be allocation-free.
+            while accepted < 500 {
+                if sampler.attempt_into(rng, &mut *scratch).is_some() {
+                    accepted += 1;
+                }
+            }
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{} sampler allocated during attempts",
+            sampler.name()
+        );
+    }
+
+    check_sampler(&ew, &mut rng, &mut scratch);
+    check_sampler(&eo, &mut rng, &mut scratch);
+    check_sampler(&oe, &mut rng, &mut scratch);
+    check_sampler(&rs, &mut rng, &mut scratch);
+}
+
+/// Scratch reuse across differently-shaped queries must stay sound *and*
+/// allocation-free once every shape has been visited once.
+#[test]
+fn scratch_reuse_across_query_shapes_does_not_allocate() {
+    let db = skewed_db();
+    let queries = [
+        "Q(x, y, z) :- R(x, y), S(y, z)",
+        "Q(x, y) :- R(x, y)",
+        "Q(x, y) :- R(x, y), S(y, z)",
+        "Q(y, z) :- S(y, z)",
+    ];
+    let indexes: Vec<CqIndex> = queries
+        .iter()
+        .map(|q| CqIndex::build(&q.parse().unwrap(), &db).unwrap())
+        .collect();
+    let mut scratch = AccessScratch::new();
+    // Warm-up round across all shapes.
+    for idx in &indexes {
+        idx.access_into(0, &mut scratch).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..200 {
+            for idx in &indexes {
+                let j = rng.gen_range(0..idx.count());
+                std::hint::black_box(idx.access_into(j, &mut scratch).unwrap());
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "interleaving shapes reallocated scratch buffers");
+}
