@@ -76,6 +76,20 @@ fn run_command(command: &str, cfg: &BenchConfig) -> String {
             eprintln!("[repro] wrote BENCH_1.json");
             json
         }
+        "churn" => {
+            // Runs last-in-process safely: each command builds its own
+            // database, so the generation sweeps cannot stale-out other
+            // commands' relations retroactively — but keep it isolated from
+            // `all` regardless.
+            let churn_cfg = rae_tpch::ChurnConfig {
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let json = rae_bench::churn::churn_json(&churn_cfg);
+            std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+            eprintln!("[repro] wrote BENCH_2.json");
+            json
+        }
         "ablation-delete" => ablation::ablation_delete(cfg),
         "ablation-fold" => ablation::ablation_fold(cfg),
         "ablation-binary" => ablation::ablation_binary(cfg),
@@ -115,7 +129,7 @@ fn usage(message: &str) -> ! {
         "usage: repro [--sf <scale>] [--seed <seed>] <command> [<command> ...]\n\
          commands: fig1 fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8\n\
          \u{20}         rs-note ablation-delete ablation-binary ablation-fold\n\
-         \u{20}         bench-json (writes BENCH_1.json) all"
+         \u{20}         bench-json (writes BENCH_1.json) churn (writes BENCH_2.json) all"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }

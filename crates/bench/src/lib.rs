@@ -19,6 +19,7 @@
 //! | Figure 8 (appendix) | [`figures::fig1`] (OE variant) | `fig8` |
 //! | §B.2.3 RS note | [`figures::rs_note`] | `rs-note` |
 //! | Ablations (DESIGN.md §7) | [`figures::ablation`] | `ablation-delete`, `ablation-binary` |
+//! | Churn boundedness (DESIGN.md §9) | [`churn`] | `churn` (writes `BENCH_2.json`) |
 //!
 //! Absolute numbers are machine- and scale-dependent; the *shapes* (who
 //! wins, by what factor, where crossovers fall) are the reproduction target.
@@ -26,6 +27,7 @@
 
 pub mod alloc_counter;
 pub mod baseline;
+pub mod churn;
 pub mod delays;
 pub mod figures;
 pub mod perf_report;

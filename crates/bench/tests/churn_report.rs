@@ -1,0 +1,28 @@
+//! The churn benchmark report must be well-formed and show bounded
+//! dictionary memory. Runs in its own process (it sweeps the process-wide
+//! dictionary), with a small configuration so the test stays fast.
+
+use rae_bench::churn::churn_json;
+use rae_tpch::ChurnConfig;
+
+#[test]
+fn churn_json_is_well_formed_and_bounded() {
+    let cfg = ChurnConfig {
+        cycles: 10,
+        orders_per_cycle: 300,
+        seed: 42,
+        threads: 2,
+    };
+    let json = churn_json(&cfg);
+    assert!(json.contains("\"schema\": \"rae-bench-churn-v1\""));
+    assert!(json.contains("\"cycle\": 9"), "all 10 cycles reported");
+    assert!(json.contains("\"stale_previous_index_detected\": true"));
+    assert!(!json.contains("\"stale_previous_index_detected\": false"));
+    assert!(
+        json.contains("\"dictionary_memory_bounded\": true"),
+        "slot high-water mark must plateau:\n{json}"
+    );
+    let open = json.matches('{').count();
+    let close = json.matches('}').count();
+    assert_eq!(open, close, "balanced braces");
+}

@@ -36,6 +36,25 @@ pub enum CoreError {
         /// The observed count.
         count: usize,
     },
+    /// The index was built against a dictionary generation that has since
+    /// been advanced; its code-based lookup tables may hold recycled codes,
+    /// so access would be unsound. Rebuild the index over the rehydrated
+    /// database.
+    StaleGeneration {
+        /// Generation the index was built against.
+        built: u64,
+        /// The dictionary's current generation.
+        current: u64,
+    },
+}
+
+/// Validates that a structural count fits the `u32` id space, returning the
+/// narrowed id. This is the single checkpoint behind every row/bucket id
+/// the index mints, so the overflow path is a recoverable
+/// [`CoreError::CapacityExceeded`], never a truncation or panic.
+#[inline]
+pub fn ensure_u32(what: &'static str, count: usize) -> Result<u32, CoreError> {
+    u32::try_from(count).map_err(|_| CoreError::CapacityExceeded { what, count })
 }
 
 impl fmt::Display for CoreError {
@@ -60,6 +79,11 @@ impl fmt::Display for CoreError {
             CoreError::CapacityExceeded { what, count } => write!(
                 f,
                 "index capacity exceeded: {count} {what} do not fit the u32 id space"
+            ),
+            CoreError::StaleGeneration { built, current } => write!(
+                f,
+                "index was built against dictionary generation {built}, but the \
+                 dictionary is at generation {current}; rebuild the index"
             ),
         }
     }
@@ -96,5 +120,39 @@ mod tests {
         assert!(e.to_string().contains("12"));
         let q: CoreError = QueryError::EmptyUnion.into();
         assert!(std::error::Error::source(&q).is_some());
+    }
+
+    #[test]
+    fn ensure_u32_accepts_the_full_id_space() {
+        assert_eq!(ensure_u32("rows", 0), Ok(0));
+        assert_eq!(ensure_u32("rows", 12_345), Ok(12_345));
+        assert_eq!(ensure_u32("rows", u32::MAX as usize), Ok(u32::MAX));
+    }
+
+    #[test]
+    fn ensure_u32_overflow_is_a_recoverable_error() {
+        // One past the u32 id space must surface as CapacityExceeded with
+        // the offending count preserved, not panic or wrap.
+        let over = u32::MAX as usize + 1;
+        match ensure_u32("buckets", over) {
+            Err(CoreError::CapacityExceeded { what, count }) => {
+                assert_eq!(what, "buckets");
+                assert_eq!(count, over);
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        let msg = ensure_u32("rows", over).unwrap_err().to_string();
+        assert!(msg.contains("u32"), "message should name the id space");
+    }
+
+    #[test]
+    fn stale_generation_error_reports_both_generations() {
+        let e = CoreError::StaleGeneration {
+            built: 3,
+            current: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('5'));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -23,7 +23,7 @@
 //! whose node relations are subsets of one another therefore enumerate in
 //! *compatible* orders (used by the mc-UCQ structure, Theorem 5.5).
 
-use crate::error::CoreError;
+use crate::error::{ensure_u32, CoreError};
 use crate::renum_cq::CqShuffle;
 use crate::scratch::AccessScratch;
 use crate::weight::{checked_product, split_index, Weight};
@@ -144,6 +144,9 @@ pub struct CqIndex {
     head: Vec<Symbol>,
     root_totals: Vec<Weight>,
     total: Weight,
+    /// Dictionary generation the code-based lookup tables were built
+    /// against; a later sweep invalidates them (see [`CqIndex::try_access`]).
+    generation: rae_data::Generation,
 }
 
 impl CqIndex {
@@ -210,6 +213,23 @@ impl CqIndex {
             }
         }
 
+        // Code-based preprocessing over a stale mirror would bake recycled
+        // codes into the lookup tables; refuse up front (recoverable). The
+        // generation is read BEFORE the staleness checks (same ordering as
+        // `Relation::rehydrate`): a sweep landing after this read leaves the
+        // index stamped behind the new generation, so it still reads as
+        // stale instead of silently wrong.
+        let generation = dict::current_generation();
+        for rel in &relations {
+            let coded = rel.arity() != 0 && !rel.codes().is_empty();
+            if coded && rel.generation() != generation {
+                return Err(CoreError::StaleGeneration {
+                    built: rel.generation(),
+                    current: generation,
+                });
+            }
+        }
+
         // Set semantics + global consistency (idempotent when already done).
         for rel in &mut relations {
             rel.sort_dedup();
@@ -253,12 +273,7 @@ impl CqIndex {
             let row_count = rel.len();
             // Row and bucket ids are u32; oversized relations are a
             // recoverable error, not a panic.
-            if u32::try_from(row_count).is_err() {
-                return Err(CoreError::CapacityExceeded {
-                    what: "rows",
-                    count: row_count,
-                });
-            }
+            ensure_u32("rows", row_count)?;
             let mut key_buf: Vec<ValueCode> = Vec::new();
             let mut weights: Vec<Weight> = Vec::with_capacity(row_count);
             let mut child_buckets: Vec<Vec<u32>> =
@@ -292,11 +307,7 @@ impl CqIndex {
             let mut bucket_of_row: Vec<u32> = vec![0; row_count];
             let mut row_id = 0usize;
             while row_id < row_count {
-                let bucket_id =
-                    u32::try_from(buckets.len()).map_err(|_| CoreError::CapacityExceeded {
-                        what: "buckets",
-                        count: buckets.len(),
-                    })?;
+                let bucket_id = ensure_u32("buckets", buckets.len())?;
                 let start = row_id;
                 let mut running: Weight = 0;
                 let mut max_weight: Weight = 0;
@@ -365,6 +376,7 @@ impl CqIndex {
             head,
             root_totals,
             total,
+            generation,
         })
     }
 
@@ -403,6 +415,66 @@ impl CqIndex {
     /// The head attributes, in answer order.
     pub fn head(&self) -> &[Symbol] {
         &self.head
+    }
+
+    /// The dictionary generation the index was built against.
+    #[inline]
+    pub fn generation(&self) -> rae_data::Generation {
+        self.generation
+    }
+
+    /// Whether the index's lookup tables are still valid against the
+    /// current dictionary generation. A sweep
+    /// ([`rae_data::Database::advance_generation`]) after the build makes
+    /// the index stale: inverted access translates probe values through the
+    /// *current* dictionary, whose codes may have been recycled to mean
+    /// different values than the ones baked into the tables.
+    #[inline]
+    pub fn is_current(&self) -> bool {
+        self.generation == dict::current_generation()
+    }
+
+    /// Errors with [`CoreError::StaleGeneration`] unless the index is
+    /// current (see [`CqIndex::is_current`]).
+    pub fn verify_current(&self) -> Result<()> {
+        if self.is_current() {
+            Ok(())
+        } else {
+            Err(CoreError::StaleGeneration {
+                built: self.generation,
+                current: dict::current_generation(),
+            })
+        }
+    }
+
+    /// Generation-checked [`CqIndex::access`]: `Err` if the index is stale,
+    /// `Ok(None)` if `j` is out of bounds.
+    ///
+    /// The unchecked hot-path methods stay free of the generation probe;
+    /// steady-state serving loops that own the lifecycle can keep using
+    /// them, while callers that interleave access with relation churn get
+    /// the detected error here instead of silently wrong answers.
+    pub fn try_access(&self, j: Weight) -> Result<Option<Vec<Value>>> {
+        self.verify_current()?;
+        Ok(self.access(j))
+    }
+
+    /// Generation-checked [`CqIndex::access_into`] (see
+    /// [`CqIndex::try_access`]).
+    pub fn try_access_into<'s>(
+        &self,
+        j: Weight,
+        scratch: &'s mut AccessScratch,
+    ) -> Result<Option<&'s [Value]>> {
+        self.verify_current()?;
+        Ok(self.access_into(j, scratch))
+    }
+
+    /// Generation-checked [`CqIndex::inverted_access`]: `Err` if the index
+    /// is stale, `Ok(None)` for a non-answer.
+    pub fn try_inverted_access(&self, answer: &[Value]) -> Result<Option<Weight>> {
+        self.verify_current()?;
+        Ok(self.inverted_access(answer))
     }
 
     /// The join-tree plan the index is built over.

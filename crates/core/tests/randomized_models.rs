@@ -1,12 +1,20 @@
 //! Model-based randomized tests: [`DeletableSet`] against a `BTreeSet`
-//! model, [`LazyShuffle`] permutation properties across sizes, and the
+//! model, [`LazyShuffle`] permutation properties across sizes, the
 //! zero-allocation access paths (`access_into`, `inverted_access_of`,
 //! `CqSequential::next_ref`) against their allocating counterparts over
-//! randomized acyclic instances.
+//! randomized acyclic instances, and differential checks of `CqIndex` /
+//! `McUcqIndex` / `UcqShuffle` against the naive evaluator across relation
+//! drop/re-ingest cycles.
+//!
+//! Nothing here advances the dictionary generation (drop/re-ingest without
+//! a sweep only grows the dictionary), so these tests are safe to run in
+//! parallel; sweep-crossing differentials live in the serialized
+//! `generation_lifecycle` suite.
 
 use proptest::prelude::*;
-use rae_core::{AccessScratch, CqIndex, DeletableSet, LazyShuffle, Weight};
+use rae_core::{AccessScratch, CqIndex, DeletableSet, LazyShuffle, McUcqIndex, UcqShuffle, Weight};
 use rae_data::{Database, Relation, Schema, Value};
+use rae_query::{naive_eval, naive_eval_union, UnionQuery};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -179,6 +187,74 @@ proptest! {
             }
             prop_assert_eq!(&via_iter, &via_ref);
             prop_assert_eq!(via_iter.len() as Weight, idx.count());
+        }
+    }
+
+    #[test]
+    fn drop_reingest_differential_vs_naive(
+        r1 in edges_strategy(),
+        s1 in edges_strategy(),
+        r2 in edges_strategy(),
+        s2 in edges_strategy(),
+    ) {
+        // One database living through a drop/re-ingest cycle; the full
+        // portfolio of index shapes must agree with the naive evaluator in
+        // BOTH phases, and scratch state must carry over soundly.
+        let mut db = db_from(&r1, &s1);
+        let mut scratch = AccessScratch::new();
+        for phase in 0..2 {
+            for text in [
+                "Q(x, y, z) :- R(x, y), S(y, z)",
+                "Q(x, y) :- R(x, y), S(y, z)",
+                "Q(x) :- R(x, y)",
+            ] {
+                let cq = rae_query::parser::parse_cq(text).unwrap();
+                let idx = CqIndex::build(&cq, &db).unwrap();
+                let expected = naive_eval(&cq, &db).unwrap();
+                prop_assert_eq!(
+                    idx.count() as usize, expected.len(),
+                    "phase {}: count mismatch", phase
+                );
+                for j in 0..idx.count() {
+                    let ans = idx.access_into(j, &mut scratch).expect("j < count").to_vec();
+                    prop_assert!(
+                        expected.contains_row(&ans),
+                        "phase {}: access({}) not a naive answer", phase, j
+                    );
+                    prop_assert_eq!(
+                        idx.inverted_access_of(&ans, &mut scratch), Some(j),
+                        "phase {}: inverted access mismatch at {}", phase, j
+                    );
+                }
+            }
+
+            // mc-UCQ + UcqShuffle over an overlapping union vs. naive.
+            let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y)."
+                .parse()
+                .unwrap();
+            let expected = naive_eval_union(&u, &db).unwrap();
+            let mc = McUcqIndex::build(&u, &db).unwrap();
+            prop_assert_eq!(mc.count() as usize, expected.len(), "phase {}", phase);
+            let mut got: Vec<Vec<Value>> = mc.enumerate().collect();
+            got.sort();
+            got.dedup();
+            prop_assert_eq!(got.len(), expected.len(), "phase {}: mc-UCQ duplicates", phase);
+            for ans in &got {
+                prop_assert!(expected.contains_row(ans), "phase {}", phase);
+            }
+            let shuffled: Vec<Vec<Value>> =
+                UcqShuffle::build(&u, &db, StdRng::seed_from_u64(17)).unwrap().collect();
+            let mut sorted = shuffled;
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), expected.len(), "phase {}: UcqShuffle set", phase);
+
+            // Drop both relations and re-ingest the second cohort (no
+            // sweep: append-only growth keeps parallel tests safe).
+            db.remove_relation("R").unwrap();
+            db.remove_relation("S").unwrap();
+            db.add_relation("R", edge_relation(&r2)).unwrap();
+            db.add_relation("S", edge_relation(&s2)).unwrap();
         }
     }
 

@@ -1,5 +1,7 @@
-//! Named collections of relations.
+//! Named collections of relations, plus the relation lifecycle driver
+//! (drop, re-ingest, dictionary-generation advance).
 
+use crate::dict::{self, Generation};
 use crate::error::DataError;
 use crate::fxhash::FxHashMap;
 use crate::relation::Relation;
@@ -32,6 +34,44 @@ impl Database {
     /// Registers or replaces `rel` under `name`.
     pub fn set_relation(&mut self, name: impl Into<Symbol>, rel: Relation) {
         self.relations.insert(name.into(), rel);
+    }
+
+    /// Drops the relation named `name`, returning it.
+    ///
+    /// Dropping alone does **not** reclaim dictionary codes — the dropped
+    /// relation's values stay interned until the next
+    /// [`Database::advance_generation`] sweep excludes them from the live
+    /// set. This is the first half of the drop/re-ingest churn cycle.
+    pub fn remove_relation(&mut self, name: &str) -> Result<Relation> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| DataError::UnknownRelation(Symbol::new(name)))
+    }
+
+    /// Advances the process-wide dictionary generation with **this
+    /// database's** values as the live set, reclaiming the codes of every
+    /// value that only dropped relations used. Returns the new generation.
+    ///
+    /// All relations registered here are rehydrated/re-stamped, so the
+    /// database is fully current afterwards; their codes do not change
+    /// (sweep survivors are never remapped). Any *other* relation in the
+    /// process — other databases, standalone clones, and `rae-core` indexes
+    /// built before the sweep — becomes stale and must be rehydrated or
+    /// rebuilt (stale access is detected, not silently wrong).
+    pub fn advance_generation(&mut self) -> Result<Generation> {
+        // Stale relations must be re-encoded *before* the sweep so the live
+        // set is computed against mirrors that match current codes.
+        for rel in self.relations.values_mut() {
+            if !rel.is_current() {
+                rel.rehydrate()?;
+            }
+        }
+        let generation =
+            dict::advance_generation(self.relations.values().flat_map(Relation::values));
+        for rel in self.relations.values_mut() {
+            rel.stamp_generation(generation);
+        }
+        Ok(generation)
     }
 
     /// Fetches a relation by name.

@@ -28,9 +28,27 @@ pub enum DataError {
     },
     /// Registering a relation under a name already in use.
     DuplicateRelation(Symbol),
-    /// The global value dictionary ran out of `u32` codes (more than 2^32 − 1
-    /// distinct values interned).
+    /// The global value dictionary ran out of `u32` codes (a shard exhausted
+    /// its slot space of 2^28 − 1 simultaneously live values).
     DictionaryFull,
+    /// A relation's code mirror was encoded against an older dictionary
+    /// generation than the current one; a sweep may have recycled its codes,
+    /// so code-based operations would be unsound. Rehydrate first
+    /// ([`crate::Relation::rehydrate`]).
+    StaleGeneration {
+        /// Generation the relation's mirror was encoded against.
+        relation: u64,
+        /// The dictionary's current generation.
+        dictionary: u64,
+    },
+    /// Two relations encoded against different dictionary generations were
+    /// combined in a code-based operation (their codes are incomparable).
+    GenerationMismatch {
+        /// Generation of the left operand.
+        left: u64,
+        /// Generation of the right operand.
+        right: u64,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -64,6 +82,19 @@ impl fmt::Display for DataError {
             DataError::DictionaryFull => {
                 write!(f, "value dictionary exhausted its u32 code space")
             }
+            DataError::StaleGeneration {
+                relation,
+                dictionary,
+            } => write!(
+                f,
+                "relation was encoded against dictionary generation {relation}, \
+                 but the dictionary is at generation {dictionary}; rehydrate before use"
+            ),
+            DataError::GenerationMismatch { left, right } => write!(
+                f,
+                "cannot combine relations from dictionary generations {left} and {right}; \
+                 their codes are incomparable"
+            ),
         }
     }
 }

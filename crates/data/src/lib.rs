@@ -17,6 +17,14 @@
 //! hash map [`CodeKeyMap`] lets joins, bucket keys, and inverted-access
 //! probes run entirely on integer codes with zero per-probe allocation.
 //!
+//! The dictionary is **sharded** (parallel ingest interns disjoint shards
+//! without lock contention) and **generational**: dropping relations and
+//! calling [`Database::advance_generation`] reclaims the codes of values no
+//! live relation uses, bounding dictionary memory across drop/re-ingest
+//! churn. Relations record the generation their mirror was encoded against;
+//! stale mirrors are detected ([`DataError::StaleGeneration`]) and repaired
+//! with [`Relation::rehydrate`]. See `dict`'s module docs and DESIGN.md §9.
+//!
 //! The hash maps exported from [`fxhash`] use a small hand-rolled FxHash
 //! implementation (the classic Firefox/rustc hash) because hashing tuples of
 //! values is on the hot path of preprocessing and inverted access, and the
@@ -37,7 +45,7 @@ pub mod value;
 
 pub use codemap::CodeKeyMap;
 pub use database::Database;
-pub use dict::ValueCode;
+pub use dict::{Generation, ValueCode};
 pub use error::DataError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use index::HashIndex;

@@ -1,6 +1,13 @@
 //! Flat, row-major relations with a dictionary-encoded code mirror.
+//!
+//! Every relation records the dictionary [`Generation`] its mirror was
+//! encoded against. After [`dict::advance_generation`] recycles codes, a
+//! relation from an older generation is *stale*: its mirror may hold codes
+//! that now mean different values, so code-based operations on it are
+//! detected and refused ([`DataError::StaleGeneration`]) until
+//! [`Relation::rehydrate`] re-encodes the mirror.
 
-use crate::dict::{self, ValueCode};
+use crate::dict::{self, Generation, ValueCode};
 use crate::error::DataError;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -30,13 +37,25 @@ pub fn key_of(row: &[Value], cols: &[usize]) -> RowKey {
 /// lockstep by every mutation. Code equality is value equality, so hash
 /// probes on the hot path ([`crate::CodeKeyMap`]) run on borrowed
 /// `&[u32]` slices instead of owned `Box<[Value]>` keys.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Relation {
     schema: Schema,
     data: Vec<Value>,
     /// Dictionary-code mirror of `data` (same length, same layout).
     codes: Vec<ValueCode>,
+    /// Dictionary generation the mirror was encoded against.
+    generation: Generation,
 }
+
+/// Equality is value equality: the code mirror is derived state and the
+/// generation stamp is lifecycle metadata, so neither participates.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.data == other.data
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// Creates an empty relation with the given schema.
@@ -45,6 +64,7 @@ impl Relation {
             schema,
             data: Vec::new(),
             codes: Vec::new(),
+            generation: dict::current_generation(),
         }
     }
 
@@ -134,6 +154,70 @@ impl Relation {
         &self.codes
     }
 
+    /// The dictionary generation the code mirror was encoded against.
+    #[inline]
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Whether the code mirror is valid against the current dictionary
+    /// generation. Relations without dictionary-encoded rows (empty, or
+    /// arity 0, whose sentinel codes never touch the dictionary) are
+    /// trivially current.
+    #[inline]
+    pub fn is_current(&self) -> bool {
+        self.arity() == 0 || self.codes.is_empty() || self.generation == dict::current_generation()
+    }
+
+    /// Errors with [`DataError::StaleGeneration`] unless the mirror is
+    /// current (see [`Relation::is_current`]).
+    pub fn verify_current(&self) -> Result<()> {
+        if self.is_current() {
+            Ok(())
+        } else {
+            Err(DataError::StaleGeneration {
+                relation: self.generation,
+                dictionary: dict::current_generation(),
+            })
+        }
+    }
+
+    /// Re-encodes the code mirror against the current dictionary generation,
+    /// re-interning every value. After a sweep this is how a stale relation
+    /// (one whose values were not in the live set) becomes usable again.
+    pub fn rehydrate(&mut self) -> Result<()> {
+        // Record the generation before interning: if a sweep lands mid-way,
+        // the stamp stays behind the new generation and the relation reads
+        // as stale rather than silently mixed.
+        let generation = dict::current_generation();
+        if self.arity() != 0 {
+            for (slot, value) in self.data.iter().enumerate() {
+                self.codes[slot] = dict::intern(value)?;
+            }
+        }
+        self.generation = generation;
+        Ok(())
+    }
+
+    /// Re-stamps the generation without re-encoding. Only sound when every
+    /// value of this relation was in the live set of the sweep that produced
+    /// `generation` (survivor codes are never remapped) — the database
+    /// lifecycle driver guarantees exactly that.
+    pub(crate) fn stamp_generation(&mut self, generation: Generation) {
+        self.generation = generation;
+    }
+
+    /// Iterator over every stored value (row-major). Arity-0 relations
+    /// yield nothing: their storage holds sentinels, not dictionary values.
+    pub fn values(&self) -> impl Iterator<Item = &Value> + '_ {
+        let take = if self.arity() == 0 {
+            0
+        } else {
+            self.data.len()
+        };
+        self.data[..take].iter()
+    }
+
     /// Appends a row, validating arity.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.arity() {
@@ -148,6 +232,19 @@ impl Relation {
             self.data.push(Value::Int(0));
             self.codes.push(0);
         } else {
+            let current = dict::current_generation();
+            if self.codes.is_empty() {
+                // First coded row (re)binds the relation to the current
+                // generation.
+                self.generation = current;
+            } else if self.generation != current {
+                // Mixing codes from two generations would make the mirror
+                // internally inconsistent; the caller must rehydrate first.
+                return Err(DataError::StaleGeneration {
+                    relation: self.generation,
+                    dictionary: current,
+                });
+            }
             let start = self.codes.len();
             for v in &row {
                 match dict::intern(v) {
@@ -290,6 +387,8 @@ impl Relation {
                 out.codes.push(row_codes[c]);
             }
         }
+        // Copied codes carry the source's generation, not the current one.
+        out.generation = self.generation;
         Ok(out)
     }
 
@@ -302,6 +401,17 @@ impl Relation {
                 actual: other.arity(),
             });
         }
+        // Code equality only means value equality within one generation.
+        if self.arity() != 0
+            && !self.is_empty()
+            && !other.is_empty()
+            && self.generation != other.generation
+        {
+            return Err(DataError::GenerationMismatch {
+                left: self.generation,
+                right: other.generation,
+            });
+        }
         let (small, large) = if self.len() <= other.len() {
             (self, other)
         } else {
@@ -312,6 +422,8 @@ impl Relation {
         let set: crate::FxHashSet<&[ValueCode]> =
             (0..small.len()).map(|i| small.row_codes(i)).collect();
         let mut out = Relation::new(self.schema.clone());
+        // Output codes are copied from the operands' mirrors.
+        out.generation = large.generation;
         let mut seen: crate::FxHashSet<&[ValueCode]> = crate::FxHashSet::default();
         for i in 0..large.len() {
             let codes = large.row_codes(i);

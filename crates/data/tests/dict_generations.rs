@@ -1,0 +1,277 @@
+//! Generational-dictionary semantics: sweeps, code recycling, relation
+//! staleness, rehydration, and the database lifecycle driver.
+//!
+//! Every test here may advance the process-wide dictionary generation, so
+//! the whole file serializes behind one mutex. This binary is its own
+//! process; the append-only unit tests inside `rae-data` never sweep.
+
+use rae_data::{dict, DataError, Database, Relation, Schema, Value};
+use std::sync::{Mutex, MutexGuard};
+
+fn serialized() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn rel_of(attrs: &[&str], rows: &[&[Value]]) -> Relation {
+    Relation::from_rows(
+        Schema::new(attrs.iter().copied()).unwrap(),
+        rows.iter().map(|r| r.to_vec()),
+    )
+    .unwrap()
+}
+
+/// Distinct value namespaces per test so sweeps cannot cross-talk even if
+/// the serialization were ever relaxed.
+fn vals(prefix: &str, n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| Value::str(format!("{prefix}-{i}")))
+        .collect()
+}
+
+#[test]
+fn sweep_frees_dead_codes_and_keeps_live_ones() {
+    let _guard = serialized();
+    let live = vals("gen-live", 50);
+    let dead = vals("gen-dead", 50);
+    let live_codes: Vec<u32> = live.iter().map(|v| dict::intern(v).unwrap()).collect();
+    for v in &dead {
+        dict::intern(v).unwrap();
+    }
+    let before = dict::current_generation();
+    let after = dict::advance_generation(live.iter());
+    assert_eq!(after, before + 1);
+    assert_eq!(dict::current_generation(), after);
+    // Survivors keep their exact codes; the dead are gone.
+    for (v, &code) in live.iter().zip(&live_codes) {
+        assert_eq!(dict::code_of(v), Some(code), "live value remapped");
+    }
+    for v in &dead {
+        assert_eq!(dict::code_of(v), None, "dead value survived the sweep");
+    }
+}
+
+#[test]
+fn freed_codes_are_recycled_not_minted_fresh() {
+    let _guard = serialized();
+    let cohort_a = vals("recycle-a", 200);
+    for v in &cohort_a {
+        dict::intern(v).unwrap();
+    }
+    dict::advance_generation(cohort_a.iter());
+    let high_water = dict::allocated_slot_count();
+
+    // Free cohort A, ingest same-sized cohort B: slots must be reused.
+    dict::advance_generation(std::iter::empty());
+    assert!(dict::free_slot_count() >= 200);
+    let cohort_b = vals("recycle-b", 200);
+    for v in &cohort_b {
+        dict::intern(v).unwrap();
+    }
+    assert!(
+        dict::allocated_slot_count() <= high_water,
+        "cohort B minted fresh slots instead of recycling: {} > {high_water}",
+        dict::allocated_slot_count()
+    );
+    // And recycled codes resolve to the *new* values only.
+    for v in &cohort_a {
+        assert_eq!(dict::code_of(v), None);
+    }
+    for v in &cohort_b {
+        assert!(dict::code_of(v).is_some());
+    }
+}
+
+#[test]
+fn relation_staleness_is_detected_and_rehydration_repairs_it() {
+    let _guard = serialized();
+    let v = vals("rel-stale", 4);
+    let mut rel = rel_of(
+        &["x", "y"],
+        &[&[v[0].clone(), v[1].clone()], &[v[2].clone(), v[3].clone()]],
+    );
+    assert!(rel.is_current());
+    let built_at = rel.generation();
+
+    // Sweep WITHOUT this relation's values: it must read as stale.
+    dict::advance_generation(std::iter::empty());
+    assert!(!rel.is_current());
+    match rel.verify_current() {
+        Err(DataError::StaleGeneration {
+            relation,
+            dictionary,
+        }) => {
+            assert_eq!(relation, built_at);
+            assert_eq!(dictionary, dict::current_generation());
+        }
+        other => panic!("expected StaleGeneration, got {other:?}"),
+    }
+
+    // Mutation on a stale mirror is refused, not silently mixed.
+    assert!(matches!(
+        rel.push_row(vec![v[0].clone(), v[1].clone()]),
+        Err(DataError::StaleGeneration { .. })
+    ));
+
+    // Rehydration re-encodes against the current generation.
+    rel.rehydrate().unwrap();
+    assert!(rel.is_current());
+    assert_eq!(rel.generation(), dict::current_generation());
+    rel.push_row(vec![v[0].clone(), v[1].clone()]).unwrap();
+    assert_eq!(rel.len(), 3);
+    // The mirror matches a fresh encoding of the same values.
+    for i in 0..rel.len() {
+        for (value, &code) in rel.row(i).iter().zip(rel.row_codes(i)) {
+            assert_eq!(dict::code_of(value), Some(code));
+        }
+    }
+}
+
+#[test]
+fn database_advance_generation_keeps_own_relations_current() {
+    let _guard = serialized();
+    let keep = vals("db-keep", 6);
+    let drop_ = vals("db-drop", 6);
+    let mut db = Database::new();
+    db.add_relation(
+        "keep",
+        rel_of(
+            &["a"],
+            &[&[keep[0].clone()], &[keep[1].clone()], &[keep[2].clone()]],
+        ),
+    )
+    .unwrap();
+    db.add_relation(
+        "victim",
+        rel_of(&["a"], &[&[drop_[0].clone()], &[drop_[1].clone()]]),
+    )
+    .unwrap();
+
+    db.remove_relation("victim").unwrap();
+    let generation = db.advance_generation().unwrap();
+    assert_eq!(generation, dict::current_generation());
+
+    // Kept relation: current, codes intact, values resolvable.
+    let kept = db.relation("keep").unwrap();
+    assert!(kept.is_current());
+    assert_eq!(kept.generation(), generation);
+    for i in 0..kept.len() {
+        assert_eq!(dict::code_of(&kept.row(i)[0]), Some(kept.row_codes(i)[0]));
+    }
+    // Dropped relation's exclusive values are reclaimed.
+    assert_eq!(dict::code_of(&drop_[0]), None);
+    assert_eq!(dict::code_of(&drop_[1]), None);
+    // Unused names still error.
+    assert!(matches!(
+        db.remove_relation("victim"),
+        Err(DataError::UnknownRelation(_))
+    ));
+}
+
+#[test]
+fn advance_generation_rehydrates_stale_members_first() {
+    let _guard = serialized();
+    let v = vals("db-rehydrate", 4);
+    let mut db = Database::new();
+    db.add_relation("r", rel_of(&["a"], &[&[v[0].clone()], &[v[1].clone()]]))
+        .unwrap();
+    // An outside sweep stales the database's relation.
+    dict::advance_generation(std::iter::empty());
+    assert!(!db.relation("r").unwrap().is_current());
+
+    // The lifecycle driver must repair it, not bake stale codes into the
+    // live set.
+    db.advance_generation().unwrap();
+    let r = db.relation("r").unwrap();
+    assert!(r.is_current());
+    for i in 0..r.len() {
+        assert_eq!(dict::code_of(&r.row(i)[0]), Some(r.row_codes(i)[0]));
+    }
+}
+
+#[test]
+fn cross_generation_intersect_is_refused() {
+    let _guard = serialized();
+    let v = vals("gen-mismatch", 3);
+    let old = rel_of(&["x"], &[&[v[0].clone()], &[v[1].clone()]]);
+    dict::advance_generation(v.iter());
+    // `old` survived the sweep value-wise, but a *new* relation encoded now
+    // carries a newer stamp; combining the two mirrors is refused.
+    let new = rel_of(&["x"], &[&[v[1].clone()], &[v[2].clone()]]);
+    assert_ne!(old.generation(), new.generation());
+    assert!(matches!(
+        old.intersect(&new),
+        Err(DataError::GenerationMismatch { .. })
+    ));
+    // Same-generation intersect works after rehydration.
+    let mut old = old;
+    old.rehydrate().unwrap();
+    let i = old.intersect(&new).unwrap();
+    assert_eq!(i.len(), 1);
+    assert!(i.contains_row(&[v[1].clone()]));
+}
+
+#[test]
+fn project_propagates_the_source_generation() {
+    let _guard = serialized();
+    let v = vals("gen-project", 4);
+    let rel = rel_of(
+        &["x", "y"],
+        &[&[v[0].clone(), v[1].clone()], &[v[2].clone(), v[3].clone()]],
+    );
+    dict::advance_generation(std::iter::empty());
+    // Projection copies stale codes, so it must carry the stale stamp.
+    let p = rel.project(&[0], Schema::new(["x"]).unwrap()).unwrap();
+    assert_eq!(p.generation(), rel.generation());
+    assert!(!p.is_current());
+}
+
+#[test]
+fn empty_and_arity_zero_relations_are_always_current() {
+    let _guard = serialized();
+    let empty = Relation::with_attrs(["a", "b"]).unwrap();
+    let mut nullary = Relation::with_attrs(Vec::<&str>::new()).unwrap();
+    nullary.push_row(vec![]).unwrap();
+    dict::advance_generation(std::iter::empty());
+    assert!(empty.is_current(), "empty relation has no codes to stale");
+    assert!(nullary.is_current(), "arity-0 codes are sentinels");
+    assert!(empty.verify_current().is_ok());
+    assert!(nullary.verify_current().is_ok());
+    // An empty relation accepts rows again and rebinds to the new
+    // generation.
+    let mut empty = empty;
+    empty
+        .push_row(vec![Value::str("gen-empty-rebind"), Value::Int(1)])
+        .unwrap();
+    assert!(empty.is_current());
+}
+
+#[test]
+fn bounded_growth_across_many_drop_reingest_cycles() {
+    let _guard = serialized();
+    let mut high_water_after_warmup = 0usize;
+    for cycle in 0..12 {
+        let cohort = vals(&format!("bound-{cycle}"), 300);
+        let mut db = Database::new();
+        db.add_relation(
+            "r",
+            rel_of(
+                &["a"],
+                &cohort.iter().map(std::slice::from_ref).collect::<Vec<_>>(),
+            ),
+        )
+        .unwrap();
+        // Drop everything and sweep: next cycle must reuse these slots.
+        db.remove_relation("r").unwrap();
+        db.advance_generation().unwrap();
+        if cycle == 1 {
+            high_water_after_warmup = dict::allocated_slot_count();
+        }
+    }
+    let final_slots = dict::allocated_slot_count();
+    assert!(
+        final_slots <= high_water_after_warmup + 300,
+        "slot high-water mark grew with cycle count: warm {high_water_after_warmup}, \
+         final {final_slots}"
+    );
+}

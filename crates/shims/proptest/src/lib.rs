@@ -292,6 +292,18 @@ pub mod test_runner {
         }
     }
 
+    /// Resolves the case count for a test: `PROPTEST_CASES` env override
+    /// (used by the nightly CI job to deepen coverage without code changes),
+    /// else the per-test configured count.
+    pub fn resolve_cases(configured: u32) -> u32 {
+        if let Ok(s) = std::env::var("PROPTEST_CASES") {
+            if let Ok(v) = s.parse::<u32>() {
+                return v.max(1);
+            }
+        }
+        configured
+    }
+
     /// Resolves the base RNG seed for a test: `PROPTEST_SEED` env override,
     /// else a stable hash of the test's source location.
     pub fn resolve_seed(file: &str, line: u32) -> u64 {
@@ -375,10 +387,11 @@ macro_rules! proptest {
         #[test]
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
             let seed = $crate::test_runner::resolve_seed(file!(), line!());
             let mut rng =
                 <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
-            for case in 0..config.cases {
+            for case in 0..cases {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
                     $body
@@ -387,7 +400,7 @@ macro_rules! proptest {
                     eprintln!(
                         "proptest {}: failed at case {}/{} (base seed {}; \
                          rerun with PROPTEST_SEED={} to reproduce)",
-                        stringify!($name), case + 1, config.cases, seed, seed
+                        stringify!($name), case + 1, cases, seed, seed
                     );
                     std::panic::resume_unwind(payload);
                 }

@@ -13,10 +13,12 @@
 //! real TPC-H mapping, so the paper's selection constants (`UNITED STATES`,
 //! nationkeys 23/24, `n_nationkey = 0`) carry over verbatim.
 
+pub mod churn;
 pub mod gen;
 pub mod queries;
 pub mod scale;
 
+pub use churn::{ChurnConfig, CycleStats};
 pub use gen::{generate, generate_with, prepare_selections, Skew};
 pub use scale::TpchScale;
 

@@ -120,6 +120,53 @@ fn steady_state_answer_paths_do_not_allocate() {
     check_sampler(&rs, &mut rng, &mut scratch);
 }
 
+/// Steady state must survive the relation lifecycle: after dropping and
+/// re-ingesting a relation (fresh values, new index), the SAME scratch must
+/// keep producing answers with zero allocations once the new shape is
+/// warmed. (No generation sweep here — sweeping tests serialize in their
+/// own binaries; append-only growth is what this binary's parallel tests
+/// assume.)
+#[test]
+fn rebuild_after_drop_reingest_stays_zero_alloc() {
+    let mut db = skewed_db();
+    let q: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let mut scratch = AccessScratch::new();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let idx = CqIndex::build(&q, &db).unwrap();
+    idx.access_into(0, &mut scratch).unwrap(); // warm the shape
+    drop(idx);
+
+    // Drop S and re-ingest a value-fresh cohort with the same join keys.
+    db.remove_relation("S").unwrap();
+    let mut s_rows = Vec::new();
+    for i in 0..200i64 {
+        for j in 0..(i % 17 + 1) {
+            s_rows.push(vec![
+                Value::Int(i % 17),
+                Value::Int(5_000_000 + 100 * i + j),
+            ]);
+        }
+    }
+    db.add_relation(
+        "S",
+        Relation::from_rows(Schema::new(["b", "c"]).unwrap(), s_rows).unwrap(),
+    )
+    .unwrap();
+
+    let rebuilt = CqIndex::build(&q, &db).unwrap();
+    let n = rebuilt.count();
+    assert!(n > 100);
+    rebuilt.access_into(0, &mut scratch).unwrap(); // warm-up on the rebuild
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..1000 {
+            let j = rng.gen_range(0..n);
+            std::hint::black_box(rebuilt.access_into(j, &mut scratch).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "rebuilt index allocated with a reused scratch");
+}
+
 /// Scratch reuse across differently-shaped queries must stay sound *and*
 /// allocation-free once every shape has been visited once.
 #[test]
