@@ -76,6 +76,15 @@ fn run_command(command: &str, cfg: &BenchConfig) -> String {
             eprintln!("[repro] wrote BENCH_1.json");
             json
         }
+        "preprocessing" => {
+            // Measures the sort-based build pipeline (radix vs comparison,
+            // serial vs parallel) and asserts serial/parallel determinism —
+            // a digest divergence panics, failing the CI smoke step.
+            let json = rae_bench::preprocessing::preprocessing_json(cfg);
+            std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+            eprintln!("[repro] wrote BENCH_3.json");
+            json
+        }
         "churn" => {
             // Runs last-in-process safely: each command builds its own
             // database, so the generation sweeps cannot stale-out other
@@ -129,7 +138,8 @@ fn usage(message: &str) -> ! {
         "usage: repro [--sf <scale>] [--seed <seed>] <command> [<command> ...]\n\
          commands: fig1 fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8\n\
          \u{20}         rs-note ablation-delete ablation-binary ablation-fold\n\
-         \u{20}         bench-json (writes BENCH_1.json) churn (writes BENCH_2.json) all"
+         \u{20}         bench-json (writes BENCH_1.json) churn (writes BENCH_2.json)\n\
+         \u{20}         preprocessing (writes BENCH_3.json) all"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }

@@ -20,6 +20,7 @@
 //! | §B.2.3 RS note | [`figures::rs_note`] | `rs-note` |
 //! | Ablations (DESIGN.md §7) | [`figures::ablation`] | `ablation-delete`, `ablation-binary` |
 //! | Churn boundedness (DESIGN.md §9) | [`churn`] | `churn` (writes `BENCH_2.json`) |
+//! | Preprocessing pipeline (DESIGN.md §10) | [`preprocessing`] | `preprocessing` (writes `BENCH_3.json`) |
 //!
 //! Absolute numbers are machine- and scale-dependent; the *shapes* (who
 //! wins, by what factor, where crossovers fall) are the reproduction target.
@@ -31,6 +32,7 @@ pub mod churn;
 pub mod delays;
 pub mod figures;
 pub mod perf_report;
+pub mod preprocessing;
 pub mod setup;
 pub mod stats;
 pub mod table;

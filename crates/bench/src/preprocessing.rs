@@ -1,0 +1,316 @@
+//! The preprocessing performance report (`BENCH_3.json`).
+//!
+//! `repro preprocessing` measures the sort-based build pipeline of
+//! DESIGN.md §10 on TPC-H Q3 at two scale factors:
+//!
+//! * **sort ablation** — the canonical `(pAtts, full row)` sort of the
+//!   largest node relation, LSD radix vs the comparison baseline, from
+//!   shuffled input (so the `sorted_by` fingerprint cannot short-circuit
+//!   either side);
+//! * **build ablation** — the full `CqIndex::from_parts_with` pipeline,
+//!   serial vs level-synchronous parallel (at the machine's available
+//!   parallelism) and radix vs comparison sorts, also from shuffled input;
+//! * **determinism** — a structural digest over every artifact (row orders,
+//!   weights, startIndexes, buckets, child-bucket tables) of the serial and
+//!   parallel builds. The harness **panics on divergence**, which is what
+//!   the CI smoke step relies on.
+//!
+//! On a single-core container the parallel build degenerates to the serial
+//! path; `available_parallelism` is recorded so readers can interpret the
+//! speedup field (the ≥1.5× target presumes ≥4 cores).
+
+use crate::setup::BenchConfig;
+use rae_core::{BuildOptions, CqIndex, SortAlgorithm};
+use rae_data::fxhash::FxHasher;
+use rae_data::Relation;
+use rae_tpch::queries;
+use rae_yannakakis::{reduce_to_full_acyclic, FullAcyclicJoin};
+use std::fmt::Write as _;
+use std::hash::Hasher;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `run(prep())` over `samples` rounds,
+/// timing only `run` (preparation — clones, shuffles — stays untimed).
+fn median_ns<T>(samples: u32, mut prep: impl FnMut() -> T, mut run: impl FnMut(T)) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let input = prep();
+            let start = Instant::now();
+            run(input);
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// Rebuilds `rel` with its rows in a deterministic pseudorandom order and no
+/// sort fingerprint, so a timed sort does full work.
+fn shuffled(rel: &Relation) -> Relation {
+    let n = rel.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        order.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    let mut out = Relation::new(rel.schema().clone());
+    for &i in &order {
+        out.push_row_slice(rel.row(i)).expect("same schema");
+    }
+    out
+}
+
+/// A structural digest over every build artifact the index exposes. Two
+/// builds digest equal iff rows, weights, starts, buckets, bucket-of-row
+/// and child-bucket tables all match.
+pub fn artifact_digest(idx: &CqIndex) -> u64 {
+    let mut h = FxHasher::default();
+    let mix = |h: &mut FxHasher, v: u64| h.write_u64(v);
+    mix(&mut h, idx.count() as u64);
+    mix(&mut h, (idx.count() >> 64) as u64);
+    for node in 0..idx.node_count() {
+        let rel = idx.node_relation(node);
+        mix(&mut h, rel.len() as u64);
+        for &code in rel.codes() {
+            h.write_u32(code);
+        }
+        for bucket in 0..idx.bucket_count(node) as u32 {
+            let view = idx.bucket(node, bucket);
+            mix(&mut h, u64::from(view.start));
+            mix(&mut h, u64::from(view.end));
+            mix(&mut h, view.total as u64);
+            mix(&mut h, (view.total >> 64) as u64);
+            mix(&mut h, view.max_weight as u64);
+        }
+        let children = idx.plan().children(node).len();
+        for row in 0..rel.len() as u32 {
+            mix(&mut h, idx.row_weight(node, row) as u64);
+            mix(&mut h, idx.row_start(node, row) as u64);
+            mix(&mut h, u64::from(idx.bucket_of_row(node, row)));
+            for child_pos in 0..children {
+                let view = idx.child_bucket(node, row, child_pos);
+                mix(&mut h, u64::from(view.start) << 32 | u64::from(view.end));
+            }
+        }
+    }
+    h.finish()
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct RunReport {
+    sf: f64,
+    sort_rows: usize,
+    sort_arity: usize,
+    sort_comparison_ns: f64,
+    sort_radix_ns: f64,
+    build_rows: usize,
+    build_serial_ns: f64,
+    build_parallel_ns: f64,
+    build_serial_comparison_ns: f64,
+    answers: u128,
+    serial_digest: u64,
+    parallel_digest: u64,
+}
+
+fn measure_run(sf: f64, seed: u64, threads: usize, samples: u32) -> RunReport {
+    let cfg = BenchConfig { sf, seed };
+    let db = cfg.build_db();
+    let q3 = queries::q3();
+    let fj: FullAcyclicJoin = reduce_to_full_acyclic(&q3, &db).expect("q3 reduces");
+
+    // --- sort ablation on the largest node relation -----------------------
+    let (largest_node, largest_rel) = fj
+        .relations
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.len())
+        .expect("q3 has nodes");
+    let key_cols = fj.plan.parent_shared_cols(largest_node);
+    let shuffled_rel = shuffled(largest_rel);
+    let sort_comparison_ns = median_ns(
+        samples,
+        || shuffled_rel.clone(),
+        |mut rel| rel.sort_by_key_then_row_with(&key_cols, SortAlgorithm::Comparison),
+    );
+    let sort_radix_ns = median_ns(
+        samples,
+        || shuffled_rel.clone(),
+        |mut rel| rel.sort_by_key_then_row_with(&key_cols, SortAlgorithm::Radix),
+    );
+
+    // --- build ablation over the full pipeline ----------------------------
+    // Shuffled inputs: a cold build that cannot lean on the fingerprint.
+    let shuffled_rels: Vec<Relation> = fj.relations.iter().map(shuffled).collect();
+    let build_rows: usize = shuffled_rels.iter().map(Relation::len).sum();
+    let build = |rels: Vec<Relation>, options: BuildOptions| {
+        CqIndex::from_parts_with(fj.plan.clone(), rels, fj.head.clone(), options)
+            .expect("q3 index builds")
+    };
+    let build_serial_ns = median_ns(
+        samples,
+        || shuffled_rels.clone(),
+        |rels| {
+            std::hint::black_box(build(rels, BuildOptions::serial()));
+        },
+    );
+    let build_parallel_ns = median_ns(
+        samples,
+        || shuffled_rels.clone(),
+        |rels| {
+            std::hint::black_box(build(rels, BuildOptions::with_threads(threads)));
+        },
+    );
+    let build_serial_comparison_ns = median_ns(
+        samples,
+        || shuffled_rels.clone(),
+        |rels| {
+            std::hint::black_box(build(
+                rels,
+                BuildOptions {
+                    threads: 1,
+                    sort: SortAlgorithm::Comparison,
+                },
+            ));
+        },
+    );
+
+    // --- determinism digest ------------------------------------------------
+    let serial_idx = build(shuffled_rels.clone(), BuildOptions::serial());
+    let parallel_idx = build(
+        shuffled_rels.clone(),
+        BuildOptions::with_threads(threads.max(2)),
+    );
+    let serial_digest = artifact_digest(&serial_idx);
+    let parallel_digest = artifact_digest(&parallel_idx);
+    assert_eq!(
+        serial_digest, parallel_digest,
+        "PARALLEL BUILD DIVERGED FROM SERIAL at sf {sf} — this is a bug"
+    );
+
+    RunReport {
+        sf,
+        sort_rows: largest_rel.len(),
+        sort_arity: largest_rel.arity(),
+        sort_comparison_ns,
+        sort_radix_ns,
+        build_rows,
+        build_serial_ns,
+        build_parallel_ns,
+        build_serial_comparison_ns,
+        answers: serial_idx.count(),
+        serial_digest,
+        parallel_digest,
+    }
+}
+
+/// Runs the measurements and renders `BENCH_3.json`'s contents. Panics if
+/// any parallel build diverges from its serial twin.
+pub fn preprocessing_json(cfg: &BenchConfig) -> String {
+    let threads = BuildOptions::default().resolved_threads();
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Small scale at the configured sf, wide scale at 5×.
+    let runs = [
+        measure_run(cfg.sf, cfg.seed, threads, 9),
+        measure_run(cfg.sf * 5.0, cfg.seed, threads, 5),
+    ];
+
+    let mut entries = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            entries,
+            "    {{\n\
+             \x20     \"sf\": {},\n\
+             \x20     \"answers\": {},\n\
+             \x20     \"sort\": {{\n\
+             \x20       \"relation_rows\": {}, \"arity\": {},\n\
+             \x20       \"comparison_ns\": {}, \"radix_ns\": {},\n\
+             \x20       \"radix_speedup\": {}\n\
+             \x20     }},\n\
+             \x20     \"build\": {{\n\
+             \x20       \"input_rows\": {},\n\
+             \x20       \"serial_comparison_ns\": {}, \"serial_ns\": {}, \"parallel_ns\": {},\n\
+             \x20       \"radix_build_speedup\": {}, \"parallel_speedup\": {}\n\
+             \x20     }},\n\
+             \x20     \"determinism\": {{\n\
+             \x20       \"serial_digest\": \"{:016x}\", \"parallel_digest\": \"{:016x}\",\n\
+             \x20       \"identical\": {}\n\
+             \x20     }}\n\
+             \x20   }}{}\n",
+            r.sf,
+            r.answers,
+            r.sort_rows,
+            r.sort_arity,
+            json_f64(r.sort_comparison_ns),
+            json_f64(r.sort_radix_ns),
+            json_f64(r.sort_comparison_ns / r.sort_radix_ns),
+            r.build_rows,
+            json_f64(r.build_serial_comparison_ns),
+            json_f64(r.build_serial_ns),
+            json_f64(r.build_parallel_ns),
+            json_f64(r.build_serial_comparison_ns / r.build_serial_ns),
+            json_f64(r.build_serial_ns / r.build_parallel_ns),
+            r.serial_digest,
+            r.parallel_digest,
+            r.serial_digest == r.parallel_digest,
+            if i + 1 < runs.len() { "," } else { "" },
+        );
+    }
+
+    format!(
+        "{{\n\
+         \x20 \"schema\": \"rae-bench-preprocessing-v1\",\n\
+         \x20 \"config\": {{ \"query\": \"q3\", \"seed\": {}, \"available_parallelism\": {}, \"build_threads\": {} }},\n\
+         \x20 \"note\": \"parallel_speedup presumes >=4 cores; on this machine available_parallelism is {}\",\n\
+         \x20 \"runs\": [\n{}\
+         \x20 ]\n\
+         }}\n",
+        cfg.seed, available, threads, available, entries
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preprocessing_json_is_well_formed_and_deterministic() {
+        // Tiny scale: this also exercises the serial-vs-parallel digest
+        // assertion inside measure_run.
+        let cfg = BenchConfig {
+            sf: 0.0005,
+            seed: 42,
+        };
+        let json = preprocessing_json(&cfg);
+        assert!(json.contains("\"schema\": \"rae-bench-preprocessing-v1\""));
+        assert!(json.contains("\"sort\""));
+        assert!(json.contains("\"determinism\""));
+        assert!(json.contains("\"identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn artifact_digest_is_stable_and_discriminating() {
+        let cfg = BenchConfig {
+            sf: 0.0005,
+            seed: 42,
+        };
+        let db = cfg.build_db();
+        let q3 = queries::q3();
+        let a = CqIndex::build(&q3, &db).expect("builds");
+        let b = CqIndex::build(&q3, &db).expect("builds");
+        assert_eq!(artifact_digest(&a), artifact_digest(&b));
+        let q0 = queries::q0();
+        let c = CqIndex::build(&q0, &db).expect("builds");
+        assert_ne!(artifact_digest(&a), artifact_digest(&c));
+    }
+}

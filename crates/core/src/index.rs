@@ -28,14 +28,80 @@ use crate::renum_cq::CqShuffle;
 use crate::scratch::AccessScratch;
 use crate::weight::{checked_product, split_index, Weight};
 use crate::Result;
-use rae_data::{dict, CodeKeyMap, Database, Relation, Symbol, Value, ValueCode};
+use rae_data::{dict, CodeKeyMap, Database, Relation, SortAlgorithm, Symbol, Value, ValueCode};
 use rae_query::{ConjunctiveQuery, TreePlan};
 use rae_yannakakis::{
     full_reduce, reduce_to_full_acyclic, reduce_to_full_acyclic_with, FullAcyclicJoin,
     ReduceOptions,
 };
 use rand::Rng;
+use std::ops::Range;
 use std::sync::OnceLock;
+
+/// Environment variable overriding the preprocessing thread count
+/// (`1` forces the serial build; unset ⇒ available parallelism).
+pub const BUILD_THREADS_ENV: &str = "RAE_BUILD_THREADS";
+
+/// Builds below this many total input tuples always run serially: thread
+/// spawn overhead dwarfs the work, and the tiny indexes of unit tests should
+/// not fan out.
+const MIN_PARALLEL_TUPLES: usize = 4096;
+
+/// Smallest per-node row count worth chunking across threads in the
+/// weights/child-bucket pass.
+const MIN_PARALLEL_ROWS: usize = 8192;
+
+/// Preprocessing configuration for [`CqIndex::from_parts_with`].
+///
+/// The build is **deterministic** for every configuration: serial and
+/// parallel builds (any thread count, either sort algorithm) produce
+/// byte-identical index artifacts — weights, startIndexes, buckets, row
+/// orders, and child-bucket tables. The knobs only trade wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Worker threads for the level-synchronous build. `0` = auto: the
+    /// [`BUILD_THREADS_ENV`] environment variable if set, otherwise
+    /// [`std::thread::available_parallelism`]. `1` = the serial path (no
+    /// threads are spawned).
+    pub threads: usize,
+    /// Sort implementation for the canonical relation sorts (radix vs
+    /// comparison ablation; see `rae_data::SortAlgorithm`).
+    pub sort: SortAlgorithm,
+}
+
+impl BuildOptions {
+    /// The fully serial configuration (today's single-threaded path).
+    pub fn serial() -> Self {
+        BuildOptions {
+            threads: 1,
+            sort: SortAlgorithm::default(),
+        }
+    }
+
+    /// A configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        BuildOptions {
+            threads,
+            sort: SortAlgorithm::default(),
+        }
+    }
+
+    /// The effective thread count (resolving `0` through the environment
+    /// and the machine's available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        if let Ok(raw) = std::env::var(BUILD_THREADS_ENV) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
 
 /// A bucket of a node relation: a contiguous, canonically ordered row range
 /// sharing one `pAtts` key.
@@ -125,10 +191,21 @@ struct NodeIndex {
 impl NodeIndex {
     fn row_lookup(&self) -> &CodeKeyMap {
         self.row_by_tuple.get_or_init(|| {
-            // Row count was validated against u32 in `from_parts`.
-            let mut map = CodeKeyMap::with_capacity(self.rel.arity(), self.rel.len());
-            for i in 0..self.rel.len() {
-                map.insert(self.rel.row_codes(i), i as u32);
+            // Row count was validated against u32 in `from_parts`. Sized to
+            // the relation *after* reduction, so the table never re-grows,
+            // and filled from the flat code mirror in one tight loop (no
+            // per-row bounds-checked re-borrow of `rel`).
+            let arity = self.rel.arity();
+            let rows = self.rel.len();
+            let mut map = CodeKeyMap::with_capacity(arity, rows);
+            if arity == 0 {
+                for i in 0..rows {
+                    map.insert(&[], i as u32);
+                }
+            } else {
+                for (i, key) in self.rel.codes().chunks_exact(arity).enumerate() {
+                    map.insert(key, i as u32);
+                }
             }
             map
         })
@@ -187,10 +264,20 @@ impl CqIndex {
     /// and canonically sorted here, so any consistent input is accepted —
     /// this is the entry point the mc-UCQ builder uses with intersected
     /// relations.
-    pub fn from_parts(
+    pub fn from_parts(plan: TreePlan, relations: Vec<Relation>, head: Vec<Symbol>) -> Result<Self> {
+        Self::from_parts_with(plan, relations, head, BuildOptions::default())
+    }
+
+    /// [`CqIndex::from_parts`] with explicit preprocessing options: thread
+    /// count for the level-synchronous parallel build and the sort
+    /// implementation (see [`BuildOptions`] and DESIGN.md §10).
+    ///
+    /// The produced index is byte-identical for every option combination.
+    pub fn from_parts_with(
         plan: TreePlan,
         mut relations: Vec<Relation>,
         head: Vec<Symbol>,
+        options: BuildOptions,
     ) -> Result<Self> {
         assert_eq!(
             plan.node_count(),
@@ -230,10 +317,24 @@ impl CqIndex {
             }
         }
 
-        // Set semantics + global consistency (idempotent when already done).
-        for rel in &mut relations {
-            rel.sort_dedup();
-        }
+        // Serial below the parallel-worthwhile floor (also keeps unit-test
+        // workloads from spawning threads for micro relations).
+        let total_rows: usize = relations.iter().map(Relation::len).sum();
+        let threads = if total_rows < MIN_PARALLEL_TUPLES {
+            1
+        } else {
+            options.resolved_threads()
+        };
+        let sort = options.sort;
+
+        // Phase 1 — set semantics (idempotent when already done). Each
+        // relation sorts independently: the first parallel stage.
+        par_for_each_indexed(&mut relations, threads, |_, rel| {
+            rel.sort_dedup_with(sort);
+        });
+
+        // Phase 2 — global consistency via merge semijoins (edge-sequential:
+        // each semijoin consumes its predecessor's reduction).
         full_reduce(&plan, &mut relations)?;
         if relations.iter().any(Relation::is_empty) {
             for r in &mut relations {
@@ -242,120 +343,45 @@ impl CqIndex {
         }
 
         let n = plan.node_count();
-        let mut nodes: Vec<Option<NodeIndex>> = (0..n).map(|_| None).collect();
 
+        // Phase 3 — canonical `(pAtts, full row)` sort per node. Independent
+        // of the tree structure, so all nodes sort concurrently (relations
+        // that full reduction left in a covered order skip entirely via the
+        // `sorted_by` fingerprint).
+        let key_cols_all: Vec<Vec<usize>> = (0..n).map(|i| plan.parent_shared_cols(i)).collect();
+        par_for_each_indexed(&mut relations, threads, |i, rel| {
+            rel.sort_by_key_then_row_with(&key_cols_all[i], sort);
+        });
+
+        // Phase 4 — level-synchronous weights/buckets: group nodes by tree
+        // depth and build every node of a level concurrently (all children
+        // live in deeper, already-built levels). Within a level, leftover
+        // threads chunk the row loops of large nodes.
+        let mut depth = vec![0usize; n];
+        for &node in plan.leaf_to_root().iter().rev() {
+            if let Some(p) = plan.parent(node) {
+                depth[node] = depth[p] + 1;
+            }
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth + 1];
         for &node in plan.leaf_to_root() {
-            let mut rel = std::mem::replace(
-                &mut relations[node],
-                Relation::new(rae_data::Schema::new(Vec::<Symbol>::new())?),
-            );
-            let key_cols = plan.parent_shared_cols(node);
-            rel.sort_by_key_then_row(&key_cols);
+            levels[depth[node]].push(node);
+        }
 
-            let children = plan.children(node);
-            // For each child: the positions in *this* bag holding the child's
-            // pAtts attributes, in the child's key-column order.
-            let probe_cols: Vec<Vec<usize>> = children
+        let mut nodes: Vec<Option<NodeIndex>> = (0..n).map(|_| None).collect();
+        for level in levels.iter().rev() {
+            let work: Vec<(usize, Relation)> = level
                 .iter()
-                .map(|&c| {
-                    plan.parent_shared_cols(c)
-                        .iter()
-                        .map(|&cc| {
-                            let attr = &plan.bag(c)[cc];
-                            plan.bag(node)
-                                .binary_search(attr)
-                                .expect("shared attribute occurs in parent bag")
-                        })
-                        .collect()
+                .map(|&node| {
+                    let rel = std::mem::take(&mut relations[node]);
+                    (node, rel)
                 })
                 .collect();
-
-            let row_count = rel.len();
-            // Row and bucket ids are u32; oversized relations are a
-            // recoverable error, not a panic.
-            ensure_u32("rows", row_count)?;
-            let mut key_buf: Vec<ValueCode> = Vec::new();
-            let mut weights: Vec<Weight> = Vec::with_capacity(row_count);
-            let mut child_buckets: Vec<Vec<u32>> =
-                vec![Vec::with_capacity(row_count); children.len()];
-            for row_id in 0..row_count {
-                let row_codes = rel.row_codes(row_id);
-                let mut w: Weight = 1;
-                for (c, &child) in children.iter().enumerate() {
-                    let child_node = nodes[child].as_ref().expect("children built first");
-                    key_buf.clear();
-                    key_buf.extend(probe_cols[c].iter().map(|&cc| row_codes[cc]));
-                    let bucket_id = child_node
-                        .bucket_by_key
-                        .get(&key_buf)
-                        .expect("full reduction guarantees matching child buckets");
-                    child_buckets[c].push(bucket_id);
-                    let bucket_total = child_node.buckets[bucket_id as usize].total;
-                    w = w
-                        .checked_mul(bucket_total)
-                        .ok_or(CoreError::WeightOverflow)?;
-                }
-                debug_assert!(w >= 1);
-                weights.push(w);
+            let built = build_level(&plan, work, &head, &nodes, threads, sort)?;
+            for (node, built_node) in built {
+                nodes[node] = Some(built_node);
             }
-
-            // Buckets: contiguous runs of equal pAtts keys (compared on
-            // dictionary codes — equal codes ⟺ equal values).
-            let mut starts: Vec<Weight> = vec![0; row_count];
-            let mut buckets: Vec<BucketView> = Vec::new();
-            let mut bucket_by_key = CodeKeyMap::with_capacity(key_cols.len(), 16);
-            let mut bucket_of_row: Vec<u32> = vec![0; row_count];
-            let mut row_id = 0usize;
-            while row_id < row_count {
-                let bucket_id = ensure_u32("buckets", buckets.len())?;
-                let start = row_id;
-                let mut running: Weight = 0;
-                let mut max_weight: Weight = 0;
-                while row_id < row_count && {
-                    let (cur, first) = (rel.row_codes(row_id), rel.row_codes(start));
-                    key_cols.iter().all(|&c| cur[c] == first[c])
-                } {
-                    starts[row_id] = running;
-                    running = running
-                        .checked_add(weights[row_id])
-                        .ok_or(CoreError::WeightOverflow)?;
-                    max_weight = max_weight.max(weights[row_id]);
-                    bucket_of_row[row_id] = bucket_id;
-                    row_id += 1;
-                }
-                buckets.push(BucketView {
-                    start: start as u32,
-                    end: row_id as u32,
-                    total: running,
-                    max_weight,
-                });
-                key_buf.clear();
-                key_buf.extend(key_cols.iter().map(|&c| rel.row_codes(start)[c]));
-                bucket_by_key.insert(&key_buf, bucket_id);
-            }
-
-            let bag_to_head: Vec<usize> = plan
-                .bag(node)
-                .iter()
-                .map(|attr| {
-                    head.iter()
-                        .position(|h| h == attr)
-                        .expect("validated above")
-                })
-                .collect();
-
-            nodes[node] = Some(NodeIndex {
-                rel,
-                key_cols,
-                weights,
-                starts: StartIndex::from_weights(starts),
-                buckets,
-                bucket_by_key,
-                bucket_of_row,
-                child_buckets,
-                bag_to_head,
-                row_by_tuple: OnceLock::new(),
-            });
         }
 
         let nodes: Vec<NodeIndex> = nodes.into_iter().map(|n| n.expect("built")).collect();
@@ -730,6 +756,278 @@ impl CqIndex {
     }
 }
 
+// ----------------------------------------------------------------------
+// Level-synchronous build internals (DESIGN.md §10). Everything below is
+// deterministic: worker assignment never influences any produced artifact.
+// ----------------------------------------------------------------------
+
+/// Runs `f(index, item)` over `items`, splitting the slice into contiguous
+/// chunks across up to `threads` scoped worker threads (serial when
+/// `threads <= 1` or there is at most one item).
+fn par_for_each_indexed<T: Send>(
+    items: &mut [T],
+    threads: usize,
+    f: impl Fn(usize, &mut T) + Sync,
+) {
+    if threads <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    std::thread::scope(|scope| {
+        for (w, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, item) in slice.iter_mut().enumerate() {
+                    f(w * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
+/// Builds every node of one tree level. Nodes of a level are independent
+/// (their children live in deeper levels, already present in `nodes`), so
+/// with `threads > 1` they build concurrently; leftover parallelism goes to
+/// row-chunking inside the nodes ([`compute_weights`]).
+fn build_level(
+    plan: &TreePlan,
+    work: Vec<(usize, Relation)>,
+    head: &[Symbol],
+    nodes: &[Option<NodeIndex>],
+    threads: usize,
+    sort: SortAlgorithm,
+) -> Result<Vec<(usize, NodeIndex)>> {
+    let node_workers = threads.min(work.len());
+    if node_workers <= 1 {
+        // Single node (or serial): give the whole thread budget to the rows.
+        return work
+            .into_iter()
+            .map(|(node, rel)| {
+                Ok((
+                    node,
+                    build_node(plan, node, rel, head, nodes, threads, sort)?,
+                ))
+            })
+            .collect();
+    }
+    let inner_threads = (threads / node_workers).max(1);
+    let mut shards: Vec<Vec<(usize, Relation)>> = (0..node_workers).map(|_| Vec::new()).collect();
+    for (i, item) in work.into_iter().enumerate() {
+        shards[i % node_workers].push(item);
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(node_workers);
+        for shard in shards {
+            handles.push(scope.spawn(move || -> Result<Vec<(usize, NodeIndex)>> {
+                shard
+                    .into_iter()
+                    .map(|(node, rel)| {
+                        Ok((
+                            node,
+                            build_node(plan, node, rel, head, nodes, inner_threads, sort)?,
+                        ))
+                    })
+                    .collect()
+            }));
+        }
+        let mut built = Vec::new();
+        for handle in handles {
+            built.extend(handle.join().expect("node build worker panicked")?);
+        }
+        Ok(built)
+    })
+}
+
+/// Builds one node's index artifacts: canonical sort (a fingerprint no-op
+/// when phase 3 already sorted it), per-row subtree weights and child-bucket
+/// ids, then the bucket table and startIndexes.
+fn build_node(
+    plan: &TreePlan,
+    node: usize,
+    mut rel: Relation,
+    head: &[Symbol],
+    nodes: &[Option<NodeIndex>],
+    threads: usize,
+    sort: SortAlgorithm,
+) -> Result<NodeIndex> {
+    let key_cols = plan.parent_shared_cols(node);
+    rel.sort_by_key_then_row_with(&key_cols, sort);
+
+    let children = plan.children(node);
+    // For each child: the positions in *this* bag holding the child's
+    // pAtts attributes, in the child's key-column order.
+    let probe_cols: Vec<Vec<usize>> = children
+        .iter()
+        .map(|&c| {
+            plan.parent_shared_cols(c)
+                .iter()
+                .map(|&cc| {
+                    let attr = &plan.bag(c)[cc];
+                    plan.bag(node)
+                        .binary_search(attr)
+                        .expect("shared attribute occurs in parent bag")
+                })
+                .collect()
+        })
+        .collect();
+
+    let row_count = rel.len();
+    // Row and bucket ids are u32; oversized relations are a recoverable
+    // error, not a panic.
+    ensure_u32("rows", row_count)?;
+    let (weights, child_buckets) =
+        compute_weights(&rel, children, &probe_cols, nodes, row_count, threads)?;
+
+    // Buckets: contiguous runs of equal pAtts keys (compared on dictionary
+    // codes — equal codes ⟺ equal values). Sequential by nature (running
+    // startIndex sums), but O(rows) with no hashing.
+    let mut key_buf: Vec<ValueCode> = Vec::new();
+    let mut starts: Vec<Weight> = vec![0; row_count];
+    let mut buckets: Vec<BucketView> = Vec::new();
+    let mut bucket_by_key = CodeKeyMap::with_capacity(key_cols.len(), 16);
+    let mut bucket_of_row: Vec<u32> = vec![0; row_count];
+    let mut row_id = 0usize;
+    while row_id < row_count {
+        let bucket_id = ensure_u32("buckets", buckets.len())?;
+        let start = row_id;
+        let mut running: Weight = 0;
+        let mut max_weight: Weight = 0;
+        while row_id < row_count && {
+            let (cur, first) = (rel.row_codes(row_id), rel.row_codes(start));
+            key_cols.iter().all(|&c| cur[c] == first[c])
+        } {
+            starts[row_id] = running;
+            running = running
+                .checked_add(weights[row_id])
+                .ok_or(CoreError::WeightOverflow)?;
+            max_weight = max_weight.max(weights[row_id]);
+            bucket_of_row[row_id] = bucket_id;
+            row_id += 1;
+        }
+        buckets.push(BucketView {
+            start: start as u32,
+            end: row_id as u32,
+            total: running,
+            max_weight,
+        });
+        key_buf.clear();
+        key_buf.extend(key_cols.iter().map(|&c| rel.row_codes(start)[c]));
+        bucket_by_key.insert(&key_buf, bucket_id);
+    }
+
+    let bag_to_head: Vec<usize> = plan
+        .bag(node)
+        .iter()
+        .map(|attr| head.iter().position(|h| h == attr).expect("validated"))
+        .collect();
+
+    Ok(NodeIndex {
+        rel,
+        key_cols,
+        weights,
+        starts: StartIndex::from_weights(starts),
+        buckets,
+        bucket_by_key,
+        bucket_of_row,
+        child_buckets,
+        bag_to_head,
+        row_by_tuple: OnceLock::new(),
+    })
+}
+
+/// Per-row subtree weights and child-bucket ids (Algorithm 2's `w(t)`),
+/// row-chunked across up to `threads` scoped workers for large nodes. Rows
+/// are independent given the children's (already built) bucket tables, and
+/// chunks concatenate in row order, so the result is chunking-invariant.
+fn compute_weights(
+    rel: &Relation,
+    children: &[usize],
+    probe_cols: &[Vec<usize>],
+    nodes: &[Option<NodeIndex>],
+    row_count: usize,
+    threads: usize,
+) -> Result<(Vec<Weight>, Vec<Vec<u32>>)> {
+    if threads <= 1 || row_count < MIN_PARALLEL_ROWS || children.is_empty() {
+        return weights_range(rel, children, probe_cols, nodes, 0..row_count);
+    }
+    let workers = threads.min(row_count.div_ceil(MIN_PARALLEL_ROWS)).max(1);
+    let chunk = row_count.div_ceil(workers);
+    let parts = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        while start < row_count {
+            let end = (start + chunk).min(row_count);
+            handles.push(
+                scope.spawn(move || weights_range(rel, children, probe_cols, nodes, start..end)),
+            );
+            start = end;
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("weights worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut weights: Vec<Weight> = Vec::with_capacity(row_count);
+    let mut child_buckets: Vec<Vec<u32>> = vec![Vec::with_capacity(row_count); children.len()];
+    for part in parts {
+        let (w, cb) = part?;
+        weights.extend(w);
+        for (acc, chunk_ids) in child_buckets.iter_mut().zip(cb) {
+            acc.extend(chunk_ids);
+        }
+    }
+    Ok((weights, child_buckets))
+}
+
+/// The weights/child-bucket loop over one row range, with the run-memoized
+/// child probe: the canonical sort makes consecutive rows share probe keys,
+/// so an unchanged key reuses the previous row's bucket id and skips the
+/// hash probe (and the `key_buf` rebuild) entirely.
+fn weights_range(
+    rel: &Relation,
+    children: &[usize],
+    probe_cols: &[Vec<usize>],
+    nodes: &[Option<NodeIndex>],
+    range: Range<usize>,
+) -> Result<(Vec<Weight>, Vec<Vec<u32>>)> {
+    let mut key_buf: Vec<ValueCode> = Vec::new();
+    let mut weights: Vec<Weight> = Vec::with_capacity(range.len());
+    let mut child_buckets: Vec<Vec<u32>> = vec![Vec::with_capacity(range.len()); children.len()];
+    for row_id in range.clone() {
+        let row_codes = rel.row_codes(row_id);
+        let prev_codes = (row_id > range.start).then(|| rel.row_codes(row_id - 1));
+        let local_prev = row_id.wrapping_sub(range.start).wrapping_sub(1);
+        let mut w: Weight = 1;
+        for (c, &child) in children.iter().enumerate() {
+            let child_node = nodes[child].as_ref().expect("children built first");
+            let bucket_id = match prev_codes {
+                Some(prev) if probe_cols[c].iter().all(|&cc| row_codes[cc] == prev[cc]) => {
+                    child_buckets[c][local_prev]
+                }
+                _ => {
+                    key_buf.clear();
+                    key_buf.extend(probe_cols[c].iter().map(|&cc| row_codes[cc]));
+                    child_node
+                        .bucket_by_key
+                        .get(&key_buf)
+                        .expect("full reduction guarantees matching child buckets")
+                }
+            };
+            child_buckets[c].push(bucket_id);
+            let bucket_total = child_node.buckets[bucket_id as usize].total;
+            w = w
+                .checked_mul(bucket_total)
+                .ok_or(CoreError::WeightOverflow)?;
+        }
+        debug_assert!(w >= 1);
+        weights.push(w);
+    }
+    Ok((weights, child_buckets))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1043,6 +1341,86 @@ mod tests {
                 big_iter.any(|b| b == item),
                 "small enumeration is not a subsequence of the big one"
             );
+        }
+    }
+
+    #[test]
+    fn rank_leq_wide_j_on_compact_layout_counts_every_row() {
+        // The `Err(_) => end - start` fallback: a probe weight above
+        // u64::MAX can never be exceeded by a compact (u64) startIndex, so
+        // every row in the range qualifies. Lock in that overflow behavior.
+        let compact = StartIndex::from_weights(vec![0, 5, 9, 14]);
+        assert!(matches!(compact, StartIndex::Compact(_)));
+        let wide_j: Weight = Weight::from(u64::MAX) + 1;
+        assert_eq!(compact.rank_leq(0, 4, wide_j), 4);
+        assert_eq!(compact.rank_leq(1, 3, wide_j), 2); // sub-range too
+        assert_eq!(compact.rank_leq(2, 2, wide_j), 0); // empty range
+                                                       // Weight::MAX goes through the same fallback.
+        assert_eq!(compact.rank_leq(0, 4, Weight::MAX), 4);
+        // Control: an in-range probe still binary-searches normally.
+        assert_eq!(compact.rank_leq(0, 4, 9), 3);
+    }
+
+    #[test]
+    fn rank_leq_wide_layout_handles_beyond_u64_starts() {
+        // Starts that do not fit u64 force the wide layout; ranks must be
+        // exact on both sides of the u64 boundary.
+        let big: Weight = Weight::from(u64::MAX) + 7;
+        let wide = StartIndex::from_weights(vec![0, 10, big]);
+        assert!(matches!(wide, StartIndex::Wide(_)));
+        assert_eq!(wide.rank_leq(0, 3, 9), 1);
+        assert_eq!(wide.rank_leq(0, 3, Weight::from(u64::MAX)), 2);
+        assert_eq!(wide.rank_leq(0, 3, big), 3);
+        assert_eq!(wide.at(2), big);
+    }
+
+    #[test]
+    fn parallel_build_options_produce_identical_artifacts() {
+        // Byte-level determinism across thread counts and sort algorithms
+        // on the worked example (the large-scale suite lives in
+        // tests/parallel_build_determinism.rs).
+        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let fj = reduce_to_full_acyclic(&cq, &example_4_4_db()).unwrap();
+        let baseline = CqIndex::from_parts_with(
+            fj.plan.clone(),
+            fj.relations.clone(),
+            fj.head.clone(),
+            BuildOptions::serial(),
+        )
+        .unwrap();
+        for (threads, sort) in [
+            (2, SortAlgorithm::Auto),
+            (8, SortAlgorithm::Radix),
+            (1, SortAlgorithm::Radix),
+            (4, SortAlgorithm::Comparison),
+        ] {
+            let other = CqIndex::from_parts_with(
+                fj.plan.clone(),
+                fj.relations.clone(),
+                fj.head.clone(),
+                BuildOptions { threads, sort },
+            )
+            .unwrap();
+            assert_eq!(other.count(), baseline.count());
+            for node in 0..baseline.node_count() {
+                assert_eq!(other.node_relation(node), baseline.node_relation(node));
+                assert_eq!(
+                    other.node_relation(node).codes(),
+                    baseline.node_relation(node).codes()
+                );
+                assert_eq!(other.bucket_count(node), baseline.bucket_count(node));
+                for row in 0..baseline.node_relation(node).len() as u32 {
+                    assert_eq!(other.row_weight(node, row), baseline.row_weight(node, row));
+                    assert_eq!(other.row_start(node, row), baseline.row_start(node, row));
+                    assert_eq!(
+                        other.bucket_of_row(node, row),
+                        baseline.bucket_of_row(node, row)
+                    );
+                }
+            }
+            for j in 0..baseline.count() {
+                assert_eq!(other.access(j), baseline.access(j));
+            }
         }
     }
 

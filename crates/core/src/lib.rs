@@ -36,8 +36,9 @@ pub mod weight;
 pub use delset::DeletableSet;
 pub use enumerate::CqSequential;
 pub use error::CoreError;
-pub use index::{BucketView, CqIndex};
+pub use index::{BucketView, BuildOptions, CqIndex, BUILD_THREADS_ENV};
 pub use mcucq::{McUcqIndex, McUcqShuffle, RankStrategy};
+pub use rae_data::SortAlgorithm;
 pub use renum_cq::CqShuffle;
 pub use renum_ucq::{UcqEvent, UcqShuffle};
 pub use scratch::AccessScratch;

@@ -39,6 +39,7 @@ pub mod fxhash;
 pub mod index;
 pub mod relation;
 pub mod schema;
+pub mod sort;
 pub mod symbol;
 pub mod tbl;
 pub mod value;
@@ -51,6 +52,7 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use index::HashIndex;
 pub use relation::{key_of, Relation, RowKey};
 pub use schema::Schema;
+pub use sort::{with_sort_scratch, SortAlgorithm, SortScratch};
 pub use symbol::Symbol;
 pub use tbl::{read_tbl, write_tbl, ColumnType};
 pub use value::Value;

@@ -10,6 +10,7 @@
 use crate::dict::{self, Generation, ValueCode};
 use crate::error::DataError;
 use crate::schema::Schema;
+use crate::sort::{self, SortAlgorithm, RADIX_MIN_ROWS};
 use crate::value::Value;
 use crate::Result;
 use std::cmp::Ordering;
@@ -45,6 +46,18 @@ pub struct Relation {
     codes: Vec<ValueCode>,
     /// Dictionary generation the mirror was encoded against.
     generation: Generation,
+    /// Sort fingerprint: `Some(key_cols)` when the rows are currently in
+    /// `(key_cols, full row)` value order (`Some([])` ⇒ full-row order).
+    /// Lets downstream passes skip redundant re-sorts; invalidated by any
+    /// mutation that can reorder or insert rows.
+    sorted_by: Option<Box<[usize]>>,
+}
+
+/// The empty arity-0 relation (useful as a `std::mem::take` placeholder).
+impl Default for Relation {
+    fn default() -> Self {
+        Relation::new(Schema::empty())
+    }
 }
 
 /// Equality is value equality: the code mirror is derived state and the
@@ -65,6 +78,7 @@ impl Relation {
             data: Vec::new(),
             codes: Vec::new(),
             generation: dict::current_generation(),
+            sorted_by: None,
         }
     }
 
@@ -227,6 +241,7 @@ impl Relation {
                 actual: row.len(),
             });
         }
+        self.sorted_by = None;
         if self.arity() == 0 {
             // Represent an arity-0 row with a sentinel so len() works.
             self.data.push(Value::Int(0));
@@ -273,6 +288,12 @@ impl Relation {
 
     /// Sorts rows lexicographically and removes duplicates (set semantics).
     pub fn sort_dedup(&mut self) {
+        self.sort_dedup_with(SortAlgorithm::Auto);
+    }
+
+    /// [`Relation::sort_dedup`] with an explicit sort implementation
+    /// (ablation / differential-testing knob).
+    pub fn sort_dedup_with(&mut self, algo: SortAlgorithm) {
         let a = self.arity();
         if a == 0 {
             let n = self.len().min(1);
@@ -280,10 +301,27 @@ impl Relation {
             self.codes.truncate(n);
             return;
         }
-        let mut perm: Vec<usize> = (0..self.len()).collect();
-        perm.sort_by(|&i, &j| self.row(i).cmp(self.row(j)));
-        perm.dedup_by(|&mut i, &mut j| self.row(i) == self.row(j));
-        self.apply_permutation(&perm);
+        if self.is_sorted_by(&[]) {
+            // Already in full-row order: duplicates are adjacent, one linear
+            // dedup pass suffices.
+            self.dedup_sorted();
+            self.sorted_by = Some(Box::from(&[][..]));
+            return;
+        }
+        self.check_u32_slots();
+        if self.use_radix(algo) {
+            sort::with_sort_scratch(|s| {
+                let perm = s.rank_sort_permutation(&self.data, &self.codes, a, &[]);
+                self.apply_permutation(perm);
+            });
+            self.dedup_sorted();
+        } else {
+            let mut perm: Vec<u32> = (0..self.len() as u32).collect();
+            perm.sort_by(|&i, &j| self.row(i as usize).cmp(self.row(j as usize)));
+            perm.dedup_by(|&mut i, &mut j| self.row(i as usize) == self.row(j as usize));
+            self.apply_permutation(&perm);
+        }
+        self.sorted_by = Some(Box::from(&[][..]));
     }
 
     /// Sorts rows by `(key columns, full row)` lexicographically.
@@ -292,34 +330,139 @@ impl Relation {
     /// sharing a bucket key become contiguous, and the within-bucket order is
     /// the restriction of one global total order (so sub-relations stay
     /// order-compatible; see DESIGN.md §3).
+    ///
+    /// A no-op when the [`Relation::sorted_by`] fingerprint already covers
+    /// `key_cols`. Dispatches to the LSD radix sort for non-trivial row
+    /// counts (see DESIGN.md §10); both paths produce byte-identical orders.
     pub fn sort_by_key_then_row(&mut self, key_cols: &[usize]) {
-        if self.arity() == 0 {
-            return;
-        }
-        let mut perm: Vec<usize> = (0..self.len()).collect();
-        perm.sort_by(|&i, &j| {
-            let (ri, rj) = (self.row(i), self.row(j));
-            for &c in key_cols {
-                match ri[c].cmp(&rj[c]) {
-                    Ordering::Equal => {}
-                    other => return other,
-                }
-            }
-            ri.cmp(rj)
-        });
-        self.apply_permutation(&perm);
+        self.sort_by_key_then_row_with(key_cols, SortAlgorithm::Auto);
     }
 
-    fn apply_permutation(&mut self, perm: &[usize]) {
+    /// [`Relation::sort_by_key_then_row`] with an explicit sort
+    /// implementation (ablation / differential-testing knob).
+    pub fn sort_by_key_then_row_with(&mut self, key_cols: &[usize], algo: SortAlgorithm) {
+        if self.arity() == 0 || self.is_sorted_by(key_cols) {
+            return;
+        }
+        self.check_u32_slots();
+        if self.use_radix(algo) {
+            let a = self.arity();
+            sort::with_sort_scratch(|s| {
+                let perm = s.rank_sort_permutation(&self.data, &self.codes, a, key_cols);
+                self.apply_permutation(perm);
+            });
+        } else {
+            let mut perm: Vec<u32> = (0..self.len() as u32).collect();
+            perm.sort_by(|&i, &j| {
+                let (ri, rj) = (self.row(i as usize), self.row(j as usize));
+                for &c in key_cols {
+                    match ri[c].cmp(&rj[c]) {
+                        Ordering::Equal => {}
+                        other => return other,
+                    }
+                }
+                ri.cmp(rj)
+            });
+            self.apply_permutation(&perm);
+        }
+        self.sorted_by = Some(Self::canonical_fingerprint(key_cols));
+    }
+
+    /// The sort fingerprint: `Some(key_cols)` when rows are known to be in
+    /// `(key_cols, full row)` value order (`Some([])` ⇒ plain full-row
+    /// order), `None` when unknown.
+    #[inline]
+    pub fn sorted_by(&self) -> Option<&[usize]> {
+        self.sorted_by.as_deref()
+    }
+
+    /// Whether the rows are known to already be in `(key_cols, full row)`
+    /// order, so a re-sort by `key_cols` can be skipped. Full-row order
+    /// covers any `key_cols` that is a prefix of the schema order.
+    pub fn is_sorted_by(&self, key_cols: &[usize]) -> bool {
+        if self.len() <= 1 {
+            return true;
+        }
+        match &self.sorted_by {
+            Some(s) if &**s == key_cols => true,
+            Some(s) if s.is_empty() => Self::is_schema_prefix(key_cols),
+            _ => false,
+        }
+    }
+
+    /// A schema-prefix key (`[0, 1, .., k]`) sorts identically to the full
+    /// row; canonicalize it to `[]` so the fingerprint matches more re-sorts.
+    fn canonical_fingerprint(key_cols: &[usize]) -> Box<[usize]> {
+        if Self::is_schema_prefix(key_cols) {
+            Box::from(&[][..])
+        } else {
+            Box::from(key_cols)
+        }
+    }
+
+    #[inline]
+    fn is_schema_prefix(key_cols: &[usize]) -> bool {
+        key_cols.iter().enumerate().all(|(i, &c)| i == c)
+    }
+
+    /// Both sort paths address rows (and, in the radix path, flat value
+    /// slots) with `u32` indices; reject relations whose flat storage
+    /// exceeds that before any cast can wrap.
+    #[inline]
+    fn check_u32_slots(&self) {
+        assert!(
+            self.codes.len() <= u32::MAX as usize,
+            "relation too large for u32 value-slot ids"
+        );
+    }
+
+    #[inline]
+    fn use_radix(&self, algo: SortAlgorithm) -> bool {
+        match algo {
+            SortAlgorithm::Auto => self.len() >= RADIX_MIN_ROWS,
+            SortAlgorithm::Radix => true,
+            SortAlgorithm::Comparison => false,
+        }
+    }
+
+    /// Removes adjacent duplicate rows (callers guarantee rows are sorted, so
+    /// duplicates are adjacent). Compares dictionary codes: within one
+    /// relation, code equality is value equality.
+    fn dedup_sorted(&mut self) {
+        let a = self.arity();
+        debug_assert!(a > 0);
+        let n = self.len();
+        if n <= 1 {
+            return;
+        }
+        let mut write = 1usize;
+        for read in 1..n {
+            if self.codes[read * a..(read + 1) * a] == self.codes[(read - 1) * a..read * a] {
+                continue;
+            }
+            if write != read {
+                let (head, tail) = self.data.split_at_mut(read * a);
+                head[write * a..(write + 1) * a].clone_from_slice(&tail[..a]);
+                self.codes.copy_within(read * a..(read + 1) * a, write * a);
+            }
+            write += 1;
+        }
+        self.data.truncate(write * a);
+        self.codes.truncate(write * a);
+    }
+
+    fn apply_permutation(&mut self, perm: &[u32]) {
         let a = self.arity();
         let mut new_data = Vec::with_capacity(perm.len() * a);
         let mut new_codes = Vec::with_capacity(perm.len() * a);
         for &i in perm {
-            new_data.extend_from_slice(self.row(i));
-            new_codes.extend_from_slice(self.row_codes(i));
+            new_data.extend_from_slice(self.row(i as usize));
+            new_codes.extend_from_slice(self.row_codes(i as usize));
         }
         self.data = new_data;
         self.codes = new_codes;
+        // Callers (the sort entry points) set the fingerprint afterwards.
+        self.sorted_by = None;
     }
 
     /// Keeps only rows satisfying `pred`.

@@ -27,6 +27,11 @@ impl Schema {
         Ok(Schema { attrs })
     }
 
+    /// The empty (arity-0) schema.
+    pub fn empty() -> Self {
+        Schema { attrs: Vec::new() }
+    }
+
     /// Number of attributes.
     #[inline]
     pub fn arity(&self) -> usize {

@@ -7,13 +7,16 @@
 //! * atom instantiation — materializing the matching sub-relation of an atom
 //!   (applying constant selections and repeated-variable filters, projecting
 //!   onto its variables),
-//! * semijoin filters and the Yannakakis *full reduction* over a join tree
-//!   (removing all dangling tuples, yielding a globally consistent database),
+//! * semijoin filters — a hash variant and a sort-merge variant over
+//!   dictionary-code projections — and the Yannakakis *full reduction* over
+//!   a join tree (removing all dangling tuples, yielding a globally
+//!   consistent database); `full_reduce` uses the merge semijoin,
 //! * the Proposition 4.2 pipeline: reducing a free-connex CQ `Q` over `D` to
 //!   a *full* acyclic join `Q'` over `D'` with `Q(D) = Q'(D')`.
 
 pub mod full_join;
 pub mod instantiate;
+pub mod merge;
 pub mod reduce;
 pub mod semijoin;
 
@@ -21,6 +24,7 @@ pub use full_join::{
     reduce_to_full_acyclic, reduce_to_full_acyclic_with, FullAcyclicJoin, ReduceOptions,
 };
 pub use instantiate::instantiate_atom;
+pub use merge::merge_semijoin_filter;
 pub use reduce::full_reduce;
 pub use semijoin::semijoin_filter;
 

@@ -1,5 +1,6 @@
 //! Yannakakis full reduction over a join-tree plan.
 
+use crate::merge::merge_semijoin_filter;
 use crate::semijoin::semijoin_filter;
 use crate::Result;
 use rae_data::{Relation, Symbol};
@@ -47,11 +48,12 @@ pub fn full_reduce(plan: &TreePlan, rels: &mut [Relation]) -> Result<()> {
         })
         .collect();
 
-    // Bottom-up: reduce each parent by its children.
+    // Bottom-up: reduce each parent by its children. Sort-merge semijoins
+    // (DESIGN.md §10): sequential passes instead of per-row hash probes.
     for &node in plan.leaf_to_root() {
         if let (Some(p), Some((child_cols, parent_cols))) = (plan.parent(node), &shared[node]) {
             let (child_rel, parent_rel) = borrow_two(rels, node, p);
-            semijoin_filter(parent_rel, parent_cols, child_rel, child_cols);
+            merge_semijoin_filter(parent_rel, parent_cols, child_rel, child_cols);
         }
     }
 
@@ -59,7 +61,7 @@ pub fn full_reduce(plan: &TreePlan, rels: &mut [Relation]) -> Result<()> {
     for &node in plan.leaf_to_root().iter().rev() {
         if let (Some(p), Some((child_cols, parent_cols))) = (plan.parent(node), &shared[node]) {
             let (child_rel, parent_rel) = borrow_two(rels, node, p);
-            semijoin_filter(child_rel, child_cols, parent_rel, parent_cols);
+            merge_semijoin_filter(child_rel, child_cols, parent_rel, parent_cols);
         }
     }
 

@@ -22,6 +22,10 @@ pub fn semijoin_filter(
         right_cols.len(),
         "semijoin column lists must have equal length"
     );
+    if left.is_empty() {
+        // Nothing can survive: skip building the right-side key map entirely.
+        return;
+    }
     if left_cols.is_empty() {
         // Joining on no attributes: keep left iff right is non-empty.
         if right.is_empty() {
@@ -32,11 +36,21 @@ pub fn semijoin_filter(
     let width = right_cols.len();
     let mut keys = CodeKeyMap::with_capacity(width, right.len());
     let mut scratch: Vec<u32> = Vec::with_capacity(width);
+    let mut last: Vec<u32> = Vec::with_capacity(width);
     for i in 0..right.len() {
         let codes = right.row_codes(i);
         scratch.clear();
         scratch.extend(right_cols.iter().map(|&c| codes[c]));
+        // Best-effort dedup: when the sort order makes equal projection
+        // keys adjacent (always for schema-prefix projections, commonly for
+        // leading columns), consecutive repeats skip the hash insert.
+        // Non-adjacent duplicates still insert; CodeKeyMap::insert is
+        // idempotent, so this is purely a fast path.
+        if i > 0 && scratch == last {
+            continue;
+        }
         keys.insert(&scratch, 0);
+        std::mem::swap(&mut last, &mut scratch);
     }
     let mut mask = vec![false; left.len()];
     for (i, keep) in mask.iter_mut().enumerate() {
