@@ -9,7 +9,7 @@
 //! bounded by the join-tree size — a constant in data complexity — and the
 //! emitted order is exactly the index's access order (verified by tests).
 
-use crate::index::CqIndex;
+use crate::index::{BucketView, CqIndex};
 use crate::weight::Weight;
 use rae_data::Value;
 
@@ -61,9 +61,65 @@ impl<'a> CqSequential<'a> {
         cursor
     }
 
-    /// Number of answers emitted so far.
+    /// The cursor's position: answers before the cursor plus answers
+    /// emitted (equals the number emitted when the cursor started at 0;
+    /// after [`CqSequential::seek`]`(j)` it starts at `j`).
     pub fn emitted(&self) -> Weight {
         self.emitted
+    }
+
+    /// Positions the cursor so the next [`CqSequential::next_ref`] returns
+    /// answer `j` of the enumeration order, in O(log n) (one access-style
+    /// descent). Returns `false` (and exhausts the cursor) when
+    /// `j ≥ count()`.
+    ///
+    /// This is what lets a ranked/paginated scan start mid-stream and then
+    /// proceed with constant delay (see `crate::ordered`).
+    pub fn seek(&mut self, j: Weight) -> bool {
+        let index = self.index;
+        if j >= index.count() {
+            self.state = State::Done;
+            return false;
+        }
+        // Peel the root digits least-significant-first (the last root is
+        // least significant, matching `SplitIndex`).
+        let mut rest = j;
+        for &root in index.plan().roots().iter().rev() {
+            let bucket = index.root_bucket(root).expect("non-empty index");
+            let digit = rest % bucket.total;
+            rest /= bucket.total;
+            self.seek_subtree(root, bucket, digit);
+        }
+        debug_assert_eq!(rest, 0, "seek index exceeded the root product");
+        self.state = State::Fresh;
+        self.emitted = j;
+        true
+    }
+
+    /// Positions `node`'s subtree on sub-answer `sub` of `bucket` (the
+    /// Algorithm 3 descent, writing rows instead of values).
+    fn seek_subtree(&mut self, node: usize, bucket: BucketView, sub: Weight) {
+        let index = self.index;
+        debug_assert!(sub < bucket.total);
+        // First row whose startIndex exceeds `sub`, minus one: the owner.
+        let (mut lo, mut hi) = (bucket.start, bucket.end);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if index.row_start(node, mid) <= sub {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let row = lo - 1;
+        self.rows[node] = row;
+        let mut remainder = sub - index.row_start(node, row);
+        for (child_pos, &child) in index.plan().children(node).iter().enumerate().rev() {
+            let cb = index.child_bucket(node, row, child_pos);
+            self.seek_subtree(child, cb, remainder % cb.total);
+            remainder /= cb.total;
+        }
+        debug_assert_eq!(remainder, 0, "seek index exceeded the subtree weight");
     }
 
     /// Sets `node`'s row to `row` and every descendant to the first row of
@@ -260,6 +316,29 @@ mod tests {
         let idx = crate::CqIndex::build(&cq, &db).unwrap();
         let all: Vec<Vec<Value>> = CqSequential::new(&idx).collect();
         assert_eq!(all, vec![Vec::<Value>::new()]);
+    }
+
+    #[test]
+    fn seek_resumes_anywhere_in_the_order() {
+        let db = db();
+        let cq = parse_cq("Q(x, y, z, d) :- R(x, y), S(y, z), T(d)").unwrap();
+        let idx = crate::CqIndex::build(&cq, &db).unwrap();
+        let all: Vec<Vec<Value>> = idx.enumerate().collect();
+        let mut cursor = CqSequential::new(&idx);
+        for start in [0, 1, idx.count() / 2, idx.count() - 1] {
+            assert!(cursor.seek(start));
+            assert_eq!(cursor.emitted(), start);
+            for (offset, expected) in all.iter().skip(start as usize).take(3).enumerate() {
+                let got = cursor.next_ref().expect("in range");
+                assert_eq!(got, expected.as_slice(), "seek({start})+{offset}");
+            }
+        }
+        // Out of range exhausts the cursor.
+        assert!(!cursor.seek(idx.count()));
+        assert!(cursor.next_ref().is_none());
+        // But it can be revived by another in-range seek.
+        assert!(cursor.seek(0));
+        assert_eq!(cursor.next_ref().unwrap(), all[0].as_slice());
     }
 
     #[test]

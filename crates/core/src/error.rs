@@ -27,6 +27,14 @@ pub enum CoreError {
     },
     /// A head attribute is not covered by any plan bag.
     UncoveredHeadAttribute(String),
+    /// Ordered-union members do not share one head layout and lexicographic
+    /// variable order, so their streams cannot be merged positionally.
+    MismatchedOrders {
+        /// Head then order of the first member.
+        expected: Vec<String>,
+        /// Head then order of the offending member.
+        got: Vec<String>,
+    },
     /// A structural count (row ids, bucket ids) exceeded the `u32` id space
     /// the index uses; relations beyond ~4.29 billion rows per node are not
     /// supported by this layout.
@@ -76,6 +84,11 @@ impl fmt::Display for CoreError {
             CoreError::UncoveredHeadAttribute(a) => {
                 write!(f, "head attribute {a} is not covered by any join-tree bag")
             }
+            CoreError::MismatchedOrders { expected, got } => write!(
+                f,
+                "ordered-union members must share one head layout and \
+                 variable order, expected {expected:?} but got {got:?}"
+            ),
             CoreError::CapacityExceeded { what, count } => write!(
                 f,
                 "index capacity exceeded: {count} {what} do not fit the u32 id space"

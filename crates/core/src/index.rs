@@ -232,6 +232,32 @@ impl CqIndex {
     /// Fails with a [`rae_query::QueryError::NotFreeConnex`] /
     /// [`rae_query::QueryError::NotAcyclic`] wrapped error when the query is
     /// outside the tractable class of Theorem 4.3.
+    ///
+    /// ```
+    /// use rae_core::CqIndex;
+    /// use rae_data::{Database, Relation, Schema, Value};
+    ///
+    /// let mut db = Database::new();
+    /// db.add_relation(
+    ///     "R",
+    ///     Relation::from_rows(
+    ///         Schema::new(["a", "b"]).unwrap(),
+    ///         vec![
+    ///             vec![Value::Int(1), Value::Int(10)],
+    ///             vec![Value::Int(1), Value::Int(11)],
+    ///             vec![Value::Int(2), Value::Int(10)],
+    ///         ],
+    ///     )
+    ///     .unwrap(),
+    /// )
+    /// .unwrap();
+    /// let q = "Q(x, y) :- R(x, y)".parse().unwrap();
+    ///
+    /// let index = CqIndex::build(&q, &db).unwrap();
+    /// assert_eq!(index.count(), 3); // O(1)
+    /// let answer = index.access(1).unwrap(); // O(log n)
+    /// assert_eq!(index.inverted_access(&answer), Some(1)); // round-trips
+    /// ```
     pub fn build(cq: &ConjunctiveQuery, db: &Database) -> Result<Self> {
         let fj = reduce_to_full_acyclic(cq, db)?;
         Self::from_full_join(fj)
@@ -275,9 +301,46 @@ impl CqIndex {
     /// The produced index is byte-identical for every option combination.
     pub fn from_parts_with(
         plan: TreePlan,
+        relations: Vec<Relation>,
+        head: Vec<Symbol>,
+        options: BuildOptions,
+    ) -> Result<Self> {
+        Self::from_parts_inner(plan, relations, head, options, None)
+    }
+
+    /// [`CqIndex::from_parts_with`] with an explicit sort priority per node:
+    /// `priorities[i]` lists every bag column of node `i` exactly once,
+    /// starting with the parent-shared columns. Node relations are sorted by
+    /// that column priority instead of the default `(pAtts, schema order)`,
+    /// which makes the access order the lexicographic order chosen by a
+    /// `rae_query::LexPlan` (see `crate::ordered`).
+    pub(crate) fn from_parts_lex(
+        plan: TreePlan,
+        relations: Vec<Relation>,
+        head: Vec<Symbol>,
+        priorities: &[Vec<usize>],
+        options: BuildOptions,
+    ) -> Result<Self> {
+        assert_eq!(priorities.len(), plan.node_count(), "one priority per node");
+        #[cfg(debug_assertions)]
+        for (i, priority) in priorities.iter().enumerate() {
+            let keys = plan.parent_shared_cols(i);
+            let mut sorted = priority.clone();
+            sorted.sort_unstable();
+            debug_assert_eq!(sorted, (0..plan.bag(i).len()).collect::<Vec<_>>());
+            let mut prefix = priority[..keys.len()].to_vec();
+            prefix.sort_unstable();
+            debug_assert_eq!(prefix, keys, "priority must start with pAtts");
+        }
+        Self::from_parts_inner(plan, relations, head, options, Some(priorities))
+    }
+
+    fn from_parts_inner(
+        plan: TreePlan,
         mut relations: Vec<Relation>,
         head: Vec<Symbol>,
         options: BuildOptions,
+        priorities: Option<&[Vec<usize>]>,
     ) -> Result<Self> {
         assert_eq!(
             plan.node_count(),
@@ -344,13 +407,18 @@ impl CqIndex {
 
         let n = plan.node_count();
 
-        // Phase 3 — canonical `(pAtts, full row)` sort per node. Independent
-        // of the tree structure, so all nodes sort concurrently (relations
-        // that full reduction left in a covered order skip entirely via the
-        // `sorted_by` fingerprint).
-        let key_cols_all: Vec<Vec<usize>> = (0..n).map(|i| plan.parent_shared_cols(i)).collect();
+        // Phase 3 — canonical sort per node: `(pAtts, full row)` by default,
+        // or an explicit full column priority for lex-ordered layouts (the
+        // priority starts with the pAtts, so bucketing is unaffected).
+        // Independent of the tree structure, so all nodes sort concurrently
+        // (relations that full reduction left in a covered order skip
+        // entirely via the `sorted_by` fingerprint).
+        let sort_keys: Vec<Vec<usize>> = match priorities {
+            Some(p) => p.to_vec(),
+            None => (0..n).map(|i| plan.parent_shared_cols(i)).collect(),
+        };
         par_for_each_indexed(&mut relations, threads, |i, rel| {
-            rel.sort_by_key_then_row_with(&key_cols_all[i], sort);
+            rel.sort_by_key_then_row_with(&sort_keys[i], sort);
         });
 
         // Phase 4 — level-synchronous weights/buckets: group nodes by tree
@@ -378,7 +446,7 @@ impl CqIndex {
                     (node, rel)
                 })
                 .collect();
-            let built = build_level(&plan, work, &head, &nodes, threads, sort)?;
+            let built = build_level(&plan, work, &head, &nodes, threads, sort, &sort_keys)?;
             for (node, built_node) in built {
                 nodes[node] = Some(built_node);
             }
@@ -527,6 +595,28 @@ impl CqIndex {
     /// walk over `scratch`; all buffers (answer, stack, digit vector) are
     /// reused across calls, so after the first call on a given shape the
     /// routine allocates nothing.
+    ///
+    /// ```
+    /// use rae_core::{AccessScratch, CqIndex};
+    /// use rae_data::{Database, Relation, Schema, Value};
+    ///
+    /// let mut db = Database::new();
+    /// let rel = Relation::from_rows(
+    ///     Schema::new(["a"]).unwrap(),
+    ///     (0..100).map(|i| vec![Value::Int(i)]),
+    /// )
+    /// .unwrap();
+    /// db.add_relation("R", rel).unwrap();
+    /// let index = CqIndex::build(&"Q(x) :- R(x)".parse().unwrap(), &db).unwrap();
+    ///
+    /// // One scratch, many accesses: zero heap allocations per answer once
+    /// // the buffers are warm (verified by tests/zero_alloc.rs).
+    /// let mut scratch = AccessScratch::new();
+    /// for j in 0..index.count() {
+    ///     let answer = index.access_into(j, &mut scratch).unwrap();
+    ///     assert_eq!(answer, &[Value::Int(j as i64)]);
+    /// }
+    /// ```
     pub fn access_into<'s>(
         &self,
         j: Weight,
@@ -799,6 +889,7 @@ fn build_level(
     nodes: &[Option<NodeIndex>],
     threads: usize,
     sort: SortAlgorithm,
+    sort_keys: &[Vec<usize>],
 ) -> Result<Vec<(usize, NodeIndex)>> {
     let node_workers = threads.min(work.len());
     if node_workers <= 1 {
@@ -808,7 +899,16 @@ fn build_level(
             .map(|(node, rel)| {
                 Ok((
                     node,
-                    build_node(plan, node, rel, head, nodes, threads, sort)?,
+                    build_node(
+                        plan,
+                        node,
+                        rel,
+                        head,
+                        nodes,
+                        threads,
+                        sort,
+                        &sort_keys[node],
+                    )?,
                 ))
             })
             .collect();
@@ -827,7 +927,16 @@ fn build_level(
                     .map(|(node, rel)| {
                         Ok((
                             node,
-                            build_node(plan, node, rel, head, nodes, inner_threads, sort)?,
+                            build_node(
+                                plan,
+                                node,
+                                rel,
+                                head,
+                                nodes,
+                                inner_threads,
+                                sort,
+                                &sort_keys[node],
+                            )?,
                         ))
                     })
                     .collect()
@@ -843,7 +952,10 @@ fn build_level(
 
 /// Builds one node's index artifacts: canonical sort (a fingerprint no-op
 /// when phase 3 already sorted it), per-row subtree weights and child-bucket
-/// ids, then the bucket table and startIndexes.
+/// ids, then the bucket table and startIndexes. `sort_key` is the node's
+/// column-sort priority — the pAtts by default, a full lex priority for
+/// ordered layouts (bucketing always uses the pAtts).
+#[allow(clippy::too_many_arguments)]
 fn build_node(
     plan: &TreePlan,
     node: usize,
@@ -852,9 +964,10 @@ fn build_node(
     nodes: &[Option<NodeIndex>],
     threads: usize,
     sort: SortAlgorithm,
+    sort_key: &[usize],
 ) -> Result<NodeIndex> {
     let key_cols = plan.parent_shared_cols(node);
-    rel.sort_by_key_then_row_with(&key_cols, sort);
+    rel.sort_by_key_then_row_with(sort_key, sort);
 
     let children = plan.children(node);
     // For each child: the positions in *this* bag holding the child's

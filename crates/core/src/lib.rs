@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # rae-core
 //!
@@ -27,6 +27,7 @@ pub mod enumerate;
 pub mod error;
 pub mod index;
 pub mod mcucq;
+pub mod ordered;
 pub mod renum_cq;
 pub mod renum_ucq;
 pub mod scratch;
@@ -37,10 +38,11 @@ pub use delset::DeletableSet;
 pub use enumerate::CqSequential;
 pub use error::CoreError;
 pub use index::{BucketView, BuildOptions, CqIndex, BUILD_THREADS_ENV};
-pub use mcucq::{McUcqIndex, McUcqShuffle, RankStrategy};
+pub use mcucq::{McUcqIndex, McUcqShuffle, OrderedMcUcqIndex, RankStrategy};
+pub use ordered::{OrderedCqIndex, OrderedEnumeration};
 pub use rae_data::SortAlgorithm;
 pub use renum_cq::CqShuffle;
-pub use renum_ucq::{UcqEvent, UcqShuffle};
+pub use renum_ucq::{OrderedUcq, OrderedUnionEnumeration, UcqEvent, UcqShuffle};
 pub use scratch::AccessScratch;
 pub use shuffle::LazyShuffle;
 pub use weight::{combine_index, split_index, Weight};

@@ -21,15 +21,19 @@
 //! Theorem 5.5 proof, fused with `InvAcc` as in the paper's implementation).
 
 use crate::error::CoreError;
-use crate::index::CqIndex;
+use crate::index::{BuildOptions, CqIndex};
+use crate::ordered::OrderedCqIndex;
+use crate::renum_ucq::OrderedUnionEnumeration;
 use crate::scratch::AccessScratch;
 use crate::shuffle::LazyShuffle;
 use crate::weight::Weight;
 use crate::Result;
 use rae_data::{Database, Relation, Symbol, Value};
-use rae_query::UnionQuery;
+use rae_query::{realize_order, validate_order, UnionQuery};
 use rae_yannakakis::reduce_to_full_acyclic;
 use rand::Rng;
+use std::cmp::Ordering;
+use std::ops::Range;
 
 /// Maximum number of disjuncts: preprocessing builds `2^m − 1` indexes and
 /// access performs `2^m`-term inclusion–exclusion, matching the paper's
@@ -326,6 +330,274 @@ impl McUcqIndex {
     }
 }
 
+/// Lexicographic direct access over a same-template union (the ordered
+/// counterpart of [`McUcqIndex`], DESIGN.md §11).
+///
+/// Every disjunct reduces to one join-tree template; the template is
+/// reoriented once to realize the requested order, and one
+/// [`OrderedCqIndex`] is built per non-empty member subset (node-wise
+/// intersections, as in [`McUcqIndex`]). Because all 2^m − 1 indexes share
+/// the ordered layout, every per-set answer stream is the lexicographic
+/// order restricted to that set, and inclusion–exclusion over their rank
+/// counts gives the union's ranks:
+///
+/// * [`OrderedMcUcqIndex::count`] — O(1) (precomputed inclusion–exclusion);
+/// * [`OrderedMcUcqIndex::ordered_access`]`(k)` — the `k`-th **distinct**
+///   union answer under the order, via per-member binary searches on the
+///   union rank (O(2^m · log² n));
+/// * [`OrderedMcUcqIndex::ordered_inverted_access`] — a union answer's
+///   rank, one inclusion–exclusion sweep of strict-rank counts;
+/// * [`OrderedMcUcqIndex::range_count`] /
+///   [`OrderedMcUcqIndex::range_of_prefix`] — `ORDER BY`-prefix windows
+///   over the union, duplicates counted once.
+#[derive(Debug)]
+pub struct OrderedMcUcqIndex {
+    m: usize,
+    head: Vec<Symbol>,
+    /// `structs[mask]` = ordered index of `⋂_{i ∈ mask} Q_i` (non-empty
+    /// masks only), all over one ordered layout.
+    structs: Vec<Option<OrderedCqIndex>>,
+    /// `|Q_1(D) ∪ … ∪ Q_m(D)|` by inclusion–exclusion.
+    total: Weight,
+}
+
+impl OrderedMcUcqIndex {
+    /// Builds the ordered union structure for a same-template union of
+    /// free-connex CQs under the variable order `order`.
+    ///
+    /// Fails like [`McUcqIndex::build`] (template/disjunct-count checks)
+    /// and like [`OrderedCqIndex::build`] (order validation/realizability).
+    pub fn build(ucq: &UnionQuery, db: &Database, order: &[Symbol]) -> Result<Self> {
+        Self::build_with(ucq, db, order, BuildOptions::default())
+    }
+
+    /// [`OrderedMcUcqIndex::build`] with explicit preprocessing options.
+    pub fn build_with(
+        ucq: &UnionQuery,
+        db: &Database,
+        order: &[Symbol],
+        options: BuildOptions,
+    ) -> Result<Self> {
+        let m = ucq.len();
+        if m > MAX_DISJUNCTS {
+            return Err(CoreError::TooManyDisjuncts {
+                max: MAX_DISJUNCTS,
+                got: m,
+            });
+        }
+        let head: Vec<Symbol> = ucq.head().to_vec();
+        validate_order(&head, order).map_err(CoreError::Query)?;
+
+        // Reduce every disjunct; check the shared template; realize the
+        // order once on it.
+        let fjs: Vec<_> = ucq
+            .disjuncts()
+            .iter()
+            .map(|d| reduce_to_full_acyclic(d, db))
+            .collect::<std::result::Result<_, _>>()?;
+        let plan = fjs[0].plan.clone();
+        for (i, fj) in fjs.iter().enumerate().skip(1) {
+            if !fj.plan.same_shape(&plan) {
+                return Err(CoreError::IncompatibleTemplates {
+                    first: ucq.disjuncts()[0].name().to_string(),
+                    other: ucq.disjuncts()[i].name().to_string(),
+                });
+            }
+        }
+        let lex = realize_order(&plan, order)?;
+
+        // Member relations permuted into the ordered plan's node order.
+        let member_rels: Vec<Vec<Relation>> = fjs
+            .into_iter()
+            .map(|fj| lex.permute_relations(fj.relations))
+            .collect();
+
+        // One ordered index per non-empty subset (node-wise intersections,
+        // reusing the already-built rest like the unordered builder).
+        let n = lex.plan.node_count();
+        let mut structs: Vec<Option<OrderedCqIndex>> = (0..(1usize << m)).map(|_| None).collect();
+        for mask in 1..(1usize << m) {
+            let lowest = mask.trailing_zeros() as usize;
+            let rest = mask & (mask - 1);
+            let relations: Vec<Relation> = if rest == 0 {
+                member_rels[lowest].clone()
+            } else {
+                let rest_idx = structs[rest].as_ref().expect("built in mask order");
+                (0..n)
+                    .map(|node| {
+                        member_rels[lowest][node].intersect(rest_idx.index().node_relation(node))
+                    })
+                    .collect::<std::result::Result<_, _>>()?
+            };
+            structs[mask] = Some(OrderedCqIndex::from_lex_parts(
+                &lex,
+                relations,
+                head.clone(),
+                options,
+            )?);
+            if mask.count_ones() == 1 {
+                structs[mask]
+                    .as_ref()
+                    .expect("just built")
+                    .index()
+                    .prepare_inverted_access();
+            }
+        }
+
+        let mut total: Weight = 0;
+        for (mask, s) in structs.iter().enumerate().skip(1) {
+            let c = s.as_ref().expect("non-empty masks built").count();
+            if mask.count_ones() % 2 == 1 {
+                total += c;
+            } else {
+                total -= c;
+            }
+        }
+
+        Ok(OrderedMcUcqIndex {
+            m,
+            head,
+            structs,
+            total,
+        })
+    }
+
+    /// Number of disjuncts.
+    pub fn members(&self) -> usize {
+        self.m
+    }
+
+    /// The head attributes, in answer order.
+    pub fn head(&self) -> &[Symbol] {
+        &self.head
+    }
+
+    /// The realized lexicographic variable order.
+    pub fn order(&self) -> &[Symbol] {
+        self.member(0).order()
+    }
+
+    /// The ordered index of one member.
+    pub fn member(&self, l: usize) -> &OrderedCqIndex {
+        self.structs[1 << l].as_ref().expect("member index built")
+    }
+
+    /// The ordered intersection index for a non-empty member subset.
+    pub fn intersection_index(&self, mask: usize) -> Option<&OrderedCqIndex> {
+        self.structs.get(mask).and_then(Option::as_ref)
+    }
+
+    /// `|Q_1(D) ∪ … ∪ Q_m(D)|` — O(1).
+    pub fn count(&self) -> Weight {
+        self.total
+    }
+
+    /// Inclusion–exclusion over the per-subset `(lt, le)` rank pairs of a
+    /// bound (each produced by the ordered rank descent).
+    fn union_bounds(
+        &self,
+        bounds_of: impl Fn(&OrderedCqIndex) -> (Weight, Weight),
+    ) -> (Weight, Weight) {
+        let (mut lt_plus, mut lt_minus) = (0 as Weight, 0 as Weight);
+        let (mut le_plus, mut le_minus) = (0 as Weight, 0 as Weight);
+        for (mask, s) in self.structs.iter().enumerate().skip(1) {
+            let (lt, le) = bounds_of(s.as_ref().expect("built"));
+            if mask.count_ones() % 2 == 1 {
+                lt_plus += lt;
+                le_plus += le;
+            } else {
+                lt_minus += lt;
+                le_minus += le;
+            }
+        }
+        (lt_plus - lt_minus, le_plus - le_minus)
+    }
+
+    /// The union's `(lt, le)` ranks of a full tuple (head order).
+    fn tuple_union_bounds(&self, tuple: &[Value]) -> (Weight, Weight) {
+        self.union_bounds(|s| s.tuple_bounds(tuple))
+    }
+
+    /// The `k`-th distinct union answer under the order, or `None` when
+    /// `k ≥ count()`.
+    ///
+    /// For each member, a binary search over its (order-sorted) positions
+    /// finds the first answer whose union `le`-rank reaches `k + 1`; the
+    /// smallest candidate under the order is the union's `k`-th answer.
+    pub fn ordered_access(&self, k: Weight) -> Option<Vec<Value>> {
+        if k >= self.total {
+            return None;
+        }
+        let mut scratch = AccessScratch::new();
+        let mut best: Option<Vec<Value>> = None;
+        for l in 0..self.m {
+            let member = self.member(l);
+            let count = member.count();
+            // Smallest j with le_union(member[j]) ≥ k + 1; the union rank
+            // is monotone along the member's order.
+            let (mut lo, mut hi) = (0 as Weight, count);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let ans = member
+                    .ordered_access_into(mid, &mut scratch)
+                    .expect("mid < count");
+                let (_, le) = self.tuple_union_bounds(ans);
+                if le > k {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if lo == count {
+                continue; // every member answer ranks below k
+            }
+            let candidate = member.ordered_access(lo).expect("lo < count");
+            best = match best {
+                Some(b) if self.member(0).order_cmp(&b, &candidate) != Ordering::Greater => Some(b),
+                _ => Some(candidate),
+            };
+        }
+        Some(best.expect("k < count guarantees an owner member"))
+    }
+
+    /// The rank of `answer` (head order) among the distinct union answers,
+    /// or `None` when no member contains it.
+    pub fn ordered_inverted_access(&self, answer: &[Value]) -> Option<Weight> {
+        let mut scratch = AccessScratch::new();
+        let is_member = (0..self.m).any(|l| {
+            self.member(l)
+                .ordered_inverted_access_of(answer, &mut scratch)
+                .is_some()
+        });
+        if !is_member {
+            return None;
+        }
+        Some(self.tuple_union_bounds(answer).0)
+    }
+
+    /// The number of distinct union answers matching a prefix of order
+    /// values (duplicates across members counted once) — O(2^m · log n).
+    pub fn range_count(&self, prefix: &[Value]) -> Weight {
+        let (lt, le) = self.union_bounds(|s| s.prefix_bounds(prefix));
+        le - lt
+    }
+
+    /// The contiguous union-rank range of all answers matching a prefix of
+    /// order values.
+    pub fn range_of_prefix(&self, prefix: &[Value]) -> Range<Weight> {
+        let (lt, le) = self.union_bounds(|s| s.prefix_bounds(prefix));
+        lt..le
+    }
+
+    /// Constant-delay ordered scan of the whole union (the k-way member
+    /// merge of [`OrderedUnionEnumeration`]; intersections are not
+    /// consulted).
+    pub fn enumerate(&self) -> OrderedUnionEnumeration<'_> {
+        OrderedUnionEnumeration::from_members((0..self.m).map(|l| self.member(l)))
+            .expect("members share one order by construction")
+    }
+}
+
 /// The scratch pair threaded through the Algorithm 7/8 walk: one buffer set
 /// for access descents, one for inverted-access probes (an answer borrowed
 /// from the first stays valid while the second probes).
@@ -582,6 +854,116 @@ mod tests {
                 "answer {ans:?} first {c} times (expected ≈{expected_freq:.0})"
             );
         }
+    }
+
+    fn sorted_union(u: &UnionQuery, db: &Database, order: &[&str]) -> Vec<Vec<Value>> {
+        let expected = naive_eval_union(u, db).unwrap();
+        let head = u.head().to_vec();
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|v| head.iter().position(|h| h.as_str() == *v).unwrap())
+            .collect();
+        let mut rows: Vec<Vec<Value>> = expected.rows().map(<[Value]>::to_vec).collect();
+        rows.sort_by(|a, b| {
+            positions
+                .iter()
+                .map(|&p| a[p].cmp(&b[p]))
+                .find(|o| *o != Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
+        });
+        rows
+    }
+
+    fn check_ordered_union(ucq_text: &str, db: &Database, order: &[&str]) {
+        let u = parse_ucq(ucq_text).unwrap();
+        let syms: Vec<Symbol> = order.iter().map(Symbol::new).collect();
+        let mc = OrderedMcUcqIndex::build(&u, db, &syms).unwrap();
+        let expected = sorted_union(&u, db, order);
+        assert_eq!(mc.count() as usize, expected.len(), "count mismatch");
+        for (k, row) in expected.iter().enumerate() {
+            assert_eq!(
+                mc.ordered_access(k as Weight).as_ref(),
+                Some(row),
+                "rank {k} of {ucq_text} under {order:?}"
+            );
+            assert_eq!(
+                mc.ordered_inverted_access(row),
+                Some(k as Weight),
+                "inverted rank {k}"
+            );
+        }
+        assert!(mc.ordered_access(mc.count()).is_none());
+        // The merged scan equals rank-by-rank access.
+        let merged: Vec<Vec<Value>> = mc.enumerate().collect();
+        assert_eq!(merged, expected, "merge vs ranks");
+        // Range counts for every single-variable prefix value.
+        let first_head = mc.member(0).order_to_head()[0];
+        let mut prefix_values: Vec<Value> =
+            expected.iter().map(|r| r[first_head].clone()).collect();
+        prefix_values.dedup();
+        for v in prefix_values {
+            let expected_count = expected.iter().filter(|r| r[first_head] == v).count() as Weight;
+            assert_eq!(
+                mc.range_count(std::slice::from_ref(&v)),
+                expected_count,
+                "prefix {v:?}"
+            );
+            let range = mc.range_of_prefix(std::slice::from_ref(&v));
+            assert_eq!(range.end - range.start, expected_count);
+            if expected_count > 0 {
+                let first_in_range = mc.ordered_access(range.start).unwrap();
+                assert_eq!(first_in_range[first_head], v);
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_union_matches_naive_sorted() {
+        let db = db3();
+        for order in [&["a", "b"], &["b", "a"]] {
+            check_ordered_union("Q1(a, b) :- R(a, b). Q2(a, b) :- S(a, b).", &db, order);
+            check_ordered_union(
+                "Q1(a, b) :- R(a, b). Q2(a, b) :- S(a, b). Q3(a, b) :- T(a, b).",
+                &db,
+                order,
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_union_with_existential_template() {
+        let db = db3();
+        for order in [&["x", "y"], &["y", "x"]] {
+            check_ordered_union(
+                "Q1(x, y) :- R(x, y), W(y, z). Q2(x, y) :- S(x, y), W(y, z).",
+                &db,
+                order,
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_union_rejects_bad_inputs() {
+        let db = db3();
+        let ab: Vec<Symbol> = ["a", "b"].iter().map(Symbol::new).collect();
+        // Incompatible templates.
+        let mut db2 = db3();
+        db2.add_relation("U", rel_int(&["a"], &[&[1], &[2]]))
+            .unwrap();
+        let u = parse_ucq("Q1(a, b) :- R(a, b). Q2(a, b) :- R(a, z), U(b).").unwrap();
+        assert!(matches!(
+            OrderedMcUcqIndex::build(&u, &db2, &ab),
+            Err(CoreError::IncompatibleTemplates { .. })
+        ));
+        // Order not a permutation of the head.
+        let u = parse_ucq("Q1(a, b) :- R(a, b). Q2(a, b) :- S(a, b).").unwrap();
+        let bad: Vec<Symbol> = ["a"].iter().map(Symbol::new).collect();
+        assert!(matches!(
+            OrderedMcUcqIndex::build(&u, &db, &bad),
+            Err(CoreError::Query(
+                rae_query::QueryError::OrderVariableMismatch { .. }
+            ))
+        ));
     }
 
     #[test]

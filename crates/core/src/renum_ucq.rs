@@ -11,13 +11,16 @@
 //! Lemma 5.2.
 
 use crate::delset::DeletableSet;
+use crate::error::CoreError;
 use crate::index::CqIndex;
+use crate::ordered::{OrderedCqIndex, OrderedEnumeration};
 use crate::scratch::AccessScratch;
 use crate::weight::Weight;
 use crate::Result;
-use rae_data::{Database, Value};
+use rae_data::{Database, Symbol, Value};
 use rae_query::UnionQuery;
 use rand::Rng;
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// One step of Algorithm 5: either an emitted answer or a rejection.
@@ -203,6 +206,208 @@ impl<R: Rng> Iterator for UcqShuffle<R> {
                 UcqEvent::Rejected => continue,
             }
         }
+    }
+}
+
+/// Ordered enumeration of a **general** union of free-connex CQs: one
+/// [`OrderedCqIndex`] per disjunct (each may use a different join-tree
+/// layout, as long as every one realizes the same variable order), merged
+/// by a duplicate-eliminating k-way merge. Delay is O(m) per answer —
+/// constant in data complexity — and the merge buffers are reused, so
+/// steady-state production via [`OrderedUnionEnumeration::next_ref`]
+/// allocates nothing.
+///
+/// This is the ordered counterpart of [`UcqShuffle`]: the same union class
+/// (no shared-template requirement), trading random order for `ORDER BY`.
+/// For ranked *random access* over unions see
+/// [`crate::mcucq::OrderedMcUcqIndex`], which needs the mc-UCQ template
+/// restriction.
+#[derive(Debug)]
+pub struct OrderedUcq {
+    members: Vec<OrderedCqIndex>,
+}
+
+impl OrderedUcq {
+    /// Builds one ordered index per disjunct, all realizing `order`.
+    ///
+    /// Fails like [`OrderedCqIndex::build`] when any disjunct is outside
+    /// the tractable class or cannot realize the order.
+    pub fn build(ucq: &UnionQuery, db: &Database, order: &[Symbol]) -> Result<Self> {
+        let members = ucq
+            .disjuncts()
+            .iter()
+            .map(|d| OrderedCqIndex::build(d, db, order))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(OrderedUcq { members })
+    }
+
+    /// The per-disjunct ordered indexes.
+    pub fn members(&self) -> &[OrderedCqIndex] {
+        &self.members
+    }
+
+    /// Scans the whole union in order (duplicates eliminated).
+    pub fn enumerate(&self) -> Result<OrderedUnionEnumeration<'_>> {
+        OrderedUnionEnumeration::from_members(&self.members)
+    }
+
+    /// Scans every union answer matching a prefix of order values, in
+    /// order: each member contributes only its own O(log n) rank window.
+    pub fn enumerate_prefix(&self, prefix: &[Value]) -> Result<OrderedUnionEnumeration<'_>> {
+        OrderedUnionEnumeration::from_windows(
+            self.members
+                .iter()
+                .map(|m| (m, m.enumerate_prefix(prefix)))
+                .collect(),
+        )
+    }
+}
+
+/// One member stream of an ordered union merge.
+#[derive(Debug)]
+struct MergeMember<'a> {
+    window: OrderedEnumeration<'a>,
+    /// The member's next (not yet emitted) answer; reused across steps.
+    current: Vec<Value>,
+    exhausted: bool,
+}
+
+impl MergeMember<'_> {
+    fn advance(&mut self) {
+        match self.window.next_ref() {
+            Some(ans) => {
+                self.current.clear();
+                self.current.extend(ans.iter().cloned());
+            }
+            None => self.exhausted = true,
+        }
+    }
+}
+
+/// A duplicate-eliminating k-way merge over member streams that share one
+/// lexicographic order (see [`OrderedUcq`]).
+#[derive(Debug)]
+pub struct OrderedUnionEnumeration<'a> {
+    members: Vec<MergeMember<'a>>,
+    /// Order-significant head positions (shared by all members).
+    cmp_positions: Vec<usize>,
+    /// The answer being emitted (backs [`OrderedUnionEnumeration::next_ref`]).
+    answer: Vec<Value>,
+}
+
+impl<'a> OrderedUnionEnumeration<'a> {
+    /// Merges the full streams of `members`.
+    ///
+    /// Errors with [`CoreError::MismatchedOrders`] unless all members share
+    /// one variable order.
+    pub fn from_members(
+        members: impl IntoIterator<Item = &'a OrderedCqIndex>,
+    ) -> Result<OrderedUnionEnumeration<'a>> {
+        Self::from_windows(members.into_iter().map(|m| (m, m.enumerate())).collect())
+    }
+
+    /// Merges caller-chosen rank windows, one per member (used for prefix
+    /// scans; the windows must cover order-contiguous, aligned ranges for
+    /// the merged stream to be meaningful).
+    fn from_windows(
+        windows: Vec<(&'a OrderedCqIndex, OrderedEnumeration<'a>)>,
+    ) -> Result<OrderedUnionEnumeration<'a>> {
+        // All members must share the variable order AND the head layout:
+        // the merge compares and emits tuples positionally, so two indexes
+        // realizing the same order over permuted heads would silently mix
+        // layouts.
+        let mut first: Option<&OrderedCqIndex> = None;
+        for (index, _) in &windows {
+            match first {
+                None => first = Some(index),
+                Some(f) if f.order() != index.order() || f.head() != index.head() => {
+                    let layout = |i: &OrderedCqIndex| {
+                        i.head()
+                            .iter()
+                            .chain(i.order())
+                            .map(Symbol::to_string)
+                            .collect::<Vec<_>>()
+                    };
+                    return Err(CoreError::MismatchedOrders {
+                        expected: layout(f),
+                        got: layout(index),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        let cmp_positions = first
+            .map(|f| f.order_to_head().to_vec())
+            .unwrap_or_default();
+        let mut members: Vec<MergeMember<'a>> = windows
+            .into_iter()
+            .map(|(_, window)| MergeMember {
+                window,
+                current: Vec::new(),
+                exhausted: false,
+            })
+            .collect();
+        for m in &mut members {
+            m.advance();
+        }
+        Ok(OrderedUnionEnumeration {
+            members,
+            cmp_positions,
+            answer: Vec::new(),
+        })
+    }
+
+    fn cmp_key(&self, a: &[Value], b: &[Value]) -> Ordering {
+        for &p in &self.cmp_positions {
+            match a[p].cmp(&b[p]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// The next union answer (smallest unemitted under the shared order) as
+    /// a borrow of the merge buffer — zero allocations in steady state.
+    pub fn next_ref(&mut self) -> Option<&[Value]> {
+        // The smallest member head becomes the answer...
+        let mut best: Option<usize> = None;
+        for (i, m) in self.members.iter().enumerate() {
+            if m.exhausted {
+                continue;
+            }
+            best = match best {
+                Some(b)
+                    if self.cmp_key(&self.members[b].current, &m.current) != Ordering::Greater =>
+                {
+                    Some(b)
+                }
+                _ => Some(i),
+            };
+        }
+        let best = best?;
+        self.answer.clear();
+        let (answer, members) = (&mut self.answer, &mut self.members);
+        answer.extend(members[best].current.iter().cloned());
+        // ... and every member holding it advances (duplicate elimination;
+        // the order covers all free variables, so order-key equality is
+        // tuple equality).
+        for i in 0..self.members.len() {
+            if !self.members[i].exhausted
+                && self.cmp_key(&self.members[i].current, &self.answer) == Ordering::Equal
+            {
+                self.members[i].advance();
+            }
+        }
+        Some(&self.answer)
+    }
+}
+
+impl Iterator for OrderedUnionEnumeration<'_> {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        self.next_ref().map(<[Value]>::to_vec)
     }
 }
 
@@ -405,6 +610,108 @@ mod tests {
         // The deletion rule bounds rejections by the number of shared
         // answers; without it rejections can only be ≥.
         assert!(without_del.rejections() >= with_del.rejections());
+    }
+
+    fn sorted_union(u: &UnionQuery, db: &Database, order: &[&str]) -> Vec<Vec<Value>> {
+        let expected = naive_eval_union(u, db).unwrap();
+        let head = u.head().to_vec();
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|v| head.iter().position(|h| h.as_str() == *v).unwrap())
+            .collect();
+        let mut rows: Vec<Vec<Value>> = expected.rows().map(<[Value]>::to_vec).collect();
+        rows.sort_by(|a, b| {
+            positions
+                .iter()
+                .map(|&p| a[p].cmp(&b[p]))
+                .find(|o| *o != Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
+        });
+        rows
+    }
+
+    #[test]
+    fn ordered_union_merge_matches_naive_sorted() {
+        let db = overlapping_db();
+        let u = union();
+        for order in [&["x", "y"], &["y", "x"]] {
+            let syms: Vec<Symbol> = order.iter().map(Symbol::new).collect();
+            let ou = OrderedUcq::build(&u, &db, &syms).unwrap();
+            let got: Vec<Vec<Value>> = ou.enumerate().unwrap().collect();
+            assert_eq!(got, sorted_union(&u, &db, order), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn ordered_union_prefix_scan_matches_filtered_naive() {
+        let db = overlapping_db();
+        let u = union();
+        let syms: Vec<Symbol> = ["y", "x"].iter().map(Symbol::new).collect();
+        let ou = OrderedUcq::build(&u, &db, &syms).unwrap();
+        let all = sorted_union(&u, &db, &["y", "x"]);
+        // Prefix y = 1: answers whose second head position (y) is 1.
+        let got: Vec<Vec<Value>> = ou.enumerate_prefix(&[Value::Int(1)]).unwrap().collect();
+        let expected: Vec<Vec<Value>> = all
+            .iter()
+            .filter(|a| a[1] == Value::Int(1))
+            .cloned()
+            .collect();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+        // Empty prefix = everything; missing value = nothing.
+        assert_eq!(ou.enumerate_prefix(&[]).unwrap().count(), all.len());
+        assert_eq!(ou.enumerate_prefix(&[Value::Int(999)]).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn ordered_union_next_ref_reuses_buffers() {
+        let db = overlapping_db();
+        let u = union();
+        let syms: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        let ou = OrderedUcq::build(&u, &db, &syms).unwrap();
+        let mut merge = ou.enumerate().unwrap();
+        let mut seen = 0usize;
+        let mut prev: Option<Vec<Value>> = None;
+        while let Some(ans) = merge.next_ref() {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < ans, "merge must be strictly increasing");
+            }
+            prev = Some(ans.to_vec());
+            seen += 1;
+        }
+        assert_eq!(seen, naive_eval_union(&u, &db).unwrap().len());
+    }
+
+    #[test]
+    fn mismatched_member_orders_are_rejected() {
+        let db = overlapping_db();
+        let u = union();
+        let xy: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        let yx: Vec<Symbol> = ["y", "x"].iter().map(Symbol::new).collect();
+        let a = OrderedCqIndex::build(&u.disjuncts()[0], &db, &xy).unwrap();
+        let b = OrderedCqIndex::build(&u.disjuncts()[1], &db, &yx).unwrap();
+        assert!(matches!(
+            OrderedUnionEnumeration::from_members([&a, &b]),
+            Err(CoreError::MismatchedOrders { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_member_heads_are_rejected() {
+        // Same variable order, permuted heads: the merge compares tuples
+        // positionally, so this must be refused, not silently mixed.
+        let db = overlapping_db();
+        let q_xy: rae_query::ConjunctiveQuery = "Q(x, y) :- R(x, y)".parse().unwrap();
+        let q_yx: rae_query::ConjunctiveQuery = "Q(y, x) :- S(x, y)".parse().unwrap();
+        let order: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        let a = OrderedCqIndex::build(&q_xy, &db, &order).unwrap();
+        let b = OrderedCqIndex::build(&q_yx, &db, &order).unwrap();
+        assert_ne!(a.head(), b.head());
+        assert_eq!(a.order(), b.order());
+        assert!(matches!(
+            OrderedUnionEnumeration::from_members([&a, &b]),
+            Err(CoreError::MismatchedOrders { .. })
+        ));
     }
 
     #[test]

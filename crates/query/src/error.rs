@@ -34,6 +34,26 @@ pub enum QueryError {
     NotAcyclic(Symbol),
     /// An operation required a free-connex CQ.
     NotFreeConnex(Symbol),
+    /// A requested lexicographic variable order is not a permutation of the
+    /// free variables.
+    OrderVariableMismatch {
+        /// The duplicated, unknown, or missing variable.
+        variable: Symbol,
+        /// The free variables the order must permute.
+        expected: Vec<Symbol>,
+    },
+    /// A requested lexicographic variable order cannot be realized by any
+    /// reorientation of the query's free-connex join tree (PODS 2021
+    /// tractability; see `rae_query::order`).
+    UnrealizableOrder {
+        /// The earlier variable of the offending pair.
+        earlier: Symbol,
+        /// The later variable of the offending pair.
+        later: Symbol,
+        /// A disruptive-trio witness: a variable ordered after both that
+        /// shares an atom with each, while the pair shares none.
+        witness: Option<Symbol>,
+    },
     /// An atom's arity does not match its relation's arity.
     AtomArityMismatch {
         /// The relation symbol.
@@ -63,6 +83,31 @@ impl fmt::Display for QueryError {
             QueryError::EmptyUnion => write!(f, "union of conjunctive queries has no disjuncts"),
             QueryError::Parse { message, offset } => {
                 write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::OrderVariableMismatch { variable, expected } => write!(
+                f,
+                "order variable {variable} is duplicated, unknown, or missing; \
+                 the order must be a permutation of {expected:?}"
+            ),
+            QueryError::UnrealizableOrder {
+                earlier,
+                later,
+                witness,
+            } => {
+                write!(
+                    f,
+                    "lexicographic order is not realizable by any free-connex \
+                     join-tree orientation: variables {earlier} and {later} cannot \
+                     be ordered this way"
+                )?;
+                if let Some(w) = witness {
+                    write!(
+                        f,
+                        " ({w} follows both but joins each of them, while they do \
+                         not join each other — a disruptive trio)"
+                    )?;
+                }
+                Ok(())
             }
             QueryError::NotAcyclic(q) => write!(f, "query {q} is not acyclic"),
             QueryError::NotFreeConnex(q) => write!(f, "query {q} is not free-connex"),

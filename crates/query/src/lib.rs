@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # rae-query
 //!
@@ -19,6 +19,7 @@ pub mod gyo;
 pub mod hypergraph;
 pub mod join_tree;
 pub mod naive;
+pub mod order;
 pub mod parser;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
@@ -28,6 +29,7 @@ pub use gyo::{gyo_reduce, gyo_reduce_with, JoinForest, RootPreference};
 pub use hypergraph::Hypergraph;
 pub use join_tree::TreePlan;
 pub use naive::{naive_eval, naive_eval_union};
+pub use order::{realize_order, validate_order, LexPlan};
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, QueryError>;

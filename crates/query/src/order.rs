@@ -1,0 +1,635 @@
+//! Lexicographic-order classification for direct access (Carmeli et al.,
+//! *Tractable Orders for Direct Access to Ranked Answers of Conjunctive
+//! Queries*, PODS 2021 — see PAPERS.md).
+//!
+//! A [`crate::TreePlan`]-backed enumeration index emits answers in the
+//! lexicographic order of the plan's DFS attribute-discovery sequence
+//! (DESIGN.md §3/§11). A requested variable order `L = ⟨v₁, …, v_k⟩` is
+//! therefore *realizable* exactly when the plan's bags can be re-rooted,
+//! re-attached, and re-ordered — preserving the running-intersection
+//! property — so that the preorder concatenation of per-bag "new attribute"
+//! blocks spells out `L`.
+//!
+//! [`realize_order`] performs that search (backtracking over attachment
+//! points; exponential only in the query size, which is a constant in data
+//! complexity) and returns a [`LexPlan`]: the reoriented plan, the mapping
+//! back to the input plan's nodes (so node relations can be carried over
+//! unchanged — bags are preserved), and one full column-sort priority per
+//! node. Sorting each node relation by its priority makes the index's plain
+//! access order *be* the requested lexicographic order.
+//!
+//! Unrealizable orders are rejected with
+//! [`QueryError::UnrealizableOrder`], which names an offending variable
+//! pair — derived from a *disruptive trio* (the PODS 2021 obstruction: two
+//! non-adjacent variables both adjacent to a later third) whenever one
+//! exists.
+
+use crate::error::QueryError;
+use crate::join_tree::TreePlan;
+use crate::Result;
+use rae_data::Symbol;
+use std::collections::BTreeSet;
+
+/// A join-tree layout realizing one lexicographic variable order.
+///
+/// Produced by [`realize_order`]. The plan has the same bags as the input
+/// plan (possibly re-rooted, re-attached, and renumbered), so the node
+/// relations of the input plan can be reused verbatim after permuting them
+/// with [`LexPlan::source_node`].
+#[derive(Debug, Clone)]
+pub struct LexPlan {
+    /// The reoriented plan whose access order is the requested lex order.
+    pub plan: TreePlan,
+    /// `source_node[i]` = node of the *input* plan carrying the same bag as
+    /// node `i` of [`LexPlan::plan`] (permute relations with this).
+    pub source_node: Vec<usize>,
+    /// Full column-sort priority per node (every bag column exactly once):
+    /// the parent-shared columns first, then the node's new attributes in
+    /// requested-order priority. Sorting node `i`'s relation by
+    /// `priorities[i]` realizes the order.
+    pub priorities: Vec<Vec<usize>>,
+    /// Per node: the columns introducing new attributes, as
+    /// `(bag column, position in the requested order)`, most significant
+    /// first. Order positions within one node are consecutive.
+    pub new_cols: Vec<Vec<(usize, usize)>>,
+    /// The requested order (one entry per attribute of the plan).
+    pub order: Vec<Symbol>,
+}
+
+impl LexPlan {
+    /// Permutes relations given in the *input* plan's node order into this
+    /// plan's node order (via [`LexPlan::source_node`]). The two plans
+    /// share bags, so relation `i` of the result has schema
+    /// `self.plan.bag(i)`.
+    ///
+    /// # Panics
+    /// When `relations.len()` differs from the node count.
+    pub fn permute_relations<T>(&self, relations: Vec<T>) -> Vec<T> {
+        assert_eq!(
+            relations.len(),
+            self.source_node.len(),
+            "one relation per input-plan node"
+        );
+        let mut slots: Vec<Option<T>> = relations.into_iter().map(Some).collect();
+        self.source_node
+            .iter()
+            .map(|&s| slots[s].take().expect("source_node is a permutation"))
+            .collect()
+    }
+}
+
+/// Search state for [`realize_order`].
+struct Search<'a> {
+    plan: &'a TreePlan,
+    order: &'a [Symbol],
+    /// Position of each attribute in `order` (parallel to a sorted symbol
+    /// list for lookup).
+    pos_of: Vec<(Symbol, usize)>,
+    /// Whether each input-plan bag has been placed.
+    used: Vec<bool>,
+    /// Discovery sequence: input-plan node ids in preorder.
+    discovered: Vec<usize>,
+    /// Parent (as an index into `discovered`) of each discovered node.
+    parent_disc: Vec<Option<usize>>,
+    /// Current root-to-cursor path, as indexes into `discovered`.
+    stack: Vec<usize>,
+    /// Deepest order position covered on any search branch (for
+    /// diagnostics).
+    deepest: usize,
+}
+
+impl Search<'_> {
+    fn order_pos(&self, attr: &Symbol) -> usize {
+        let i = self
+            .pos_of
+            .binary_search_by(|(s, _)| s.cmp(attr))
+            .expect("attribute coverage validated");
+        self.pos_of[i].1
+    }
+
+    /// Whether bag `node` can extend the realized prefix at order position
+    /// `pos`: all its already-seen attributes must land in `parent_bag`
+    /// (`None` for a new root ⇒ no attribute may be seen), and its new
+    /// attributes must be exactly the next block of the order.
+    fn block_len_if_placeable(
+        &self,
+        node: usize,
+        pos: usize,
+        parent_bag: Option<&[Symbol]>,
+    ) -> Option<usize> {
+        let bag = self.plan.bag(node);
+        let mut new = 0usize;
+        for attr in bag {
+            let p = self.order_pos(attr);
+            if p < pos {
+                // Already seen: must be shared with the parent.
+                match parent_bag {
+                    Some(pb) => {
+                        if pb.binary_search(attr).is_err() {
+                            return None;
+                        }
+                    }
+                    None => return None,
+                }
+            } else {
+                new += 1;
+            }
+        }
+        if new == 0 {
+            return None; // handled separately as a filter bag
+        }
+        // The new attributes must fill order positions [pos, pos + new).
+        for attr in bag {
+            let p = self.order_pos(attr);
+            if p >= pos && p >= pos + new {
+                return None;
+            }
+        }
+        Some(new)
+    }
+
+    /// Whether every unplaced bag can still be attached as a filter leaf:
+    /// it needs a *placed* superset bag (transitively exact — a chain of
+    /// unplaced supersets bottoms out in a placed one), or to be empty
+    /// (Boolean-query root). Checked at search success so a branch that
+    /// placed the wrong member of a subset pair backtracks.
+    fn leftovers_hostable(&self) -> bool {
+        (0..self.plan.node_count()).all(|node| {
+            if self.used[node] {
+                return true;
+            }
+            let bag = self.plan.bag(node);
+            bag.is_empty()
+                || self.discovered.iter().any(|&d| {
+                    let host = self.plan.bag(d);
+                    bag.iter().all(|a| host.binary_search(a).is_ok())
+                })
+        })
+    }
+
+    fn search(&mut self, pos: usize) -> bool {
+        self.deepest = self.deepest.max(pos);
+        if pos == self.order.len() {
+            return self.leftovers_hostable();
+        }
+        // Try every unplaced bag at every attachment point: under each node
+        // of the current path (deepest first — popping the rest), or as a
+        // fresh root. Candidates are filtered to those whose new-attribute
+        // block starts with `order[pos]`, which it must.
+        for node in 0..self.plan.node_count() {
+            if self.used[node] {
+                continue;
+            }
+            // Attachment under a path node, deepest first.
+            for depth in (0..self.stack.len()).rev() {
+                let parent_disc_id = self.stack[depth];
+                let parent_bag = self.plan.bag(self.discovered[parent_disc_id]);
+                let Some(new) = self.block_len_if_placeable(node, pos, Some(parent_bag)) else {
+                    continue;
+                };
+                let saved_stack = self.stack.clone();
+                self.stack.truncate(depth + 1);
+                self.place(node, Some(parent_disc_id));
+                if self.search(pos + new) {
+                    return true;
+                }
+                self.unplace(node, saved_stack);
+            }
+            // Fresh root (pops the entire path).
+            if let Some(new) = self.block_len_if_placeable(node, pos, None) {
+                let saved_stack = std::mem::take(&mut self.stack);
+                self.place(node, None);
+                if self.search(pos + new) {
+                    return true;
+                }
+                self.unplace(node, saved_stack);
+            }
+        }
+        false
+    }
+
+    fn place(&mut self, node: usize, parent_disc_id: Option<usize>) {
+        self.used[node] = true;
+        let disc_id = self.discovered.len();
+        self.discovered.push(node);
+        self.parent_disc.push(parent_disc_id);
+        self.stack.push(disc_id);
+    }
+
+    fn unplace(&mut self, node: usize, saved_stack: Vec<usize>) {
+        self.used[node] = false;
+        self.discovered.pop();
+        self.parent_disc.pop();
+        self.stack = saved_stack;
+    }
+}
+
+/// Validates that `order` is a permutation of `attrs` (the head/free
+/// variables), returning the offending variable otherwise.
+pub fn validate_order(attrs: &[Symbol], order: &[Symbol]) -> Result<()> {
+    let attr_set: BTreeSet<&Symbol> = attrs.iter().collect();
+    let mut seen: BTreeSet<&Symbol> = BTreeSet::new();
+    for v in order {
+        if !attr_set.contains(v) || !seen.insert(v) {
+            return Err(QueryError::OrderVariableMismatch {
+                variable: v.clone(),
+                expected: attrs.to_vec(),
+            });
+        }
+    }
+    if let Some(missing) = attrs.iter().find(|a| !seen.contains(a)) {
+        return Err(QueryError::OrderVariableMismatch {
+            variable: missing.clone(),
+            expected: attrs.to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// Searches for a re-rooting / re-attachment / re-ordering of `plan` whose
+/// DFS new-attribute sequence equals `order`, i.e. a layout under which the
+/// enumeration index's access order is the lexicographic order on `order`.
+///
+/// `order` must be a permutation of the plan's attributes (for an index
+/// plan these are exactly the free variables). On failure the error names
+/// an offending variable pair — via a disruptive trio when one exists.
+///
+/// ```
+/// use rae_query::{realize_order, QueryError, TreePlan};
+/// use rae_data::Symbol;
+/// use std::collections::BTreeSet;
+///
+/// // The join tree of Q(x,y,z) :- R(x,y), S(y,z): bags {x,y}–{y,z}.
+/// let bag = |vs: &[&str]| vs.iter().map(Symbol::new).collect::<BTreeSet<_>>();
+/// let plan =
+///     TreePlan::new(vec![bag(&["x", "y"]), bag(&["y", "z"])], vec![None, Some(0)]).unwrap();
+/// let sym = Symbol::new;
+/// // ⟨z, y, x⟩ re-roots at {y,z}; realizable.
+/// assert!(realize_order(&plan, &[sym("z"), sym("y"), sym("x")]).is_ok());
+/// // ⟨x, z, y⟩ has the disruptive trio (x, z; y): rejected, not a panic.
+/// assert!(matches!(
+///     realize_order(&plan, &[sym("x"), sym("z"), sym("y")]),
+///     Err(QueryError::UnrealizableOrder { .. })
+/// ));
+/// ```
+pub fn realize_order(plan: &TreePlan, order: &[Symbol]) -> Result<LexPlan> {
+    let mut attrs: Vec<Symbol> = Vec::new();
+    for i in 0..plan.node_count() {
+        attrs.extend(plan.bag(i).iter().cloned());
+    }
+    attrs.sort();
+    attrs.dedup();
+    validate_order(&attrs, order)?;
+
+    let mut pos_of: Vec<(Symbol, usize)> = order
+        .iter()
+        .enumerate()
+        .map(|(p, s)| (s.clone(), p))
+        .collect();
+    pos_of.sort();
+
+    let mut search = Search {
+        plan,
+        order,
+        pos_of,
+        used: vec![false; plan.node_count()],
+        discovered: Vec::new(),
+        parent_disc: Vec::new(),
+        stack: Vec::new(),
+        deepest: 0,
+    };
+    if !search.search(0) {
+        return Err(unrealizable_error(plan, order, search.deepest));
+    }
+
+    let Search {
+        mut used,
+        mut discovered,
+        mut parent_disc,
+        pos_of,
+        ..
+    } = search;
+
+    // Bags introducing no attribute of their own (filters: bag ⊆ some
+    // placed bag) hang as leaves under the first placed superset bag. They
+    // contribute nothing to the realized order: every bucket of such a node
+    // holds exactly one row after reduction.
+    #[allow(clippy::needless_range_loop)] // `used[node]` guards and is updated
+    for node in 0..plan.node_count() {
+        if used[node] {
+            continue;
+        }
+        let bag = plan.bag(node);
+        let host = discovered.iter().position(|&d| {
+            let host_bag = plan.bag(d);
+            bag.iter().all(|a| host_bag.binary_search(a).is_ok())
+        });
+        match host {
+            Some(h) => {
+                used[node] = true;
+                discovered.push(node);
+                parent_disc.push(Some(h));
+            }
+            None if bag.is_empty() => {
+                // An empty bag (Boolean-query node) becomes its own root.
+                used[node] = true;
+                discovered.push(node);
+                parent_disc.push(None);
+            }
+            None => {
+                // A non-empty bag all of whose attributes are covered
+                // elsewhere but with no superset host cannot keep the
+                // running-intersection property in any layout.
+                return Err(unrealizable_error(plan, order, order.len()));
+            }
+        }
+    }
+
+    let bags: Vec<BTreeSet<Symbol>> = discovered
+        .iter()
+        .map(|&n| plan.bag(n).iter().cloned().collect())
+        .collect();
+    let new_plan = TreePlan::new(bags, parent_disc)?;
+
+    // Per-node sort priorities: parent-shared columns first (bag order),
+    // then the new columns by requested-order position.
+    let pos_lookup = |attr: &Symbol, pos_of: &[(Symbol, usize)]| -> usize {
+        let i = pos_of
+            .binary_search_by(|(s, _): &(Symbol, usize)| s.cmp(attr))
+            .expect("validated");
+        pos_of[i].1
+    };
+    let mut priorities = Vec::with_capacity(new_plan.node_count());
+    let mut new_cols = Vec::with_capacity(new_plan.node_count());
+    for i in 0..new_plan.node_count() {
+        let key_cols = new_plan.parent_shared_cols(i);
+        let bag = new_plan.bag(i);
+        let mut new: Vec<(usize, usize)> = (0..bag.len())
+            .filter(|c| !key_cols.contains(c))
+            .map(|c| (c, pos_lookup(&bag[c], &pos_of)))
+            .collect();
+        new.sort_by_key(|&(_, p)| p);
+        let mut priority = key_cols;
+        priority.extend(new.iter().map(|&(c, _)| c));
+        priorities.push(priority);
+        new_cols.push(new);
+    }
+
+    Ok(LexPlan {
+        plan: new_plan,
+        source_node: discovered,
+        priorities,
+        new_cols,
+        order: order.to_vec(),
+    })
+}
+
+/// Builds the structured rejection: prefer a disruptive-trio witness (the
+/// PODS 2021 obstruction), falling back to the boundary where the search
+/// stalled.
+fn unrealizable_error(plan: &TreePlan, order: &[Symbol], deepest: usize) -> QueryError {
+    if let Some((a, b, witness)) = find_disruptive_trio(plan, order) {
+        return QueryError::UnrealizableOrder {
+            earlier: a,
+            later: b,
+            witness: Some(witness),
+        };
+    }
+    // No trio: report the first variable the search could not reach and its
+    // predecessor in the requested order.
+    let at = deepest.min(order.len() - 1).max(1);
+    QueryError::UnrealizableOrder {
+        earlier: order[at - 1].clone(),
+        later: order[at].clone(),
+        witness: None,
+    }
+}
+
+/// Searches for a disruptive trio `(a, b; w)`: `w` after both `a` and `b`
+/// in `order`, `w` sharing a bag with each of `a` and `b`, while `a` and
+/// `b` share no bag. Returns `(a, b, w)` with `a` before `b`.
+fn find_disruptive_trio(plan: &TreePlan, order: &[Symbol]) -> Option<(Symbol, Symbol, Symbol)> {
+    let adjacent = |x: &Symbol, y: &Symbol| {
+        (0..plan.node_count()).any(|i| {
+            let bag = plan.bag(i);
+            bag.binary_search(x).is_ok() && bag.binary_search(y).is_ok()
+        })
+    };
+    for wi in 2..order.len() {
+        let w = &order[wi];
+        for ai in 0..wi {
+            let a = &order[ai];
+            if !adjacent(a, w) {
+                continue;
+            }
+            for b in &order[(ai + 1)..wi] {
+                if adjacent(b, w) && !adjacent(a, b) {
+                    return Some((a.clone(), b.clone(), w.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(vs: &[&str]) -> BTreeSet<Symbol> {
+        vs.iter().map(Symbol::new).collect()
+    }
+
+    fn plan(bags: &[&[&str]], parent: Vec<Option<usize>>) -> TreePlan {
+        TreePlan::new(bags.iter().map(|b| bag(b)).collect(), parent).unwrap()
+    }
+
+    fn syms(vs: &[&str]) -> Vec<Symbol> {
+        vs.iter().map(Symbol::new).collect()
+    }
+
+    /// DFS new-attribute sequence of a realized plan must equal the order.
+    fn check_realizes(p: &TreePlan, order: &[&str]) -> LexPlan {
+        let order = syms(order);
+        let lex = realize_order(p, &order).expect("order should be realizable");
+        // Replay the discovery sequence and check the block concatenation.
+        let mut seen: BTreeSet<Symbol> = BTreeSet::new();
+        let mut realized: Vec<Symbol> = Vec::new();
+        for (i, cols) in lex.new_cols.iter().enumerate() {
+            let bag = lex.plan.bag(i);
+            for &(c, pos) in cols {
+                assert_eq!(order[pos], bag[c], "new_cols position mapping");
+            }
+            for &(c, _) in cols {
+                assert!(seen.insert(bag[c].clone()), "attr discovered twice");
+                realized.push(bag[c].clone());
+            }
+        }
+        // Nodes are numbered in discovery order, so concatenation in node
+        // order is the DFS sequence.
+        assert_eq!(realized, order, "realized sequence mismatch");
+        // Priorities are full permutations starting with the key columns.
+        for i in 0..lex.plan.node_count() {
+            let mut sorted = lex.priorities[i].clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..lex.plan.bag(i).len()).collect::<Vec<_>>());
+            let keys = lex.plan.parent_shared_cols(i);
+            assert_eq!(&lex.priorities[i][..keys.len()], &keys[..]);
+        }
+        // Bags survive the permutation.
+        for (i, &src) in lex.source_node.iter().enumerate() {
+            assert_eq!(lex.plan.bag(i), p.bag(src));
+        }
+        lex
+    }
+
+    #[test]
+    fn path_join_all_four_tractable_orders() {
+        // {x,y}–{y,z}: xyz, yxz (root {x,y}); yzx, zyx (root {y,z}).
+        let p = plan(&[&["x", "y"], &["y", "z"]], vec![None, Some(0)]);
+        for order in [
+            &["x", "y", "z"],
+            &["y", "x", "z"],
+            &["y", "z", "x"],
+            &["z", "y", "x"],
+        ] {
+            check_realizes(&p, order);
+        }
+    }
+
+    #[test]
+    fn path_join_disruptive_trio_rejected_with_witness() {
+        let p = plan(&[&["x", "y"], &["y", "z"]], vec![None, Some(0)]);
+        for order in [&["x", "z", "y"], &["z", "x", "y"]] {
+            match realize_order(&p, &syms(order)) {
+                Err(QueryError::UnrealizableOrder {
+                    earlier,
+                    later,
+                    witness,
+                }) => {
+                    let pair =
+                        BTreeSet::from([earlier.as_str().to_owned(), later.as_str().to_owned()]);
+                    assert_eq!(pair, BTreeSet::from(["x".to_owned(), "z".to_owned()]));
+                    assert_eq!(witness, Some(Symbol::new("y")));
+                }
+                other => panic!("expected UnrealizableOrder, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn star_requires_reattachment() {
+        // Path layout {x,y}–{y,z}–{y,w}; order x,y,w,z needs {y,w} moved
+        // directly under {x,y}.
+        let p = plan(
+            &[&["x", "y"], &["y", "z"], &["y", "w"]],
+            vec![None, Some(0), Some(1)],
+        );
+        let lex = check_realizes(&p, &["x", "y", "w", "z"]);
+        // {y,w} must now be the first child of {x,y}; {y,z} follows it
+        // (under either the root or {y,w} — both keep running
+        // intersection through y).
+        assert_eq!(lex.plan.bag(1), &syms(&["w", "y"])[..]);
+        assert_eq!(lex.plan.parent(1), Some(0));
+        assert_eq!(lex.plan.bag(2), &syms(&["y", "z"])[..]);
+        assert!(matches!(lex.plan.parent(2), Some(0) | Some(1)));
+    }
+
+    #[test]
+    fn star_all_orders_with_center_not_last_pair() {
+        // All 24 permutations of {x,y,z,w} over the star with center y:
+        // realizable iff at most one non-center variable precedes y.
+        let p = plan(
+            &[&["x", "y"], &["y", "z"], &["y", "w"]],
+            vec![None, Some(0), Some(1)],
+        );
+        let vars = ["x", "y", "z", "w"];
+        let mut realizable = 0usize;
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let idx = [a, b, c, d];
+                        let mut s: Vec<usize> = idx.to_vec();
+                        s.sort_unstable();
+                        if s != vec![0, 1, 2, 3] {
+                            continue;
+                        }
+                        let order: Vec<&str> = idx.iter().map(|&i| vars[i]).collect();
+                        let y_pos = order.iter().position(|&v| v == "y").unwrap();
+                        let expect = y_pos <= 1;
+                        let got = realize_order(&p, &syms(&order)).is_ok();
+                        assert_eq!(got, expect, "order {order:?}");
+                        if got {
+                            check_realizes(&p, &order);
+                            realizable += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(realizable, 6 + 3 * 2); // y first: 3! = 6; y second: 3·2
+    }
+
+    #[test]
+    fn forest_orders_across_components() {
+        // Two components {x}, {y}: both orders realizable (either root
+        // first).
+        let p = plan(&[&["x"], &["y"]], vec![None, None]);
+        check_realizes(&p, &["x", "y"]);
+        check_realizes(&p, &["y", "x"]);
+    }
+
+    #[test]
+    fn interleaved_component_order_is_rejected() {
+        // {x1,x2} and {y1,y2}: x1,y1,x2,y2 interleaves two components.
+        let p = plan(&[&["x1", "x2"], &["y1", "y2"]], vec![None, None]);
+        let err = realize_order(&p, &syms(&["x1", "y1", "x2", "y2"]));
+        assert!(matches!(err, Err(QueryError::UnrealizableOrder { .. })));
+    }
+
+    #[test]
+    fn filter_bags_hang_under_superset_hosts() {
+        // Duplicate bag {x,y} twice (un-folded layout): the second becomes
+        // a filter leaf and the order is still realizable.
+        let p = plan(&[&["x", "y"], &["x", "y"]], vec![None, Some(0)]);
+        let lex = check_realizes(&p, &["y", "x"]);
+        assert_eq!(lex.plan.node_count(), 2);
+        assert_eq!(lex.plan.parent(1), Some(0));
+        assert!(lex.new_cols[1].is_empty());
+    }
+
+    #[test]
+    fn order_must_be_a_permutation_of_the_attributes() {
+        let p = plan(&[&["x", "y"]], vec![None]);
+        for bad in [&["x"][..], &["x", "y", "z"][..], &["x", "x"][..]] {
+            assert!(matches!(
+                realize_order(&p, &syms(bad)),
+                Err(QueryError::OrderVariableMismatch { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn boolean_plan_accepts_empty_order() {
+        let p = TreePlan::new(vec![BTreeSet::new()], vec![None]).unwrap();
+        let lex = realize_order(&p, &[]).unwrap();
+        assert_eq!(lex.plan.node_count(), 1);
+        assert!(lex.priorities[0].is_empty());
+    }
+
+    #[test]
+    fn deep_chain_reroots_from_middle() {
+        // {a,b}–{b,c}–{c,d}: order b,c,a,d roots at {b,c} with children
+        // {a,b} then {c,d}... b,c block, then a, then d.
+        let p = plan(
+            &[&["a", "b"], &["b", "c"], &["c", "d"]],
+            vec![None, Some(0), Some(1)],
+        );
+        check_realizes(&p, &["b", "c", "a", "d"]);
+        check_realizes(&p, &["b", "c", "d", "a"]);
+        // a,b,d,c: after a,b the next block must be adjacent to {a,b}; d is
+        // not — trio (a/b? d adjacent to c only). Must be rejected.
+        assert!(realize_order(&p, &syms(&["a", "b", "d", "c"])).is_err());
+    }
+}

@@ -55,6 +55,30 @@ use rand::Rng;
 /// where the Olken-style samplers spend most of their time on skewed data.
 /// The owned-result methods (`attempt`, `sample`, `sample_with_budget`) are
 /// thin wrappers that allocate only for the value they return.
+///
+/// ```
+/// use rae_core::{AccessScratch, CqIndex};
+/// use rae_data::{Database, Relation, Schema, Value};
+/// use rae_sampler::{EwSampler, JoinSampler};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut db = Database::new();
+/// let rel = Relation::from_rows(
+///     Schema::new(["a"]).unwrap(),
+///     (0..50).map(|i| vec![Value::Int(i)]),
+/// )
+/// .unwrap();
+/// db.add_relation("R", rel).unwrap();
+/// let index = CqIndex::build(&"Q(x) :- R(x)".parse().unwrap(), &db).unwrap();
+///
+/// let sampler = EwSampler::new(&index);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut scratch = AccessScratch::new();
+/// // EW never rejects: every attempt yields a uniform answer.
+/// let answer = sampler.attempt_into(&mut rng, &mut scratch).unwrap();
+/// assert_eq!(answer.len(), 1);
+/// ```
 pub trait JoinSampler {
     /// One sampling attempt: on success writes the answer into `scratch`
     /// and returns a borrow of it; `None` signals an internal rejection

@@ -71,7 +71,8 @@ pub use rae_yannakakis;
 pub mod prelude {
     pub use rae_core::{
         AccessScratch, CqIndex, CqSequential, CqShuffle, DeletableSet, LazyShuffle, McUcqIndex,
-        McUcqShuffle, RankStrategy, UcqEvent, UcqShuffle, Weight,
+        McUcqShuffle, OrderedCqIndex, OrderedEnumeration, OrderedMcUcqIndex, OrderedUcq,
+        OrderedUnionEnumeration, RankStrategy, UcqEvent, UcqShuffle, Weight,
     };
     pub use rae_data::{Database, Relation, Schema, Symbol, Value};
     pub use rae_query::{

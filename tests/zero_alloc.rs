@@ -198,3 +198,87 @@ fn scratch_reuse_across_query_shapes_does_not_allocate() {
     });
     assert_eq!(allocs, 0, "interleaving shapes reallocated scratch buffers");
 }
+
+/// The ordered path (DESIGN.md §11) inherits the zero-allocation
+/// discipline: steady-state `ordered_access_into`, the rank descent behind
+/// `range_count`/`prefix_bounds`, a seeked constant-delay range scan, and
+/// the ordered union merge must all produce answers without touching the
+/// heap.
+#[test]
+fn ordered_paths_do_not_allocate() {
+    let db = skewed_db();
+    let q: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    // ORDER BY z, y, x — the reverse of the default layout's order.
+    let order: Vec<Symbol> = ["z", "y", "x"].iter().map(Symbol::new).collect();
+    let idx = OrderedCqIndex::build(&q, &db, &order).unwrap();
+    let n = idx.count();
+    assert!(n > 100);
+    let mut scratch = AccessScratch::new();
+    let mut rng = StdRng::seed_from_u64(21);
+
+    // --- ordered_access_into ---------------------------------------------
+    idx.ordered_access_into(0, &mut scratch).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..1000 {
+            let k = rng.gen_range(0..n);
+            std::hint::black_box(idx.ordered_access_into(k, &mut scratch).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "ordered_access_into allocated");
+
+    // --- ordered_inverted_access_of --------------------------------------
+    idx.index().prepare_inverted_access();
+    let owned: Vec<Vec<Value>> = (0..64)
+        .map(|k| idx.ordered_access(k * (n / 64)).unwrap())
+        .collect();
+    let mut probe = AccessScratch::new();
+    idx.ordered_inverted_access_of(&owned[0], &mut probe)
+        .unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for answer in &owned {
+            std::hint::black_box(idx.ordered_inverted_access_of(answer, &mut probe).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "ordered_inverted_access_of allocated");
+
+    // --- range_count / prefix_bounds (rank descent) ----------------------
+    let prefixes: Vec<Vec<Value>> = owned
+        .iter()
+        .map(|a| {
+            idx.order_to_head()[..2]
+                .iter()
+                .map(|&h| a[h].clone())
+                .collect()
+        })
+        .collect();
+    std::hint::black_box(idx.range_count(&prefixes[0])); // warm-up (no-op)
+    let ((), allocs) = count_allocations(|| {
+        for p in &prefixes {
+            std::hint::black_box(idx.range_count(p));
+            std::hint::black_box(idx.prefix_bounds(p));
+        }
+    });
+    assert_eq!(allocs, 0, "the rank descent allocated");
+
+    // --- seeked range scan ------------------------------------------------
+    let mut window = idx.range(n / 3..n);
+    window.next_ref().unwrap(); // warm-up (cursor buffers built in range())
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..500 {
+            std::hint::black_box(window.next_ref().unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "OrderedEnumeration next_ref allocated");
+
+    // --- ordered union merge ----------------------------------------------
+    let q2: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let idx2 = OrderedCqIndex::build(&q2, &db, &order).unwrap();
+    let mut merge = OrderedUnionEnumeration::from_members([&idx, &idx2]).unwrap();
+    merge.next_ref().unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..500 {
+            std::hint::black_box(merge.next_ref().unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "ordered union merge allocated mid-stream");
+}
