@@ -215,9 +215,15 @@ fn measure_run(sf: f64, seed: u64, threads: usize, samples: u32) -> RunReport {
 
 /// Runs the measurements and renders `BENCH_3.json`'s contents. Panics if
 /// any parallel build diverges from its serial twin.
+///
+/// On a single-core machine the parallel build degenerates to the serial
+/// path by design, so a ~1.0 "speedup" would be misleading: the report then
+/// emits `"parallel_speedup": null` and says why in the note (the digest
+/// check still proves serial/parallel equivalence).
 pub fn preprocessing_json(cfg: &BenchConfig) -> String {
     let threads = BuildOptions::default().resolved_threads();
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let multicore = available >= 2;
     // Small scale at the configured sf, wide scale at 5×.
     let runs = [
         measure_run(cfg.sf, cfg.seed, threads, 9),
@@ -258,7 +264,12 @@ pub fn preprocessing_json(cfg: &BenchConfig) -> String {
             json_f64(r.build_serial_ns),
             json_f64(r.build_parallel_ns),
             json_f64(r.build_serial_comparison_ns / r.build_serial_ns),
-            json_f64(r.build_serial_ns / r.build_parallel_ns),
+            // A 1-core "speedup" is noise around 1.0, not a measurement.
+            json_f64(if multicore {
+                r.build_serial_ns / r.build_parallel_ns
+            } else {
+                f64::NAN
+            }),
             r.serial_digest,
             r.parallel_digest,
             r.serial_digest == r.parallel_digest,
@@ -266,15 +277,25 @@ pub fn preprocessing_json(cfg: &BenchConfig) -> String {
         );
     }
 
+    let note = if multicore {
+        format!(
+            "parallel_speedup presumes >=4 cores; on this machine available_cores is {available}"
+        )
+    } else {
+        "single core available: the parallel build degenerates to the serial path by design, \
+         so parallel_speedup is null (the determinism digest still proves serial/parallel \
+         equivalence); re-record on a >=4-core machine for the real speedup"
+            .to_string()
+    };
     format!(
         "{{\n\
-         \x20 \"schema\": \"rae-bench-preprocessing-v1\",\n\
-         \x20 \"config\": {{ \"query\": \"q3\", \"seed\": {}, \"available_parallelism\": {}, \"build_threads\": {} }},\n\
-         \x20 \"note\": \"parallel_speedup presumes >=4 cores; on this machine available_parallelism is {}\",\n\
+         \x20 \"schema\": \"rae-bench-preprocessing-v2\",\n\
+         \x20 \"config\": {{ \"query\": \"q3\", \"seed\": {}, \"available_cores\": {}, \"build_threads\": {} }},\n\
+         \x20 \"note\": \"{}\",\n\
          \x20 \"runs\": [\n{}\
          \x20 ]\n\
          }}\n",
-        cfg.seed, available, threads, available, entries
+        cfg.seed, available, threads, note, entries
     )
 }
 
@@ -291,11 +312,20 @@ mod tests {
             seed: 42,
         };
         let json = preprocessing_json(&cfg);
-        assert!(json.contains("\"schema\": \"rae-bench-preprocessing-v1\""));
+        assert!(json.contains("\"schema\": \"rae-bench-preprocessing-v2\""));
+        assert!(json.contains("\"available_cores\""));
         assert!(json.contains("\"sort\""));
         assert!(json.contains("\"determinism\""));
         assert!(json.contains("\"identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // On a single-core machine the speedup field must be an explicit
+        // null plus an explanatory note, never a misleading ~1.0.
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            assert!(json.contains("\"parallel_speedup\": null"));
+            assert!(json.contains("degenerates to the serial path"));
+        } else {
+            assert!(!json.contains("\"parallel_speedup\": null"));
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod error;
 pub mod index;
 pub mod mcucq;
 pub mod ordered;
+pub mod ranked_ucq;
 pub mod renum_cq;
 pub mod renum_ucq;
 pub mod scratch;
@@ -41,6 +42,7 @@ pub use index::{BucketView, BuildOptions, CqIndex, BUILD_THREADS_ENV};
 pub use mcucq::{McUcqIndex, McUcqShuffle, OrderedMcUcqIndex, RankStrategy};
 pub use ordered::{OrderedCqIndex, OrderedEnumeration};
 pub use rae_data::SortAlgorithm;
+pub use ranked_ucq::{RankedScratch, RankedUcq, RankedUnionWindow};
 pub use renum_cq::CqShuffle;
 pub use renum_ucq::{OrderedUcq, OrderedUnionEnumeration, UcqEvent, UcqShuffle};
 pub use scratch::AccessScratch;

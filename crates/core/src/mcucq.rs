@@ -406,11 +406,12 @@ impl OrderedMcUcqIndex {
         }
         let lex = realize_order(&plan, order)?;
 
-        // Member relations permuted into the ordered plan's node order.
+        // Member relations derived for the ordered plan's node layout
+        // (full bags carried over, projection nodes projected per member).
         let member_rels: Vec<Vec<Relation>> = fjs
             .into_iter()
-            .map(|fj| lex.permute_relations(fj.relations))
-            .collect();
+            .map(|fj| lex.derive_relations(fj.relations))
+            .collect::<rae_query::Result<_>>()?;
 
         // One ordered index per non-empty subset (node-wise intersections,
         // reusing the already-built rest like the unordered builder).

@@ -117,12 +117,12 @@ impl OrderedCqIndex {
     ) -> Result<Self> {
         validate_order(&fj.head, order).map_err(CoreError::Query)?;
         let lex = realize_order(&fj.plan, order)?;
-        let relations = lex.permute_relations(fj.relations);
+        let relations = lex.derive_relations(fj.relations)?;
         Self::from_lex_parts(&lex, relations, fj.head, options)
     }
 
-    /// Builds from a realized [`LexPlan`] and relations already permuted to
-    /// its node order (the mc-UCQ builder's entry point).
+    /// Builds from a realized [`LexPlan`] and relations already derived for
+    /// its node layout (the mc-UCQ builder's entry point).
     pub(crate) fn from_lex_parts(
         lex: &LexPlan,
         relations: Vec<Relation>,

@@ -1,0 +1,642 @@
+//! Ordered random access for **general** unions of free-connex CQs
+//! (DESIGN.md §11) — no shared-template (mc-UCQ) restriction.
+//!
+//! [`crate::OrderedMcUcqIndex`] answers union ranks by inclusion–exclusion
+//! over materialized *intersection indexes*, which only exist when every
+//! disjunct reduces to one join-tree template. [`RankedUcq`] drops that
+//! requirement: each disjunct gets its own [`OrderedCqIndex`] (possibly a
+//! completely different synthesized layout — only the realized variable
+//! order must agree), and the union rank of any tuple is corrected for
+//! duplicates by per-member *ownership*: an answer shared by several
+//! members is owned by (counted at) the least member containing it.
+//!
+//! For member `i`, preprocessing materializes the sorted list of its
+//! **non-owned positions** — ranks of answers that also occur in some
+//! member `j < i`. The number of *owned* answers among member `i`'s first
+//! `p` positions is then `p − |{non-owned < p}|` (one binary search), and
+//! every union-rank question becomes a sum over members:
+//!
+//! * `lt_∪(t) = Σᵢ owned_before_i(ltᵢ(t))` — the distinct-union rank of `t`
+//!   (each `ltᵢ` is an O(log n) rank descent, [`OrderedCqIndex::prefix_bounds`]);
+//! * [`RankedUcq::ordered_access`]`(k)` binary-searches each member's
+//!   positions for the first answer whose union `le`-rank exceeds `k` and
+//!   takes the order-minimum candidate — O(m² log² n);
+//! * [`RankedUcq::ordered_inverted_access`] and
+//!   [`RankedUcq::range_count`] are single sweeps of rank descents.
+//!
+//! Non-owned positions are discovered by a pairwise *leapfrog* walk over
+//! the ordered indexes: both cursors jump via rank descents, so a pair
+//! costs O((|Qᵢ(D) ∩ Qⱼ(D)| + alternations) · log n) — it never enumerates
+//! the non-overlapping bulk of either member. Worst case (two members with
+//! a huge intersection) this is output-sensitive rather than linear in
+//! `|D|`; that is the honest price of generality — the mc-UCQ structure
+//! remains the guaranteed-near-linear-preprocessing option for
+//! shared-template unions, and the two agree answer-for-answer
+//! (`tests/ordered_access.rs`).
+
+use crate::error::CoreError;
+use crate::ordered::{OrderedCqIndex, OrderedEnumeration};
+use crate::renum_ucq::{ensure_shared_layout, OrderedUnionEnumeration};
+use crate::scratch::AccessScratch;
+use crate::weight::Weight;
+use crate::Result;
+use rae_data::{Database, Symbol, Value};
+use rae_query::{QueryError, UnionQuery};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Ordered random access, rank lookup, and range counting over a general
+/// union of free-connex CQs, duplicates counted once.
+///
+/// ```
+/// use rae_core::RankedUcq;
+/// use rae_data::{Database, Relation, Schema, Symbol, Value};
+///
+/// let mut db = Database::new();
+/// let rel = |rows: &[[i64; 2]]| {
+///     Relation::from_rows(
+///         Schema::new(["a", "b"]).unwrap(),
+///         rows.iter().map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+///     )
+///     .unwrap()
+/// };
+/// db.add_relation("R", rel(&[[1, 1], [2, 2]])).unwrap();
+/// db.add_relation("S", rel(&[[2, 2], [3, 3]])).unwrap();
+/// let u = "Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y)."
+///     .parse()
+///     .unwrap();
+/// let order = [Symbol::new("x"), Symbol::new("y")];
+/// let ranked = RankedUcq::build(&u, &db, &order).unwrap();
+///
+/// // (2,2) is shared: the distinct union has 3 answers, ranked by x.
+/// assert_eq!(ranked.count(), 3);
+/// assert_eq!(
+///     ranked.ordered_access(1).unwrap(),
+///     vec![Value::Int(2), Value::Int(2)]
+/// );
+/// assert_eq!(
+///     ranked.ordered_inverted_access(&[Value::Int(3), Value::Int(3)]),
+///     Some(2)
+/// );
+/// assert_eq!(ranked.range_count(&[Value::Int(2)]), 1);
+/// ```
+#[derive(Debug)]
+pub struct RankedUcq {
+    members: Vec<OrderedCqIndex>,
+    /// Per member: sorted ranks of answers owned by an earlier member.
+    non_owned: Vec<Vec<Weight>>,
+    /// Order-significant head positions (shared by all members).
+    cmp_positions: Vec<usize>,
+    /// `|Q_1(D) ∪ … ∪ Q_m(D)|`.
+    total: Weight,
+}
+
+/// Reusable buffers for [`RankedUcq`]'s allocation-free accessors: three
+/// [`AccessScratch`]es (candidate probes, best-candidate re-access, and the
+/// returned answer), sized on first use.
+#[derive(Debug, Default)]
+pub struct RankedScratch {
+    probe: AccessScratch,
+    best: AccessScratch,
+    out: AccessScratch,
+}
+
+impl RankedUcq {
+    /// Builds one ordered index per disjunct, all realizing `order`, and
+    /// discovers cross-member duplicates.
+    ///
+    /// Fails like [`OrderedCqIndex::build`] when any disjunct is outside
+    /// the tractable class or cannot realize the order, and with
+    /// [`rae_query::QueryError::EmptyUnion`] on an empty union.
+    pub fn build(ucq: &UnionQuery, db: &Database, order: &[Symbol]) -> Result<Self> {
+        let members = ucq
+            .disjuncts()
+            .iter()
+            .map(|d| OrderedCqIndex::build(d, db, order))
+            .collect::<Result<Vec<_>>>()?;
+        Self::from_members(members)
+    }
+
+    /// Builds the union rank structure over pre-built member indexes.
+    ///
+    /// Errors with [`CoreError::MismatchedOrders`] unless all members share
+    /// one head layout and realized order.
+    pub fn from_members(members: Vec<OrderedCqIndex>) -> Result<Self> {
+        if members.is_empty() {
+            return Err(CoreError::Query(QueryError::EmptyUnion));
+        }
+        let cmp_positions = ensure_shared_layout(members.iter())?;
+        let non_owned = discover_non_owned(&members);
+        let total = members
+            .iter()
+            .zip(&non_owned)
+            .map(|(m, d)| m.count() - d.len() as Weight)
+            .sum();
+        Ok(RankedUcq {
+            members,
+            non_owned,
+            cmp_positions,
+            total,
+        })
+    }
+
+    /// The per-disjunct ordered indexes.
+    pub fn members(&self) -> &[OrderedCqIndex] {
+        &self.members
+    }
+
+    /// The head attributes, in answer-tuple order.
+    pub fn head(&self) -> &[Symbol] {
+        self.members[0].head()
+    }
+
+    /// The realized lexicographic variable order.
+    pub fn order(&self) -> &[Symbol] {
+        self.members[0].order()
+    }
+
+    /// `|Q_1(D) ∪ … ∪ Q_m(D)|` (duplicates counted once) — O(1).
+    pub fn count(&self) -> Weight {
+        self.total
+    }
+
+    /// Answers among member `i`'s first `p` positions that member `i` owns.
+    #[inline]
+    fn owned_before(&self, i: usize, p: Weight) -> Weight {
+        p - self.non_owned[i].partition_point(|&x| x < p) as Weight
+    }
+
+    /// The union's `(lt, le)` ranks of a full tuple (head order).
+    fn tuple_union_bounds(&self, tuple: &[Value]) -> (Weight, Weight) {
+        let (mut lt, mut le) = (0 as Weight, 0 as Weight);
+        for (i, m) in self.members.iter().enumerate() {
+            let (l, e) = m.tuple_bounds(tuple);
+            lt += self.owned_before(i, l);
+            le += self.owned_before(i, e);
+        }
+        (lt, le)
+    }
+
+    /// The `(lt, le)` union ranks bracketing a prefix of order values:
+    /// distinct union answers strictly below / below-or-matching the
+    /// prefix. O(m log n), allocation-free.
+    ///
+    /// # Panics
+    /// When `prefix` is longer than the arity.
+    pub fn prefix_bounds(&self, prefix: &[Value]) -> (Weight, Weight) {
+        let (mut lt, mut le) = (0 as Weight, 0 as Weight);
+        for (i, m) in self.members.iter().enumerate() {
+            let (l, e) = m.prefix_bounds(prefix);
+            lt += self.owned_before(i, l);
+            le += self.owned_before(i, e);
+        }
+        (lt, le)
+    }
+
+    /// The number of distinct union answers matching a prefix of order
+    /// values — O(m log n), nothing enumerated.
+    pub fn range_count(&self, prefix: &[Value]) -> Weight {
+        let (lt, le) = self.prefix_bounds(prefix);
+        le - lt
+    }
+
+    /// The contiguous union-rank range of all answers matching a prefix of
+    /// order values.
+    pub fn range_of_prefix(&self, prefix: &[Value]) -> Range<Weight> {
+        let (lt, le) = self.prefix_bounds(prefix);
+        lt..le
+    }
+
+    /// The `k`-th distinct union answer under the order, or `None` when
+    /// `k ≥ count()` — O(m² log² n).
+    pub fn ordered_access(&self, k: Weight) -> Option<Vec<Value>> {
+        let mut scratch = RankedScratch::default();
+        self.ordered_access_into(k, &mut scratch)
+            .map(<[Value]>::to_vec)
+    }
+
+    /// Allocation-free [`RankedUcq::ordered_access`]: writes into `scratch`
+    /// and returns a borrow.
+    pub fn ordered_access_into<'s>(
+        &self,
+        k: Weight,
+        scratch: &'s mut RankedScratch,
+    ) -> Option<&'s [Value]> {
+        if k >= self.total {
+            return None;
+        }
+        // Per member: the first position whose answer's union le-rank
+        // exceeds k (the union rank is monotone along the member's order).
+        // The owner of the k-th union answer lands exactly on it; every
+        // other member's candidate compares ≥, so the order-minimum
+        // candidate is the answer.
+        let mut best: Option<(usize, Weight)> = None;
+        for (i, member) in self.members.iter().enumerate() {
+            let count = member.count();
+            let (mut lo, mut hi) = (0 as Weight, count);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let ans = member
+                    .ordered_access_into(mid, &mut scratch.probe)
+                    .expect("mid < count");
+                let (_, le) = self.tuple_union_bounds(ans);
+                if le > k {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if lo == count {
+                continue; // every answer of this member ranks ≤ k
+            }
+            best = match best {
+                None => Some((i, lo)),
+                Some((bi, bp)) => {
+                    let cand = member
+                        .ordered_access_into(lo, &mut scratch.probe)
+                        .expect("lo < count");
+                    let cur = self.members[bi]
+                        .ordered_access_into(bp, &mut scratch.best)
+                        .expect("recorded candidate in range");
+                    if self.order_cmp(cand, cur) == Ordering::Less {
+                        Some((i, lo))
+                    } else {
+                        Some((bi, bp))
+                    }
+                }
+            };
+        }
+        let (bi, bp) = best.expect("k < count guarantees an owner member");
+        self.members[bi].ordered_access_into(bp, &mut scratch.out)
+    }
+
+    /// The rank of `answer` (head order) among the distinct union answers,
+    /// or `None` when no member contains it — O(m log n), allocation-free.
+    pub fn ordered_inverted_access(&self, answer: &[Value]) -> Option<Weight> {
+        if answer.len() != self.head().len() {
+            return None;
+        }
+        // Membership falls out of the same rank descents: a member contains
+        // the tuple iff its (lt, le) bracket is non-empty.
+        let (mut lt, mut contained) = (0 as Weight, false);
+        for (i, m) in self.members.iter().enumerate() {
+            let (l, e) = m.tuple_bounds(answer);
+            contained |= e > l;
+            lt += self.owned_before(i, l);
+        }
+        contained.then_some(lt)
+    }
+
+    /// Compares two answers (head order) by the shared lexicographic order.
+    pub fn order_cmp(&self, a: &[Value], b: &[Value]) -> Ordering {
+        for &p in &self.cmp_positions {
+            match a[p].cmp(&b[p]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// A constant-delay ordered scan of the whole distinct union (the
+    /// k-way member merge).
+    pub fn enumerate(&self) -> OrderedUnionEnumeration<'_> {
+        OrderedUnionEnumeration::from_members(self.members.iter())
+            .expect("members share one layout by construction")
+    }
+
+    /// A duplicate-eliminating scan over a union-rank window
+    /// `[range.start, range.end)` (out-of-bounds ends are clamped): each
+    /// member is seeked past the answers below the window in O(log n), so
+    /// skipped pages are never paid for.
+    pub fn range(&self, range: Range<Weight>) -> RankedUnionWindow<'_> {
+        let lo = range.start.min(self.total);
+        let hi = range.end.min(self.total).max(lo);
+        if lo == hi {
+            let merge = OrderedUnionEnumeration::from_windows(
+                self.members.iter().map(|m| (m, m.range(0..0))).collect(),
+            )
+            .expect("members share one layout by construction");
+            return RankedUnionWindow {
+                merge,
+                remaining: 0,
+            };
+        }
+        let mut scratch = RankedScratch::default();
+        let first = self
+            .ordered_access_into(lo, &mut scratch)
+            .expect("lo < count");
+        let windows: Vec<(&OrderedCqIndex, OrderedEnumeration<'_>)> = self
+            .members
+            .iter()
+            .map(|m| {
+                let (lt, _) = m.tuple_bounds(first);
+                (m, m.range(lt..m.count()))
+            })
+            .collect();
+        let merge =
+            OrderedUnionEnumeration::from_windows(windows).expect("layout checked at build");
+        RankedUnionWindow {
+            merge,
+            remaining: hi - lo,
+        }
+    }
+
+    /// A duplicate-eliminating scan of every union answer matching a prefix
+    /// of order values, in order.
+    pub fn enumerate_prefix(&self, prefix: &[Value]) -> RankedUnionWindow<'_> {
+        self.range(self.range_of_prefix(prefix))
+    }
+}
+
+/// A bounded window over a [`RankedUcq`]'s duplicate-eliminating merge
+/// (see [`RankedUcq::range`]).
+#[derive(Debug)]
+pub struct RankedUnionWindow<'a> {
+    merge: OrderedUnionEnumeration<'a>,
+    remaining: Weight,
+}
+
+impl RankedUnionWindow<'_> {
+    /// Distinct answers left in the window.
+    pub fn remaining(&self) -> Weight {
+        self.remaining
+    }
+
+    /// The next distinct union answer as a borrow of the merge buffer
+    /// (zero-allocation), or `None` when the window is exhausted.
+    pub fn next_ref(&mut self) -> Option<&[Value]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.merge.next_ref()
+    }
+}
+
+impl Iterator for RankedUnionWindow<'_> {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        self.next_ref().map(<[Value]>::to_vec)
+    }
+}
+
+/// Per member: sorted ranks of answers also contained in an earlier member
+/// (the non-owned positions). Member 0 owns everything it contains.
+fn discover_non_owned(members: &[OrderedCqIndex]) -> Vec<Vec<Weight>> {
+    let mut scratch = AccessScratch::new();
+    let mut out: Vec<Vec<Weight>> = Vec::with_capacity(members.len());
+    out.push(Vec::new());
+    for j in 1..members.len() {
+        let mut dupes: BTreeSet<Weight> = BTreeSet::new();
+        for i in 0..j {
+            leapfrog_matches(&members[i], &members[j], &mut dupes, &mut scratch);
+        }
+        out.push(dupes.into_iter().collect());
+    }
+    out
+}
+
+/// Inserts into `out` the positions in `b` of every answer shared with `a`,
+/// by a leapfrog walk: each side's cursor jumps over the other's gaps with
+/// one O(log n) rank descent, so runs of non-overlapping answers cost one
+/// step instead of one step per answer.
+fn leapfrog_matches(
+    a: &OrderedCqIndex,
+    b: &OrderedCqIndex,
+    out: &mut BTreeSet<Weight>,
+    scratch: &mut AccessScratch,
+) {
+    let (na, nb) = (a.count(), b.count());
+    let (mut pa, mut pb) = (0 as Weight, 0 as Weight);
+    while pa < na && pb < nb {
+        let ta = a
+            .ordered_access_into(pa, scratch)
+            .expect("pa < member count");
+        let (lt_b, le_b) = b.tuple_bounds(ta);
+        if le_b > lt_b {
+            // ta ∈ b at position lt_b; continue after it on both sides.
+            out.insert(lt_b);
+            pa += 1;
+            pb = le_b;
+        } else {
+            if lt_b >= nb {
+                break; // every remaining b-answer is below ta
+            }
+            // b's next candidate is its first answer above ta; jump a past
+            // everything below it. tb > ta guarantees progress (lt_a > pa).
+            let tb = b
+                .ordered_access_into(lt_b, scratch)
+                .expect("lt_b < member count");
+            let (lt_a, _) = a.tuple_bounds(tb);
+            pa = lt_a;
+            pb = lt_b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_data::{Relation, Schema};
+    use rae_query::naive_eval_union;
+    use rae_query::parser::parse_ucq;
+
+    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(
+            Schema::new(attrs.iter().copied()).unwrap(),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    /// A mixed-template union: Q1 reduces to the single bag {x,y}, Q2 to
+    /// the cross-product forest {x}, {y} — no shared template, so the
+    /// mc-UCQ structure refuses it while RankedUcq serves it.
+    fn mixed_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            "R",
+            rel_int(&["a", "b"], &[&[1, 1], &[1, 2], &[2, 1], &[3, 3]]),
+        )
+        .unwrap();
+        db.add_relation("S", rel_int(&["a"], &[&[1], &[2]]))
+            .unwrap();
+        db.add_relation("T", rel_int(&["a"], &[&[1], &[3]]))
+            .unwrap();
+        db
+    }
+
+    fn mixed_union() -> UnionQuery {
+        parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x), T(y).").unwrap()
+    }
+
+    fn sorted_union(u: &UnionQuery, db: &Database, order: &[&str]) -> Vec<Vec<Value>> {
+        let expected = naive_eval_union(u, db).unwrap();
+        let head = u.head().to_vec();
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|v| head.iter().position(|h| h.as_str() == *v).unwrap())
+            .collect();
+        let mut rows: Vec<Vec<Value>> = expected.rows().map(<[Value]>::to_vec).collect();
+        rows.sort_by(|a, b| {
+            positions
+                .iter()
+                .map(|&p| a[p].cmp(&b[p]))
+                .find(|o| *o != Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
+        });
+        rows
+    }
+
+    fn check_ranked(u: &UnionQuery, db: &Database, order: &[&str]) {
+        let syms: Vec<Symbol> = order.iter().map(Symbol::new).collect();
+        let ranked = RankedUcq::build(u, db, &syms).unwrap();
+        let expected = sorted_union(u, db, order);
+        assert_eq!(ranked.count() as usize, expected.len(), "count");
+        for (k, row) in expected.iter().enumerate() {
+            assert_eq!(
+                ranked.ordered_access(k as Weight).as_ref(),
+                Some(row),
+                "rank {k} under {order:?}"
+            );
+            assert_eq!(
+                ranked.ordered_inverted_access(row),
+                Some(k as Weight),
+                "inverted rank {k}"
+            );
+        }
+        assert!(ranked.ordered_access(ranked.count()).is_none());
+        let merged: Vec<Vec<Value>> = ranked.enumerate().collect();
+        assert_eq!(merged, expected, "merge vs ranks");
+    }
+
+    #[test]
+    fn mixed_template_union_matches_naive_sorted() {
+        let db = mixed_db();
+        let u = mixed_union();
+        check_ranked(&u, &db, &["x", "y"]);
+        check_ranked(&u, &db, &["y", "x"]);
+        // The same union is refused by the mc-UCQ template builder.
+        let syms: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        assert!(matches!(
+            crate::OrderedMcUcqIndex::build(&u, &db, &syms),
+            Err(CoreError::IncompatibleTemplates { .. })
+        ));
+    }
+
+    #[test]
+    fn range_count_matches_naive_filter() {
+        let db = mixed_db();
+        let u = mixed_union();
+        let syms: Vec<Symbol> = ["y", "x"].iter().map(Symbol::new).collect();
+        let ranked = RankedUcq::build(&u, &db, &syms).unwrap();
+        let all = sorted_union(&u, &db, &["y", "x"]);
+        let head_of = |p: usize| ranked.members()[0].order_to_head()[p];
+        for answer in &all {
+            for plen in 0..=2 {
+                let prefix: Vec<Value> = (0..plen).map(|p| answer[head_of(p)].clone()).collect();
+                let expected = all
+                    .iter()
+                    .filter(|r| (0..plen).all(|p| r[head_of(p)] == prefix[p]))
+                    .count() as Weight;
+                assert_eq!(ranked.range_count(&prefix), expected, "prefix {prefix:?}");
+                let window: Vec<Vec<Value>> = ranked.enumerate_prefix(&prefix).collect();
+                assert_eq!(window.len() as Weight, expected);
+            }
+        }
+        assert_eq!(ranked.range_count(&[Value::Int(999)]), 0);
+        assert_eq!(ranked.range_count(&[]), ranked.count());
+    }
+
+    #[test]
+    fn range_windows_paginate_consistently() {
+        let db = mixed_db();
+        let u = mixed_union();
+        let syms: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        let ranked = RankedUcq::build(&u, &db, &syms).unwrap();
+        let all: Vec<Vec<Value>> = ranked.enumerate().collect();
+        for window in [1 as Weight, 2, 3] {
+            let mut paged: Vec<Vec<Value>> = Vec::new();
+            let mut at: Weight = 0;
+            while at < ranked.count() {
+                paged.extend(ranked.range(at..at + window));
+                at += window;
+            }
+            assert_eq!(paged, all, "window {window}");
+        }
+        assert_eq!(ranked.range(ranked.count()..Weight::MAX).count(), 0);
+    }
+
+    #[test]
+    fn identical_members_count_once() {
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a"], &[&[1], &[2], &[3]]))
+            .unwrap();
+        db.add_relation("S", rel_int(&["a"], &[&[1], &[2], &[3]]))
+            .unwrap();
+        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        check_ranked(&u, &db, &["x"]);
+        let syms = [Symbol::new("x")];
+        let ranked = RankedUcq::build(&u, &db, &syms).unwrap();
+        assert_eq!(ranked.count(), 3);
+    }
+
+    #[test]
+    fn three_member_mixed_union() {
+        let mut db = mixed_db();
+        db.add_relation("U", rel_int(&["a", "b"], &[&[1, 2], &[9, 9], &[2, 1]]))
+            .unwrap();
+        let u =
+            parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x), T(y). Q3(x, y) :- U(x, y).").unwrap();
+        check_ranked(&u, &db, &["x", "y"]);
+        check_ranked(&u, &db, &["y", "x"]);
+    }
+
+    #[test]
+    fn empty_union_and_empty_members() {
+        assert!(matches!(
+            RankedUcq::from_members(Vec::new()),
+            Err(CoreError::Query(QueryError::EmptyUnion))
+        ));
+        let mut db = Database::new();
+        db.add_relation("R", rel_int(&["a"], &[])).unwrap();
+        db.add_relation("S", rel_int(&["a"], &[&[7]])).unwrap();
+        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        let syms = [Symbol::new("x")];
+        let ranked = RankedUcq::build(&u, &db, &syms).unwrap();
+        assert_eq!(ranked.count(), 1);
+        assert_eq!(ranked.ordered_access(0).unwrap(), vec![Value::Int(7)]);
+        assert!(ranked.ordered_access(1).is_none());
+    }
+
+    #[test]
+    fn mismatched_member_layouts_are_rejected() {
+        let db = mixed_db();
+        let q_xy: rae_query::ConjunctiveQuery = "Q(x, y) :- R(x, y)".parse().unwrap();
+        let xy: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        let yx: Vec<Symbol> = ["y", "x"].iter().map(Symbol::new).collect();
+        let a = OrderedCqIndex::build(&q_xy, &db, &xy).unwrap();
+        let b = OrderedCqIndex::build(&q_xy, &db, &yx).unwrap();
+        assert!(matches!(
+            RankedUcq::from_members(vec![a, b]),
+            Err(CoreError::MismatchedOrders { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_arity_inverted_access_is_none() {
+        let db = mixed_db();
+        let u = mixed_union();
+        let syms: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        let ranked = RankedUcq::build(&u, &db, &syms).unwrap();
+        assert_eq!(ranked.ordered_inverted_access(&[Value::Int(1)]), None);
+        assert_eq!(
+            ranked.ordered_inverted_access(&[Value::Int(777), Value::Int(0)]),
+            None
+        );
+    }
+}

@@ -284,6 +284,40 @@ impl MergeMember<'_> {
     }
 }
 
+/// Validates that every member shares one head layout **and** one realized
+/// variable order — the precondition of every positional union structure
+/// (the k-way merge and [`crate::RankedUcq`]'s rank algebra both compare
+/// and emit tuples positionally, so permuted heads would silently mix
+/// layouts). Returns the shared order-significant head positions; the
+/// unified rejection is [`CoreError::MismatchedOrders`].
+pub(crate) fn ensure_shared_layout<'a>(
+    members: impl IntoIterator<Item = &'a OrderedCqIndex>,
+) -> Result<Vec<usize>> {
+    let mut first: Option<&OrderedCqIndex> = None;
+    for index in members {
+        match first {
+            None => first = Some(index),
+            Some(f) if f.order() != index.order() || f.head() != index.head() => {
+                let layout = |i: &OrderedCqIndex| {
+                    i.head()
+                        .iter()
+                        .chain(i.order())
+                        .map(Symbol::to_string)
+                        .collect::<Vec<_>>()
+                };
+                return Err(CoreError::MismatchedOrders {
+                    expected: layout(f),
+                    got: layout(index),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(first
+        .map(|f| f.order_to_head().to_vec())
+        .unwrap_or_default())
+}
+
 /// A duplicate-eliminating k-way merge over member streams that share one
 /// lexicographic order (see [`OrderedUcq`]).
 #[derive(Debug)]
@@ -307,38 +341,13 @@ impl<'a> OrderedUnionEnumeration<'a> {
     }
 
     /// Merges caller-chosen rank windows, one per member (used for prefix
-    /// scans; the windows must cover order-contiguous, aligned ranges for
-    /// the merged stream to be meaningful).
-    fn from_windows(
+    /// scans and union rank windows; the windows must cover
+    /// order-contiguous, aligned ranges for the merged stream to be
+    /// meaningful).
+    pub(crate) fn from_windows(
         windows: Vec<(&'a OrderedCqIndex, OrderedEnumeration<'a>)>,
     ) -> Result<OrderedUnionEnumeration<'a>> {
-        // All members must share the variable order AND the head layout:
-        // the merge compares and emits tuples positionally, so two indexes
-        // realizing the same order over permuted heads would silently mix
-        // layouts.
-        let mut first: Option<&OrderedCqIndex> = None;
-        for (index, _) in &windows {
-            match first {
-                None => first = Some(index),
-                Some(f) if f.order() != index.order() || f.head() != index.head() => {
-                    let layout = |i: &OrderedCqIndex| {
-                        i.head()
-                            .iter()
-                            .chain(i.order())
-                            .map(Symbol::to_string)
-                            .collect::<Vec<_>>()
-                    };
-                    return Err(CoreError::MismatchedOrders {
-                        expected: layout(f),
-                        got: layout(index),
-                    });
-                }
-                Some(_) => {}
-            }
-        }
-        let cmp_positions = first
-            .map(|f| f.order_to_head().to_vec())
-            .unwrap_or_default();
+        let cmp_positions = ensure_shared_layout(windows.iter().map(|&(index, _)| index))?;
         let mut members: Vec<MergeMember<'a>> = windows
             .into_iter()
             .map(|(_, window)| MergeMember {

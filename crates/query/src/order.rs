@@ -1,48 +1,73 @@
-//! Lexicographic-order classification for direct access (Carmeli et al.,
-//! *Tractable Orders for Direct Access to Ranked Answers of Conjunctive
-//! Queries*, PODS 2021 — see PAPERS.md).
+//! Decomposition-complete lexicographic-order realization for direct access
+//! (Carmeli et al., *Tractable Orders for Direct Access to Ranked Answers of
+//! Conjunctive Queries*, PODS 2021 — see PAPERS.md).
 //!
 //! A [`crate::TreePlan`]-backed enumeration index emits answers in the
 //! lexicographic order of the plan's DFS attribute-discovery sequence
 //! (DESIGN.md §3/§11). A requested variable order `L = ⟨v₁, …, v_k⟩` is
-//! therefore *realizable* exactly when the plan's bags can be re-rooted,
-//! re-attached, and re-ordered — preserving the running-intersection
-//! property — so that the preorder concatenation of per-bag "new attribute"
-//! blocks spells out `L`.
+//! *realizable* when **some** free-connex join tree over the query — not
+//! necessarily the one the GYO reduction happened to produce — spells out
+//! `L` as the preorder concatenation of per-node "new attribute" blocks.
+//! Crucially, such a tree may contain **projection nodes**: bags that are
+//! strict subsets of the reduction's bags (their relations are deduplicated
+//! projections of the source node's relation), which lets e.g. the order
+//! `⟨a, c, b, d⟩` over bags `{a,b,c}–{c,d}` be served by the tree
+//! `{a,c} → [{a,b,c}, {c,d}]` even though no re-rooting of the original
+//! bags realizes it.
 //!
-//! [`realize_order`] performs that search (backtracking over attachment
-//! points; exponential only in the query size, which is a constant in data
-//! complexity) and returns a [`LexPlan`]: the reoriented plan, the mapping
-//! back to the input plan's nodes (so node relations can be carried over
-//! unchanged — bags are preserved), and one full column-sort priority per
-//! node. Sorting each node relation by its priority makes the index's plain
+//! [`realize_order`] decides realizability over that whole decomposition
+//! space and, on acceptance, *synthesizes* a realizing tree:
+//!
+//! 1. **Sound fast rejection with witnesses.** A *disruptive trio*
+//!    (PODS 2021): two variables that share no bag, both adjacent to a
+//!    variable ordered after them — provably unrealizable by any tree, so
+//!    the rejection names the trio. Likewise a *component crossing*
+//!    (`x₁ … y₁ … x₂ … y₂` across connected components), which violates the
+//!    stack discipline of every DFS tree.
+//! 2. **Complete synthesis search.** A memoized backtracking search places,
+//!    at each order position, a node `(seen ∪ run)` derived from any source
+//!    bag — `seen` = the maximal parent-shared subset (provably dominant),
+//!    `run` = the next block of the order — at any attachment depth on the
+//!    current root-to-cursor path or as a fresh root. It succeeds iff every
+//!    original bag ends up contained in some node (so every join constraint
+//!    is enforced); original bags not placed verbatim hang as filter
+//!    leaves. The search is complete for the class "all free-connex join
+//!    trees with projection bags", which `tests/decomposition_oracle.rs`
+//!    verifies against an independent exhaustive enumerator.
+//!
+//! The result is a [`LexPlan`]: the synthesized plan, the mapping of every
+//! node to its source bag and source columns (so node relations are derived
+//! by [`LexPlan::derive_relations`] — verbatim for full bags, deduplicated
+//! projections otherwise), and one full column-sort priority per node.
+//! Sorting each node relation by its priority makes the index's plain
 //! access order *be* the requested lexicographic order.
 //!
 //! Unrealizable orders are rejected with
-//! [`QueryError::UnrealizableOrder`], which names an offending variable
-//! pair — derived from a *disruptive trio* (the PODS 2021 obstruction: two
-//! non-adjacent variables both adjacent to a later third) whenever one
-//! exists.
+//! [`QueryError::UnrealizableOrder`], never a panic.
 
 use crate::error::QueryError;
 use crate::join_tree::TreePlan;
 use crate::Result;
-use rae_data::Symbol;
-use std::collections::BTreeSet;
+use rae_data::{Relation, Schema, Symbol};
+use std::collections::{BTreeSet, HashSet};
 
 /// A join-tree layout realizing one lexicographic variable order.
 ///
-/// Produced by [`realize_order`]. The plan has the same bags as the input
-/// plan (possibly re-rooted, re-attached, and renumbered), so the node
-/// relations of the input plan can be reused verbatim after permuting them
-/// with [`LexPlan::source_node`].
+/// Produced by [`realize_order`]. Unlike a mere re-rooting, the plan's bags
+/// may be *projections* of the input plan's bags, so a single input node can
+/// source several plan nodes; derive the node relations with
+/// [`LexPlan::derive_relations`].
 #[derive(Debug, Clone)]
 pub struct LexPlan {
-    /// The reoriented plan whose access order is the requested lex order.
+    /// The synthesized plan whose access order is the requested lex order.
     pub plan: TreePlan,
-    /// `source_node[i]` = node of the *input* plan carrying the same bag as
-    /// node `i` of [`LexPlan::plan`] (permute relations with this).
+    /// `source_node[i]` = node of the *input* plan whose bag contains node
+    /// `i`'s bag (not necessarily a permutation: projection nodes share
+    /// their source with the node carrying the full bag).
     pub source_node: Vec<usize>,
+    /// `source_cols[i]` = columns of the source bag (in the input plan's
+    /// sorted bag order) forming node `i`'s bag, in node-bag order.
+    pub source_cols: Vec<Vec<usize>>,
     /// Full column-sort priority per node (every bag column exactly once):
     /// the parent-shared columns first, then the node's new attributes in
     /// requested-order priority. Sorting node `i`'s relation by
@@ -57,170 +82,48 @@ pub struct LexPlan {
 }
 
 impl LexPlan {
-    /// Permutes relations given in the *input* plan's node order into this
-    /// plan's node order (via [`LexPlan::source_node`]). The two plans
-    /// share bags, so relation `i` of the result has schema
-    /// `self.plan.bag(i)`.
+    /// Derives one relation per plan node from the *input* plan's node
+    /// relations: a full-bag node reuses its source relation verbatim, a
+    /// projection node gets the deduplicated projection of its source onto
+    /// [`LexPlan::source_cols`]. The joins over the two plans are equal
+    /// answer-set-wise (projections are implied constraints, and every
+    /// input bag is covered by some node).
     ///
     /// # Panics
-    /// When `relations.len()` differs from the node count.
-    pub fn permute_relations<T>(&self, relations: Vec<T>) -> Vec<T> {
-        assert_eq!(
-            relations.len(),
-            self.source_node.len(),
-            "one relation per input-plan node"
+    /// When `relations.len()` does not cover every source index.
+    pub fn derive_relations(&self, relations: Vec<Relation>) -> Result<Vec<Relation>> {
+        let max_source = self.source_node.iter().copied().max();
+        assert!(
+            max_source.is_none_or(|m| m < relations.len()),
+            "one relation per input-plan node required"
         );
-        let mut slots: Vec<Option<T>> = relations.into_iter().map(Some).collect();
-        self.source_node
-            .iter()
-            .map(|&s| slots[s].take().expect("source_node is a permutation"))
-            .collect()
-    }
-}
-
-/// Search state for [`realize_order`].
-struct Search<'a> {
-    plan: &'a TreePlan,
-    order: &'a [Symbol],
-    /// Position of each attribute in `order` (parallel to a sorted symbol
-    /// list for lookup).
-    pos_of: Vec<(Symbol, usize)>,
-    /// Whether each input-plan bag has been placed.
-    used: Vec<bool>,
-    /// Discovery sequence: input-plan node ids in preorder.
-    discovered: Vec<usize>,
-    /// Parent (as an index into `discovered`) of each discovered node.
-    parent_disc: Vec<Option<usize>>,
-    /// Current root-to-cursor path, as indexes into `discovered`.
-    stack: Vec<usize>,
-    /// Deepest order position covered on any search branch (for
-    /// diagnostics).
-    deepest: usize,
-}
-
-impl Search<'_> {
-    fn order_pos(&self, attr: &Symbol) -> usize {
-        let i = self
-            .pos_of
-            .binary_search_by(|(s, _)| s.cmp(attr))
-            .expect("attribute coverage validated");
-        self.pos_of[i].1
-    }
-
-    /// Whether bag `node` can extend the realized prefix at order position
-    /// `pos`: all its already-seen attributes must land in `parent_bag`
-    /// (`None` for a new root ⇒ no attribute may be seen), and its new
-    /// attributes must be exactly the next block of the order.
-    fn block_len_if_placeable(
-        &self,
-        node: usize,
-        pos: usize,
-        parent_bag: Option<&[Symbol]>,
-    ) -> Option<usize> {
-        let bag = self.plan.bag(node);
-        let mut new = 0usize;
-        for attr in bag {
-            let p = self.order_pos(attr);
-            if p < pos {
-                // Already seen: must be shared with the parent.
-                match parent_bag {
-                    Some(pb) => {
-                        if pb.binary_search(attr).is_err() {
-                            return None;
-                        }
-                    }
-                    None => return None,
+        // Move a source relation out on its last verbatim use, clone before.
+        let mut last_full_use = vec![usize::MAX; relations.len()];
+        for (i, &s) in self.source_node.iter().enumerate() {
+            if self.source_cols[i].len() == relations[s].arity() {
+                last_full_use[s] = i;
+            }
+        }
+        let mut slots: Vec<Option<Relation>> = relations.into_iter().map(Some).collect();
+        let mut out = Vec::with_capacity(self.source_node.len());
+        for (i, &s) in self.source_node.iter().enumerate() {
+            let src = slots[s].as_ref().expect("source taken only on last use");
+            if self.source_cols[i].len() == src.arity() {
+                // Full bag: sorted bags make the column map the identity.
+                debug_assert!(self.source_cols[i].iter().enumerate().all(|(a, &b)| a == b));
+                if last_full_use[s] == i {
+                    out.push(slots[s].take().expect("checked above"));
+                } else {
+                    out.push(src.clone());
                 }
             } else {
-                new += 1;
+                let schema = Schema::new(self.plan.bag(i).iter().cloned())?;
+                let mut projected = src.project(&self.source_cols[i], schema)?;
+                projected.sort_dedup();
+                out.push(projected);
             }
         }
-        if new == 0 {
-            return None; // handled separately as a filter bag
-        }
-        // The new attributes must fill order positions [pos, pos + new).
-        for attr in bag {
-            let p = self.order_pos(attr);
-            if p >= pos && p >= pos + new {
-                return None;
-            }
-        }
-        Some(new)
-    }
-
-    /// Whether every unplaced bag can still be attached as a filter leaf:
-    /// it needs a *placed* superset bag (transitively exact — a chain of
-    /// unplaced supersets bottoms out in a placed one), or to be empty
-    /// (Boolean-query root). Checked at search success so a branch that
-    /// placed the wrong member of a subset pair backtracks.
-    fn leftovers_hostable(&self) -> bool {
-        (0..self.plan.node_count()).all(|node| {
-            if self.used[node] {
-                return true;
-            }
-            let bag = self.plan.bag(node);
-            bag.is_empty()
-                || self.discovered.iter().any(|&d| {
-                    let host = self.plan.bag(d);
-                    bag.iter().all(|a| host.binary_search(a).is_ok())
-                })
-        })
-    }
-
-    fn search(&mut self, pos: usize) -> bool {
-        self.deepest = self.deepest.max(pos);
-        if pos == self.order.len() {
-            return self.leftovers_hostable();
-        }
-        // Try every unplaced bag at every attachment point: under each node
-        // of the current path (deepest first — popping the rest), or as a
-        // fresh root. Candidates are filtered to those whose new-attribute
-        // block starts with `order[pos]`, which it must.
-        for node in 0..self.plan.node_count() {
-            if self.used[node] {
-                continue;
-            }
-            // Attachment under a path node, deepest first.
-            for depth in (0..self.stack.len()).rev() {
-                let parent_disc_id = self.stack[depth];
-                let parent_bag = self.plan.bag(self.discovered[parent_disc_id]);
-                let Some(new) = self.block_len_if_placeable(node, pos, Some(parent_bag)) else {
-                    continue;
-                };
-                let saved_stack = self.stack.clone();
-                self.stack.truncate(depth + 1);
-                self.place(node, Some(parent_disc_id));
-                if self.search(pos + new) {
-                    return true;
-                }
-                self.unplace(node, saved_stack);
-            }
-            // Fresh root (pops the entire path).
-            if let Some(new) = self.block_len_if_placeable(node, pos, None) {
-                let saved_stack = std::mem::take(&mut self.stack);
-                self.place(node, None);
-                if self.search(pos + new) {
-                    return true;
-                }
-                self.unplace(node, saved_stack);
-            }
-        }
-        false
-    }
-
-    fn place(&mut self, node: usize, parent_disc_id: Option<usize>) {
-        self.used[node] = true;
-        let disc_id = self.discovered.len();
-        self.discovered.push(node);
-        self.parent_disc.push(parent_disc_id);
-        self.stack.push(disc_id);
-    }
-
-    fn unplace(&mut self, node: usize, saved_stack: Vec<usize>) {
-        self.used[node] = false;
-        self.discovered.pop();
-        self.parent_disc.pop();
-        self.stack = saved_stack;
+        Ok(out)
     }
 }
 
@@ -246,13 +149,130 @@ pub fn validate_order(attrs: &[Symbol], order: &[Symbol]) -> Result<()> {
     Ok(())
 }
 
-/// Searches for a re-rooting / re-attachment / re-ordering of `plan` whose
-/// DFS new-attribute sequence equals `order`, i.e. a layout under which the
+/// One placed node of the synthesis search.
+struct SynthNode {
+    /// Input-plan bag the node's relation derives from.
+    source: usize,
+    /// The node's bag as a mask over order positions.
+    mask: u128,
+    /// Parent node id (index into the discovery list), `None` for roots.
+    parent: Option<usize>,
+}
+
+/// Memoized backtracking synthesis over all projection-bag join trees.
+struct Synth<'a> {
+    plan: &'a TreePlan,
+    k: usize,
+    /// Input-plan bags as masks over order positions.
+    bag_masks: Vec<u128>,
+    /// `run_len[b][p]` = length of the longest run `order[p..p+j] ⊆ bag b`.
+    run_len: Vec<Vec<usize>>,
+    all_covered: u64,
+    /// Discovery list (preorder).
+    nodes: Vec<SynthNode>,
+    /// Current root-to-cursor path, as indexes into `nodes`.
+    stack: Vec<usize>,
+    /// Bit `b` set iff input bag `b` is contained in some placed node.
+    covered: u64,
+    /// Failed `(pos, stack bag masks, covered)` states. Everything the
+    /// future of the search can observe is in this key, so a failed state
+    /// never needs re-exploration.
+    failed: HashSet<(usize, Vec<u128>, u64)>,
+    /// Deepest order position covered on any branch (for diagnostics).
+    deepest: usize,
+}
+
+/// The mask of order positions `pos..pos + j`.
+fn run_mask(pos: usize, j: usize) -> u128 {
+    debug_assert!(pos + j <= 128);
+    if j >= 128 {
+        u128::MAX
+    } else {
+        ((1u128 << j) - 1) << pos
+    }
+}
+
+impl Synth<'_> {
+    fn search(&mut self, pos: usize) -> bool {
+        self.deepest = self.deepest.max(pos);
+        if pos == self.k {
+            return self.covered == self.all_covered;
+        }
+        let key = (
+            pos,
+            self.stack
+                .iter()
+                .map(|&i| self.nodes[i].mask)
+                .collect::<Vec<_>>(),
+            self.covered,
+        );
+        if self.failed.contains(&key) {
+            return false;
+        }
+        let n = self.plan.node_count();
+        for src in 0..n {
+            let max_run = self.run_len[src][pos];
+            if max_run == 0 {
+                continue;
+            }
+            // Attachment depth: keep `depth` stack entries and attach under
+            // the new top (deepest first); depth 0 is a fresh root. A node
+            // may attach with an *empty* share (nested cross-product
+            // component) — the depth still matters because it decides which
+            // ancestors stay reachable.
+            for depth in (0..=self.stack.len()).rev() {
+                let parent = depth.checked_sub(1).map(|d| self.stack[d]);
+                let parent_mask = parent.map_or(0, |p| self.nodes[p].mask);
+                // Maximal parent-shared subset: dominant (a superset bag
+                // within one source keeps running intersection, covers more
+                // input bags, and hosts more filters), so smaller seen-parts
+                // never need exploring.
+                let seen = parent_mask & self.bag_masks[src];
+                for j in (1..=max_run).rev() {
+                    let bag = seen | run_mask(pos, j);
+                    let saved_tail: Vec<usize> = self.stack[depth..].to_vec();
+                    self.stack.truncate(depth);
+                    let node_id = self.nodes.len();
+                    self.nodes.push(SynthNode {
+                        source: src,
+                        mask: bag,
+                        parent,
+                    });
+                    self.stack.push(node_id);
+                    let saved_covered = self.covered;
+                    for b in 0..n {
+                        if self.bag_masks[b] & !bag == 0 {
+                            self.covered |= 1 << b;
+                        }
+                    }
+                    if self.search(pos + j) {
+                        return true;
+                    }
+                    self.covered = saved_covered;
+                    self.stack.pop();
+                    self.nodes.pop();
+                    self.stack.extend(saved_tail);
+                }
+            }
+        }
+        self.failed.insert(key);
+        false
+    }
+}
+
+/// Searches for a free-connex join tree over the query — re-rooted,
+/// re-attached, re-ordered, and/or refined with projection bags — whose DFS
+/// new-attribute sequence equals `order`, i.e. a layout under which the
 /// enumeration index's access order is the lexicographic order on `order`.
 ///
-/// `order` must be a permutation of the plan's attributes (for an index
-/// plan these are exactly the free variables). On failure the error names
-/// an offending variable pair — via a disruptive trio when one exists.
+/// The decision is *decomposition-complete*: an order is accepted iff
+/// **any** free-connex join tree realizes it (verified against an
+/// exhaustive enumerator in `tests/decomposition_oracle.rs`), not merely a
+/// reorientation of the input plan's bag set. `order` must be a permutation
+/// of the plan's attributes (for an index plan these are exactly the free
+/// variables). On failure the error names an offending variable pair — via
+/// a disruptive trio (the PODS 2021 obstruction) or a component-crossing
+/// witness when one exists.
 ///
 /// ```
 /// use rae_query::{realize_order, QueryError, TreePlan};
@@ -281,84 +301,168 @@ pub fn realize_order(plan: &TreePlan, order: &[Symbol]) -> Result<LexPlan> {
     attrs.dedup();
     validate_order(&attrs, order)?;
 
+    let k = order.len();
+    let n = plan.node_count();
+    if k > 128 || n > 64 {
+        // The mask-based search state caps at 128 variables / 64 bags —
+        // far beyond any practical query, but refused gracefully.
+        return Err(QueryError::Parse {
+            message: format!(
+                "order realization supports at most 128 variables and 64 bags \
+                 (got {k} variables, {n} bags)"
+            ),
+            offset: 0,
+        });
+    }
+
     let mut pos_of: Vec<(Symbol, usize)> = order
         .iter()
         .enumerate()
         .map(|(p, s)| (s.clone(), p))
         .collect();
     pos_of.sort();
-
-    let mut search = Search {
-        plan,
-        order,
-        pos_of,
-        used: vec![false; plan.node_count()],
-        discovered: Vec::new(),
-        parent_disc: Vec::new(),
-        stack: Vec::new(),
-        deepest: 0,
-    };
-    if !search.search(0) {
-        return Err(unrealizable_error(plan, order, search.deepest));
-    }
-
-    let Search {
-        mut used,
-        mut discovered,
-        mut parent_disc,
-        pos_of,
-        ..
-    } = search;
-
-    // Bags introducing no attribute of their own (filters: bag ⊆ some
-    // placed bag) hang as leaves under the first placed superset bag. They
-    // contribute nothing to the realized order: every bucket of such a node
-    // holds exactly one row after reduction.
-    #[allow(clippy::needless_range_loop)] // `used[node]` guards and is updated
-    for node in 0..plan.node_count() {
-        if used[node] {
-            continue;
-        }
-        let bag = plan.bag(node);
-        let host = discovered.iter().position(|&d| {
-            let host_bag = plan.bag(d);
-            bag.iter().all(|a| host_bag.binary_search(a).is_ok())
-        });
-        match host {
-            Some(h) => {
-                used[node] = true;
-                discovered.push(node);
-                parent_disc.push(Some(h));
-            }
-            None if bag.is_empty() => {
-                // An empty bag (Boolean-query node) becomes its own root.
-                used[node] = true;
-                discovered.push(node);
-                parent_disc.push(None);
-            }
-            None => {
-                // A non-empty bag all of whose attributes are covered
-                // elsewhere but with no superset host cannot keep the
-                // running-intersection property in any layout.
-                return Err(unrealizable_error(plan, order, order.len()));
-            }
-        }
-    }
-
-    let bags: Vec<BTreeSet<Symbol>> = discovered
-        .iter()
-        .map(|&n| plan.bag(n).iter().cloned().collect())
-        .collect();
-    let new_plan = TreePlan::new(bags, parent_disc)?;
-
-    // Per-node sort priorities: parent-shared columns first (bag order),
-    // then the new columns by requested-order position.
     let pos_lookup = |attr: &Symbol, pos_of: &[(Symbol, usize)]| -> usize {
         let i = pos_of
             .binary_search_by(|(s, _): &(Symbol, usize)| s.cmp(attr))
-            .expect("validated");
+            .expect("attribute coverage validated");
         pos_of[i].1
     };
+
+    // Sound fast rejections, each with a structured witness. Both are
+    // provable obstructions for *every* join tree (DESIGN.md §11), so the
+    // synthesis search below never needs to run to exhaustion on them.
+    if let Some((a, b, witness)) = find_disruptive_trio(plan, order) {
+        return Err(QueryError::UnrealizableOrder {
+            earlier: a,
+            later: b,
+            witness: Some(witness),
+        });
+    }
+    if let Some((earlier, later)) = find_component_crossing(plan, order) {
+        return Err(QueryError::UnrealizableOrder {
+            earlier,
+            later,
+            witness: None,
+        });
+    }
+
+    let bag_masks: Vec<u128> = (0..n)
+        .map(|i| {
+            plan.bag(i)
+                .iter()
+                .fold(0u128, |m, a| m | (1 << pos_lookup(a, &pos_of)))
+        })
+        .collect();
+    let run_len: Vec<Vec<usize>> = bag_masks
+        .iter()
+        .map(|&mask| {
+            let mut runs = vec![0usize; k + 1];
+            for p in (0..k).rev() {
+                runs[p] = if mask & (1 << p) != 0 {
+                    runs[p + 1] + 1
+                } else {
+                    0
+                };
+            }
+            runs
+        })
+        .collect();
+    // Empty bags (Boolean-query nodes) are appended as roots afterwards and
+    // count as covered from the start.
+    let initial_covered = (0..n)
+        .filter(|&b| bag_masks[b] == 0)
+        .fold(0u64, |m, b| m | (1 << b));
+
+    let mut synth = Synth {
+        plan,
+        k,
+        bag_masks,
+        run_len,
+        all_covered: if n == 64 { u64::MAX } else { (1u64 << n) - 1 },
+        nodes: Vec::new(),
+        stack: Vec::new(),
+        covered: initial_covered,
+        failed: HashSet::new(),
+        deepest: 0,
+    };
+    if !synth.search(0) {
+        // No tree exists and no trio/crossing witness was found: report the
+        // boundary where the search stalled.
+        let at = synth.deepest.min(k.saturating_sub(1)).max(1);
+        return Err(QueryError::UnrealizableOrder {
+            earlier: order[at - 1].clone(),
+            later: order[at].clone(),
+            witness: None,
+        });
+    }
+
+    let Synth {
+        nodes, bag_masks, ..
+    } = synth;
+    let mut source_node: Vec<usize> = nodes.iter().map(|nd| nd.source).collect();
+    let mut masks: Vec<u128> = nodes.iter().map(|nd| nd.mask).collect();
+    let mut parent_disc: Vec<Option<usize>> = nodes.iter().map(|nd| nd.parent).collect();
+
+    // Every input bag not placed verbatim hangs as a filter leaf under a
+    // node containing it, so its relation's constraint is enforced without
+    // relying on global consistency of the inputs (the mc-UCQ builder feeds
+    // intersected relations through here). Filter nodes introduce no
+    // attribute: after reduction every bucket holds exactly one row, so
+    // weights and the realized order are unaffected.
+    for (b, &bmask) in bag_masks.iter().enumerate() {
+        if bmask == 0 {
+            continue; // Boolean nodes become their own roots below.
+        }
+        let placed_verbatim =
+            (0..source_node.len()).any(|i| source_node[i] == b && masks[i] == bmask);
+        if placed_verbatim {
+            continue;
+        }
+        let host = masks
+            .iter()
+            .position(|&m| bmask & !m == 0)
+            .expect("search success guarantees every bag is covered");
+        source_node.push(b);
+        masks.push(bmask);
+        parent_disc.push(Some(host));
+    }
+    for (b, &bmask) in bag_masks.iter().enumerate() {
+        if bmask == 0 {
+            source_node.push(b);
+            masks.push(0);
+            parent_disc.push(None);
+        }
+    }
+
+    let bags: Vec<BTreeSet<Symbol>> = masks
+        .iter()
+        .map(|&m| {
+            (0..k)
+                .filter(|p| m & (1 << p) != 0)
+                .map(|p| order[p].clone())
+                .collect()
+        })
+        .collect();
+    let new_plan = TreePlan::new(bags, parent_disc)?;
+
+    // Columns of the source bag forming each node's bag.
+    let source_cols: Vec<Vec<usize>> = (0..new_plan.node_count())
+        .map(|i| {
+            let src_bag = plan.bag(source_node[i]);
+            new_plan
+                .bag(i)
+                .iter()
+                .map(|a| {
+                    src_bag
+                        .binary_search(a)
+                        .expect("node bags are subsets of their source bag")
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-node sort priorities: parent-shared columns first (bag order),
+    // then the new columns by requested-order position.
     let mut priorities = Vec::with_capacity(new_plan.node_count());
     let mut new_cols = Vec::with_capacity(new_plan.node_count());
     for i in 0..new_plan.node_count() {
@@ -377,37 +481,23 @@ pub fn realize_order(plan: &TreePlan, order: &[Symbol]) -> Result<LexPlan> {
 
     Ok(LexPlan {
         plan: new_plan,
-        source_node: discovered,
+        source_node,
+        source_cols,
         priorities,
         new_cols,
         order: order.to_vec(),
     })
 }
 
-/// Builds the structured rejection: prefer a disruptive-trio witness (the
-/// PODS 2021 obstruction), falling back to the boundary where the search
-/// stalled.
-fn unrealizable_error(plan: &TreePlan, order: &[Symbol], deepest: usize) -> QueryError {
-    if let Some((a, b, witness)) = find_disruptive_trio(plan, order) {
-        return QueryError::UnrealizableOrder {
-            earlier: a,
-            later: b,
-            witness: Some(witness),
-        };
-    }
-    // No trio: report the first variable the search could not reach and its
-    // predecessor in the requested order.
-    let at = deepest.min(order.len() - 1).max(1);
-    QueryError::UnrealizableOrder {
-        earlier: order[at - 1].clone(),
-        later: order[at].clone(),
-        witness: None,
-    }
-}
-
 /// Searches for a disruptive trio `(a, b; w)`: `w` after both `a` and `b`
 /// in `order`, `w` sharing a bag with each of `a` and `b`, while `a` and
 /// `b` share no bag. Returns `(a, b, w)` with `a` before `b`.
+///
+/// Soundness for the full decomposition space: a realizing tree would make
+/// the introducer of `w` contain both `a` and `b` (each either lives on the
+/// path from its own introducer through the introducer of `w`, or is
+/// introduced inside its block), and every tree bag fits inside an input
+/// bag — contradicting non-adjacency.
 fn find_disruptive_trio(plan: &TreePlan, order: &[Symbol]) -> Option<(Symbol, Symbol, Symbol)> {
     let adjacent = |x: &Symbol, y: &Symbol| {
         (0..plan.node_count()).any(|i| {
@@ -432,6 +522,62 @@ fn find_disruptive_trio(plan: &TreePlan, order: &[Symbol]) -> Option<(Symbol, Sy
     None
 }
 
+/// Searches for a component crossing: connected components `A ≠ B` of the
+/// bag hypergraph whose variables occur in `order` in the pattern
+/// `a₁ … b₁ … a₂ … b₂`. DFS trees visit each subtree contiguously, so
+/// components must *nest* like balanced brackets (`a₁ b₁ b₂ a₂` is fine);
+/// a crossing is unrealizable by any tree. Returns `(a₂, b₂)`.
+fn find_component_crossing(plan: &TreePlan, order: &[Symbol]) -> Option<(Symbol, Symbol)> {
+    let k = order.len();
+    // Union-find over order positions via shared bags.
+    let mut comp: Vec<usize> = (0..k).collect();
+    fn find(comp: &mut [usize], x: usize) -> usize {
+        if comp[x] != x {
+            let r = find(comp, comp[x]);
+            comp[x] = r;
+        }
+        comp[x]
+    }
+    let pos_of = |a: &Symbol| order.iter().position(|o| o == a).expect("validated");
+    for i in 0..plan.node_count() {
+        let bag = plan.bag(i);
+        if let Some(first) = bag.first() {
+            let f = pos_of(first);
+            for a in bag.iter().skip(1) {
+                let (ra, rf) = (find(&mut comp, pos_of(a)), find(&mut comp, f));
+                comp[ra] = rf;
+            }
+        }
+    }
+    let roots: Vec<usize> = (0..k).map(|p| find(&mut comp, p)).collect();
+    let comps: BTreeSet<usize> = roots.iter().copied().collect();
+    for &a in &comps {
+        for &b in &comps {
+            if a == b {
+                continue;
+            }
+            // Scan for the pattern a, b, a, b, remembering the position of
+            // the second `a` so the witness names the crossing pair itself
+            // (positions in between may belong to uninvolved components).
+            let mut state = 0usize;
+            let mut second_a = 0usize;
+            for p in 0..k {
+                let c = roots[p];
+                if (state.is_multiple_of(2) && c == a) || (state % 2 == 1 && c == b) {
+                    state += 1;
+                    if state == 3 {
+                        second_a = p;
+                    }
+                    if state == 4 {
+                        return Some((order[second_a].clone(), order[p].clone()));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,25 +594,34 @@ mod tests {
         vs.iter().map(Symbol::new).collect()
     }
 
-    /// DFS new-attribute sequence of a realized plan must equal the order.
+    /// DFS new-attribute sequence of a realized plan must equal the order,
+    /// node bags must be subsets of their sources with exact column maps,
+    /// and every input bag must be covered by some node.
     fn check_realizes(p: &TreePlan, order: &[&str]) -> LexPlan {
         let order = syms(order);
         let lex = realize_order(p, &order).expect("order should be realizable");
-        // Replay the discovery sequence and check the block concatenation.
+        // Replay the discovery sequence in DFS preorder and check the block
+        // concatenation (filter leaves and Boolean roots contribute nothing).
         let mut seen: BTreeSet<Symbol> = BTreeSet::new();
         let mut realized: Vec<Symbol> = Vec::new();
-        for (i, cols) in lex.new_cols.iter().enumerate() {
+        let mut stack: Vec<usize> = lex.plan.roots().iter().rev().copied().collect();
+        while let Some(i) = stack.pop() {
             let bag = lex.plan.bag(i);
-            for &(c, pos) in cols {
+            for &(c, pos) in &lex.new_cols[i] {
                 assert_eq!(order[pos], bag[c], "new_cols position mapping");
-            }
-            for &(c, _) in cols {
                 assert!(seen.insert(bag[c].clone()), "attr discovered twice");
                 realized.push(bag[c].clone());
             }
+            for (c, a) in bag.iter().enumerate() {
+                assert!(
+                    seen.contains(a) || lex.new_cols[i].iter().any(|&(nc, _)| nc == c),
+                    "bag attr {a} neither seen nor introduced"
+                );
+            }
+            for &c in lex.plan.children(i).iter().rev() {
+                stack.push(c);
+            }
         }
-        // Nodes are numbered in discovery order, so concatenation in node
-        // order is the DFS sequence.
         assert_eq!(realized, order, "realized sequence mismatch");
         // Priorities are full permutations starting with the key columns.
         for i in 0..lex.plan.node_count() {
@@ -476,9 +631,23 @@ mod tests {
             let keys = lex.plan.parent_shared_cols(i);
             assert_eq!(&lex.priorities[i][..keys.len()], &keys[..]);
         }
-        // Bags survive the permutation.
+        // Node bags are subsets of their sources, with faithful column maps.
         for (i, &src) in lex.source_node.iter().enumerate() {
-            assert_eq!(lex.plan.bag(i), p.bag(src));
+            let src_bag = p.bag(src);
+            let node_bag = lex.plan.bag(i);
+            assert_eq!(lex.source_cols[i].len(), node_bag.len());
+            for (c, &sc) in lex.source_cols[i].iter().enumerate() {
+                assert_eq!(node_bag[c], src_bag[sc], "source column map");
+            }
+        }
+        // Every input bag is contained in some node bag (constraint kept).
+        for b in 0..p.node_count() {
+            let covered = (0..lex.plan.node_count()).any(|i| {
+                p.bag(b)
+                    .iter()
+                    .all(|a| lex.plan.bag(i).binary_search(a).is_ok())
+            });
+            assert!(covered, "input bag {b} lost by the synthesis");
         }
         lex
     }
@@ -538,7 +707,9 @@ mod tests {
     #[test]
     fn star_all_orders_with_center_not_last_pair() {
         // All 24 permutations of {x,y,z,w} over the star with center y:
-        // realizable iff at most one non-center variable precedes y.
+        // realizable iff at most one non-center variable precedes y (two
+        // earlier non-center variables form a disruptive trio with y, which
+        // no decomposition — projections included — can realize).
         let p = plan(
             &[&["x", "y"], &["y", "z"], &["y", "w"]],
             vec![None, Some(0), Some(1)],
@@ -582,10 +753,59 @@ mod tests {
 
     #[test]
     fn interleaved_component_order_is_rejected() {
-        // {x1,x2} and {y1,y2}: x1,y1,x2,y2 interleaves two components.
+        // {x1,x2} and {y1,y2}: x1,y1,x2,y2 *crosses* two components — no
+        // DFS tree can realize it.
         let p = plan(&[&["x1", "x2"], &["y1", "y2"]], vec![None, None]);
         let err = realize_order(&p, &syms(&["x1", "y1", "x2", "y2"]));
         assert!(matches!(err, Err(QueryError::UnrealizableOrder { .. })));
+    }
+
+    #[test]
+    fn nested_component_order_is_realized() {
+        // x1,y1,y2,x2 *nests* component Y inside component X: realizable
+        // with a projection root {x1} hosting the Y subtree, then {x1,x2}.
+        let p = plan(&[&["x1", "x2"], &["y1", "y2"]], vec![None, None]);
+        let lex = check_realizes(&p, &["x1", "y1", "y2", "x2"]);
+        // The root must be the projection {x1} of {x1,x2}.
+        assert_eq!(lex.plan.bag(0), &syms(&["x1"])[..]);
+        assert_eq!(lex.source_node[0], 0);
+    }
+
+    #[test]
+    fn projection_nodes_unlock_intra_bag_splits() {
+        // Bags {a,b,c}–{c,d}: order a,c,d,b needs the projection {a,c} as
+        // root ({c,d} introduces d before {a,b,c} introduces b) —
+        // unrealizable with the input bags alone, since {a,b,c}'s block
+        // would have to cover the foreign d.
+        let p = plan(&[&["a", "b", "c"], &["c", "d"]], vec![None, Some(0)]);
+        let lex = check_realizes(&p, &["a", "c", "d", "b"]);
+        assert_eq!(lex.plan.bag(0), &syms(&["a", "c"])[..]);
+        // Both original bags appear verbatim somewhere.
+        for b in 0..2 {
+            assert!(
+                (0..lex.plan.node_count())
+                    .any(|i| lex.source_node[i] == b && lex.plan.bag(i) == p.bag(b)),
+                "bag {b} must be placed verbatim"
+            );
+        }
+    }
+
+    #[test]
+    fn long_path_with_stack_violation_is_rejected_without_trio() {
+        // {a,b}–{b,c}–{c,d}–{d,e}: ⟨b,c,d,a,e⟩ has no disruptive trio and a
+        // single component, yet no join tree realizes it (introducing `a`
+        // after `d` forces the d-introducer onto the path between the b
+        // nodes). The complete search must still reject it.
+        let p = plan(
+            &[&["a", "b"], &["b", "c"], &["c", "d"], &["d", "e"]],
+            vec![None, Some(0), Some(1), Some(2)],
+        );
+        assert!(find_disruptive_trio(&p, &syms(&["b", "c", "d", "a", "e"])).is_none());
+        assert!(find_component_crossing(&p, &syms(&["b", "c", "d", "a", "e"])).is_none());
+        let err = realize_order(&p, &syms(&["b", "c", "d", "a", "e"]));
+        assert!(matches!(err, Err(QueryError::UnrealizableOrder { .. })));
+        // The nested variant ⟨b,c,d,e,a⟩ is realizable.
+        check_realizes(&p, &["b", "c", "d", "e", "a"]);
     }
 
     #[test]
@@ -628,8 +848,29 @@ mod tests {
         );
         check_realizes(&p, &["b", "c", "a", "d"]);
         check_realizes(&p, &["b", "c", "d", "a"]);
-        // a,b,d,c: after a,b the next block must be adjacent to {a,b}; d is
-        // not — trio (a/b? d adjacent to c only). Must be rejected.
+        // a,b,d,c: disruptive trio (b, d; c). Must be rejected.
         assert!(realize_order(&p, &syms(&["a", "b", "d", "c"])).is_err());
+    }
+
+    #[test]
+    fn component_crossing_detector_matches_brackets() {
+        let p = plan(&[&["x1", "x2"], &["y1", "y2"]], vec![None, None]);
+        assert!(find_component_crossing(&p, &syms(&["x1", "y1", "x2", "y2"])).is_some());
+        assert!(find_component_crossing(&p, &syms(&["x1", "y1", "y2", "x2"])).is_none());
+        assert!(find_component_crossing(&p, &syms(&["x1", "x2", "y1", "y2"])).is_none());
+    }
+
+    #[test]
+    fn crossing_witness_names_the_crossing_pair() {
+        // Three components; a third, uninvolved component (z) sits between
+        // the second x and the closing y. The witness must name (x2, y2),
+        // the actual crossing pair — not whatever variable precedes y2.
+        let p = plan(
+            &[&["x1", "x2"], &["y1", "y2"], &["z1", "z2"]],
+            vec![None, None, None],
+        );
+        let order = syms(&["x1", "y1", "x2", "z1", "z2", "y2"]);
+        let (a2, b2) = find_component_crossing(&p, &order).expect("crossing");
+        assert_eq!((a2, b2), (Symbol::new("x2"), Symbol::new("y2")));
     }
 }

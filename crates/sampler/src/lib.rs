@@ -35,12 +35,14 @@ pub mod dedup;
 pub mod eo;
 pub mod ew;
 pub mod oe;
+pub mod ranked;
 pub mod rs;
 
 pub use dedup::WithoutReplacement;
 pub use eo::EoSampler;
 pub use ew::EwSampler;
 pub use oe::OeSampler;
+pub use ranked::OrderedWindowSampler;
 pub use rs::RsSampler;
 
 use rae_core::{AccessScratch, CqIndex};

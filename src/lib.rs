@@ -72,14 +72,16 @@ pub mod prelude {
     pub use rae_core::{
         AccessScratch, CqIndex, CqSequential, CqShuffle, DeletableSet, LazyShuffle, McUcqIndex,
         McUcqShuffle, OrderedCqIndex, OrderedEnumeration, OrderedMcUcqIndex, OrderedUcq,
-        OrderedUnionEnumeration, RankStrategy, UcqEvent, UcqShuffle, Weight,
+        OrderedUnionEnumeration, RankStrategy, RankedScratch, RankedUcq, RankedUnionWindow,
+        UcqEvent, UcqShuffle, Weight,
     };
     pub use rae_data::{Database, Relation, Schema, Symbol, Value};
     pub use rae_query::{
         classify, naive_eval, naive_eval_union, Atom, ConjunctiveQuery, CqClass, Term, UnionQuery,
     };
     pub use rae_sampler::{
-        EoSampler, EwSampler, JoinSampler, OeSampler, RsSampler, WithoutReplacement,
+        EoSampler, EwSampler, JoinSampler, OeSampler, OrderedWindowSampler, RsSampler,
+        WithoutReplacement,
     };
     pub use rae_yannakakis::reduce_to_full_acyclic;
 }

@@ -180,6 +180,234 @@ fn tpch_ordered_union_random_access_matches_naive() {
 }
 
 #[test]
+fn tpch_general_union_ranked_access_agrees_with_mcucq() {
+    // RankedUcq serves the same unions WITHOUT the shared-template
+    // restriction; on the (shared-template) benchmark unions it must agree
+    // with the inclusion–exclusion structure answer-for-answer.
+    let mut db = generate(&TpchScale::tiny(), 0xBEEF);
+    rae_tpch::prepare_selections(&mut db).unwrap();
+    for (name, ucq) in rae_tpch::queries::all_ucqs() {
+        let fj = reduce_to_full_acyclic(&ucq.disjuncts()[0], &db).unwrap();
+        let order: Vec<Symbol> = fj.plan.attrs_dfs();
+        let mc = OrderedMcUcqIndex::build(&ucq, &db, &order).unwrap();
+        let ranked = RankedUcq::build(&ucq, &db, &order).unwrap();
+        assert_eq!(ranked.count(), mc.count(), "{name}: union count");
+        let stride = (ranked.count() / 48).max(1);
+        let mut k: Weight = 0;
+        while k < ranked.count() {
+            let a = ranked.ordered_access(k).unwrap();
+            assert_eq!(Some(&a), mc.ordered_access(k).as_ref(), "{name}: rank {k}");
+            assert_eq!(
+                ranked.ordered_inverted_access(&a),
+                Some(k),
+                "{name}: inverted rank {k}"
+            );
+            k += stride;
+        }
+        assert!(ranked.ordered_access(ranked.count()).is_none());
+        // Range counting agrees on every first-order-variable prefix value.
+        let first_head = ranked.members()[0].order_to_head()[0];
+        let merged: Vec<Vec<Value>> = ranked.enumerate().collect();
+        assert_eq!(merged.len() as Weight, ranked.count(), "{name}: merge len");
+        let mut prefix_values: Vec<Value> = merged.iter().map(|r| r[first_head].clone()).collect();
+        prefix_values.dedup();
+        for v in prefix_values {
+            assert_eq!(
+                ranked.range_count(std::slice::from_ref(&v)),
+                mc.range_count(std::slice::from_ref(&v)),
+                "{name}: range_count {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_template_union_ranked_access_matches_naive() {
+    // A union the mc-UCQ structure REFUSES (one single-bag member, one
+    // cross-product member, one member with an existential tail): RankedUcq
+    // must serve ordered access/inverted access/range counts differentially
+    // equal to naive materialize-sort-dedup.
+    let mut db = Database::new();
+    db.add_relation(
+        "R",
+        edge_relation(&vec![(1, 1), (1, 2), (2, 1), (3, 3), (4, 0)]),
+    )
+    .unwrap();
+    db.add_relation(
+        "S",
+        Relation::from_rows(
+            Schema::new(["a"]).unwrap(),
+            [1i64, 2, 3].iter().map(|&v| vec![Value::Int(v)]),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.add_relation(
+        "T",
+        Relation::from_rows(
+            Schema::new(["a"]).unwrap(),
+            [0i64, 1, 2].iter().map(|&v| vec![Value::Int(v)]),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.add_relation("U", edge_relation(&vec![(0, 0), (1, 2), (2, 9), (3, 3)]))
+        .unwrap();
+    let u: UnionQuery =
+        "Q1(x, y) :- R(x, y). Q2(x, y) :- S(x), T(y). Q3(x, y) :- U(x, y), R(y, z)."
+            .parse()
+            .unwrap();
+    // Not an mc-UCQ: the templates differ.
+    let order: Vec<Symbol> = ["y", "x"].iter().map(Symbol::new).collect();
+    assert!(matches!(
+        OrderedMcUcqIndex::build(&u, &db, &order),
+        Err(rae_core::CoreError::IncompatibleTemplates { .. })
+    ));
+
+    for ord in [&["x", "y"], &["y", "x"]] {
+        let order: Vec<Symbol> = ord.iter().map(Symbol::new).collect();
+        let ranked = RankedUcq::build(&u, &db, &order).unwrap();
+        let head = u.head().to_vec();
+        let perm: Vec<usize> = order
+            .iter()
+            .map(|v| head.iter().position(|h| h == v).unwrap())
+            .collect();
+        let naive = naive_eval_union(&u, &db).unwrap();
+        let mut rows: Vec<Vec<Value>> = naive.rows().map(<[Value]>::to_vec).collect();
+        sort_rows_by(&mut rows, &perm);
+        assert_eq!(ranked.count() as usize, rows.len(), "count under {ord:?}");
+        for (k, expected) in rows.iter().enumerate() {
+            assert_eq!(
+                ranked.ordered_access(k as Weight).as_ref(),
+                Some(expected),
+                "rank {k} under {ord:?}"
+            );
+            assert_eq!(
+                ranked.ordered_inverted_access(expected),
+                Some(k as Weight),
+                "inverted rank {k} under {ord:?}"
+            );
+        }
+        // Range counts: every prefix of every answer, plus misses.
+        for answer in &rows {
+            for p in 0..=order.len() {
+                let prefix: Vec<Value> = perm[..p].iter().map(|&h| answer[h].clone()).collect();
+                let expected = rows
+                    .iter()
+                    .filter(|r| perm[..p].iter().zip(&prefix).all(|(&h, v)| &r[h] == v))
+                    .count() as Weight;
+                assert_eq!(ranked.range_count(&prefix), expected, "prefix {prefix:?}");
+            }
+        }
+        assert_eq!(ranked.range_count(&[Value::Int(-7)]), 0);
+        // Windows paginate the merged stream consistently.
+        let all: Vec<Vec<Value>> = ranked.enumerate().collect();
+        assert_eq!(all, rows, "merge under {ord:?}");
+        let mut paged: Vec<Vec<Value>> = Vec::new();
+        let mut at: Weight = 0;
+        while at < ranked.count() {
+            paged.extend(ranked.range(at..at + 2));
+            at += 2;
+        }
+        assert_eq!(paged, rows, "pagination under {ord:?}");
+    }
+}
+
+#[test]
+fn union_structures_serve_projection_node_orders() {
+    // The riskiest composition in the union builders is node-wise
+    // intersection / rank correction over relations *derived* for a
+    // synthesized projection-node layout (LexPlan::derive_relations), which
+    // the shared-template and mixed-template suites above never force: their
+    // orders are all realizable by re-rooting alone. Bags {x,y,z}–{z,w}
+    // under ORDER BY ⟨x,z,w,y⟩ require the projection root {x,z} (y splits
+    // off its bag around w, DESIGN.md §11), so this drives both union structures through
+    // projection-node member layouts and checks them against naive
+    // materialize-sort-dedup.
+    let tri = |rows: &[(i64, i64, i64)]| {
+        Relation::from_rows(
+            Schema::new(["x", "y", "z"]).unwrap(),
+            rows.iter()
+                .map(|&(x, y, z)| vec![Value::Int(x), Value::Int(y), Value::Int(z)]),
+        )
+        .unwrap()
+    };
+    let duo = |rows: &[(i64, i64)]| {
+        Relation::from_rows(
+            Schema::new(["z", "w"]).unwrap(),
+            rows.iter()
+                .map(|&(z, w)| vec![Value::Int(z), Value::Int(w)]),
+        )
+        .unwrap()
+    };
+    let mut db = Database::new();
+    db.add_relation("R", tri(&[(1, 1, 1), (1, 2, 1), (2, 1, 2), (3, 1, 1)]))
+        .unwrap();
+    db.add_relation("S", duo(&[(1, 1), (1, 2), (2, 1)]))
+        .unwrap();
+    db.add_relation("R2", tri(&[(1, 1, 1), (2, 2, 2), (4, 1, 1)]))
+        .unwrap();
+    db.add_relation("S2", duo(&[(1, 2), (2, 3)])).unwrap();
+    // Same template (both reduce to bags {x,y,z}–{z,w}), overlapping
+    // answers, so both union structures accept and dedup matters.
+    let u: UnionQuery = "Q1(x, y, z, w) :- R(x, y, z), S(z, w). \
+                         Q2(x, y, z, w) :- R2(x, y, z), S2(z, w)."
+        .parse()
+        .unwrap();
+    let order: Vec<Symbol> = ["x", "z", "w", "y"].iter().map(Symbol::new).collect();
+
+    // The order genuinely needs a projection node in the member layouts.
+    let fj = reduce_to_full_acyclic(&u.disjuncts()[0], &db).unwrap();
+    let lex = rae_query::order::realize_order(&fj.plan, &order).unwrap();
+    assert!(
+        (0..lex.plan.node_count())
+            .any(|i| lex.plan.bag(i).len() < fj.plan.bag(lex.source_node[i]).len()),
+        "⟨x,z,w,y⟩ must require a projection node"
+    );
+
+    let naive = naive_eval_union(&u, &db).unwrap();
+    let head = u.head().to_vec();
+    let perm: Vec<usize> = order
+        .iter()
+        .map(|v| head.iter().position(|h| h == v).unwrap())
+        .collect();
+    let mut rows: Vec<Vec<Value>> = naive.rows().map(<[Value]>::to_vec).collect();
+    sort_rows_by(&mut rows, &perm);
+
+    let mc = OrderedMcUcqIndex::build(&u, &db, &order).unwrap();
+    let ranked = RankedUcq::build(&u, &db, &order).unwrap();
+    assert_eq!(mc.count() as usize, rows.len(), "mc count");
+    assert_eq!(ranked.count() as usize, rows.len(), "ranked count");
+    for (k, expected) in rows.iter().enumerate() {
+        let k = k as Weight;
+        assert_eq!(mc.ordered_access(k).as_ref(), Some(expected), "mc rank {k}");
+        assert_eq!(
+            ranked.ordered_access(k).as_ref(),
+            Some(expected),
+            "ranked rank {k}"
+        );
+        assert_eq!(mc.ordered_inverted_access(expected), Some(k));
+        assert_eq!(ranked.ordered_inverted_access(expected), Some(k));
+    }
+    // Range counts on every prefix of every answer.
+    for answer in &rows {
+        for p in 0..=order.len() {
+            let prefix: Vec<Value> = perm[..p].iter().map(|&h| answer[h].clone()).collect();
+            let expected = rows
+                .iter()
+                .filter(|r| perm[..p].iter().zip(&prefix).all(|(&h, v)| &r[h] == v))
+                .count() as Weight;
+            assert_eq!(mc.range_count(&prefix), expected, "mc prefix {prefix:?}");
+            assert_eq!(
+                ranked.range_count(&prefix),
+                expected,
+                "ranked prefix {prefix:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn ordered_pagination_is_stable_under_window_size() {
     let db = generate(&TpchScale::tiny(), 0xA11CE);
     let (_, cq) = &rae_tpch::queries::all_cqs()[1]; // Q2
@@ -276,5 +504,74 @@ proptest! {
                 }
             }
         }
+    }
+
+    // General-union differential: random mixed-template unions (single-bag,
+    // cross-product, and existential-tail members over one head) served by
+    // RankedUcq must match naive materialize-sort-dedup at every rank,
+    // round-trip inverted access, and agree on range counts.
+    #[test]
+    fn random_mixed_template_unions_match_naive(
+        r in edges_strategy(),
+        u in edges_strategy(),
+        s in prop::collection::vec(0..5i64, 0..6),
+        t in prop::collection::vec(0..5i64, 0..6),
+        flip in 0usize..2,
+    ) {
+        let mut db = Database::new();
+        db.add_relation("R", edge_relation(&r)).unwrap();
+        db.add_relation("U", edge_relation(&u)).unwrap();
+        for (name, vals) in [("S", &s), ("T", &t)] {
+            db.add_relation(
+                name,
+                Relation::from_rows(
+                    Schema::new(["a"]).unwrap(),
+                    vals.iter().map(|&v| vec![Value::Int(v)]),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        let union: UnionQuery =
+            "Q1(x, y) :- R(x, y). Q2(x, y) :- S(x), T(y). Q3(x, y) :- U(x, y), R(y, z)."
+                .parse()
+                .unwrap();
+        let ords = [["x", "y"], ["y", "x"]];
+        let order: Vec<Symbol> = ords[flip].iter().map(Symbol::new).collect();
+        let ranked = RankedUcq::build(&union, &db, &order).unwrap();
+        let head = union.head().to_vec();
+        let perm: Vec<usize> = order
+            .iter()
+            .map(|v| head.iter().position(|h| h == v).unwrap())
+            .collect();
+        let naive = naive_eval_union(&union, &db).unwrap();
+        let mut rows: Vec<Vec<Value>> = naive.rows().map(<[Value]>::to_vec).collect();
+        sort_rows_by(&mut rows, &perm);
+        prop_assert_eq!(ranked.count() as usize, rows.len());
+        for (k, expected) in rows.iter().enumerate() {
+            prop_assert_eq!(
+                ranked.ordered_access(k as Weight).as_ref(),
+                Some(expected)
+            );
+            prop_assert_eq!(
+                ranked.ordered_inverted_access(expected),
+                Some(k as Weight)
+            );
+        }
+        prop_assert!(ranked.ordered_access(ranked.count()).is_none());
+        // Range counts on every single-variable prefix value in range.
+        for v in -1..6i64 {
+            let prefix = [Value::Int(v)];
+            let expected = rows
+                .iter()
+                .filter(|row| row[perm[0]] == prefix[0])
+                .count() as Weight;
+            prop_assert_eq!(ranked.range_count(&prefix), expected);
+        }
+        // Absent answers have no rank.
+        prop_assert_eq!(
+            ranked.ordered_inverted_access(&[Value::Int(99), Value::Int(99)]),
+            None
+        );
     }
 }

@@ -282,3 +282,149 @@ fn ordered_paths_do_not_allocate() {
     });
     assert_eq!(allocs, 0, "ordered union merge allocated mid-stream");
 }
+
+/// A synthesized-plan layout (decomposition-complete realization with a
+/// projection root, DESIGN.md §11) must inherit the zero-allocation
+/// discipline on ordered access, inverted access, and the rank descent.
+#[test]
+fn synthesized_projection_plan_paths_do_not_allocate() {
+    let mut db = Database::new();
+    let mut t_rows = Vec::new();
+    let mut u_rows = Vec::new();
+    for i in 0..200i64 {
+        t_rows.push(vec![Value::Int(i % 7), Value::Int(i), Value::Int(i % 13)]);
+        for j in 0..(i % 13 + 1) % 3 {
+            u_rows.push(vec![Value::Int(i % 13), Value::Int(10_000 + 10 * i + j)]);
+        }
+    }
+    db.add_relation(
+        "T",
+        Relation::from_rows(Schema::new(["a", "b", "c"]).unwrap(), t_rows).unwrap(),
+    )
+    .unwrap();
+    db.add_relation(
+        "U",
+        Relation::from_rows(Schema::new(["c", "d"]).unwrap(), u_rows).unwrap(),
+    )
+    .unwrap();
+    let q: ConjunctiveQuery = "Q(a, b, c, d) :- T(a, b, c), U(c, d)".parse().unwrap();
+    // ⟨a, c, d, b⟩ splits T's bag around U's d: only a synthesized plan
+    // with the projection root {a,c} can realize it.
+    let order: Vec<Symbol> = ["a", "c", "d", "b"].iter().map(Symbol::new).collect();
+    let idx = OrderedCqIndex::build(&q, &db, &order).unwrap();
+    let n = idx.count();
+    assert!(n > 100);
+    // The layout genuinely uses a projection node (PR 4 rejected this order).
+    assert!(
+        idx.index().plan().node_count() > 2,
+        "projection node expected"
+    );
+    let mut scratch = AccessScratch::new();
+    let mut rng = StdRng::seed_from_u64(33);
+
+    idx.ordered_access_into(0, &mut scratch).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..1000 {
+            let k = rng.gen_range(0..n);
+            std::hint::black_box(idx.ordered_access_into(k, &mut scratch).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "synthesized-plan ordered_access_into allocated");
+
+    idx.index().prepare_inverted_access();
+    let owned: Vec<Vec<Value>> = (0..64)
+        .map(|k| idx.ordered_access(k * (n / 64)).unwrap())
+        .collect();
+    let mut probe = AccessScratch::new();
+    idx.ordered_inverted_access_of(&owned[0], &mut probe)
+        .unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for answer in &owned {
+            std::hint::black_box(idx.ordered_inverted_access_of(answer, &mut probe).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "synthesized-plan inverted access allocated");
+
+    // Rank descent over the synthesized layout.
+    let prefixes: Vec<Vec<Value>> = owned
+        .iter()
+        .map(|a| {
+            idx.order_to_head()[..2]
+                .iter()
+                .map(|&h| a[h].clone())
+                .collect()
+        })
+        .collect();
+    std::hint::black_box(idx.range_count(&prefixes[0])); // warm-up (no-op)
+    let ((), allocs) = count_allocations(|| {
+        for p in &prefixes {
+            std::hint::black_box(idx.range_count(p));
+            std::hint::black_box(idx.prefix_bounds(p));
+        }
+    });
+    assert_eq!(allocs, 0, "synthesized-plan rank descent allocated");
+}
+
+/// The general-union rank structure (RankedUcq, DESIGN.md §11): steady-state
+/// ordered access through the union rank descent, inverted access, and
+/// range counting must perform zero heap allocations per answer.
+#[test]
+fn ranked_union_paths_do_not_allocate() {
+    let mut db = skewed_db();
+    // Overlapping members: Q2's answers are the subset of Q1's whose x is
+    // in K, so the non-owned correction lists are exercised, not empty.
+    let k_rows: Vec<Vec<Value>> = (0..100i64).map(|i| vec![Value::Int(2 * i)]).collect();
+    db.add_relation(
+        "K",
+        Relation::from_rows(Schema::new(["a"]).unwrap(), k_rows).unwrap(),
+    )
+    .unwrap();
+    let u: UnionQuery = "Q1(x, y, z) :- R(x, y), S(y, z). Q2(x, y, z) :- R(x, y), S(y, z), K(x)."
+        .parse()
+        .unwrap();
+    let order: Vec<Symbol> = ["z", "y", "x"].iter().map(Symbol::new).collect();
+    let ranked = RankedUcq::build(&u, &db, &order).unwrap();
+    let n = ranked.count();
+    assert!(n > 100);
+    let mut scratch = RankedScratch::default();
+    let mut rng = StdRng::seed_from_u64(55);
+
+    // --- union ordered_access_into ----------------------------------------
+    ranked.ordered_access_into(0, &mut scratch).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..200 {
+            let k = rng.gen_range(0..n);
+            std::hint::black_box(ranked.ordered_access_into(k, &mut scratch).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "RankedUcq::ordered_access_into allocated");
+
+    // --- union inverted access (membership + rank via descents) -----------
+    let owned: Vec<Vec<Value>> = (0..32)
+        .map(|k| ranked.ordered_access(k * (n / 32)).unwrap())
+        .collect();
+    std::hint::black_box(ranked.ordered_inverted_access(&owned[0])); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for answer in &owned {
+            std::hint::black_box(ranked.ordered_inverted_access(answer).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "RankedUcq::ordered_inverted_access allocated");
+
+    // --- union rank descent (range_count / prefix_bounds) ------------------
+    let prefixes: Vec<Vec<Value>> = owned
+        .iter()
+        .map(|a| {
+            let h = ranked.members()[0].order_to_head()[0];
+            vec![a[h].clone()]
+        })
+        .collect();
+    std::hint::black_box(ranked.range_count(&prefixes[0])); // warm-up (no-op)
+    let ((), allocs) = count_allocations(|| {
+        for p in &prefixes {
+            std::hint::black_box(ranked.range_count(p));
+            std::hint::black_box(ranked.prefix_bounds(p));
+        }
+    });
+    assert_eq!(allocs, 0, "RankedUcq rank descent allocated");
+}
