@@ -99,6 +99,16 @@ fn run_command(command: &str, cfg: &BenchConfig) -> String {
             eprintln!("[repro] wrote BENCH_2.json");
             json
         }
+        "robustness" => {
+            // The zero-cost-when-disabled proof: re-measures the
+            // instrumented access/build paths (failpoints compiled out in
+            // this binary) against the recorded BENCH_1/BENCH_3 figures and
+            // times the amortized budget probes.
+            let json = rae_bench::robustness::robustness_json(cfg);
+            std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+            eprintln!("[repro] wrote BENCH_4.json");
+            json
+        }
         "ablation-delete" => ablation::ablation_delete(cfg),
         "ablation-fold" => ablation::ablation_fold(cfg),
         "ablation-binary" => ablation::ablation_binary(cfg),

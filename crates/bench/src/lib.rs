@@ -33,6 +33,7 @@ pub mod delays;
 pub mod figures;
 pub mod perf_report;
 pub mod preprocessing;
+pub mod robustness;
 pub mod setup;
 pub mod stats;
 pub mod table;

@@ -46,7 +46,7 @@ fn median_ns<T>(samples: u32, mut prep: impl FnMut() -> T, mut run: impl FnMut(T
 
 /// Rebuilds `rel` with its rows in a deterministic pseudorandom order and no
 /// sort fingerprint, so a timed sort does full work.
-fn shuffled(rel: &Relation) -> Relation {
+pub(crate) fn shuffled(rel: &Relation) -> Relation {
     let n = rel.len();
     let mut order: Vec<usize> = (0..n).collect();
     let mut state = 0x9e37_79b9_7f4a_7c15u64;

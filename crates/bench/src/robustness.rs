@@ -1,0 +1,228 @@
+//! The zero-cost-when-disabled proof (`BENCH_4.json`).
+//!
+//! The failpoint macros compile to nothing unless the workspace is built
+//! with `--features failpoints`, and every budget probe on a hot path is
+//! amortized (one check per [`rae_core::budgeted::CHECK_INTERVAL`] items or
+//! coarser). `repro robustness` makes both claims measurable:
+//!
+//! * **Zero cost when disabled** — this binary is compiled *without* the
+//!   `failpoints` feature, so the instrumented access and build paths are
+//!   re-measured here and compared against the figures recorded *before*
+//!   the instrumentation existed (`BENCH_1.json` access, `BENCH_3.json`
+//!   build). The ratios must sit within run-to-run noise.
+//! * **Budget checks are cheap** — the same drain is timed bare and wrapped
+//!   in [`rae_core::Budgeted`] with an unlimited budget; the overhead is
+//!   reported as a percentage and expected to stay under 2%.
+//!
+//! ```json
+//! {
+//!   "schema": "rae-bench-robustness-v1",
+//!   "config": { "sf": ..., "seed": ..., "query": "q3", "answers": ...,
+//!                "failpoints_compiled": false },
+//!   "zero_cost": { "access_scratch_ns": ..., "bench1_access_scratch_ns": ...,
+//!                   "access_ratio": ..., "build_ns": ..., "bench3_build_ns": ...,
+//!                   "build_ratio": ... },
+//!   "budget_overhead": { "drain_bare_ns_per_answer": ...,
+//!                         "drain_budgeted_ns_per_answer": ...,
+//!                         "overhead_pct": ..., "within_2pct": true }
+//! }
+//! ```
+//!
+//! Recorded reference figures are read back from `BENCH_1.json` /
+//! `BENCH_3.json` in the working directory; when absent the ratios are
+//! `null` and only the in-process measurements are emitted.
+
+use crate::preprocessing::shuffled;
+use crate::setup::BenchConfig;
+use rae_core::{AccessScratch, Budgeted, BuildOptions, CqIndex, Weight};
+use rae_data::Relation;
+use rae_faults::Budget;
+use rae_tpch::queries;
+use rae_yannakakis::{reduce_to_full_acyclic, FullAcyclicJoin};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median per-op nanoseconds of `op`, over `samples` timed batches.
+fn median_ns(mut op: impl FnMut(), batch: u32, samples: u32) -> f64 {
+    for _ in 0..batch {
+        op(); // warm-up
+    }
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(batch)
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_op[per_op.len() / 2]
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(value: Option<f64>) -> String {
+    value.map_or_else(|| "null".to_string(), json_f64)
+}
+
+/// Pulls the first `"key": <number>` after `anchor` out of a recorded
+/// report, tolerating absence of the file, the anchor, or the key.
+fn recorded(path: &str, anchor: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let from = text.find(anchor)? + anchor.len();
+    let tail = &text[from..];
+    let at = tail.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let num: String = tail[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Builds the report described in the module docs and returns it as a JSON
+/// string (the `repro` binary writes it to `BENCH_4.json`).
+pub fn robustness_json(cfg: &BenchConfig) -> String {
+    let db = cfg.build_db();
+    let q3 = queries::q3();
+
+    let idx = CqIndex::build(&q3, &db).expect("q3 builds");
+    let n = idx.count();
+    assert!(n > 0, "bench query has answers");
+
+    // --- random access (instrumented path, failpoints compiled out) ------
+    let samples = 30u32;
+    let batch = 2000u32;
+    let mut scratch = AccessScratch::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let access_ns = {
+        let scratch = &mut scratch;
+        median_ns(
+            || {
+                let j = rng.gen_range(0..n);
+                std::hint::black_box(idx.access_into(j, scratch).is_some());
+            },
+            batch,
+            samples,
+        )
+    };
+
+    // --- budget probe overhead on a full drain ----------------------------
+    // Paired samples (bare drain, then budgeted drain, back to back) so
+    // machine drift cancels; the reported overhead is the median pairwise
+    // ratio, which is far more stable than comparing two medians.
+    let budget = Budget::unlimited();
+    let drain_bare = || {
+        let mut produced: Weight = 0;
+        let start = Instant::now();
+        for row in idx.enumerate() {
+            std::hint::black_box(&row);
+            produced += 1;
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(produced, n);
+        ns
+    };
+    let drain_budgeted = || {
+        let mut produced: Weight = 0;
+        let start = Instant::now();
+        for row in Budgeted::new(idx.enumerate(), &budget, "bench/drain") {
+            std::hint::black_box(&row.expect("unlimited budget never breaches"));
+            produced += 1;
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(produced, n);
+        ns
+    };
+    drain_bare();
+    drain_budgeted(); // warm-up both paths
+    let pairs = 25u32;
+    let mut bares = Vec::new();
+    let mut budgeteds = Vec::new();
+    let mut ratios: Vec<f64> = (0..pairs)
+        .map(|_| {
+            let b = drain_bare();
+            let w = drain_budgeted();
+            bares.push(b);
+            budgeteds.push(w);
+            w / b
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let bare_ns = med(&mut bares) / n as f64;
+    let budgeted_ns = med(&mut budgeteds) / n as f64;
+    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+
+    // --- build time, measured exactly like BENCH_3's serial_ns: the
+    // from_parts pipeline over shuffled, pre-reduced inputs ---------------
+    let fj: FullAcyclicJoin = reduce_to_full_acyclic(&q3, &db).expect("q3 reduces");
+    let shuffled_rels: Vec<Relation> = fj.relations.iter().map(shuffled).collect();
+    let build_runs = 9;
+    let mut build_times: Vec<f64> = (0..build_runs)
+        .map(|_| {
+            let rels = shuffled_rels.clone();
+            let start = Instant::now();
+            let idx = CqIndex::from_parts_with(
+                fj.plan.clone(),
+                rels,
+                fj.head.clone(),
+                BuildOptions::serial(),
+            )
+            .expect("q3 index builds");
+            let ns = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(&idx);
+            ns
+        })
+        .collect();
+    build_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let build_ns = build_times[build_times.len() / 2];
+
+    // --- recorded references ----------------------------------------------
+    let bench1_access = recorded("BENCH_1.json", "\"access\"", "scratch_ns");
+    let bench3_build = recorded("BENCH_3.json", &format!("\"sf\": {}", cfg.sf), "serial_ns");
+    let access_ratio = bench1_access.map(|r| access_ns / r);
+    let build_ratio = bench3_build.map(|r| build_ns / r);
+
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"rae-bench-robustness-v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"sf\": {}, \"seed\": {}, \"query\": \"q3\", \"answers\": {n}, \"failpoints_compiled\": {} }},",
+        cfg.sf,
+        cfg.seed,
+        cfg!(feature = "failpoints"),
+    );
+    let _ = writeln!(
+        out,
+        "  \"zero_cost\": {{\n    \"access_scratch_ns\": {},\n    \"bench1_access_scratch_ns\": {},\n    \"access_ratio\": {},\n    \"build_ns\": {},\n    \"bench3_build_ns\": {},\n    \"build_ratio\": {}\n  }},",
+        json_f64(access_ns),
+        json_opt(bench1_access),
+        json_opt(access_ratio),
+        json_f64(build_ns),
+        json_opt(bench3_build),
+        json_opt(build_ratio),
+    );
+    let _ = writeln!(
+        out,
+        "  \"budget_overhead\": {{\n    \"drain_bare_ns_per_answer\": {},\n    \"drain_budgeted_ns_per_answer\": {},\n    \"overhead_pct\": {},\n    \"within_2pct\": {}\n  }}",
+        json_f64(bare_ns),
+        json_f64(budgeted_ns),
+        json_f64(overhead_pct),
+        overhead_pct < 2.0,
+    );
+    out.push('}');
+    out
+}

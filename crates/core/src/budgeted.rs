@@ -1,0 +1,151 @@
+//! Budget enforcement for long enumerations and shuffles.
+//!
+//! Preprocessing checks its [`Budget`] at phase
+//! boundaries, but an enumeration or random-permutation scan can run for
+//! `|Q(D)|` steps with no natural boundary. [`Budgeted`] wraps any such
+//! iterator and probes the budget once every [`CHECK_INTERVAL`] items: the
+//! stream yields `Ok(item)` until a breach, then exactly one
+//! `Err(CoreError::BudgetExceeded)` and fuses. The amortized probe keeps
+//! the constant-delay guarantee intact — a check is two atomic/clock reads
+//! every 64 answers.
+//!
+//! ```
+//! use rae_core::{Budgeted, CoreError};
+//! use rae_faults::Budget;
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//!
+//! let cancel = AtomicBool::new(false);
+//! let budget = Budget::unlimited().with_cancel(&cancel);
+//! let mut stream = Budgeted::new(0..1_000_000u32, &budget, "enumerate");
+//! assert_eq!(stream.next(), Some(Ok(0)));
+//! cancel.store(true, Ordering::Relaxed);
+//! // The breach surfaces within one check interval, then the stream ends.
+//! assert!(stream.any(|r| matches!(r, Err(CoreError::BudgetExceeded(_)))));
+//! ```
+
+use crate::error::CoreError;
+use rae_faults::Budget;
+
+/// How many items flow between two budget probes. The first item is always
+/// probed, so a pre-breached budget fails before any work.
+pub const CHECK_INTERVAL: u64 = 64;
+
+/// An iterator adapter that enforces a [`Budget`] over a long-running
+/// enumeration or shuffle (see the [module docs](self)).
+#[derive(Debug)]
+pub struct Budgeted<'b, I> {
+    inner: I,
+    budget: Budget<'b>,
+    phase: &'static str,
+    yielded: u64,
+    breached: bool,
+}
+
+impl<'b, I> Budgeted<'b, I> {
+    /// Wraps `inner`, probing `budget` every [`CHECK_INTERVAL`] items and
+    /// tagging any breach with `phase` (e.g. `"enumerate"`, `"shuffle"`).
+    pub fn new(inner: I, budget: &Budget<'b>, phase: &'static str) -> Self {
+        Budgeted {
+            inner,
+            budget: *budget,
+            phase,
+            yielded: 0,
+            breached: false,
+        }
+    }
+
+    /// Consumes the adapter, returning the underlying iterator (e.g. to
+    /// continue unmetered after a scoped budget ends).
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: Iterator> Iterator for Budgeted<'_, I> {
+    type Item = Result<I::Item, CoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.breached {
+            return None;
+        }
+        if self.yielded.is_multiple_of(CHECK_INTERVAL) {
+            if let Err(b) = self.budget.check(self.phase) {
+                self.breached = true;
+                return Some(Err(CoreError::BudgetExceeded(b)));
+            }
+        }
+        match self.inner.next() {
+            Some(item) => {
+                self.yielded += 1;
+                Some(Ok(item))
+            }
+            None => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.breached {
+            return (0, Some(0));
+        }
+        let (lo, hi) = self.inner.size_hint();
+        // A breach can cut the stream short and adds one Err item.
+        (0, hi.and_then(|h| h.checked_add(1)).or(Some(lo + 1)).or(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_faults::Breach;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn unlimited_budget_is_transparent() {
+        let budget = Budget::unlimited();
+        let items: Vec<u32> = Budgeted::new(0..200u32, &budget, "enumerate")
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(items, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_surfaces_within_one_interval_and_fuses() {
+        let cancel = AtomicBool::new(false);
+        let budget = Budget::unlimited().with_cancel(&cancel);
+        let mut stream = Budgeted::new(0..10_000u32, &budget, "shuffle");
+        for _ in 0..10 {
+            assert!(stream.next().unwrap().is_ok());
+        }
+        cancel.store(true, Ordering::Relaxed);
+        let mut seen_err = 0usize;
+        let mut oks_after_cancel = 0usize;
+        for r in stream.by_ref() {
+            match r {
+                Ok(_) => oks_after_cancel += 1,
+                Err(CoreError::BudgetExceeded(b)) => {
+                    assert_eq!(b.breach, Breach::Cancelled);
+                    seen_err += 1;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert_eq!(seen_err, 1, "exactly one structured breach");
+        assert!(
+            oks_after_cancel < CHECK_INTERVAL as usize,
+            "breach must surface within one check interval"
+        );
+        assert_eq!(stream.next(), None, "stream fuses after the breach");
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_any_item() {
+        let budget = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut stream = Budgeted::new(0..10u32, &budget, "enumerate");
+        assert!(matches!(
+            stream.next(),
+            Some(Err(CoreError::BudgetExceeded(_)))
+        ));
+        assert_eq!(stream.next(), None);
+    }
+}

@@ -9,6 +9,9 @@
 //! bounded by the join-tree size — a constant in data complexity — and the
 //! emitted order is exactly the index's access order (verified by tests).
 
+// Sanctioned panics: cursors only dereference bucket rows the index itself emitted.
+#![allow(clippy::expect_used)]
+
 use crate::index::{BucketView, CqIndex};
 use crate::weight::Weight;
 use rae_data::Value;
@@ -234,42 +237,33 @@ impl Iterator for CqSequential<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rae_data::{Database, Relation, Schema};
+    use crate::testutil::*;
+    use rae_data::Database;
     use rae_query::parser::parse_cq;
-
-    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()).unwrap(),
-            rows.iter()
-                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
-        )
-        .unwrap()
-    }
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R",
             rel_int(&["a", "b"], &[&[1, 1], &[2, 1], &[3, 2], &[4, 9]]),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "S",
             rel_int(
                 &["b", "c"],
                 &[&[1, 10], &[1, 11], &[2, 20], &[2, 21], &[2, 22], &[9, 0]],
             ),
-        )
-        .unwrap();
-        db.add_relation("T", rel_int(&["d"], &[&[100], &[200]]))
-            .unwrap();
+        );
+        add(&mut db, "T", rel_int(&["d"], &[&[100], &[200]]));
         db
     }
 
     fn check_matches_access_order(query: &str) {
         let db = db();
         let cq = parse_cq(query).unwrap();
-        let idx = crate::CqIndex::build(&cq, &db).unwrap();
+        let idx = built(&cq, &db);
         let via_access: Vec<Vec<Value>> = idx.enumerate().collect();
         let via_cursor: Vec<Vec<Value>> = CqSequential::new(&idx).collect();
         assert_eq!(
@@ -301,9 +295,9 @@ mod tests {
     #[test]
     fn empty_index_yields_nothing() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a", "b"], &[])).unwrap();
-        let cq = parse_cq("Q(x, y) :- R(x, y)").unwrap();
-        let idx = crate::CqIndex::build(&cq, &db).unwrap();
+        add(&mut db, "R", rel_int(&["a", "b"], &[]));
+        let cq = cq("Q(x, y) :- R(x, y)");
+        let idx = built(&cq, &db);
         let mut cursor = CqSequential::new(&idx);
         assert!(cursor.next().is_none());
         assert!(cursor.next().is_none());
@@ -312,8 +306,8 @@ mod tests {
     #[test]
     fn boolean_query_emits_single_empty_tuple() {
         let db = db();
-        let cq = parse_cq("Q() :- R(x, y), S(y, z)").unwrap();
-        let idx = crate::CqIndex::build(&cq, &db).unwrap();
+        let cq = cq("Q() :- R(x, y), S(y, z)");
+        let idx = built(&cq, &db);
         let all: Vec<Vec<Value>> = CqSequential::new(&idx).collect();
         assert_eq!(all, vec![Vec::<Value>::new()]);
     }
@@ -321,8 +315,8 @@ mod tests {
     #[test]
     fn seek_resumes_anywhere_in_the_order() {
         let db = db();
-        let cq = parse_cq("Q(x, y, z, d) :- R(x, y), S(y, z), T(d)").unwrap();
-        let idx = crate::CqIndex::build(&cq, &db).unwrap();
+        let cq = cq("Q(x, y, z, d) :- R(x, y), S(y, z), T(d)");
+        let idx = built(&cq, &db);
         let all: Vec<Vec<Value>> = idx.enumerate().collect();
         let mut cursor = CqSequential::new(&idx);
         for start in [0, 1, idx.count() / 2, idx.count() - 1] {
@@ -344,8 +338,8 @@ mod tests {
     #[test]
     fn size_hint_tracks_progress() {
         let db = db();
-        let cq = parse_cq("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
-        let idx = crate::CqIndex::build(&cq, &db).unwrap();
+        let cq = cq("Q(x, y, z) :- R(x, y), S(y, z)");
+        let idx = built(&cq, &db);
         let n = idx.count() as usize;
         let mut cursor = CqSequential::new(&idx);
         assert_eq!(cursor.size_hint(), (n, Some(n)));

@@ -1,5 +1,6 @@
 //! Error type for the core enumeration algorithms.
 
+use rae_faults::BudgetExceeded;
 use rae_query::QueryError;
 use std::fmt;
 
@@ -54,6 +55,47 @@ pub enum CoreError {
         /// The dictionary's current generation.
         current: u64,
     },
+    /// A [`rae_faults::Budget`] limit was breached during preprocessing or
+    /// enumeration. The phase and breach detail are in the payload; deadline
+    /// and cancellation breaches are transient (retry under a fresh budget),
+    /// memory breaches are not.
+    BudgetExceeded(BudgetExceeded),
+    /// A build path panicked (a bug, an injected chaos fault, or a worker
+    /// thread dying) and the panic was converted to an error at the build
+    /// boundary. Builds consume owned relation copies, so the source
+    /// `Database` and dictionary are observably unchanged; retrying is safe.
+    BuildPanicked {
+        /// The build entry point that caught the panic.
+        context: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A deterministic fault fired at the named failpoint (only reachable
+    /// under the `failpoints` feature of `rae-faults`).
+    FaultInjected {
+        /// The failpoint site, e.g. `"build/node"`.
+        site: &'static str,
+    },
+}
+
+impl rae_faults::Transient for CoreError {
+    fn is_transient(&self) -> bool {
+        match self {
+            CoreError::Query(e) => e.is_transient(),
+            // A sweep raced the build/access; rehydrate + rebuild succeeds.
+            CoreError::StaleGeneration { .. } => true,
+            // Injected chaos and caught panics: the retry path is the test.
+            CoreError::FaultInjected { .. } | CoreError::BuildPanicked { .. } => true,
+            CoreError::BudgetExceeded(b) => b.is_transient(),
+            // Structural and capacity errors recur on retry.
+            CoreError::WeightOverflow
+            | CoreError::TooManyDisjuncts { .. }
+            | CoreError::IncompatibleTemplates { .. }
+            | CoreError::UncoveredHeadAttribute(_)
+            | CoreError::MismatchedOrders { .. }
+            | CoreError::CapacityExceeded { .. } => false,
+        }
+    }
 }
 
 /// Validates that a structural count fits the `u32` id space, returning the
@@ -98,6 +140,13 @@ impl fmt::Display for CoreError {
                 "index was built against dictionary generation {built}, but the \
                  dictionary is at generation {current}; rebuild the index"
             ),
+            CoreError::BudgetExceeded(b) => write!(f, "{b}"),
+            CoreError::BuildPanicked { context, message } => {
+                write!(f, "panic caught at build boundary {context}: {message}")
+            }
+            CoreError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
         }
     }
 }
@@ -120,6 +169,38 @@ impl From<QueryError> for CoreError {
 impl From<rae_data::DataError> for CoreError {
     fn from(e: rae_data::DataError) -> Self {
         CoreError::Query(QueryError::Data(e))
+    }
+}
+
+impl From<BudgetExceeded> for CoreError {
+    fn from(e: BudgetExceeded) -> Self {
+        CoreError::BudgetExceeded(e)
+    }
+}
+
+/// Runs `f` under a `catch_unwind` boundary, converting any panic into
+/// [`CoreError::BuildPanicked`]. This is what makes the build entry points
+/// transactional: they operate on owned relation copies, so a panic
+/// anywhere inside (including in a worker thread, re-thrown at the scope
+/// join) leaves the caller's `Database` and the dictionary observably
+/// unchanged, and the caller gets a structured, transient error instead of
+/// an unwinding stack.
+pub(crate) fn catch_build<T>(
+    context: &'static str,
+    f: impl FnOnce() -> Result<T, CoreError>,
+) -> Result<T, CoreError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            Err(CoreError::BuildPanicked { context, message })
+        }
     }
 }
 

@@ -23,12 +23,18 @@
 //! whose node relations are subsets of one another therefore enumerate in
 //! *compatible* orders (used by the mc-UCQ structure, Theorem 5.5).
 
-use crate::error::{ensure_u32, CoreError};
+// Sanctioned panics: each `expect` names a build-order invariant (weights and startIndex are
+// filled bottom-up before any parent reads them); violation is a bug, not a
+// recoverable state.
+#![allow(clippy::expect_used)]
+
+use crate::error::{catch_build, ensure_u32, CoreError};
 use crate::renum_cq::CqShuffle;
 use crate::scratch::AccessScratch;
 use crate::weight::{checked_product, split_index, Weight};
 use crate::Result;
 use rae_data::{dict, CodeKeyMap, Database, Relation, SortAlgorithm, Symbol, Value, ValueCode};
+use rae_faults::{degrade, fail_point, Budget};
 use rae_query::{ConjunctiveQuery, TreePlan};
 use rae_yannakakis::{
     full_reduce, reduce_to_full_acyclic, reduce_to_full_acyclic_with, FullAcyclicJoin,
@@ -259,8 +265,13 @@ impl CqIndex {
     /// assert_eq!(index.inverted_access(&answer), Some(1)); // round-trips
     /// ```
     pub fn build(cq: &ConjunctiveQuery, db: &Database) -> Result<Self> {
-        let fj = reduce_to_full_acyclic(cq, db)?;
-        Self::from_full_join(fj)
+        // The catch boundary sits here (not only around `from_parts`) so a
+        // panic inside the Proposition 4.2 reduction also surfaces as a
+        // structured `BuildPanicked` instead of unwinding into the caller.
+        catch_build("CqIndex::build", || {
+            let fj = reduce_to_full_acyclic(cq, db)?;
+            Self::from_full_join(fj)
+        })
     }
 
     /// [`CqIndex::build`] with explicit join-tree layout options (root
@@ -272,8 +283,10 @@ impl CqIndex {
         db: &Database,
         options: ReduceOptions,
     ) -> Result<Self> {
-        let fj = reduce_to_full_acyclic_with(cq, db, options)?;
-        Self::from_full_join(fj)
+        catch_build("CqIndex::build_with", || {
+            let fj = reduce_to_full_acyclic_with(cq, db, options)?;
+            Self::from_full_join(fj)
+        })
     }
 
     /// Builds the index from an already-reduced full acyclic join.
@@ -305,7 +318,27 @@ impl CqIndex {
         head: Vec<Symbol>,
         options: BuildOptions,
     ) -> Result<Self> {
-        Self::from_parts_inner(plan, relations, head, options, None)
+        Self::from_parts_budgeted(plan, relations, head, options, &Budget::unlimited())
+    }
+
+    /// [`CqIndex::from_parts_with`] under a resource [`Budget`]: the build
+    /// checks the deadline/cancellation at every phase boundary and level,
+    /// accounts its artifact tables against the memory cap, and degrades
+    /// (radix→comparison sort) when optional scratch no longer fits.
+    /// A breach surfaces as [`CoreError::BudgetExceeded`] naming the phase.
+    ///
+    /// The build is transactional: it consumes owned relations, so on any
+    /// error — budget breach, injected fault, or a panic caught at this
+    /// boundary — the source `Database` and the dictionary are observably
+    /// unchanged.
+    pub fn from_parts_budgeted(
+        plan: TreePlan,
+        relations: Vec<Relation>,
+        head: Vec<Symbol>,
+        options: BuildOptions,
+        budget: &Budget<'_>,
+    ) -> Result<Self> {
+        Self::from_parts_inner(plan, relations, head, options, None, budget)
     }
 
     /// [`CqIndex::from_parts_with`] with an explicit sort priority per node:
@@ -320,6 +353,7 @@ impl CqIndex {
         head: Vec<Symbol>,
         priorities: &[Vec<usize>],
         options: BuildOptions,
+        budget: &Budget<'_>,
     ) -> Result<Self> {
         assert_eq!(priorities.len(), plan.node_count(), "one priority per node");
         #[cfg(debug_assertions)]
@@ -332,15 +366,34 @@ impl CqIndex {
             prefix.sort_unstable();
             debug_assert_eq!(prefix, keys, "priority must start with pAtts");
         }
-        Self::from_parts_inner(plan, relations, head, options, Some(priorities))
+        Self::from_parts_inner(plan, relations, head, options, Some(priorities), budget)
     }
 
+    /// The `catch_unwind` boundary shared by every build entry point: any
+    /// panic inside the phases (own code, injected chaos fault, or a worker
+    /// thread's panic re-thrown at its scope join) becomes a structured
+    /// [`CoreError::BuildPanicked`] instead of unwinding through the public
+    /// API.
     fn from_parts_inner(
+        plan: TreePlan,
+        relations: Vec<Relation>,
+        head: Vec<Symbol>,
+        options: BuildOptions,
+        priorities: Option<&[Vec<usize>]>,
+        budget: &Budget<'_>,
+    ) -> Result<Self> {
+        catch_build("CqIndex::from_parts", move || {
+            Self::from_parts_phases(plan, relations, head, options, priorities, budget)
+        })
+    }
+
+    fn from_parts_phases(
         plan: TreePlan,
         mut relations: Vec<Relation>,
         head: Vec<Symbol>,
         options: BuildOptions,
         priorities: Option<&[Vec<usize>]>,
+        budget: &Budget<'_>,
     ) -> Result<Self> {
         assert_eq!(
             plan.node_count(),
@@ -383,12 +436,40 @@ impl CqIndex {
         // Serial below the parallel-worthwhile floor (also keeps unit-test
         // workloads from spawning threads for micro relations).
         let total_rows: usize = relations.iter().map(Relation::len).sum();
-        let threads = if total_rows < MIN_PARALLEL_TUPLES {
+        let mut threads = if total_rows < MIN_PARALLEL_TUPLES {
             1
         } else {
             options.resolved_threads()
         };
-        let sort = options.sort;
+        // Graceful degradation: a denied thread spawn (injected fault
+        // standing in for resource exhaustion — `std::thread::scope` itself
+        // aborts rather than reporting spawn failure) falls back to the
+        // serial build, which produces byte-identical artifacts.
+        if threads > 1 && rae_faults::eval_error("build/spawn") {
+            degrade::record("build/spawn");
+            threads = 1;
+        }
+
+        // Estimated working set: the coded mirrors the phases sort in place
+        // plus the per-row artifact tables the build mints (weights 16B,
+        // starts 16B, bucket/child ids ~8B per row). Checked against the
+        // memory cap before the phases allocate anything.
+        let total_slots: usize = relations.iter().map(|r| r.codes().len()).sum();
+        let est_bytes = total_slots * 8 + total_rows * 40;
+        budget.check_mem("build/sort", est_bytes)?;
+
+        // Radix sorting needs transient scratch (~12B per value slot of the
+        // largest relation). That scratch is optional: under memory-budget
+        // pressure, degrade to the comparison sort (same byte-identical
+        // order) instead of failing the build.
+        let mut sort = options.sort;
+        if !matches!(sort, SortAlgorithm::Comparison) {
+            let scratch = relations.iter().map(|r| r.codes().len()).max().unwrap_or(0) * 12;
+            if !budget.mem_allows(est_bytes + scratch) {
+                degrade::record("sort/scratch");
+                sort = SortAlgorithm::Comparison;
+            }
+        }
 
         // Phase 1 — set semantics (idempotent when already done). Each
         // relation sorts independently: the first parallel stage.
@@ -398,6 +479,7 @@ impl CqIndex {
 
         // Phase 2 — global consistency via merge semijoins (edge-sequential:
         // each semijoin consumes its predecessor's reduction).
+        budget.check("build/reduce")?;
         full_reduce(&plan, &mut relations)?;
         if relations.iter().any(Relation::is_empty) {
             for r in &mut relations {
@@ -417,6 +499,7 @@ impl CqIndex {
             Some(p) => p.to_vec(),
             None => (0..n).map(|i| plan.parent_shared_cols(i)).collect(),
         };
+        budget.check("build/sort")?;
         par_for_each_indexed(&mut relations, threads, |i, rel| {
             rel.sort_by_key_then_row_with(&sort_keys[i], sort);
         });
@@ -439,6 +522,7 @@ impl CqIndex {
 
         let mut nodes: Vec<Option<NodeIndex>> = (0..n).map(|_| None).collect();
         for level in levels.iter().rev() {
+            budget.check("build/weights")?;
             let work: Vec<(usize, Relation)> = level
                 .iter()
                 .map(|&node| {
@@ -942,9 +1026,27 @@ fn build_level(
                     .collect()
             }));
         }
+        // Join every handle before reporting: an early `?` would leave
+        // handles unjoined, and `thread::scope` re-throws the panic of any
+        // unjoined worker at scope exit (bypassing this conversion).
         let mut built = Vec::new();
+        let mut first_err: Option<CoreError> = None;
+        let mut worker_panicked = false;
         for handle in handles {
-            built.extend(handle.join().expect("node build worker panicked")?);
+            match handle.join() {
+                Ok(Ok(part)) => built.extend(part),
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => worker_panicked = true,
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if worker_panicked {
+            return Err(CoreError::BuildPanicked {
+                context: "build/node",
+                message: "node build worker panicked".to_owned(),
+            });
         }
         Ok(built)
     })
@@ -966,6 +1068,7 @@ fn build_node(
     sort: SortAlgorithm,
     sort_key: &[usize],
 ) -> Result<NodeIndex> {
+    fail_point!("build/node", |site| Err(CoreError::FaultInjected { site }));
     let key_cols = plan.parent_shared_cols(node);
     rel.sort_by_key_then_row_with(sort_key, sort);
 
@@ -1063,6 +1166,9 @@ fn compute_weights(
     row_count: usize,
     threads: usize,
 ) -> Result<(Vec<Weight>, Vec<Vec<u32>>)> {
+    fail_point!("build/weights", |site| Err(CoreError::FaultInjected {
+        site
+    }));
     if threads <= 1 || row_count < MIN_PARALLEL_ROWS || children.is_empty() {
         return weights_range(rel, children, probe_cols, nodes, 0..row_count);
     }
@@ -1080,7 +1186,14 @@ fn compute_weights(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("weights worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(CoreError::BuildPanicked {
+                        context: "build/weights",
+                        message: "weights worker panicked".to_owned(),
+                    })
+                })
+            })
             .collect::<Vec<_>>()
     });
     let mut weights: Vec<Weight> = Vec::with_capacity(row_count);
@@ -1144,31 +1257,13 @@ fn weights_range(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rae_data::Schema;
-    use rae_query::parser::parse_cq;
-
-    fn rel_str(attrs: &[&str], rows: &[&[&str]]) -> Relation {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()).unwrap(),
-            rows.iter()
-                .map(|r| r.iter().map(|&v| Value::str(v)).collect()),
-        )
-        .unwrap()
-    }
-
-    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()).unwrap(),
-            rows.iter()
-                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
-        )
-        .unwrap()
-    }
+    use crate::testutil::*;
 
     /// The database of the paper's Example 4.4.
     fn example_4_4_db() -> Database {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R1",
             rel_str(
                 &["v", "w", "x"],
@@ -1179,30 +1274,29 @@ mod tests {
                     &["a2", "b2", "c2"],
                 ],
             ),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "R2",
             rel_str(
                 &["w", "y"],
                 &[&["b1", "d1"], &["b1", "d2"], &["b2", "d2"], &["b2", "d3"]],
             ),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "R3",
             rel_str(
                 &["x", "z"],
                 &[&["c1", "e1"], &["c1", "e2"], &["c1", "e3"], &["c2", "e4"]],
             ),
-        )
-        .unwrap();
+        );
         db
     }
 
     fn example_4_4_index() -> CqIndex {
-        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
-        CqIndex::build(&cq, &example_4_4_db()).unwrap()
+        let cq = cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)");
+        built(&cq, &example_4_4_db())
     }
 
     #[test]
@@ -1212,7 +1306,7 @@ mod tests {
         assert_eq!(idx.count(), 16);
 
         // Access(13) = (a2, b2, c1, d3, e3).
-        let ans = idx.access(13).unwrap();
+        let ans = at(&idx, 13);
         let expected: Vec<Value> = ["a2", "b2", "c1", "d3", "e3"]
             .iter()
             .map(Value::str)
@@ -1244,20 +1338,19 @@ mod tests {
         assert_eq!(idx.count_via_access(), idx.count());
         // Empty index.
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R",
             Relation::from_rows(rae_data::Schema::new(["a", "b"]).unwrap(), Vec::new()).unwrap(),
-        )
-        .unwrap();
-        let cq = rae_query::parser::parse_cq("Q(x, y) :- R(x, y)").unwrap();
-        let empty = CqIndex::build(&cq, &db).unwrap();
+        );
+        let cq = cq("Q(x, y) :- R(x, y)");
+        let empty = built(&cq, &db);
         assert_eq!(empty.count_via_access(), 0);
         // Singleton.
         db.set_relation("R", rel_int(&["a", "b"], &[&[1, 2]]));
         let mut db1 = Database::new();
-        db1.add_relation("R", rel_int(&["a", "b"], &[&[1, 2]]))
-            .unwrap();
-        let one = CqIndex::build(&cq, &db1).unwrap();
+        add(&mut db1, "R", rel_int(&["a", "b"], &[&[1, 2]]));
+        let one = built(&cq, &db1);
         assert_eq!(one.count_via_access(), 1);
     }
 
@@ -1265,17 +1358,17 @@ mod tests {
     fn access_inverted_roundtrip_all_positions() {
         let idx = example_4_4_index();
         for j in 0..idx.count() {
-            let ans = idx.access(j).unwrap();
+            let ans = at(&idx, j);
             assert_eq!(idx.inverted_access(&ans), Some(j), "roundtrip at {j}");
         }
     }
 
     #[test]
     fn enumeration_matches_naive_answers() {
-        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let cq = cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)");
         let db = example_4_4_db();
-        let idx = CqIndex::build(&cq, &db).unwrap();
-        let expected = rae_query::naive_eval(&cq, &db).unwrap();
+        let idx = built(&cq, &db);
+        let expected = naive(&cq, &db);
         let mut got: Vec<Vec<Value>> = idx.enumerate().collect();
         got.sort();
         got.dedup();
@@ -1309,22 +1402,22 @@ mod tests {
     #[test]
     fn projection_query_index_matches_naive() {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R",
             rel_int(&["a", "b"], &[&[1, 10], &[1, 11], &[2, 10], &[3, 12]]),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "S",
             rel_int(&["b", "c"], &[&[10, 0], &[11, 0], &[12, 1], &[13, 1]]),
-        )
-        .unwrap();
-        let cq = parse_cq("Q(x, y) :- R(x, y), S(y, z)").unwrap();
-        let idx = CqIndex::build(&cq, &db).unwrap();
-        let expected = rae_query::naive_eval(&cq, &db).unwrap();
+        );
+        let cq = cq("Q(x, y) :- R(x, y), S(y, z)");
+        let idx = built(&cq, &db);
+        let expected = naive(&cq, &db);
         assert_eq!(idx.count() as usize, expected.len());
         for j in 0..idx.count() {
-            let ans = idx.access(j).unwrap();
+            let ans = at(&idx, j);
             assert!(expected.contains_row(&ans), "access({j}) not an answer");
             assert_eq!(idx.inverted_access(&ans), Some(j));
         }
@@ -1333,12 +1426,10 @@ mod tests {
     #[test]
     fn empty_result_index() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a", "b"], &[&[1, 10]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["b", "c"], &[&[99, 0]]))
-            .unwrap();
-        let cq = parse_cq("Q(x, y) :- R(x, y), S(y, z)").unwrap();
-        let idx = CqIndex::build(&cq, &db).unwrap();
+        add(&mut db, "R", rel_int(&["a", "b"], &[&[1, 10]]));
+        add(&mut db, "S", rel_int(&["b", "c"], &[&[99, 0]]));
+        let cq = cq("Q(x, y) :- R(x, y), S(y, z)");
+        let idx = built(&cq, &db);
         assert_eq!(idx.count(), 0);
         assert!(idx.access(0).is_none());
         assert_eq!(idx.inverted_access(&[Value::Int(1), Value::Int(10)]), None);
@@ -1347,14 +1438,12 @@ mod tests {
     #[test]
     fn boolean_query_index() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a", "b"], &[&[1, 10]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["b", "c"], &[&[10, 0]]))
-            .unwrap();
-        let cq = parse_cq("Q() :- R(x, y), S(y, z)").unwrap();
-        let idx = CqIndex::build(&cq, &db).unwrap();
+        add(&mut db, "R", rel_int(&["a", "b"], &[&[1, 10]]));
+        add(&mut db, "S", rel_int(&["b", "c"], &[&[10, 0]]));
+        let cq = cq("Q() :- R(x, y), S(y, z)");
+        let idx = built(&cq, &db);
         assert_eq!(idx.count(), 1);
-        assert_eq!(idx.access(0).unwrap(), Vec::<Value>::new());
+        assert_eq!(at(&idx, 0), Vec::<Value>::new());
         assert_eq!(idx.inverted_access(&[]), Some(0));
         assert!(idx.access(1).is_none());
     }
@@ -1362,19 +1451,17 @@ mod tests {
     #[test]
     fn cross_product_index() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1], &[2], &[3]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["b"], &[&[10], &[20]]))
-            .unwrap();
-        let cq = parse_cq("Q(x, y) :- R(x), S(y)").unwrap();
-        let idx = CqIndex::build(&cq, &db).unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1], &[2], &[3]]));
+        add(&mut db, "S", rel_int(&["b"], &[&[10], &[20]]));
+        let cq = cq("Q(x, y) :- R(x), S(y)");
+        let idx = built(&cq, &db);
         assert_eq!(idx.count(), 6);
         let mut seen: Vec<Vec<Value>> = idx.enumerate().collect();
         seen.sort();
         seen.dedup();
         assert_eq!(seen.len(), 6);
         for j in 0..6 {
-            let ans = idx.access(j).unwrap();
+            let ans = at(&idx, j);
             assert_eq!(idx.inverted_access(&ans), Some(j));
         }
     }
@@ -1382,11 +1469,9 @@ mod tests {
     #[test]
     fn not_free_connex_is_rejected() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a", "b"], &[&[1, 10]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["b", "c"], &[&[10, 0]]))
-            .unwrap();
-        let cq = parse_cq("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        add(&mut db, "R", rel_int(&["a", "b"], &[&[1, 10]]));
+        add(&mut db, "S", rel_int(&["b", "c"], &[&[10, 0]]));
+        let cq = cq("Q(x, z) :- R(x, y), S(y, z)");
         assert!(matches!(
             CqIndex::build(&cq, &db),
             Err(CoreError::Query(rae_query::QueryError::NotFreeConnex(_)))
@@ -1405,7 +1490,7 @@ mod tests {
             .collect();
         let mut prev: Option<Vec<Value>> = None;
         for j in 0..idx.count() {
-            let ans = idx.access(j).unwrap();
+            let ans = at(&idx, j);
             let key: Vec<Value> = positions.iter().map(|&p| ans[p].clone()).collect();
             if let Some(prev_key) = &prev {
                 assert!(prev_key < &key, "order violated at position {j}");
@@ -1441,9 +1526,9 @@ mod tests {
                 rel_str(&["x", "z"], &[&["c1", "e1"], &["c1", "e3"], &["c2", "e4"]]),
             )
             .unwrap();
-        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
-        let big = CqIndex::build(&cq, &db).unwrap();
-        let small = CqIndex::build(&cq, &db_sel).unwrap();
+        let cq = cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)");
+        let big = built(&cq, &db);
+        let small = built(&cq, &db_sel);
         assert!(big.plan().same_shape(small.plan()));
         // The small enumeration must be a subsequence of the big one.
         let big_seq: Vec<Vec<Value>> = big.enumerate().collect();
@@ -1492,7 +1577,7 @@ mod tests {
         // Byte-level determinism across thread counts and sort algorithms
         // on the worked example (the large-scale suite lives in
         // tests/parallel_build_determinism.rs).
-        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let cq = cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)");
         let fj = reduce_to_full_acyclic(&cq, &example_4_4_db()).unwrap();
         let baseline = CqIndex::from_parts_with(
             fj.plan.clone(),
@@ -1540,17 +1625,17 @@ mod tests {
     #[test]
     fn self_join_index() {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "E",
             rel_int(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 4], &[2, 4]]),
-        )
-        .unwrap();
-        let cq = parse_cq("Q(x, y, z) :- E(x, y), E(y, z)").unwrap();
-        let idx = CqIndex::build(&cq, &db).unwrap();
-        let expected = rae_query::naive_eval(&cq, &db).unwrap();
+        );
+        let cq = cq("Q(x, y, z) :- E(x, y), E(y, z)");
+        let idx = built(&cq, &db);
+        let expected = naive(&cq, &db);
         assert_eq!(idx.count() as usize, expected.len());
         for j in 0..idx.count() {
-            assert!(expected.contains_row(&idx.access(j).unwrap()));
+            assert!(expected.contains_row(&at(&idx, j)));
         }
     }
 }

@@ -1,4 +1,9 @@
 #![deny(missing_docs)]
+// Panicking extractors are banned in library code. The few sanctioned
+// `expect`s document structural invariants (see the per-module allows);
+// everything else must surface a structured, retryable `CoreError`.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # rae-core
 //!
@@ -22,6 +27,7 @@
 //! free-connex CQs, and [`McUcqIndex::build`] for random access over
 //! mutually-compatible unions (shared-template UCQs).
 
+pub mod budgeted;
 pub mod delset;
 pub mod enumerate;
 pub mod error;
@@ -35,6 +41,10 @@ pub mod scratch;
 pub mod shuffle;
 pub mod weight;
 
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use budgeted::Budgeted;
 pub use delset::DeletableSet;
 pub use enumerate::CqSequential;
 pub use error::CoreError;

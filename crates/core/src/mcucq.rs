@@ -20,6 +20,11 @@
 //! `T.access` / `S_ℓ.inverted_access` (the `Largest` routine of the
 //! Theorem 5.5 proof, fused with `InvAcc` as in the paper's implementation).
 
+// Sanctioned panics: each `expect` names an Algorithm 6-8 invariant (the full reduction
+// guarantees matching child buckets; ranks are dense); violation is a bug,
+// not a recoverable state.
+#![allow(clippy::expect_used)]
+
 use crate::error::CoreError;
 use crate::index::{BuildOptions, CqIndex};
 use crate::ordered::OrderedCqIndex;
@@ -76,6 +81,12 @@ impl McUcqIndex {
     /// not reduce to one join-tree shape (the implemented mc-UCQ subclass),
     /// and with [`CoreError::TooManyDisjuncts`] beyond [`MAX_DISJUNCTS`].
     pub fn build(ucq: &UnionQuery, db: &Database) -> Result<Self> {
+        // Transactional boundary: panics anywhere in the 2^m-subset build
+        // convert to `BuildPanicked` (see `catch_build`).
+        crate::error::catch_build("McUcqIndex::build", || Self::build_inner(ucq, db))
+    }
+
+    fn build_inner(ucq: &UnionQuery, db: &Database) -> Result<Self> {
         let m = ucq.len();
         if m > MAX_DISJUNCTS {
             return Err(CoreError::TooManyDisjuncts {
@@ -378,6 +389,17 @@ impl OrderedMcUcqIndex {
         order: &[Symbol],
         options: BuildOptions,
     ) -> Result<Self> {
+        crate::error::catch_build("OrderedMcUcqIndex::build", || {
+            Self::build_with_inner(ucq, db, order, options)
+        })
+    }
+
+    fn build_with_inner(
+        ucq: &UnionQuery,
+        db: &Database,
+        order: &[Symbol],
+        options: BuildOptions,
+    ) -> Result<Self> {
         let m = ucq.len();
         if m > MAX_DISJUNCTS {
             return Err(CoreError::TooManyDisjuncts {
@@ -435,6 +457,7 @@ impl OrderedMcUcqIndex {
                 relations,
                 head.clone(),
                 options,
+                &rae_faults::Budget::unlimited(),
             )?);
             if mask.count_ones() == 1 {
                 structs[mask]
@@ -643,39 +666,37 @@ impl<R: Rng> Iterator for McUcqShuffle<'_, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rae_data::{Database, FxHashSet, Relation, Schema};
-    use rae_query::naive_eval_union;
+    use crate::testutil::*;
+    use rae_data::{Database, FxHashSet};
+
     use rae_query::parser::parse_ucq;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-
-    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()).unwrap(),
-            rows.iter()
-                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
-        )
-        .unwrap()
-    }
 
     /// Database with three same-schema binary relations, pairwise
     /// overlapping, for same-template unions over the path join.
     fn db3() -> Database {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R",
             rel_int(&["a", "b"], &[&[1, 1], &[1, 2], &[2, 1], &[3, 2]]),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "S",
             rel_int(&["a", "b"], &[&[1, 1], &[2, 1], &[4, 2], &[5, 2]]),
-        )
-        .unwrap();
-        db.add_relation("T", rel_int(&["a", "b"], &[&[1, 2], &[4, 2], &[6, 1]]))
-            .unwrap();
-        db.add_relation("W", rel_int(&["b", "c"], &[&[1, 10], &[2, 20], &[2, 30]]))
-            .unwrap();
+        );
+        add(
+            &mut db,
+            "T",
+            rel_int(&["a", "b"], &[&[1, 2], &[4, 2], &[6, 1]]),
+        );
+        add(
+            &mut db,
+            "W",
+            rel_int(&["b", "c"], &[&[1, 10], &[2, 20], &[2, 30]]),
+        );
         db
     }
 
@@ -705,7 +726,7 @@ mod tests {
         let mc = McUcqIndex::build(&u, db).unwrap();
 
         // Set correctness and count.
-        let expected = naive_eval_union(&u, db).unwrap();
+        let expected = naive_union(&u, db);
         assert_eq!(mc.count() as usize, expected.len(), "count mismatch");
         let got: Vec<Vec<Value>> = mc.enumerate().collect();
         let got_set: FxHashSet<&Vec<Value>> = got.iter().collect();
@@ -751,21 +772,17 @@ mod tests {
     #[test]
     fn disjoint_union() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1], &[2]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[3], &[4]]))
-            .unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1], &[2]]));
+        add(&mut db, "S", rel_int(&["a"], &[&[3], &[4]]));
         check_against_reference("Q1(x) :- R(x). Q2(x) :- S(x).", &db);
     }
 
     #[test]
     fn identical_members() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1], &[2], &[3]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[1], &[2], &[3]]))
-            .unwrap();
-        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1], &[2], &[3]]));
+        add(&mut db, "S", rel_int(&["a"], &[&[1], &[2], &[3]]));
+        let u = ucq("Q1(x) :- R(x). Q2(x) :- S(x).");
         let mc = McUcqIndex::build(&u, &db).unwrap();
         assert_eq!(mc.count(), 3);
         check_against_reference("Q1(x) :- R(x). Q2(x) :- S(x).", &db);
@@ -773,7 +790,7 @@ mod tests {
 
     #[test]
     fn one_member_degenerates_to_cq() {
-        let u = parse_ucq("Q1(x, y) :- R(x, y).").unwrap();
+        let u = ucq("Q1(x, y) :- R(x, y).");
         let mc = McUcqIndex::build(&u, &db3()).unwrap();
         assert_eq!(mc.count(), 4);
         let member: Vec<_> = mc.member(0).enumerate().collect();
@@ -790,7 +807,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_access() {
-        let u = parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).").unwrap();
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).");
         let mc = McUcqIndex::build(&u, &db3()).unwrap();
         assert!(mc.access(mc.count()).is_none());
     }
@@ -800,9 +817,8 @@ mod tests {
         // Q1's template is a single {x,y} bag; Q2 is free-connex but its
         // projected template is two disjoint bags {x}, {y}.
         let mut db = db3();
-        db.add_relation("U", rel_int(&["a"], &[&[1], &[2]]))
-            .unwrap();
-        let u = parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- R(x, z), U(y).").unwrap();
+        add(&mut db, "U", rel_int(&["a"], &[&[1], &[2]]));
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- R(x, z), U(y).");
         assert!(matches!(
             McUcqIndex::build(&u, &db),
             Err(CoreError::IncompatibleTemplates { .. })
@@ -813,7 +829,7 @@ mod tests {
     fn non_free_connex_member_surfaces_query_error() {
         let db = db3();
         // Q2(x,y) :- R(x,z), W(z,y) has a cyclic extended hypergraph.
-        let u = parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- R(x, z), W(z, y).").unwrap();
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- R(x, z), W(z, y).");
         assert!(matches!(
             McUcqIndex::build(&u, &db),
             Err(CoreError::Query(rae_query::QueryError::NotFreeConnex(_)))
@@ -822,10 +838,10 @@ mod tests {
 
     #[test]
     fn shuffle_is_uniform_and_complete() {
-        let u = parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).").unwrap();
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).");
         let db = db3();
         let mc = McUcqIndex::build(&u, &db).unwrap();
-        let expected = naive_eval_union(&u, &db).unwrap();
+        let expected = naive_union(&u, &db);
 
         let mut all: Vec<Vec<Value>> = mc.random_permutation(StdRng::seed_from_u64(8)).collect();
         assert_eq!(all.len(), expected.len());
@@ -858,7 +874,7 @@ mod tests {
     }
 
     fn sorted_union(u: &UnionQuery, db: &Database, order: &[&str]) -> Vec<Vec<Value>> {
-        let expected = naive_eval_union(u, db).unwrap();
+        let expected = naive_union(u, db);
         let head = u.head().to_vec();
         let positions: Vec<usize> = order
             .iter()
@@ -949,15 +965,14 @@ mod tests {
         let ab: Vec<Symbol> = ["a", "b"].iter().map(Symbol::new).collect();
         // Incompatible templates.
         let mut db2 = db3();
-        db2.add_relation("U", rel_int(&["a"], &[&[1], &[2]]))
-            .unwrap();
-        let u = parse_ucq("Q1(a, b) :- R(a, b). Q2(a, b) :- R(a, z), U(b).").unwrap();
+        add(&mut db2, "U", rel_int(&["a"], &[&[1], &[2]]));
+        let u = ucq("Q1(a, b) :- R(a, b). Q2(a, b) :- R(a, z), U(b).");
         assert!(matches!(
             OrderedMcUcqIndex::build(&u, &db2, &ab),
             Err(CoreError::IncompatibleTemplates { .. })
         ));
         // Order not a permutation of the head.
-        let u = parse_ucq("Q1(a, b) :- R(a, b). Q2(a, b) :- S(a, b).").unwrap();
+        let u = ucq("Q1(a, b) :- R(a, b). Q2(a, b) :- S(a, b).");
         let bad: Vec<Symbol> = ["a"].iter().map(Symbol::new).collect();
         assert!(matches!(
             OrderedMcUcqIndex::build(&u, &db, &bad),
@@ -972,8 +987,11 @@ mod tests {
         let mut db = Database::new();
         let mut text = String::new();
         for i in 0..13 {
-            db.add_relation(format!("R{i}").as_str(), rel_int(&["a"], &[&[i as i64]]))
-                .unwrap();
+            add(
+                &mut db,
+                format!("R{i}").as_str(),
+                rel_int(&["a"], &[&[i as i64]]),
+            );
             text.push_str(&format!("Q{i}(x) :- R{i}(x). "));
         }
         let u = parse_ucq(&text).unwrap();
@@ -985,8 +1003,7 @@ mod tests {
 
     #[test]
     fn linear_rank_strategy_gives_identical_orders() {
-        let u =
-            parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y). Q3(x, y) :- T(x, y).").unwrap();
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y). Q3(x, y) :- T(x, y).");
         let db = db3();
         let binary = McUcqIndex::build(&u, &db).unwrap();
         let mut linear = McUcqIndex::build(&u, &db).unwrap();
@@ -998,7 +1015,7 @@ mod tests {
 
     #[test]
     fn intersection_indexes_match_set_intersections() {
-        let u = parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).").unwrap();
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).");
         let db = db3();
         let mc = McUcqIndex::build(&u, &db).unwrap();
         let cap = mc.intersection_index(0b11).unwrap();

@@ -23,12 +23,17 @@
 //! variants and the range machinery perform no steady-state heap
 //! allocations (covered by `tests/zero_alloc.rs`).
 
+// Sanctioned panics: each `expect` names a realization invariant (the adjusted order is
+// realizable, so every level has a sorted run); violation is a bug.
+#![allow(clippy::expect_used)]
+
 use crate::error::CoreError;
 use crate::index::{BucketView, BuildOptions, CqIndex};
 use crate::scratch::AccessScratch;
 use crate::weight::Weight;
 use crate::Result;
 use rae_data::{Database, Relation, Symbol, Value};
+use rae_faults::Budget;
 use rae_query::{realize_order, validate_order, ConjunctiveQuery, LexPlan};
 use rae_yannakakis::{reduce_to_full_acyclic, FullAcyclicJoin};
 use std::cmp::Ordering;
@@ -105,8 +110,25 @@ impl OrderedCqIndex {
         order: &[Symbol],
         options: BuildOptions,
     ) -> Result<Self> {
-        let fj = reduce_to_full_acyclic(cq, db)?;
-        Self::from_full_join(fj, order, options)
+        Self::build_budgeted(cq, db, order, options, &Budget::unlimited())
+    }
+
+    /// [`OrderedCqIndex::build_with`] under a resource [`Budget`] (deadline,
+    /// memory cap, cancellation), threaded through the underlying
+    /// [`CqIndex`] build; see [`CqIndex::from_parts_budgeted`].
+    pub fn build_budgeted(
+        cq: &ConjunctiveQuery,
+        db: &Database,
+        order: &[Symbol],
+        options: BuildOptions,
+        budget: &Budget<'_>,
+    ) -> Result<Self> {
+        // Catch here so panics in the reduction (ahead of the inner
+        // `CqIndex` boundary) also convert to `BuildPanicked`.
+        crate::error::catch_build("OrderedCqIndex::build", || {
+            let fj = reduce_to_full_acyclic(cq, db)?;
+            Self::from_full_join_budgeted(fj, order, options, budget)
+        })
     }
 
     /// Builds the ordered index from an already-reduced full acyclic join.
@@ -115,10 +137,20 @@ impl OrderedCqIndex {
         order: &[Symbol],
         options: BuildOptions,
     ) -> Result<Self> {
+        Self::from_full_join_budgeted(fj, order, options, &Budget::unlimited())
+    }
+
+    /// [`OrderedCqIndex::from_full_join`] under a resource [`Budget`].
+    pub fn from_full_join_budgeted(
+        fj: FullAcyclicJoin,
+        order: &[Symbol],
+        options: BuildOptions,
+        budget: &Budget<'_>,
+    ) -> Result<Self> {
         validate_order(&fj.head, order).map_err(CoreError::Query)?;
         let lex = realize_order(&fj.plan, order)?;
         let relations = lex.derive_relations(fj.relations)?;
-        Self::from_lex_parts(&lex, relations, fj.head, options)
+        Self::from_lex_parts(&lex, relations, fj.head, options, budget)
     }
 
     /// Builds from a realized [`LexPlan`] and relations already derived for
@@ -128,9 +160,16 @@ impl OrderedCqIndex {
         relations: Vec<Relation>,
         head: Vec<Symbol>,
         options: BuildOptions,
+        budget: &Budget<'_>,
     ) -> Result<Self> {
-        let index =
-            CqIndex::from_parts_lex(lex.plan.clone(), relations, head, &lex.priorities, options)?;
+        let index = CqIndex::from_parts_lex(
+            lex.plan.clone(),
+            relations,
+            head,
+            &lex.priorities,
+            options,
+            budget,
+        )?;
         let order_to_head = lex
             .order
             .iter()
@@ -427,31 +466,14 @@ impl Iterator for OrderedEnumeration<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rae_data::Schema;
-    use rae_query::parser::parse_cq;
+    use crate::testutil::*;
+
     use rae_query::QueryError;
-
-    fn rel_str(attrs: &[&str], rows: &[&[&str]]) -> Relation {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()).unwrap(),
-            rows.iter()
-                .map(|r| r.iter().map(|&v| Value::str(v)).collect()),
-        )
-        .unwrap()
-    }
-
-    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()).unwrap(),
-            rows.iter()
-                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
-        )
-        .unwrap()
-    }
 
     fn example_4_4_db() -> Database {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R1",
             rel_str(
                 &["v", "w", "x"],
@@ -462,29 +484,24 @@ mod tests {
                     &["a2", "b2", "c2"],
                 ],
             ),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "R2",
             rel_str(
                 &["w", "y"],
                 &[&["b1", "d1"], &["b1", "d2"], &["b2", "d2"], &["b2", "d3"]],
             ),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "R3",
             rel_str(
                 &["x", "z"],
                 &[&["c1", "e1"], &["c1", "e2"], &["c1", "e3"], &["c2", "e4"]],
             ),
-        )
-        .unwrap();
+        );
         db
-    }
-
-    fn syms(vs: &[&str]) -> Vec<Symbol> {
-        vs.iter().map(Symbol::new).collect()
     }
 
     /// Naive reference: materialize, sort by the order, compare every rank.
@@ -521,7 +538,7 @@ mod tests {
 
     #[test]
     fn example_4_4_all_realizable_orders_match_naive() {
-        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let cq = cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)");
         let db = example_4_4_db();
         // A portfolio of realizable orders over the {v,w,x}-{w,y}-{x,z}
         // tree, including reorderings inside the root bag and re-rooting.
@@ -538,7 +555,7 @@ mod tests {
 
     #[test]
     fn unrealizable_order_is_a_structured_error() {
-        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let cq = cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)");
         let db = example_4_4_db();
         // y first: {w,y} would root, but then v,... the order y,v,... puts
         // two non-adjacent variables before their shared neighbor w.
@@ -557,7 +574,7 @@ mod tests {
 
     #[test]
     fn range_count_matches_naive_filter() {
-        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let cq = cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)");
         let db = example_4_4_db();
         let order = syms(&["x", "w", "v", "z", "y"]);
         let idx = OrderedCqIndex::build(&cq, &db, &order).unwrap();
@@ -599,7 +616,7 @@ mod tests {
 
     #[test]
     fn range_windows_paginate_consistently() {
-        let cq = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)").unwrap();
+        let cq = cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)");
         let db = example_4_4_db();
         let idx = OrderedCqIndex::build(&cq, &db, &syms(&["v", "w", "x", "y", "z"])).unwrap();
         let all: Vec<Vec<Value>> = idx.enumerate().collect();
@@ -622,11 +639,9 @@ mod tests {
     #[test]
     fn cross_product_orders_interleave_components() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[3], &[1], &[2]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["b"], &[&[20], &[10]]))
-            .unwrap();
-        let cq = parse_cq("Q(x, y) :- R(x), S(y)").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[3], &[1], &[2]]));
+        add(&mut db, "S", rel_int(&["b"], &[&[20], &[10]]));
+        let cq = cq("Q(x, y) :- R(x), S(y)");
         check_order(&cq, &db, &["x", "y"]);
         check_order(&cq, &db, &["y", "x"]);
     }
@@ -635,12 +650,12 @@ mod tests {
     fn filter_heavy_query_with_reversed_order() {
         // Self-join plus constant: exercises instantiate + fold paths.
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "E",
             rel_int(&["a", "b"], &[&[1, 2], &[2, 3], &[3, 4], &[2, 4], &[4, 1]]),
-        )
-        .unwrap();
-        let cq = parse_cq("Q(x, y, z) :- E(x, y), E(y, z)").unwrap();
+        );
+        let cq = cq("Q(x, y, z) :- E(x, y), E(y, z)");
         for order in [
             &["x", "y", "z"],
             &["y", "x", "z"],
@@ -654,8 +669,8 @@ mod tests {
     #[test]
     fn boolean_query_has_trivial_order() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1]])).unwrap();
-        let cq = parse_cq("Q() :- R(x)").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1]]));
+        let cq = cq("Q() :- R(x)");
         let idx = OrderedCqIndex::build(&cq, &db, &[]).unwrap();
         assert_eq!(idx.count(), 1);
         assert_eq!(idx.ordered_access(0).unwrap(), Vec::<Value>::new());
@@ -665,8 +680,8 @@ mod tests {
     #[test]
     fn empty_result_set() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a", "b"], &[])).unwrap();
-        let cq = parse_cq("Q(x, y) :- R(x, y)").unwrap();
+        add(&mut db, "R", rel_int(&["a", "b"], &[]));
+        let cq = cq("Q(x, y) :- R(x, y)");
         let idx = OrderedCqIndex::build(&cq, &db, &syms(&["y", "x"])).unwrap();
         assert_eq!(idx.count(), 0);
         assert!(idx.ordered_access(0).is_none());
@@ -677,17 +692,17 @@ mod tests {
     #[test]
     fn projection_with_order_on_kept_vars() {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R",
             rel_int(&["a", "b"], &[&[1, 10], &[1, 11], &[2, 10], &[3, 12]]),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "S",
             rel_int(&["b", "c"], &[&[10, 0], &[11, 0], &[12, 1], &[13, 1]]),
-        )
-        .unwrap();
-        let cq = parse_cq("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        );
+        let cq = cq("Q(x, y) :- R(x, y), S(y, z)");
         check_order(&cq, &db, &["x", "y"]);
         check_order(&cq, &db, &["y", "x"]);
     }

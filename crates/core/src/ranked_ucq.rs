@@ -29,10 +29,19 @@
 //! costs O((|Qᵢ(D) ∩ Qⱼ(D)| + alternations) · log n) — it never enumerates
 //! the non-overlapping bulk of either member. Worst case (two members with
 //! a huge intersection) this is output-sensitive rather than linear in
-//! `|D|`; that is the honest price of generality — the mc-UCQ structure
-//! remains the guaranteed-near-linear-preprocessing option for
-//! shared-template unions, and the two agree answer-for-answer
-//! (`tests/ordered_access.rs`).
+//! `|D|`. That worst case is **cost-capped**: the walk counts its steps,
+//! and once they exceed the point where a plain linear merge of the two
+//! constant-delay member enumerations is cheaper (each leapfrog step costs
+//! O(log n) rank descents; the merge costs O(1) per answer), discovery
+//! restarts as that merge (`merge_matches`) — so per-pair preprocessing
+//! is `O(min((matches + alternations)·log n, nᵢ + nⱼ))`, never worse than
+//! linear in the member outputs. The mc-UCQ structure remains the
+//! guaranteed-near-linear option for shared-template unions, and the two
+//! agree answer-for-answer (`tests/ordered_access.rs`).
+
+// Sanctioned panics: each `expect` names a rank-structure invariant (members are built over
+// the same order, so windows and cursors stay in bounds); violation is a bug.
+#![allow(clippy::expect_used)]
 
 use crate::error::CoreError;
 use crate::ordered::{OrderedCqIndex, OrderedEnumeration};
@@ -41,6 +50,7 @@ use crate::scratch::AccessScratch;
 use crate::weight::Weight;
 use crate::Result;
 use rae_data::{Database, Symbol, Value};
+use rae_faults::{degrade, Budget};
 use rae_query::{QueryError, UnionQuery};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
@@ -110,12 +120,29 @@ impl RankedUcq {
     /// the tractable class or cannot realize the order, and with
     /// [`rae_query::QueryError::EmptyUnion`] on an empty union.
     pub fn build(ucq: &UnionQuery, db: &Database, order: &[Symbol]) -> Result<Self> {
+        Self::build_budgeted(ucq, db, order, &Budget::unlimited())
+    }
+
+    /// [`RankedUcq::build`] under a resource [`Budget`]: member builds check
+    /// it at their phase boundaries ([`OrderedCqIndex::build_budgeted`]) and
+    /// the pairwise duplicate discovery checks it per pair and per merge
+    /// chunk. The leapfrog cost cap is always on — a budget is only needed
+    /// to bound wall-clock/memory, not to close the output-sensitivity
+    /// worst case.
+    pub fn build_budgeted(
+        ucq: &UnionQuery,
+        db: &Database,
+        order: &[Symbol],
+        budget: &Budget<'_>,
+    ) -> Result<Self> {
         let members = ucq
             .disjuncts()
             .iter()
-            .map(|d| OrderedCqIndex::build(d, db, order))
+            .map(|d| {
+                OrderedCqIndex::build_budgeted(d, db, order, crate::BuildOptions::default(), budget)
+            })
             .collect::<Result<Vec<_>>>()?;
-        Self::from_members(members)
+        Self::from_members_budgeted(members, budget)
     }
 
     /// Builds the union rank structure over pre-built member indexes.
@@ -123,21 +150,33 @@ impl RankedUcq {
     /// Errors with [`CoreError::MismatchedOrders`] unless all members share
     /// one head layout and realized order.
     pub fn from_members(members: Vec<OrderedCqIndex>) -> Result<Self> {
-        if members.is_empty() {
-            return Err(CoreError::Query(QueryError::EmptyUnion));
-        }
-        let cmp_positions = ensure_shared_layout(members.iter())?;
-        let non_owned = discover_non_owned(&members);
-        let total = members
-            .iter()
-            .zip(&non_owned)
-            .map(|(m, d)| m.count() - d.len() as Weight)
-            .sum();
-        Ok(RankedUcq {
-            members,
-            non_owned,
-            cmp_positions,
-            total,
+        Self::from_members_budgeted(members, &Budget::unlimited())
+    }
+
+    /// [`RankedUcq::from_members`] under a resource [`Budget`].
+    pub fn from_members_budgeted(
+        members: Vec<OrderedCqIndex>,
+        budget: &Budget<'_>,
+    ) -> Result<Self> {
+        // Catch boundary for the duplicate-discovery phase (the member
+        // builds carry their own); a panic here surfaces as `BuildPanicked`.
+        crate::error::catch_build("RankedUcq::from_members", move || {
+            if members.is_empty() {
+                return Err(CoreError::Query(QueryError::EmptyUnion));
+            }
+            let cmp_positions = ensure_shared_layout(members.iter())?;
+            let non_owned = discover_non_owned(&members, &cmp_positions, budget)?;
+            let total = members
+                .iter()
+                .zip(&non_owned)
+                .map(|(m, d)| m.count() - d.len() as Weight)
+                .sum();
+            Ok(RankedUcq {
+                members,
+                non_owned,
+                cmp_positions,
+                total,
+            })
         })
     }
 
@@ -385,36 +424,74 @@ impl Iterator for RankedUnionWindow<'_> {
 
 /// Per member: sorted ranks of answers also contained in an earlier member
 /// (the non-owned positions). Member 0 owns everything it contains.
-fn discover_non_owned(members: &[OrderedCqIndex]) -> Vec<Vec<Weight>> {
+///
+/// Each pair is first walked by the cost-capped leapfrog; if the cap trips
+/// (or the `"ranked/leapfrog"` failpoint fires), the pair is redone by the
+/// linear [`merge_matches`], so a pair never costs more than
+/// `O(nᵢ + nⱼ)` regardless of the intersection shape. The `BTreeSet`
+/// absorbs any positions the aborted leapfrog already found — they are all
+/// genuine matches, so the merge simply completes the set.
+fn discover_non_owned(
+    members: &[OrderedCqIndex],
+    cmp_positions: &[usize],
+    budget: &Budget<'_>,
+) -> Result<Vec<Vec<Weight>>> {
     let mut scratch = AccessScratch::new();
     let mut out: Vec<Vec<Weight>> = Vec::with_capacity(members.len());
     out.push(Vec::new());
     for j in 1..members.len() {
         let mut dupes: BTreeSet<Weight> = BTreeSet::new();
         for i in 0..j {
-            leapfrog_matches(&members[i], &members[j], &mut dupes, &mut scratch);
+            budget.check("ranked/leapfrog")?;
+            let (a, b) = (&members[i], &members[j]);
+            let capped = rae_faults::eval_error("ranked/leapfrog")
+                || !leapfrog_matches(a, b, &mut dupes, &mut scratch, step_cap(a, b));
+            if capped {
+                degrade::record("ranked/leapfrog");
+                merge_matches(a, b, cmp_positions, &mut dupes, budget)?;
+            }
         }
         out.push(dupes.into_iter().collect());
     }
-    out
+    Ok(out)
+}
+
+/// Leapfrog step allowance for a member pair. Each leapfrog step performs
+/// O(log n) rank descents where a merge step costs O(1), so once the walk
+/// has taken more than ~an eighth of the merge's step count the merge is
+/// the cheaper algorithm; the constant floor keeps tiny members from
+/// degrading on noise.
+fn step_cap(a: &OrderedCqIndex, b: &OrderedCqIndex) -> u64 {
+    let n = (a.count() + b.count()) as u64;
+    n / 8 + 64
 }
 
 /// Inserts into `out` the positions in `b` of every answer shared with `a`,
 /// by a leapfrog walk: each side's cursor jumps over the other's gaps with
 /// one O(log n) rank descent, so runs of non-overlapping answers cost one
 /// step instead of one step per answer.
+///
+/// Returns `false` when the walk exceeds `cap` steps (adversarial overlap
+/// shapes make leapfrog output-sensitive); the caller then falls back to
+/// the linear [`merge_matches`]. Positions already inserted stay valid.
 fn leapfrog_matches(
     a: &OrderedCqIndex,
     b: &OrderedCqIndex,
     out: &mut BTreeSet<Weight>,
     scratch: &mut AccessScratch,
-) {
+    cap: u64,
+) -> bool {
     let (na, nb) = (a.count(), b.count());
     let (mut pa, mut pb) = (0 as Weight, 0 as Weight);
+    let mut steps = 0u64;
     while pa < na && pb < nb {
-        let ta = a
-            .ordered_access_into(pa, scratch)
-            .expect("pa < member count");
+        steps += 1;
+        if steps > cap {
+            return false;
+        }
+        let Some(ta) = a.ordered_access_into(pa, scratch) else {
+            unreachable!("pa < member count");
+        };
         let (lt_b, le_b) = b.tuple_bounds(ta);
         if le_b > lt_b {
             // ta ∈ b at position lt_b; continue after it on both sides.
@@ -427,55 +504,109 @@ fn leapfrog_matches(
             }
             // b's next candidate is its first answer above ta; jump a past
             // everything below it. tb > ta guarantees progress (lt_a > pa).
-            let tb = b
-                .ordered_access_into(lt_b, scratch)
-                .expect("lt_b < member count");
+            let Some(tb) = b.ordered_access_into(lt_b, scratch) else {
+                unreachable!("lt_b < member count");
+            };
             let (lt_a, _) = a.tuple_bounds(tb);
             pa = lt_a;
             pb = lt_b;
         }
     }
+    true
+}
+
+/// Linear fallback for [`leapfrog_matches`]: a dual-cursor merge over the
+/// two members' constant-delay ordered enumerations, inserting into `out`
+/// the `b`-positions of every shared answer. Exactly `O(na + nb)` steps —
+/// the graceful-degradation bound when leapfrog's output sensitivity makes
+/// it the slower algorithm. The budget is probed once per 1024 steps.
+fn merge_matches(
+    a: &OrderedCqIndex,
+    b: &OrderedCqIndex,
+    cmp_positions: &[usize],
+    out: &mut BTreeSet<Weight>,
+    budget: &Budget<'_>,
+) -> Result<()> {
+    let cmp_at = |x: &[Value], y: &[Value]| -> Ordering {
+        for &p in cmp_positions {
+            match x[p].cmp(&y[p]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    };
+    let mut ea = a.range(0..a.count());
+    let mut eb = b.range(0..b.count());
+    // The enumerations lend their cursor buffer, so each side keeps its own
+    // reusable copy of the current tuple.
+    let mut ta: Vec<Value> = Vec::new();
+    let mut tb: Vec<Value> = Vec::new();
+    let next_into = |e: &mut OrderedEnumeration<'_>, buf: &mut Vec<Value>| -> bool {
+        match e.next_ref() {
+            Some(t) => {
+                buf.clear();
+                buf.extend_from_slice(t);
+                true
+            }
+            None => false,
+        }
+    };
+    let mut have_a = next_into(&mut ea, &mut ta);
+    let mut have_b = next_into(&mut eb, &mut tb);
+    let mut pb: Weight = 0;
+    let mut steps = 0u64;
+    while have_a && have_b {
+        if steps.is_multiple_of(1024) {
+            budget.check("ranked/merge")?;
+        }
+        steps += 1;
+        match cmp_at(&ta, &tb) {
+            Ordering::Less => {
+                have_a = next_into(&mut ea, &mut ta);
+            }
+            Ordering::Greater => {
+                have_b = next_into(&mut eb, &mut tb);
+                pb += 1;
+            }
+            Ordering::Equal => {
+                out.insert(pb);
+                have_a = next_into(&mut ea, &mut ta);
+                have_b = next_into(&mut eb, &mut tb);
+                pb += 1;
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::*;
     use rae_data::{Relation, Schema};
-    use rae_query::naive_eval_union;
-    use rae_query::parser::parse_ucq;
-
-    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()).unwrap(),
-            rows.iter()
-                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
-        )
-        .unwrap()
-    }
 
     /// A mixed-template union: Q1 reduces to the single bag {x,y}, Q2 to
     /// the cross-product forest {x}, {y} — no shared template, so the
     /// mc-UCQ structure refuses it while RankedUcq serves it.
     fn mixed_db() -> Database {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R",
             rel_int(&["a", "b"], &[&[1, 1], &[1, 2], &[2, 1], &[3, 3]]),
-        )
-        .unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[1], &[2]]))
-            .unwrap();
-        db.add_relation("T", rel_int(&["a"], &[&[1], &[3]]))
-            .unwrap();
+        );
+        add(&mut db, "S", rel_int(&["a"], &[&[1], &[2]]));
+        add(&mut db, "T", rel_int(&["a"], &[&[1], &[3]]));
         db
     }
 
     fn mixed_union() -> UnionQuery {
-        parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x), T(y).").unwrap()
+        ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x), T(y).")
     }
 
     fn sorted_union(u: &UnionQuery, db: &Database, order: &[&str]) -> Vec<Vec<Value>> {
-        let expected = naive_eval_union(u, db).unwrap();
+        let expected = naive_union(u, db);
         let head = u.head().to_vec();
         let positions: Vec<usize> = order
             .iter()
@@ -574,11 +705,9 @@ mod tests {
     #[test]
     fn identical_members_count_once() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1], &[2], &[3]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[1], &[2], &[3]]))
-            .unwrap();
-        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1], &[2], &[3]]));
+        add(&mut db, "S", rel_int(&["a"], &[&[1], &[2], &[3]]));
+        let u = ucq("Q1(x) :- R(x). Q2(x) :- S(x).");
         check_ranked(&u, &db, &["x"]);
         let syms = [Symbol::new("x")];
         let ranked = RankedUcq::build(&u, &db, &syms).unwrap();
@@ -588,10 +717,12 @@ mod tests {
     #[test]
     fn three_member_mixed_union() {
         let mut db = mixed_db();
-        db.add_relation("U", rel_int(&["a", "b"], &[&[1, 2], &[9, 9], &[2, 1]]))
-            .unwrap();
-        let u =
-            parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x), T(y). Q3(x, y) :- U(x, y).").unwrap();
+        add(
+            &mut db,
+            "U",
+            rel_int(&["a", "b"], &[&[1, 2], &[9, 9], &[2, 1]]),
+        );
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x), T(y). Q3(x, y) :- U(x, y).");
         check_ranked(&u, &db, &["x", "y"]);
         check_ranked(&u, &db, &["y", "x"]);
     }
@@ -603,9 +734,9 @@ mod tests {
             Err(CoreError::Query(QueryError::EmptyUnion))
         ));
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[])).unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[7]])).unwrap();
-        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[]));
+        add(&mut db, "S", rel_int(&["a"], &[&[7]]));
+        let u = ucq("Q1(x) :- R(x). Q2(x) :- S(x).");
         let syms = [Symbol::new("x")];
         let ranked = RankedUcq::build(&u, &db, &syms).unwrap();
         assert_eq!(ranked.count(), 1);
@@ -616,7 +747,7 @@ mod tests {
     #[test]
     fn mismatched_member_layouts_are_rejected() {
         let db = mixed_db();
-        let q_xy: rae_query::ConjunctiveQuery = "Q(x, y) :- R(x, y)".parse().unwrap();
+        let q_xy = cq("Q(x, y) :- R(x, y)");
         let xy: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
         let yx: Vec<Symbol> = ["y", "x"].iter().map(Symbol::new).collect();
         let a = OrderedCqIndex::build(&q_xy, &db, &xy).unwrap();
@@ -638,5 +769,81 @@ mod tests {
             ranked.ordered_inverted_access(&[Value::Int(777), Value::Int(0)]),
             None
         );
+    }
+
+    /// The linear merge fallback must find exactly the duplicate positions
+    /// the leapfrog walk finds — including when the leapfrog is aborted
+    /// mid-way by a tiny step cap and the merge completes a partial set.
+    #[test]
+    fn merge_fallback_agrees_with_leapfrog() {
+        let mut db = Database::new();
+        // Heavy overlap (the leapfrog's worst case): R and S share most rows.
+        let shared: Vec<Vec<i64>> = (0..200).map(|i| vec![i, i % 7]).collect();
+        let mut r_rows = shared.clone();
+        r_rows.push(vec![500, 0]);
+        let mut s_rows = shared;
+        s_rows.extend([vec![600, 1], vec![601, 2]]);
+        let to_rel = |rows: &[Vec<i64>]| {
+            Relation::from_rows(
+                Schema::new(["a", "b"]).unwrap(),
+                rows.iter()
+                    .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+            )
+            .unwrap()
+        };
+        add(&mut db, "R", to_rel(&r_rows));
+        add(&mut db, "S", to_rel(&s_rows));
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).");
+        let syms: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        let members: Vec<OrderedCqIndex> = u
+            .disjuncts()
+            .iter()
+            .map(|d| OrderedCqIndex::build(d, &db, &syms).unwrap())
+            .collect();
+        let cmp_positions = ensure_shared_layout(members.iter()).unwrap();
+        let (a, b) = (&members[0], &members[1]);
+        let mut scratch = AccessScratch::new();
+
+        let mut by_leapfrog = BTreeSet::new();
+        assert!(leapfrog_matches(
+            a,
+            b,
+            &mut by_leapfrog,
+            &mut scratch,
+            u64::MAX
+        ));
+
+        let mut by_merge = BTreeSet::new();
+        merge_matches(a, b, &cmp_positions, &mut by_merge, &Budget::unlimited()).unwrap();
+        assert_eq!(by_leapfrog, by_merge);
+        assert_eq!(by_merge.len(), 200);
+
+        // Abort the leapfrog after 3 steps, then let the merge complete the
+        // partial set — the end state must be identical.
+        let mut completed = BTreeSet::new();
+        assert!(!leapfrog_matches(a, b, &mut completed, &mut scratch, 3));
+        merge_matches(a, b, &cmp_positions, &mut completed, &Budget::unlimited()).unwrap();
+        assert_eq!(completed, by_merge);
+
+        // And the capped full build still answers correctly end to end.
+        check_ranked(&u, &db, &["x", "y"]);
+    }
+
+    /// A cancelled budget surfaces as a structured `BudgetExceeded` from the
+    /// budgeted build, not a panic or a wrong answer.
+    #[test]
+    fn cancelled_budget_stops_ranked_build() {
+        use std::sync::atomic::AtomicBool;
+        let db = mixed_db();
+        let u = mixed_union();
+        let syms: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
+        let cancel = AtomicBool::new(true);
+        let budget = Budget::unlimited().with_cancel(&cancel);
+        match RankedUcq::build_budgeted(&u, &db, &syms, &budget) {
+            Err(CoreError::BudgetExceeded(b)) => {
+                assert!(rae_faults::Transient::is_transient(&b));
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
     }
 }

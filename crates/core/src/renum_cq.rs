@@ -4,6 +4,9 @@
 //! (Algorithm 3): linear preprocessing, O(log n) delay, provably uniform
 //! permutation of the answers.
 
+// Sanctioned panics: the shuffle only draws indices below `count`, so access cannot miss.
+#![allow(clippy::expect_used)]
+
 use crate::index::CqIndex;
 use crate::scratch::AccessScratch;
 use crate::shuffle::LazyShuffle;
@@ -67,34 +70,35 @@ impl<R: Rng> Iterator for CqShuffle<'_, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::*;
     use rae_data::{Database, Relation, Schema};
-    use rae_query::parser::parse_cq;
+
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::collections::BTreeMap;
 
     fn small_index() -> (CqIndex, Database) {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R",
             Relation::from_rows(
                 Schema::new(["a", "b"]).unwrap(),
                 (0..4i64).map(|i| vec![Value::Int(i), Value::Int(i % 2)]),
             )
             .unwrap(),
-        )
-        .unwrap();
-        db.add_relation(
+        );
+        add(
+            &mut db,
             "S",
             Relation::from_rows(
                 Schema::new(["b", "c"]).unwrap(),
                 (0..3i64).map(|i| vec![Value::Int(i % 2), Value::Int(i * 10)]),
             )
             .unwrap(),
-        )
-        .unwrap();
-        let cq = parse_cq("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
-        let idx = CqIndex::build(&cq, &db).unwrap();
+        );
+        let cq = cq("Q(x, y, z) :- R(x, y), S(y, z)");
+        let idx = built(&cq, &db);
         (idx, db)
     }
 
@@ -146,13 +150,13 @@ mod tests {
     #[test]
     fn empty_index_yields_nothing() {
         let mut db = Database::new();
-        db.add_relation(
+        add(
+            &mut db,
             "R",
             Relation::from_rows(Schema::new(["a", "b"]).unwrap(), Vec::new()).unwrap(),
-        )
-        .unwrap();
-        let cq = parse_cq("Q(x, y) :- R(x, y)").unwrap();
-        let idx = CqIndex::build(&cq, &db).unwrap();
+        );
+        let cq = cq("Q(x, y) :- R(x, y)");
+        let idx = built(&cq, &db);
         let mut shuffle = idx.random_permutation(StdRng::seed_from_u64(0));
         assert!(shuffle.next().is_none());
     }

@@ -10,6 +10,10 @@
 //! gives the amortized-constant and expected-constant iteration bounds of
 //! Lemma 5.2.
 
+// Sanctioned panics: each `expect` names an Algorithm 5 invariant (provenance indexes point
+// at live members); violation is a bug, not a recoverable state.
+#![allow(clippy::expect_used)]
+
 use crate::delset::DeletableSet;
 use crate::error::CoreError;
 use crate::index::CqIndex;
@@ -423,39 +427,27 @@ impl Iterator for OrderedUnionEnumeration<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rae_data::{Relation, Schema};
-    use rae_query::naive_eval_union;
-    use rae_query::parser::parse_ucq;
+    use crate::testutil::*;
+
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::collections::BTreeMap;
 
-    fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()).unwrap(),
-            rows.iter()
-                .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
-        )
-        .unwrap()
-    }
-
     fn overlapping_db() -> Database {
-        let mut db = Database::new();
-        db.add_relation(
-            "R",
-            rel_int(&["a", "b"], &[&[1, 1], &[1, 2], &[2, 1], &[3, 3]]),
-        )
-        .unwrap();
-        db.add_relation(
-            "S",
-            rel_int(&["a", "b"], &[&[1, 1], &[2, 1], &[4, 4], &[5, 1]]),
-        )
-        .unwrap();
-        db
+        db_of([
+            (
+                "R",
+                rel_int(&["a", "b"], &[&[1, 1], &[1, 2], &[2, 1], &[3, 3]]),
+            ),
+            (
+                "S",
+                rel_int(&["a", "b"], &[&[1, 1], &[2, 1], &[4, 4], &[5, 1]]),
+            ),
+        ])
     }
 
     fn union() -> UnionQuery {
-        parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).").unwrap()
+        ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).")
     }
 
     #[test]
@@ -464,7 +456,7 @@ mod tests {
         let u = union();
         let shuffle = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(3)).unwrap();
         let mut got: Vec<Vec<Value>> = shuffle.collect();
-        let expected = naive_eval_union(&u, &db).unwrap();
+        let expected = naive_union(&u, &db);
         assert_eq!(got.len(), expected.len());
         got.sort();
         got.dedup();
@@ -493,11 +485,9 @@ mod tests {
     #[test]
     fn disjoint_union_never_rejects() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1], &[2]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[3], &[4]]))
-            .unwrap();
-        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1], &[2]]));
+        add(&mut db, "S", rel_int(&["a"], &[&[3], &[4]]));
+        let u = ucq("Q1(x) :- R(x). Q2(x) :- S(x).");
         let mut shuffle = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(0)).unwrap();
         while shuffle.next_event().is_some() {}
         assert_eq!(shuffle.rejections(), 0);
@@ -507,11 +497,9 @@ mod tests {
     #[test]
     fn identical_members_emit_once() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1], &[2], &[3]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[1], &[2], &[3]]))
-            .unwrap();
-        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1], &[2], &[3]]));
+        add(&mut db, "S", rel_int(&["a"], &[&[1], &[2], &[3]]));
+        let u = ucq("Q1(x) :- R(x). Q2(x) :- S(x).");
         let got: Vec<Vec<Value>> = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(5))
             .unwrap()
             .collect();
@@ -523,11 +511,9 @@ mod tests {
         // Q1 ∪ Q2 with 2+2 disjoint answers; the first emitted answer must be
         // uniform over all 4.
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1], &[2]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[3], &[4]]))
-            .unwrap();
-        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1], &[2]]));
+        add(&mut db, "S", rel_int(&["a"], &[&[3], &[4]]));
+        let u = ucq("Q1(x) :- R(x). Q2(x) :- S(x).");
         let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
         let mut seed_rng = StdRng::seed_from_u64(1234);
         let trials = 4000usize;
@@ -551,11 +537,9 @@ mod tests {
         // would emit (1) first about half the time; the correct algorithm
         // emits each answer first with probability 1/3.
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[&[1], &[2]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["a"], &[&[1], &[3]]))
-            .unwrap();
-        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[&[1], &[2]]));
+        add(&mut db, "S", rel_int(&["a"], &[&[1], &[3]]));
+        let u = ucq("Q1(x) :- R(x). Q2(x) :- S(x).");
         let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
         let mut seed_rng = StdRng::seed_from_u64(77);
         let trials = 6000usize;
@@ -578,15 +562,15 @@ mod tests {
     #[test]
     fn three_way_union_matches_naive() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a", "b"], &[&[1, 1], &[2, 2]]))
-            .unwrap();
-        db.add_relation("S", rel_int(&["a", "b"], &[&[2, 2], &[3, 3]]))
-            .unwrap();
-        db.add_relation("T", rel_int(&["a", "b"], &[&[3, 3], &[1, 1], &[4, 4]]))
-            .unwrap();
-        let u =
-            parse_ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y). Q3(x, y) :- T(x, y).").unwrap();
-        let expected = naive_eval_union(&u, &db).unwrap();
+        add(&mut db, "R", rel_int(&["a", "b"], &[&[1, 1], &[2, 2]]));
+        add(&mut db, "S", rel_int(&["a", "b"], &[&[2, 2], &[3, 3]]));
+        add(
+            &mut db,
+            "T",
+            rel_int(&["a", "b"], &[&[3, 3], &[1, 1], &[4, 4]]),
+        );
+        let u = ucq("Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y). Q3(x, y) :- T(x, y).");
+        let expected = naive_union(&u, &db);
         let mut got: Vec<Vec<Value>> = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(2))
             .unwrap()
             .collect();
@@ -599,7 +583,7 @@ mod tests {
     fn ablation_disabling_deletion_stays_correct_but_rejects_more() {
         let db = overlapping_db();
         let u = union();
-        let expected = naive_eval_union(&u, &db).unwrap();
+        let expected = naive_union(&u, &db);
 
         let mut with_del = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(3)).unwrap();
         let mut without_del = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(3))
@@ -622,7 +606,7 @@ mod tests {
     }
 
     fn sorted_union(u: &UnionQuery, db: &Database, order: &[&str]) -> Vec<Vec<Value>> {
-        let expected = naive_eval_union(u, db).unwrap();
+        let expected = naive_union(u, db);
         let head = u.head().to_vec();
         let positions: Vec<usize> = order
             .iter()
@@ -688,7 +672,7 @@ mod tests {
             prev = Some(ans.to_vec());
             seen += 1;
         }
-        assert_eq!(seen, naive_eval_union(&u, &db).unwrap().len());
+        assert_eq!(seen, naive_union(&u, &db).len());
     }
 
     #[test]
@@ -710,8 +694,8 @@ mod tests {
         // Same variable order, permuted heads: the merge compares tuples
         // positionally, so this must be refused, not silently mixed.
         let db = overlapping_db();
-        let q_xy: rae_query::ConjunctiveQuery = "Q(x, y) :- R(x, y)".parse().unwrap();
-        let q_yx: rae_query::ConjunctiveQuery = "Q(y, x) :- S(x, y)".parse().unwrap();
+        let q_xy = cq("Q(x, y) :- R(x, y)");
+        let q_yx = cq("Q(y, x) :- S(x, y)");
         let order: Vec<Symbol> = ["x", "y"].iter().map(Symbol::new).collect();
         let a = OrderedCqIndex::build(&q_xy, &db, &order).unwrap();
         let b = OrderedCqIndex::build(&q_yx, &db, &order).unwrap();
@@ -726,9 +710,9 @@ mod tests {
     #[test]
     fn empty_union_enumerates_nothing() {
         let mut db = Database::new();
-        db.add_relation("R", rel_int(&["a"], &[])).unwrap();
-        db.add_relation("S", rel_int(&["a"], &[])).unwrap();
-        let u = parse_ucq("Q1(x) :- R(x). Q2(x) :- S(x).").unwrap();
+        add(&mut db, "R", rel_int(&["a"], &[]));
+        add(&mut db, "S", rel_int(&["a"], &[]));
+        let u = ucq("Q1(x) :- R(x). Q2(x) :- S(x).");
         let mut s = UcqShuffle::build(&u, &db, StdRng::seed_from_u64(0)).unwrap();
         assert!(s.next_event().is_none());
     }

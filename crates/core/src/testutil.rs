@@ -1,0 +1,81 @@
+//! Shared test fixtures: the parse/build/ingest chains every test module
+//! otherwise repeats inline. Panics on malformed fixtures — test input is
+//! trusted, and a loud failure beats threading `Result` through fixtures.
+
+use rae_data::{Database, Relation, Schema, Symbol, Value};
+use rae_query::{ConjunctiveQuery, UnionQuery};
+
+use crate::{CqIndex, Weight};
+
+/// Parses a conjunctive query fixture.
+pub(crate) fn cq(text: &str) -> ConjunctiveQuery {
+    rae_query::parser::parse_cq(text).expect("test CQ parses")
+}
+
+/// Parses a union-of-CQs fixture.
+pub(crate) fn ucq(text: &str) -> UnionQuery {
+    rae_query::parser::parse_ucq(text).expect("test UCQ parses")
+}
+
+/// Interns the given variable names.
+pub(crate) fn syms(vs: &[&str]) -> Vec<Symbol> {
+    vs.iter().map(Symbol::new).collect()
+}
+
+/// Builds a relation from explicit rows of already-constructed values.
+pub(crate) fn rel(attrs: &[&str], rows: impl IntoIterator<Item = Vec<Value>>) -> Relation {
+    let schema = Schema::new(attrs.iter().copied()).expect("test schema is well formed");
+    Relation::from_rows(schema, rows).expect("test rows match the schema")
+}
+
+/// Builds a relation of string constants.
+pub(crate) fn rel_str(attrs: &[&str], rows: &[&[&str]]) -> Relation {
+    rel(
+        attrs,
+        rows.iter()
+            .map(|r| r.iter().map(|&v| Value::str(v)).collect()),
+    )
+}
+
+/// Builds a relation of integer constants.
+pub(crate) fn rel_int(attrs: &[&str], rows: &[&[i64]]) -> Relation {
+    rel(
+        attrs,
+        rows.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect()),
+    )
+}
+
+/// Assembles a database from named relations.
+pub(crate) fn db_of(rels: impl IntoIterator<Item = (&'static str, Relation)>) -> Database {
+    let mut db = Database::new();
+    for (name, r) in rels {
+        db.add_relation(name, r).expect("test relation ingests");
+    }
+    db
+}
+
+/// Adds one more relation to an existing test database.
+pub(crate) fn add(db: &mut Database, name: &str, r: Relation) {
+    db.add_relation(name, r).expect("test relation ingests");
+}
+
+/// Builds the random-access index for a query fixture.
+pub(crate) fn built(q: &ConjunctiveQuery, db: &Database) -> CqIndex {
+    CqIndex::build(q, db).expect("test index builds")
+}
+
+/// In-bounds `access(j)`.
+pub(crate) fn at(idx: &CqIndex, j: Weight) -> Vec<Value> {
+    idx.access(j).expect("test access position is in bounds")
+}
+
+/// Fault-free reference answers for a CQ fixture.
+pub(crate) fn naive(q: &ConjunctiveQuery, db: &Database) -> Relation {
+    rae_query::naive_eval(q, db).expect("naive evaluation of a test fixture succeeds")
+}
+
+/// Fault-free reference answers for a UCQ fixture.
+pub(crate) fn naive_union(u: &UnionQuery, db: &Database) -> Relation {
+    rae_query::naive_eval_union(u, db).expect("naive evaluation of a test fixture succeeds")
+}

@@ -61,9 +61,10 @@
 use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::value::Value;
 use crate::DataError;
+use rae_faults::fail_point;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Codes are dense `u32`s; `u32::MAX` is reserved as a sentinel for hash-map
 /// internals.
@@ -97,6 +98,21 @@ struct Shard {
 fn shards() -> &'static [RwLock<Shard>; SHARD_COUNT] {
     static SHARDS: OnceLock<[RwLock<Shard>; SHARD_COUNT]> = OnceLock::new();
     SHARDS.get_or_init(|| std::array::from_fn(|_| RwLock::new(Shard::default())))
+}
+
+/// Shard read access, recovering from lock poisoning. A writer that panicked
+/// mid-`intern_at` can at worst have popped a free slot it never inserted
+/// (a leaked slot, not a wrong mapping): every map entry it did write is a
+/// complete `value → local` pair, so the shard state a poisoned guard
+/// exposes is always safe to read. Recovering here keeps one panicking
+/// writer from permanently wedging every subsequent intern.
+fn read_shard(lock: &RwLock<Shard>) -> RwLockReadGuard<'_, Shard> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Shard write access, recovering from lock poisoning (see [`read_shard`]).
+fn write_shard(lock: &RwLock<Shard>) -> RwLockWriteGuard<'_, Shard> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 static GENERATION: AtomicU64 = AtomicU64::new(0);
@@ -142,14 +158,19 @@ pub fn intern(value: &Value) -> Result<ValueCode, DataError> {
 /// [`intern`] with the shard already resolved (callers that partition by
 /// shard — [`intern_all`] — hash each value for shard selection only once).
 fn intern_at(s: usize, value: &Value) -> Result<ValueCode, DataError> {
+    fail_point!("dict/intern", |site| Err(DataError::FaultInjected { site }));
     let shard = &shards()[s];
     {
-        let guard = shard.read().expect("value dictionary poisoned");
+        let guard = read_shard(shard);
         if let Some(&local) = guard.map.get(value) {
             return compose_code(s, local);
         }
     }
-    let mut guard = shard.write().expect("value dictionary poisoned");
+    let mut guard = write_shard(shard);
+    // Panic-kind faults here fire while the write guard is held, poisoning
+    // the shard lock before any mutation — exactly the scenario the
+    // recovering guards above exist for.
+    fail_point!("dict/shard_write");
     if let Some(&local) = guard.map.get(value) {
         return compose_code(s, local);
     }
@@ -174,7 +195,7 @@ fn intern_at(s: usize, value: &Value) -> Result<ValueCode, DataError> {
 /// answer-membership probes that is a definitive "not an answer".
 pub fn code_of(value: &Value) -> Option<ValueCode> {
     let s = shard_of(value);
-    let guard = shards()[s].read().expect("value dictionary poisoned");
+    let guard = read_shard(&shards()[s]);
     guard
         .map
         .get(value)
@@ -205,9 +226,7 @@ pub fn codes_of(values: &[Value], out: &mut Vec<ValueCode>) -> bool {
         if !slots.contains(&s) {
             continue;
         }
-        let guard = shards()[s as usize]
-            .read()
-            .expect("value dictionary poisoned");
+        let guard = read_shard(&shards()[s as usize]);
         for (slot, value) in slots.iter_mut().zip(values) {
             if *slot == s {
                 match guard.map.get(value) {
@@ -258,10 +277,29 @@ pub fn intern_all(values: &[Value], threads: usize) -> Result<(), DataError> {
                 Ok(())
             }));
         }
+        // Join every handle before reporting (an early return would make
+        // `scope` re-throw the panic of any still-unjoined worker), and
+        // surface a worker panic as a structured, retryable error: interning
+        // is additive, so whatever the workers did complete is valid state.
+        let mut result = Ok(());
         for h in handles {
-            h.join().expect("interning worker panicked")?;
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+                Err(_) => {
+                    if result.is_ok() {
+                        result = Err(DataError::WorkerPanicked {
+                            context: "dict/intern_all",
+                        });
+                    }
+                }
+            }
         }
-        Ok(())
+        result
     })
 }
 
@@ -277,10 +315,10 @@ pub fn intern_all(values: &[Value], threads: usize) -> Result<(), DataError> {
 /// All shard write locks are held for the duration, so the sweep is atomic
 /// with respect to concurrent interns and probes.
 pub fn advance_generation<'a>(live: impl IntoIterator<Item = &'a Value>) -> Generation {
-    let mut guards: Vec<_> = shards()
-        .iter()
-        .map(|s| s.write().expect("value dictionary poisoned"))
-        .collect();
+    // Panic-kind faults fire before any guard is taken or state touched, so
+    // an aborted sweep leaves dictionary and generation exactly as they were.
+    fail_point!("dict/sweep");
+    let mut guards: Vec<_> = shards().iter().map(write_shard).collect();
     let mut live_locals: Vec<FxHashSet<u32>> =
         (0..SHARD_COUNT).map(|_| FxHashSet::default()).collect();
     for value in live {
@@ -289,6 +327,14 @@ pub fn advance_generation<'a>(live: impl IntoIterator<Item = &'a Value>) -> Gene
             live_locals[s].insert(local);
         }
     }
+    // Bump the generation *before* freeing any slot. If the sweep below
+    // panics mid-way, the recycled-slot invariant still holds: every freed
+    // slot belongs to an older generation than any relation stamp a caller
+    // can hold (stamping happens after this function returns), so a partial
+    // sweep can only leak slots, never let two values share a live code
+    // within one generation. The counter itself advances exactly once —
+    // never half-way.
+    let next = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
     for (guard, live) in guards.iter_mut().zip(&live_locals) {
         let Shard { map, free, .. } = &mut **guard;
         map.retain(|_, local| {
@@ -300,15 +346,12 @@ pub fn advance_generation<'a>(live: impl IntoIterator<Item = &'a Value>) -> Gene
             }
         });
     }
-    GENERATION.fetch_add(1, Ordering::AcqRel) + 1
+    next
 }
 
 /// Number of distinct values interned in the current generation.
 pub fn interned_count() -> usize {
-    shards()
-        .iter()
-        .map(|s| s.read().expect("value dictionary poisoned").map.len())
-        .sum()
+    shards().iter().map(|s| read_shard(s).map.len()).sum()
 }
 
 /// High-water slot count: codes ever minted fresh (recycled slots are not
@@ -317,16 +360,13 @@ pub fn interned_count() -> usize {
 pub fn allocated_slot_count() -> usize {
     shards()
         .iter()
-        .map(|s| s.read().expect("value dictionary poisoned").next_local as usize)
+        .map(|s| read_shard(s).next_local as usize)
         .sum()
 }
 
 /// Number of reclaimed codes currently awaiting reuse.
 pub fn free_slot_count() -> usize {
-    shards()
-        .iter()
-        .map(|s| s.read().expect("value dictionary poisoned").free.len())
-        .sum()
+    shards().iter().map(|s| read_shard(s).free.len()).sum()
 }
 
 #[cfg(test)]

@@ -49,6 +49,38 @@ pub enum DataError {
         /// Generation of the right operand.
         right: u64,
     },
+    /// A deterministic fault fired at the named failpoint (only reachable
+    /// under the `failpoints` feature of `rae-faults`). Always transient:
+    /// the chaos harness retries these.
+    FaultInjected {
+        /// The failpoint site, e.g. `"dict/intern"`.
+        site: &'static str,
+    },
+    /// A worker thread panicked during a parallel data-layer operation.
+    /// The operation's partial effects are additive-only (e.g. some values
+    /// of a batch interned), so retrying is safe.
+    WorkerPanicked {
+        /// The operation, e.g. `"dict/intern_all"`.
+        context: &'static str,
+    },
+}
+
+impl rae_faults::Transient for DataError {
+    fn is_transient(&self) -> bool {
+        match self {
+            // A sweep raced the operation; rehydrate and retry.
+            DataError::StaleGeneration { .. } | DataError::GenerationMismatch { .. } => true,
+            // Injected chaos and worker panics: the retry path is the test.
+            DataError::FaultInjected { .. } | DataError::WorkerPanicked { .. } => true,
+            // Schema/shape errors and slot exhaustion recur on retry.
+            DataError::ArityMismatch { .. }
+            | DataError::DuplicateAttribute(_)
+            | DataError::UnknownRelation(_)
+            | DataError::UnknownAttribute { .. }
+            | DataError::DuplicateRelation(_)
+            | DataError::DictionaryFull => false,
+        }
+    }
 }
 
 impl fmt::Display for DataError {
@@ -95,6 +127,12 @@ impl fmt::Display for DataError {
                 "cannot combine relations from dictionary generations {left} and {right}; \
                  their codes are incomparable"
             ),
+            DataError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
+            DataError::WorkerPanicked { context } => {
+                write!(f, "worker thread panicked during {context}")
+            }
         }
     }
 }

@@ -9,6 +9,9 @@
 //! short tuples of integers/symbols produced by a trusted generator, so
 //! HashDoS resistance is not required.
 
+// Sanctioned panics: `chunks_exact(8)` guarantees every chunk converts to `[u8; 8]`.
+#![allow(clippy::expect_used)]
+
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiplicative constant from the original Fx hash (64-bit variant).

@@ -1,5 +1,8 @@
 //! Hash indexes over relation columns.
 
+// Sanctioned panics: row counts are bounded by the `u32` code space by construction.
+#![allow(clippy::expect_used)]
+
 use crate::fxhash::FxHashMap;
 use crate::relation::{key_of, Relation, RowKey};
 use crate::value::Value;

@@ -1,4 +1,9 @@
 #![deny(missing_docs)]
+// Panicking extractors are banned in library code. The few sanctioned
+// `expect`s document structural invariants (see the per-module allows);
+// everything else must surface a structured `DataError`.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # rae-data
 //!

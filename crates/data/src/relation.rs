@@ -200,6 +200,9 @@ impl Relation {
     /// re-interning every value. After a sweep this is how a stale relation
     /// (one whose values were not in the live set) becomes usable again.
     pub fn rehydrate(&mut self) -> Result<()> {
+        rae_faults::fail_point!("relation/rehydrate", |site| Err(DataError::FaultInjected {
+            site
+        }));
         // Record the generation before interning: if a sweep lands mid-way,
         // the stamp stays behind the new generation and the relation reads
         // as stale rather than silently mixed.
@@ -418,11 +421,19 @@ impl Relation {
 
     #[inline]
     fn use_radix(&self, algo: SortAlgorithm) -> bool {
-        match algo {
+        let radix = match algo {
             SortAlgorithm::Auto => self.len() >= RADIX_MIN_ROWS,
             SortAlgorithm::Radix => true,
             SortAlgorithm::Comparison => false,
+        };
+        // Graceful degradation: when scratch growth is denied (injected
+        // fault standing in for allocation pressure), fall back to the
+        // comparison sort — same byte-identical order, no scratch buffers.
+        if radix && rae_faults::eval_error("sort/scratch") {
+            rae_faults::degrade::record("sort/scratch");
+            return false;
         }
+        radix
     }
 
     /// Removes adjacent duplicate rows (callers guarantee rows are sorted, so

@@ -1,5 +1,8 @@
 //! The value domain: 64-bit integers and reference-counted strings.
 
+// Sanctioned panics: row counts are bounded far below `i64::MAX` by the `u32` code space.
+#![allow(clippy::expect_used)]
+
 use crate::symbol::Symbol;
 use std::fmt;
 

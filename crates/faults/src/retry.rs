@@ -1,0 +1,155 @@
+//! Transient-error classification and bounded-backoff retry.
+
+use std::time::Duration;
+
+/// Classifies an error as transient (retrying the same operation can
+/// succeed — injected faults, stale generations, deadline pressure) or
+/// permanent (schema errors, capacity exhaustion; retrying is futile).
+///
+/// Every error type in the workspace taxonomy implements this, so callers
+/// can drive one generic retry loop ([`with_backoff`]) across the whole
+/// stack — the canonical use is the stale-generation → rehydrate → rebuild
+/// cycle of churn workloads.
+pub trait Transient {
+    /// True when retrying the failed operation can succeed.
+    fn is_transient(&self) -> bool;
+}
+
+impl Transient for crate::BudgetExceeded {
+    fn is_transient(&self) -> bool {
+        // Deadline and cancellation are circumstances of the *attempt*;
+        // a retry under a fresh budget can succeed. A memory breach is a
+        // property of the input size and will recur.
+        !matches!(self.breach, crate::Breach::Memory { .. })
+    }
+}
+
+/// Retry schedule: bounded attempts with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Runs `op` until it succeeds, it fails permanently, or `policy` attempts
+/// are exhausted; sleeps with exponential backoff between transient
+/// failures. `op` receives the 0-based attempt number (so a retry can
+/// rehydrate/rebuild before trying again).
+pub fn with_backoff<T, E, F>(policy: &RetryPolicy, mut op: F) -> Result<T, E>
+where
+    E: Transient,
+    F: FnMut(u32) -> Result<T, E>,
+{
+    let attempts = policy.max_attempts.max(1);
+    let mut delay = policy.base_delay;
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= attempts || !e.is_transient() {
+                    return Err(e);
+                }
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(policy.max_delay);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Err2 {
+        transient: bool,
+    }
+    impl Transient for Err2 {
+        fn is_transient(&self) -> bool {
+            self.transient
+        }
+    }
+
+    fn fast() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let mut calls = 0;
+        let out = with_backoff(&fast(), |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(Err2 { transient: true })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out, Ok(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let mut calls = 0;
+        let out: Result<(), _> = with_backoff(&fast(), |_| {
+            calls += 1;
+            Err(Err2 { transient: false })
+        });
+        assert_eq!(out, Err(Err2 { transient: false }));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut calls = 0;
+        let out: Result<(), _> = with_backoff(&fast(), |_| {
+            calls += 1;
+            Err(Err2 { transient: true })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn budget_breaches_classify() {
+        use crate::{Breach, BudgetExceeded};
+        assert!(BudgetExceeded {
+            phase: "p",
+            breach: Breach::Deadline
+        }
+        .is_transient());
+        assert!(BudgetExceeded {
+            phase: "p",
+            breach: Breach::Cancelled
+        }
+        .is_transient());
+        assert!(!BudgetExceeded {
+            phase: "p",
+            breach: Breach::Memory { spent: 2, limit: 1 }
+        }
+        .is_transient());
+    }
+}

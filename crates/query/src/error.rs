@@ -138,6 +138,19 @@ impl From<DataError> for QueryError {
     }
 }
 
+impl rae_faults::Transient for QueryError {
+    fn is_transient(&self) -> bool {
+        match self {
+            // Data-layer failures carry their own classification (stale
+            // generations and injected faults are retryable).
+            QueryError::Data(e) => e.is_transient(),
+            // Everything else is structural: the query text or shape is
+            // wrong and will stay wrong on retry.
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

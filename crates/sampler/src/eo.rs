@@ -79,6 +79,9 @@ impl JoinSampler for EoSampler<'_> {
         rng: &mut R,
         scratch: &'s mut AccessScratch,
     ) -> Option<&'s [Value]> {
+        // Chaos site: an injected fault reads as one more rejected attempt,
+        // which the rejection samplers already tolerate uniformly.
+        rae_faults::fail_point!("sampler/attempt", |_site| None);
         if self.index.count() == 0 {
             return None;
         }

@@ -30,6 +30,9 @@ impl JoinSampler for EwSampler<'_> {
         rng: &mut R,
         scratch: &'s mut AccessScratch,
     ) -> Option<&'s [Value]> {
+        // Chaos site: an injected fault reads as one more rejected attempt,
+        // which the rejection samplers already tolerate uniformly.
+        rae_faults::fail_point!("sampler/attempt", |_site| None);
         let n = self.index.count();
         if n == 0 {
             return None;

@@ -86,6 +86,9 @@ impl JoinSampler for OrderedWindowSampler<'_> {
         rng: &mut R,
         scratch: &'s mut AccessScratch,
     ) -> Option<&'s [Value]> {
+        // Chaos site: an injected fault reads as one more rejected attempt,
+        // which the rejection samplers already tolerate uniformly.
+        rae_faults::fail_point!("sampler/attempt", |_site| None);
         if self.window.is_empty() {
             return None;
         }

@@ -49,6 +49,9 @@ impl JoinSampler for RsSampler<'_> {
         rng: &mut R,
         scratch: &'s mut AccessScratch,
     ) -> Option<&'s [Value]> {
+        // Chaos site: an injected fault reads as one more rejected attempt,
+        // which the rejection samplers already tolerate uniformly.
+        rae_faults::fail_point!("sampler/attempt", |_site| None);
         let idx = self.index;
         if idx.count() == 0 {
             return None;

@@ -15,6 +15,11 @@ use rae_query::TreePlan;
 /// Runs in time linear in the total number of tuples (two semijoins per
 /// edge).
 pub fn full_reduce(plan: &TreePlan, rels: &mut [Relation]) -> Result<()> {
+    // Chaos site: fails the reduction before it filters anything, so the
+    // caller sees a transient error with the relations untouched.
+    rae_faults::fail_point!("yannakakis/reduce", |site| Err(
+        rae_query::QueryError::Data(rae_data::DataError::FaultInjected { site })
+    ));
     assert_eq!(
         plan.node_count(),
         rels.len(),

@@ -59,9 +59,20 @@
 //! | [`rae_core`] | Algorithms 1–8: `CqIndex`, `LazyShuffle`, `DeletableSet`, `UcqShuffle`, `McUcqIndex` |
 //! | [`rae_sampler`] | Zhao-et-al-style baselines (EW/EO/OE/RS) + dedup adaptor |
 //! | [`rae_tpch`] | synthetic TPC-H generator + the paper's benchmark queries |
+//! | [`rae_faults`] | deterministic failpoints, budgets, transient-error retry |
+//!
+//! ## Robustness
+//!
+//! Every build entry point is transactional (a panic or injected fault
+//! leaves the `Database` and dictionary observably unchanged), budgets
+//! ([`rae_faults::Budget`]) bound preprocessing and long enumerations with
+//! structured errors and graceful degradation, and the whole stack is
+//! exercised under seeded fault schedules by the chaos lifecycle harness
+//! (`tests/chaos_lifecycle.rs`, `--features failpoints`). See DESIGN.md §13.
 
 pub use rae_core;
 pub use rae_data;
+pub use rae_faults;
 pub use rae_query;
 pub use rae_sampler;
 pub use rae_tpch;
@@ -69,6 +80,7 @@ pub use rae_yannakakis;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use rae_core::Budgeted;
     pub use rae_core::{
         AccessScratch, CqIndex, CqSequential, CqShuffle, DeletableSet, LazyShuffle, McUcqIndex,
         McUcqShuffle, OrderedCqIndex, OrderedEnumeration, OrderedMcUcqIndex, OrderedUcq,
@@ -76,6 +88,7 @@ pub mod prelude {
         UcqEvent, UcqShuffle, Weight,
     };
     pub use rae_data::{Database, Relation, Schema, Symbol, Value};
+    pub use rae_faults::{Budget, Transient};
     pub use rae_query::{
         classify, naive_eval, naive_eval_union, Atom, ConjunctiveQuery, CqClass, Term, UnionQuery,
     };

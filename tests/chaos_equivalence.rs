@@ -1,0 +1,156 @@
+//! Property: error-path equivalence under fault injection. For any seeded
+//! fault schedule, a run that *eventually succeeds* (bounded retries while
+//! the schedule stays armed) must produce answers identical to the
+//! fault-free run — for plain random access, lexicographic ordered access,
+//! and the general-union rank structure. Faults may only slow a computation
+//! down or fail it transparently; they may never change an answer.
+//!
+//! Schedules are process-global, so the whole suite serializes behind one
+//! mutex and silences the panic hook while Panic-kind faults fire.
+#![cfg(feature = "failpoints")]
+
+use proptest::prelude::*;
+use rae::prelude::*;
+use rae_faults::{install, FaultSchedule};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+type Edges = Vec<(i64, i64)>;
+
+fn edge_relation(edges: &Edges) -> Relation {
+    Relation::from_rows(
+        Schema::new(["a", "b"]).unwrap(),
+        edges
+            .iter()
+            .map(|&(u, v)| vec![Value::Int(u), Value::Int(v)]),
+    )
+    .unwrap()
+}
+
+fn db_from(r: &Edges, s: &Edges) -> Database {
+    let mut db = Database::new();
+    db.add_relation("R", edge_relation(r)).unwrap();
+    db.add_relation("S", edge_relation(s)).unwrap();
+    db
+}
+
+/// Retries `build` under the armed schedule until it succeeds, treating
+/// structured transient errors and caught panics (none should escape the
+/// build boundary, but the harness double-checks) as chaos to absorb.
+/// Asserts any structured error is transient. Returns `None` if the run
+/// never succeeds within the attempt bound (the property then vacuously
+/// holds for this schedule — "eventually succeeding runs" only).
+fn eventually<T>(mut build: impl FnMut() -> Result<T, rae_core::CoreError>) -> Option<T> {
+    for _ in 0..48 {
+        match catch_unwind(AssertUnwindSafe(&mut build)) {
+            Ok(Ok(v)) => return Some(v),
+            Ok(Err(e)) => {
+                assert!(
+                    e.is_transient(),
+                    "non-transient error under injected faults: {e}"
+                );
+            }
+            Err(_) => panic!("a panic escaped a build entry point"),
+        }
+    }
+    None
+}
+
+fn edges_strategy() -> impl Strategy<Value = Edges> {
+    prop::collection::vec((0..6i64, 0..6i64), 0..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Plain access: the chaotic-but-successful index enumerates exactly
+    // the fault-free answer sequence.
+    #[test]
+    fn faulted_cq_access_equals_fault_free(
+        r in edges_strategy(),
+        s in edges_strategy(),
+        seed in 0u64..1u64 << 48,
+    ) {
+        let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let db = db_from(&r, &s);
+        let cq: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+        let baseline = CqIndex::build(&cq, &db).unwrap();
+        let expected: Vec<Vec<Value>> =
+            (0..baseline.count()).map(|j| baseline.access(j).unwrap()).collect();
+
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let guard = install(FaultSchedule::chaos(seed, 0.05));
+        let chaotic = eventually(|| CqIndex::build(&cq, &db));
+        drop(guard);
+        std::panic::set_hook(prev);
+
+        if let Some(idx) = chaotic {
+            let got: Vec<Vec<Value>> =
+                (0..idx.count()).map(|j| idx.access(j).unwrap()).collect();
+            prop_assert_eq!(got, expected, "seed {}", seed);
+        }
+    }
+
+    // Ordered access: same invariant for the lexicographic structure.
+    #[test]
+    fn faulted_ordered_access_equals_fault_free(
+        r in edges_strategy(),
+        s in edges_strategy(),
+        seed in 0u64..1u64 << 48,
+    ) {
+        let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let db = db_from(&r, &s);
+        let cq: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+        let order = [Symbol::new("y"), Symbol::new("x"), Symbol::new("z")];
+        let baseline = OrderedCqIndex::build(&cq, &db, &order).unwrap();
+        let expected: Vec<Vec<Value>> =
+            (0..baseline.count()).map(|k| baseline.ordered_access(k).unwrap()).collect();
+
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let guard = install(FaultSchedule::chaos(seed, 0.05));
+        let chaotic = eventually(|| OrderedCqIndex::build(&cq, &db, &order));
+        drop(guard);
+        std::panic::set_hook(prev);
+
+        if let Some(idx) = chaotic {
+            let got: Vec<Vec<Value>> =
+                (0..idx.count()).map(|k| idx.ordered_access(k).unwrap()).collect();
+            prop_assert_eq!(got, expected, "seed {}", seed);
+        }
+    }
+
+    // General-union ranked access: the chaos schedule can also force the
+    // leapfrog→merge degradation; answers must still be identical.
+    #[test]
+    fn faulted_ranked_union_equals_fault_free(
+        r in edges_strategy(),
+        s in edges_strategy(),
+        seed in 0u64..1u64 << 48,
+    ) {
+        let _g = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let db = db_from(&r, &s);
+        let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y)."
+            .parse()
+            .unwrap();
+        let order = [Symbol::new("y"), Symbol::new("x")];
+        let baseline = RankedUcq::build(&u, &db, &order).unwrap();
+        let expected: Vec<Vec<Value>> = baseline.enumerate().collect();
+
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let guard = install(FaultSchedule::chaos(seed, 0.05));
+        let chaotic = eventually(|| RankedUcq::build(&u, &db, &order));
+        drop(guard);
+        std::panic::set_hook(prev);
+
+        if let Some(ranked) = chaotic {
+            prop_assert_eq!(ranked.count(), baseline.count());
+            let got: Vec<Vec<Value>> = ranked.enumerate().collect();
+            prop_assert_eq!(got, expected, "seed {}", seed);
+        }
+    }
+}
