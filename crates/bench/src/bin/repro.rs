@@ -109,6 +109,16 @@ fn run_command(command: &str, cfg: &BenchConfig) -> String {
             eprintln!("[repro] wrote BENCH_4.json");
             json
         }
+        "serving" => {
+            // Multi-threaded serving over the churn workload: throughput
+            // scaling, tail latency under churn, and the seeded chaos
+            // variant (armed only when this binary carries `failpoints`).
+            // Invariant breaks (torn snapshot, digest divergence) panic.
+            let json = rae_bench::serving::serving_json(cfg);
+            std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+            eprintln!("[repro] wrote BENCH_5.json");
+            json
+        }
         "ablation-delete" => ablation::ablation_delete(cfg),
         "ablation-fold" => ablation::ablation_fold(cfg),
         "ablation-binary" => ablation::ablation_binary(cfg),
@@ -149,7 +159,8 @@ fn usage(message: &str) -> ! {
          commands: fig1 fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8\n\
          \u{20}         rs-note ablation-delete ablation-binary ablation-fold\n\
          \u{20}         bench-json (writes BENCH_1.json) churn (writes BENCH_2.json)\n\
-         \u{20}         preprocessing (writes BENCH_3.json) all"
+         \u{20}         preprocessing (writes BENCH_3.json) robustness (writes BENCH_4.json)\n\
+         \u{20}         serving (writes BENCH_5.json) all"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }

@@ -21,6 +21,7 @@
 //! | Ablations (DESIGN.md §7) | [`figures::ablation`] | `ablation-delete`, `ablation-binary` |
 //! | Churn boundedness (DESIGN.md §9) | [`churn`] | `churn` (writes `BENCH_2.json`) |
 //! | Preprocessing pipeline (DESIGN.md §10) | [`preprocessing`] | `preprocessing` (writes `BENCH_3.json`) |
+//! | Concurrent serving (DESIGN.md §14) | [`serving`] | `serving` (writes `BENCH_5.json`) |
 //!
 //! Absolute numbers are machine- and scale-dependent; the *shapes* (who
 //! wins, by what factor, where crossovers fall) are the reproduction target.
@@ -34,6 +35,7 @@ pub mod figures;
 pub mod perf_report;
 pub mod preprocessing;
 pub mod robustness;
+pub mod serving;
 pub mod setup;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,460 @@
+//! The concurrent serving benchmark (`BENCH_5.json`).
+//!
+//! `repro serving` measures the `rae-serve` snapshot-swap lifecycle over
+//! the churn workload, in three sections:
+//!
+//! * **Throughput scaling** — reader threads drain seeded ordered-access
+//!   probes against a fixed published snapshot, once with 1 reader and
+//!   once with N (≥ 4 where the hardware allows); the published structure
+//!   is lock-free on the read path, so the scale factor should track the
+//!   core count, not collapse onto a lock.
+//! * **Latency under churn** — the same N readers keep probing (and
+//!   asserting the access↔inverted-access bijection per probe) while the
+//!   single writer commits batched inserts/deletes and periodically folds
+//!   the delta into a fresh base. Per-probe latencies are recorded and
+//!   summarized as [`BoxStats`] plus p50/p99.
+//! * **Seeded chaos variant** — the same churn loop with the workspace
+//!   fault schedule armed (only when this binary is compiled with
+//!   `--features failpoints`; the plain binary records the section with
+//!   `faults_fired: 0`). Every writer failure must be structured and
+//!   transient, readers must never observe a torn snapshot, and the
+//!   post-run folded snapshot must digest identically to a fault-free
+//!   fold-and-rebuild oracle over the same logical rows.
+//!
+//! ```json
+//! {
+//!   "schema": "rae-bench-serving-v1",
+//!   "config": { "seed": ..., "orders": ..., "readers": ...,
+//!               "failpoints_compiled": ... },
+//!   "throughput": { "single_reader_ops_per_sec": ...,
+//!                   "multi_reader_ops_per_sec": ..., "scale": ... },
+//!   "latency_under_churn": { "commits": ..., "folds": ..., "samples": ...,
+//!       "p50_ns": ..., "p99_ns": ..., "mean_ns": ..., "sd_ns": ...,
+//!       "q1_ns": ..., "q3_ns": ..., "whisker_hi_ns": ... },
+//!   "chaos": { "seed": ..., "commits": ..., "retries": ...,
+//!              "faults_fired": ..., "reader_checks": ...,
+//!              "digest_matches_oracle": true }
+//! }
+//! ```
+//!
+//! # Panics
+//! Panics if a serving invariant breaks mid-run (torn snapshot, permanent
+//! error under injection, digest divergence): the benchmark doubles as an
+//! end-to-end check, and a silently wrong report would be worse than a
+//! crash.
+
+use crate::stats::BoxStats;
+use rae_core::{OrderedCqIndex, Weight};
+use rae_data::{Database, Relation, Schema, Symbol, Value};
+use rae_serve::{enumeration_digest, AdmissionPolicy, Batch, ServeWriter, ServingIndex};
+use rae_tpch::churn::{ingest_cycle, ChurnConfig, CHURN_QUERY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Mirror of the served logical rows, advanced in lockstep with the
+/// committed batches (commits are idempotent set mutations, so a retried
+/// commit still converges onto the mirror).
+struct Mirror {
+    orders: Vec<Vec<Value>>,
+    lines: Vec<Vec<Value>>,
+    fresh: i64,
+}
+
+impl Mirror {
+    fn next_batch(&mut self, rng: &mut StdRng, tag: &str) -> Batch {
+        let mut batch = Batch::new();
+        for _ in 0..2 {
+            if self.orders.len() > 8 {
+                let i = rng.gen_range(0..self.orders.len());
+                batch.delete("churn_orders", self.orders.swap_remove(i));
+            }
+            if self.lines.len() > 8 {
+                let i = rng.gen_range(0..self.lines.len());
+                batch.delete("churn_lineitem", self.lines.swap_remove(i));
+            }
+        }
+        for _ in 0..3 {
+            self.fresh += 1;
+            let f = self.fresh;
+            let o = Value::Int(8_000_000_000 + f);
+            let orow = vec![o.clone(), Value::str(format!("{tag}-{f}"))];
+            batch.insert("churn_orders", orow.clone());
+            self.orders.push(orow);
+            let lrow = vec![o, Value::Int(f)];
+            batch.insert("churn_lineitem", lrow.clone());
+            self.lines.push(lrow);
+        }
+        batch
+    }
+
+    /// Fault-free fold-and-rebuild oracle digest over the mirrored rows.
+    fn oracle_digest(&self, query: &rae_query::ConjunctiveQuery, order: &[Symbol]) -> u64 {
+        let mut db = Database::new();
+        db.add_relation(
+            "churn_orders",
+            Relation::from_rows(
+                Schema::new(["co_orderkey", "co_custtag"]).expect("schema"),
+                self.orders.iter().cloned(),
+            )
+            .expect("orders relation"),
+        )
+        .expect("orders slot");
+        db.add_relation(
+            "churn_lineitem",
+            Relation::from_rows(
+                Schema::new(["cl_orderkey", "cl_partkey"]).expect("schema"),
+                self.lines.iter().cloned(),
+            )
+            .expect("lineitem relation"),
+        )
+        .expect("lineitem slot");
+        let idx = OrderedCqIndex::build(query, &db, order).expect("oracle builds");
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut e = idx.enumerate();
+        while let Some(row) = e.next_ref() {
+            rows.push(row.to_vec());
+        }
+        enumeration_digest(rows.iter().map(Vec::as_slice))
+    }
+}
+
+/// One reader thread probing random live ranks until `stop`; returns
+/// per-probe latencies (ns) when `record` is set, and the probe count.
+/// Every probe asserts the access↔inverted-access bijection, so a torn
+/// snapshot panics the thread (and thus the run).
+fn reader_loop(
+    idx: &ServingIndex,
+    stop: &AtomicBool,
+    seed: u64,
+    record: bool,
+) -> (Vec<u64>, usize) {
+    let mut reader = idx.reader();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples: Vec<u64> = Vec::new();
+    let mut probes = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        let snap = reader.refresh();
+        let n = snap.count();
+        if n == 0 {
+            std::thread::yield_now();
+            continue;
+        }
+        let k: Weight = rng.gen_range(0..n);
+        let start = Instant::now();
+        let row = snap.ordered_access(k).expect("rank below count resolves");
+        let back = snap.ordered_inverted_access(&row);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        assert_eq!(back, Some(k), "torn snapshot: rank {k} does not round-trip");
+        if record {
+            samples.push(elapsed);
+        }
+        probes += 1;
+    }
+    (samples, probes)
+}
+
+/// Spawns `readers` probe threads for `window`, returning total probes and
+/// all recorded samples.
+fn run_readers(
+    idx: &ServingIndex,
+    readers: usize,
+    window: Duration,
+    seed: u64,
+    record: bool,
+    mut writer_tick: impl FnMut(),
+) -> (Vec<u64>, usize) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let idx = idx.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("rae-serve-bench-{r}"))
+                .spawn(move || reader_loop(&idx, &stop, seed ^ (r as u64 + 1), record))
+                .expect("spawn reader")
+        })
+        .collect();
+    let deadline = Instant::now() + window;
+    while Instant::now() < deadline {
+        writer_tick();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut samples = Vec::new();
+    let mut probes = 0usize;
+    for h in handles {
+        let (s, p) = h.join().expect("reader thread panicked — torn snapshot");
+        samples.extend(s);
+        probes += p;
+    }
+    (samples, probes)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+/// Runs the serving benchmark and renders `BENCH_5.json`'s contents. The
+/// churn scale is fixed (the serving overlay is the object under test, not
+/// the generator), so only the seed of [`crate::BenchConfig`] is used.
+pub fn serving_json(cfg: &crate::BenchConfig) -> String {
+    let seed = cfg.seed;
+    let churn_cfg = ChurnConfig {
+        cycles: 1,
+        orders_per_cycle: 512,
+        seed,
+        threads: 2,
+    };
+    let query: rae_query::ConjunctiveQuery = CHURN_QUERY.parse().expect("churn query parses");
+    let order: Vec<Symbol> = ["o", "t", "p"].into_iter().map(Symbol::new).collect();
+
+    let mut db = Database::new();
+    ingest_cycle(&mut db, 0, &churn_cfg).expect("ingest");
+    let (mut w, idx) =
+        ServeWriter::new(query.clone(), &db, &order, AdmissionPolicy::default()).expect("writer");
+    assert!(w.is_delta_overlay(), "churn query takes the overlay path");
+    // The serving row state is set-semantic (a second copy of a row is a
+    // no-op), so the mirror must dedup the generated rows — the churn
+    // generator can emit duplicate lineitems.
+    let dedup = |mut rows: Vec<Vec<Value>>| {
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    };
+    let mut mirror = Mirror {
+        orders: dedup(
+            db.relation("churn_orders")
+                .expect("orders")
+                .rows()
+                .map(<[Value]>::to_vec)
+                .collect(),
+        ),
+        lines: dedup(
+            db.relation("churn_lineitem")
+                .expect("lineitem")
+                .rows()
+                .map(<[Value]>::to_vec)
+                .collect(),
+        ),
+        fresh: 0,
+    };
+
+    let readers = std::thread::available_parallelism().map_or(4, |n| n.get().clamp(4, 8));
+    let window = Duration::from_millis(250);
+
+    // --- throughput scaling (static snapshot, no writer) -------------------
+    let (_, single) = run_readers(&idx, 1, window, seed ^ 0x51, false, || {
+        std::thread::sleep(Duration::from_millis(5));
+    });
+    let (_, multi) = run_readers(&idx, readers, window, seed ^ 0x52, false, || {
+        std::thread::sleep(Duration::from_millis(5));
+    });
+    let secs = window.as_secs_f64();
+    let single_ops = single as f64 / secs;
+    let multi_ops = multi as f64 / secs;
+    let scale = if single > 0 {
+        multi as f64 / single as f64
+    } else {
+        0.0
+    };
+
+    // --- latency under churn ----------------------------------------------
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A7E);
+    let mut commits = 0usize;
+    let mut folds = 0usize;
+    let (mut samples, _) = run_readers(&idx, readers, window, seed ^ 0x53, true, || {
+        let batch = mirror.next_batch(&mut rng, "churn");
+        w.commit(&batch).expect("fault-free commit");
+        commits += 1;
+        if commits.is_multiple_of(8) {
+            w.fold_now().expect("fault-free fold");
+            folds += 1;
+        }
+    });
+    samples.sort_unstable();
+    let stats = BoxStats::from_samples(&samples);
+    let p50 = percentile(&samples, 0.50);
+    let p99 = percentile(&samples, 0.99);
+
+    // --- seeded chaos variant ----------------------------------------------
+    let (chaos_commits, chaos_retries, faults_fired, reader_checks) =
+        chaos_churn(&mut w, &idx, &mut mirror, seed);
+
+    // Post-run: fold everything and compare against the fault-free oracle.
+    w.fold_now().expect("final fold");
+    let folded = idx.snapshot();
+    let oracle = mirror.oracle_digest(&query, w.order());
+    assert_eq!(
+        folded.digest(),
+        oracle,
+        "post-run folded snapshot must digest-match the fold-and-rebuild oracle"
+    );
+    assert_eq!(folded.tombstone_count(), 0, "fold drains tombstones");
+    assert_eq!(folded.delta_count(), 0, "fold drains the delta");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"rae-bench-serving-v1\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"seed\": {seed}, \"orders\": {}, \"readers\": {readers}, \
+         \"window_ms\": {}, \"failpoints_compiled\": {} }},",
+        churn_cfg.orders_per_cycle,
+        window.as_millis(),
+        cfg!(feature = "failpoints")
+    );
+    let _ = writeln!(
+        out,
+        "  \"throughput\": {{ \"single_reader_ops_per_sec\": {single_ops:.0}, \
+         \"multi_reader_ops_per_sec\": {multi_ops:.0}, \"scale\": {scale:.2} }},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"latency_under_churn\": {{ \"commits\": {commits}, \"folds\": {folds}, \
+         \"samples\": {}, \"p50_ns\": {p50:.0}, \"p99_ns\": {p99:.0}, \
+         \"mean_ns\": {:.0}, \"sd_ns\": {:.0}, \"q1_ns\": {:.0}, \"q3_ns\": {:.0}, \
+         \"whisker_hi_ns\": {:.0} }},",
+        stats.count, stats.mean, stats.sd, stats.q1, stats.q3, stats.whisker_hi
+    );
+    let _ = writeln!(
+        out,
+        "  \"chaos\": {{ \"seed\": {seed}, \"commits\": {chaos_commits}, \
+         \"retries\": {chaos_retries}, \"faults_fired\": {faults_fired}, \
+         \"reader_checks\": {reader_checks}, \"digest_matches_oracle\": true }}"
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// The chaos churn loop: commits and folds retried through transient
+/// failures while readers assert snapshot integrity. With failpoints
+/// compiled out this is simply a second fault-free churn round (the
+/// schedule install is gated), so the section is always recorded.
+fn chaos_churn(
+    w: &mut ServeWriter,
+    idx: &ServingIndex,
+    mirror: &mut Mirror,
+    seed: u64,
+) -> (usize, usize, usize, usize) {
+    // Per-hit probability sized for this workload: a fold over the
+    // ~1.5k-row cohort makes thousands of failpoint hits (interning +
+    // build nodes), so the per-attempt fault expectation must stay well
+    // below 1 for the retry loops to converge.
+    #[cfg(feature = "failpoints")]
+    let _guard = rae_faults::install(rae_faults::FaultSchedule::chaos(seed, 0.0002));
+    #[cfg(feature = "failpoints")]
+    let _quiet = {
+        // Panic-kind faults are expected; keep the run's output readable.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        scopeguard(prev)
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0);
+    let mut retries = 0usize;
+    let commits = 16usize;
+    for round in 0..commits {
+        let batch = mirror.next_batch(&mut rng, "chaos");
+        retry_transient(&mut retries, || w.commit(&batch));
+        if round % 5 == 4 {
+            retry_transient(&mut retries, || w.fold_now());
+        }
+    }
+
+    // A bounded reader sweep over the chaotically-published snapshot.
+    let mut reader = idx.reader();
+    let snap = reader.refresh();
+    let n = snap.count();
+    let mut checks = 0usize;
+    let mut k: Weight = 0;
+    while k < n {
+        let row = snap.ordered_access(k).expect("rank below count resolves");
+        assert_eq!(
+            snap.ordered_inverted_access(&row),
+            Some(k),
+            "torn snapshot after chaos at rank {k}"
+        );
+        checks += 1;
+        k += (n / 64).max(1);
+    }
+
+    #[cfg(feature = "failpoints")]
+    let fired = rae_faults::fired().len();
+    #[cfg(not(feature = "failpoints"))]
+    let fired = 0usize;
+    (commits, retries, fired, checks)
+}
+
+/// Retries `op` until it succeeds, panicking on any permanent error —
+/// under injection every structured failure must be transient. Unwinding
+/// attempts (Panic-kind faults at entry failpoints) also count as retries.
+fn retry_transient<T>(retries: &mut usize, mut op: impl FnMut() -> rae_serve::Result<T>) -> T {
+    use rae_faults::Transient;
+    for _ in 0..256 {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut op)) {
+            Ok(Ok(v)) => return v,
+            Ok(Err(e)) => {
+                assert!(
+                    e.is_transient(),
+                    "permanent serving error under injected faults: {e}"
+                );
+                *retries += 1;
+            }
+            Err(_) => *retries += 1,
+        }
+    }
+    panic!("serving operation did not converge within 256 chaotic attempts");
+}
+
+/// Restores the previous panic hook on drop.
+#[cfg(feature = "failpoints")]
+#[allow(deprecated)] // PanicInfo is the only hook type namable on older toolchains
+struct HookGuard(
+    #[allow(clippy::type_complexity)] // std::panic::take_hook's exact return type
+    Option<Box<dyn Fn(&std::panic::PanicInfo<'_>) + Sync + Send>>,
+);
+
+#[cfg(feature = "failpoints")]
+#[allow(deprecated)]
+fn scopeguard(prev: Box<dyn Fn(&std::panic::PanicInfo<'_>) + Sync + Send>) -> HookGuard {
+    HookGuard(Some(prev))
+}
+
+#[cfg(feature = "failpoints")]
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        // `set_hook` from a panicking thread is itself a (non-unwinding)
+        // panic; if the run is already failing, keep the quiet hook and
+        // let the original panic surface.
+        if std::thread::panicking() {
+            return;
+        }
+        if let Some(prev) = self.0.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [10u64, 20, 30, 40];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        assert_eq!(percentile(&s, 1.0), 40.0);
+        assert_eq!(percentile(&s, 0.5), 25.0);
+        assert!(percentile(&[], 0.5).abs() < f64::EPSILON);
+    }
+}

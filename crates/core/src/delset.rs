@@ -73,6 +73,23 @@ impl DeletableSet {
         original < self.n && self.b_at(original) >= self.deleted
     }
 
+    /// Unordered random access over the survivors: the `k`-th non-deleted
+    /// index in the structure's *arbitrary-but-fixed* permuted order (the
+    /// suffix `a[deleted..n]`), or `None` when `k ≥ remaining()`. O(1).
+    ///
+    /// Between two deletions the map `k ↦ select(k)` is a bijection onto
+    /// the survivors, so a caller can drain or paginate the live set in
+    /// constant time per element — the serving layer uses this for plain
+    /// (order-free) access over a tombstoned snapshot. The order is a
+    /// byproduct of the deletion history, not the enumeration order;
+    /// rank-sensitive callers go through the ordered index instead.
+    pub fn select(&self, k: Weight) -> Option<Weight> {
+        if k >= self.remaining() {
+            return None;
+        }
+        Some(self.a_at(self.deleted + k))
+    }
+
     /// Deletes `original`; returns `false` if it was already deleted or out
     /// of range (the paper's `Delete`).
     pub fn delete(&mut self, original: Weight) -> bool {
@@ -174,6 +191,23 @@ mod tests {
             s.delete(v);
             alive.remove(&v);
             assert_eq!(s.remaining() as usize, alive.len());
+        }
+    }
+
+    #[test]
+    fn select_is_a_bijection_onto_survivors() {
+        let mut s = DeletableSet::new(12);
+        for i in [11u128, 0, 5, 6] {
+            assert!(s.delete(i));
+        }
+        let mut seen: Vec<u128> = (0..s.remaining()).map(|k| s.select(k).unwrap()).collect();
+        assert_eq!(s.select(s.remaining()), None, "select past the end");
+        seen.sort_unstable();
+        let expected: Vec<u128> = (0..12).filter(|i| ![11, 0, 5, 6].contains(i)).collect();
+        assert_eq!(seen, expected, "select must cover exactly the survivors");
+        // Between deletions the order is fixed: repeated calls agree.
+        for k in 0..s.remaining() {
+            assert_eq!(s.select(k), s.select(k));
         }
     }
 

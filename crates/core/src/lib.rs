@@ -44,7 +44,7 @@ pub mod weight;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use budgeted::Budgeted;
+pub use budgeted::{Budgeted, ProbeCadence};
 pub use delset::DeletableSet;
 pub use enumerate::CqSequential;
 pub use error::CoreError;

@@ -55,6 +55,7 @@ use rae_query::{QueryError, UnionQuery};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Ordered random access, rank lookup, and range counting over a general
 /// union of free-connex CQs, duplicates counted once.
@@ -93,7 +94,10 @@ use std::ops::Range;
 /// ```
 #[derive(Debug)]
 pub struct RankedUcq {
-    members: Vec<OrderedCqIndex>,
+    /// Members are `Arc`-shared so a large base index can participate in
+    /// many union structures (the serving layer republishes base ⊎ delta on
+    /// every write batch) without being copied or rebuilt.
+    members: Vec<Arc<OrderedCqIndex>>,
     /// Per member: sorted ranks of answers owned by an earlier member.
     non_owned: Vec<Vec<Weight>>,
     /// Order-significant head positions (shared by all members).
@@ -158,13 +162,28 @@ impl RankedUcq {
         members: Vec<OrderedCqIndex>,
         budget: &Budget<'_>,
     ) -> Result<Self> {
+        Self::from_shared_members_budgeted(members.into_iter().map(Arc::new).collect(), budget)
+    }
+
+    /// [`RankedUcq::from_members`] over `Arc`-shared member indexes: members
+    /// already owned elsewhere (e.g. a serving snapshot's base index) join
+    /// the union without a copy.
+    pub fn from_shared_members(members: Vec<Arc<OrderedCqIndex>>) -> Result<Self> {
+        Self::from_shared_members_budgeted(members, &Budget::unlimited())
+    }
+
+    /// [`RankedUcq::from_shared_members`] under a resource [`Budget`].
+    pub fn from_shared_members_budgeted(
+        members: Vec<Arc<OrderedCqIndex>>,
+        budget: &Budget<'_>,
+    ) -> Result<Self> {
         // Catch boundary for the duplicate-discovery phase (the member
         // builds carry their own); a panic here surfaces as `BuildPanicked`.
         crate::error::catch_build("RankedUcq::from_members", move || {
             if members.is_empty() {
                 return Err(CoreError::Query(QueryError::EmptyUnion));
             }
-            let cmp_positions = ensure_shared_layout(members.iter())?;
+            let cmp_positions = ensure_shared_layout(members.iter().map(Arc::as_ref))?;
             let non_owned = discover_non_owned(&members, &cmp_positions, budget)?;
             let total = members
                 .iter()
@@ -180,8 +199,9 @@ impl RankedUcq {
         })
     }
 
-    /// The per-disjunct ordered indexes.
-    pub fn members(&self) -> &[OrderedCqIndex] {
+    /// The per-disjunct ordered indexes (shared handles; deref to
+    /// [`OrderedCqIndex`]).
+    pub fn members(&self) -> &[Arc<OrderedCqIndex>] {
         &self.members
     }
 
@@ -341,7 +361,7 @@ impl RankedUcq {
     /// A constant-delay ordered scan of the whole distinct union (the
     /// k-way member merge).
     pub fn enumerate(&self) -> OrderedUnionEnumeration<'_> {
-        OrderedUnionEnumeration::from_members(self.members.iter())
+        OrderedUnionEnumeration::from_members(self.members.iter().map(Arc::as_ref))
             .expect("members share one layout by construction")
     }
 
@@ -354,7 +374,10 @@ impl RankedUcq {
         let hi = range.end.min(self.total).max(lo);
         if lo == hi {
             let merge = OrderedUnionEnumeration::from_windows(
-                self.members.iter().map(|m| (m, m.range(0..0))).collect(),
+                self.members
+                    .iter()
+                    .map(|m| (m.as_ref(), m.range(0..0)))
+                    .collect(),
             )
             .expect("members share one layout by construction");
             return RankedUnionWindow {
@@ -371,7 +394,7 @@ impl RankedUcq {
             .iter()
             .map(|m| {
                 let (lt, _) = m.tuple_bounds(first);
-                (m, m.range(lt..m.count()))
+                (m.as_ref(), m.range(lt..m.count()))
             })
             .collect();
         let merge =
@@ -432,7 +455,7 @@ impl Iterator for RankedUnionWindow<'_> {
 /// absorbs any positions the aborted leapfrog already found — they are all
 /// genuine matches, so the merge simply completes the set.
 fn discover_non_owned(
-    members: &[OrderedCqIndex],
+    members: &[Arc<OrderedCqIndex>],
     cmp_positions: &[usize],
     budget: &Budget<'_>,
 ) -> Result<Vec<Vec<Weight>>> {
@@ -443,7 +466,7 @@ fn discover_non_owned(
         let mut dupes: BTreeSet<Weight> = BTreeSet::new();
         for i in 0..j {
             budget.check("ranked/leapfrog")?;
-            let (a, b) = (&members[i], &members[j]);
+            let (a, b) = (members[i].as_ref(), members[j].as_ref());
             let capped = rae_faults::eval_error("ranked/leapfrog")
                 || !leapfrog_matches(a, b, &mut dupes, &mut scratch, step_cap(a, b));
             if capped {

@@ -62,9 +62,12 @@ use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::value::Value;
 use crate::DataError;
 use rae_faults::fail_point;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{
+    Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 /// Codes are dense `u32`s; `u32::MAX` is reserved as a sentinel for hash-map
 /// internals.
@@ -88,9 +91,15 @@ const MAX_LOCAL: u32 = (u32::MAX >> SHARD_BITS) - 1;
 #[derive(Default)]
 struct Shard {
     map: FxHashMap<Value, u32>,
-    /// Local slots freed by [`advance_generation`], reused before fresh
-    /// slots are minted.
+    /// Local slots freed by [`advance_generation`] and cleared for reuse,
+    /// consumed before fresh slots are minted.
     free: Vec<u32>,
+    /// Slots freed by a sweep while some [`GenerationPin`] older than that
+    /// sweep was alive, tagged with the generation the sweep produced. They
+    /// graduate to `free` only once every pin from before their sweep is
+    /// gone (see [`release_quarantine`]) — recycling them earlier would let
+    /// a pinned reader's code mean a *different* value mid-read.
+    quarantine: Vec<(Generation, Vec<u32>)>,
     /// High-water slot count (fresh slots minted so far).
     next_local: u32,
 }
@@ -116,6 +125,118 @@ fn write_shard(lock: &RwLock<Shard>) -> RwLockWriteGuard<'_, Shard> {
 }
 
 static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Alive [`GenerationPin`]s: generation → pin count. A `BTreeMap` so the
+/// oldest pinned generation is `keys().next()`.
+static PINS: Mutex<BTreeMap<Generation, usize>> = Mutex::new(BTreeMap::new());
+
+fn lock_pins() -> MutexGuard<'static, BTreeMap<Generation, usize>> {
+    // The registry only holds counters; a panic under the guard cannot
+    // leave them half-written in a way reads would misinterpret.
+    PINS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The oldest generation some alive pin holds, if any.
+fn min_pinned() -> Option<Generation> {
+    lock_pins().keys().next().copied()
+}
+
+/// Holds the dictionary generation it was created at: while the pin is
+/// alive, no slot freed by a sweep *newer than that generation* is recycled
+/// (it sits in per-shard quarantine instead). This is the safety half of
+/// concurrent serving — a reader thread holding a published snapshot can
+/// keep probing the snapshot's codes while the writer sweeps, without an
+/// unchecked hot-path access ever resolving a code to a recycled slot's new
+/// value. (Keeping swept values *probe-able* for the snapshot is the
+/// liveness half, handled by the sweeper passing them as extra live
+/// values — see [`crate::Database::advance_generation_with_extra_live`].)
+///
+/// Dropping the pin releases the hold; quarantined slots are reclaimed
+/// lazily by later interns.
+#[derive(Debug)]
+pub struct GenerationPin {
+    generation: Generation,
+}
+
+impl GenerationPin {
+    /// The generation this pin holds.
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+}
+
+impl Drop for GenerationPin {
+    fn drop(&mut self) {
+        let mut pins = lock_pins();
+        if let Some(count) = pins.get_mut(&self.generation) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.generation);
+            }
+        }
+    }
+}
+
+/// Pins the current generation (see [`GenerationPin`]).
+///
+/// Pinning races a concurrent sweep benignly: if the generation advances
+/// between the read and the registration, the stale registration is undone
+/// and the pin moves forward — the returned pin's generation is always one
+/// whose sweep-freed predecessors either were quarantined or had already
+/// been freed before any snapshot at this generation could exist.
+pub fn pin_current_generation() -> GenerationPin {
+    let mut pins = lock_pins();
+    loop {
+        let g = current_generation();
+        *pins.entry(g).or_insert(0) += 1;
+        // `advance_generation` bumps the counter *before* consulting the
+        // registry, so if the generation is unchanged here, our registration
+        // is visible to every sweep that could free generation-`g` codes.
+        if current_generation() == g {
+            return GenerationPin { generation: g };
+        }
+        // A sweep raced the registration: undo it and pin the new
+        // generation instead.
+        if let Some(count) = pins.get_mut(&g) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&g);
+            }
+        }
+    }
+}
+
+/// Number of alive generation pins (observability for tests).
+pub fn pinned_generation_count() -> usize {
+    lock_pins().values().sum()
+}
+
+/// Moves every quarantine entry whose pins are all gone onto the shard's
+/// free list. An entry tagged `g` (freed by the sweep that produced
+/// generation `g`) is releasable when no alive pin is older than `g`: pins
+/// at `≥ g` were taken after that sweep and never saw the freed codes.
+fn release_quarantine(shard: &mut Shard) {
+    if shard.quarantine.is_empty() {
+        return;
+    }
+    let min = min_pinned();
+    let Shard {
+        free, quarantine, ..
+    } = shard;
+    quarantine.retain_mut(|(tag, slots)| {
+        // MSRV 1.75: spelled as a match, `Option::is_none_or` is 1.82+.
+        let releasable = match min {
+            None => true,
+            Some(m) => m >= *tag,
+        };
+        if releasable {
+            free.append(slots);
+            false
+        } else {
+            true
+        }
+    });
+}
 
 /// The shard a value hash-partitions into.
 #[inline]
@@ -173,6 +294,11 @@ fn intern_at(s: usize, value: &Value) -> Result<ValueCode, DataError> {
     fail_point!("dict/shard_write");
     if let Some(&local) = guard.map.get(value) {
         return compose_code(s, local);
+    }
+    if guard.free.is_empty() {
+        // Reclaim pin-expired quarantined slots before minting fresh ones,
+        // so pinning delays reuse instead of leaking slot space.
+        release_quarantine(&mut guard);
     }
     let local = match guard.free.pop() {
         Some(recycled) => recycled,
@@ -335,18 +461,53 @@ pub fn advance_generation<'a>(live: impl IntoIterator<Item = &'a Value>) -> Gene
     // within one generation. The counter itself advances exactly once —
     // never half-way.
     let next = GENERATION.fetch_add(1, Ordering::AcqRel) + 1;
+    // Pins taken before this sweep (generation < next) may still be probing
+    // the codes we are about to free; route those slots through quarantine.
+    // `min_pinned` is read after the bump, matching the registration-order
+    // handshake in `pin_current_generation`.
+    let quarantine_freed = min_pinned().is_some_and(|m| m < next);
     for (guard, live) in guards.iter_mut().zip(&live_locals) {
-        let Shard { map, free, .. } = &mut **guard;
+        let Shard {
+            map,
+            free,
+            quarantine,
+            ..
+        } = &mut **guard;
+        let mut freed = Vec::new();
         map.retain(|_, local| {
             if live.contains(local) {
                 true
             } else {
-                free.push(*local);
+                freed.push(*local);
                 false
             }
         });
+        if !freed.is_empty() {
+            if quarantine_freed {
+                quarantine.push((next, freed));
+            } else {
+                free.append(&mut freed);
+            }
+        }
+        // While all the write locks are held anyway, reclaim whatever older
+        // quarantine entries have outlived their pins.
+        release_quarantine(guard);
     }
     next
+}
+
+/// Number of freed slots currently quarantined behind generation pins.
+pub fn quarantined_slot_count() -> usize {
+    shards()
+        .iter()
+        .map(|s| {
+            read_shard(s)
+                .quarantine
+                .iter()
+                .map(|(_, v)| v.len())
+                .sum::<usize>()
+        })
+        .sum()
 }
 
 /// Number of distinct values interned in the current generation.

@@ -51,7 +51,7 @@ pub mod value;
 
 pub use codemap::CodeKeyMap;
 pub use database::Database;
-pub use dict::{Generation, ValueCode};
+pub use dict::{Generation, GenerationPin, ValueCode};
 pub use error::DataError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use index::HashIndex;

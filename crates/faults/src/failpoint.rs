@@ -134,6 +134,9 @@ mod imp {
         "yannakakis/reduce",
         "ranked/leapfrog",
         "sampler/attempt",
+        "serve/apply",
+        "serve/publish",
+        "serve/fold",
     ];
 
     impl FaultSchedule {

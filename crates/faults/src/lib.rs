@@ -27,7 +27,8 @@
 //! Sites are `"<area>/<operation>"`, lower-case, stable across releases:
 //! `dict/intern`, `dict/shard_write`, `dict/sweep`, `relation/rehydrate`,
 //! `sort/scratch`, `build/spawn`, `build/node`, `build/weights`,
-//! `yannakakis/reduce`, `ranked/leapfrog`, `sampler/attempt`.
+//! `yannakakis/reduce`, `ranked/leapfrog`, `sampler/attempt`,
+//! `serve/apply`, `serve/publish`, `serve/fold`.
 
 mod budget;
 pub mod degrade;
@@ -36,7 +37,7 @@ pub mod retry;
 
 pub use budget::{Breach, Budget, BudgetExceeded};
 pub use failpoint::{eval, eval_error, FaultKind};
-pub use retry::Transient;
+pub use retry::{BackoffSchedule, RetryPolicy, Transient};
 
 #[cfg(feature = "failpoints")]
 pub use failpoint::{

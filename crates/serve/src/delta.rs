@@ -1,0 +1,290 @@
+//! Delta maintenance for full, self-join-free CQs.
+//!
+//! For a **full** CQ (every variable free) each answer tuple determines
+//! each atom's witnessing row uniquely — the answer's projection onto the
+//! atom's variables *is* the row. Two consequences drive this module:
+//!
+//! 1. **Liveness is probe-able**: an answer is derivable from a row set
+//!    iff every atom's projection is present, so "is this base answer
+//!    still alive?" is one hash probe per atom.
+//! 2. **Affected answers are join-reachable**: every answer gained
+//!    (lost) by a row insertion (deletion) contains that row as one
+//!    atom's projection, so seeding a backtracking join with the changed
+//!    row enumerates exactly the affected answers — output-sensitive in
+//!    the delta, never a rescan of the base.
+//!
+//! `JoinPlan::seeded_answers` implements the seeded join over an
+//! explicit row universe (base rows for kill candidates, current rows
+//! for delta answers), with per-(atom, bound-column-mask) hash indexes
+//! built lazily per publish.
+
+use crate::Result;
+use crate::ServeError;
+use rae_data::{FxHashMap, FxHashSet, Value};
+use rae_query::{ConjunctiveQuery, Term};
+
+/// The positional skeleton of a full, self-join-free CQ: for each body
+/// atom, the head position of each of its terms.
+#[derive(Debug, Clone)]
+pub(crate) struct JoinPlan {
+    /// `atoms[a][i]` = head position bound by term `i` of atom `a`.
+    atoms: Vec<Vec<usize>>,
+    /// `|head|` — the answer arity.
+    width: usize,
+}
+
+/// Whether `cq` qualifies for the delta fast path: full (all variables
+/// free), self-join-free, and every atom is a flat variable tuple
+/// (no constants, no repeated variables).
+pub(crate) fn delta_eligible(cq: &ConjunctiveQuery) -> bool {
+    cq.is_full()
+        && !cq.has_self_join()
+        && cq
+            .body()
+            .iter()
+            .all(|a| !a.has_constants() && !a.has_repeated_vars())
+}
+
+impl JoinPlan {
+    /// Builds the plan; the caller has already checked
+    /// [`delta_eligible`].
+    pub(crate) fn new(cq: &ConjunctiveQuery) -> Result<Self> {
+        let head = cq.head();
+        let mut atoms = Vec::with_capacity(cq.body().len());
+        for atom in cq.body() {
+            let mut positions = Vec::with_capacity(atom.terms.len());
+            for term in &atom.terms {
+                let var = match term {
+                    Term::Var(v) => v,
+                    Term::Const(_) => {
+                        return Err(ServeError::Invariant("constant term in delta plan"))
+                    }
+                };
+                let pos = head
+                    .iter()
+                    .position(|h| h == var)
+                    .ok_or(ServeError::Invariant("non-head variable in full CQ"))?;
+                positions.push(pos);
+            }
+            atoms.push(positions);
+        }
+        Ok(JoinPlan {
+            atoms,
+            width: head.len(),
+        })
+    }
+
+    /// The projection of answer tuple `answer` onto atom `a` — the unique
+    /// witnessing row of that atom (full CQ).
+    pub(crate) fn project(&self, a: usize, answer: &[Value]) -> Vec<Value> {
+        self.atoms[a].iter().map(|&p| answer[p].clone()).collect()
+    }
+
+    /// All answers derivable from `universe` that contain `seed_row` as
+    /// atom `seed_atom`'s projection, appended to `out` (callers dedup
+    /// across seeds). `universe[a]` is atom `a`'s row set; `ctx` caches
+    /// the lazily built lookup indexes across seeds of one publish.
+    pub(crate) fn seeded_answers(
+        &self,
+        seed_atom: usize,
+        seed_row: &[Value],
+        ctx: &mut JoinCtx,
+        out: &mut FxHashSet<Vec<Value>>,
+    ) {
+        let mut binding: Vec<Option<Value>> = vec![None; self.width];
+        for (i, &pos) in self.atoms[seed_atom].iter().enumerate() {
+            binding[pos] = Some(seed_row[i].clone());
+        }
+        let rest: Vec<usize> = (0..self.atoms.len()).filter(|&a| a != seed_atom).collect();
+        self.extend(&rest, 0, &mut binding, ctx, out);
+    }
+
+    fn extend(
+        &self,
+        rest: &[usize],
+        depth: usize,
+        binding: &mut Vec<Option<Value>>,
+        ctx: &mut JoinCtx,
+        out: &mut FxHashSet<Vec<Value>>,
+    ) {
+        if depth == rest.len() {
+            // Full CQ + safety: every head position is bound by now.
+            let answer: Option<Vec<Value>> = binding.iter().cloned().collect();
+            if let Some(answer) = answer {
+                out.insert(answer);
+            }
+            return;
+        }
+        let a = rest[depth];
+        let positions = &self.atoms[a];
+        let mut mask: u64 = 0;
+        let mut key = Vec::new();
+        for (i, &pos) in positions.iter().enumerate() {
+            if let Some(v) = &binding[pos] {
+                mask |= 1 << i;
+                key.push(v.clone());
+            }
+        }
+        let row_ids: Vec<u32> = ctx.matches(a, mask, &key).to_vec();
+        for id in row_ids {
+            let row = &ctx.rows[a][id as usize];
+            let mut newly_bound = Vec::new();
+            let mut ok = true;
+            for (i, &pos) in positions.iter().enumerate() {
+                match &binding[pos] {
+                    Some(v) => {
+                        if *v != row[i] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        binding[pos] = Some(row[i].clone());
+                        newly_bound.push(pos);
+                    }
+                }
+            }
+            if ok {
+                self.extend(rest, depth + 1, binding, ctx, out);
+            }
+            for pos in newly_bound {
+                binding[pos] = None;
+            }
+        }
+    }
+}
+
+/// Per-publish join context: one row universe per atom plus lazily built
+/// `(atom, bound-column-mask) → key → row ids` hash indexes, shared by
+/// every seed of the publish so each index is built at most once.
+#[derive(Debug)]
+pub(crate) struct JoinCtx {
+    rows: Vec<Vec<Vec<Value>>>,
+    indexes: FxHashMap<(usize, u64), FxHashMap<Vec<Value>, Vec<u32>>>,
+}
+
+static NO_ROWS: [u32; 0] = [];
+
+/// The sub-tuple of `row` at the bit positions of `mask`.
+fn project_mask(row: &[Value], mask: u64) -> Vec<Value> {
+    row.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+impl JoinCtx {
+    /// Captures the row universe (`universe[a]` = atom `a`'s rows).
+    pub(crate) fn new(rows: Vec<Vec<Vec<Value>>>) -> Self {
+        JoinCtx {
+            rows,
+            indexes: FxHashMap::default(),
+        }
+    }
+
+    /// Appends a newly inserted row to atom `atom`'s universe, updating
+    /// every lookup index already built over it — the writer grows the
+    /// universe incrementally between folds instead of recloning it per
+    /// publish.
+    pub(crate) fn append(&mut self, atom: usize, row: Vec<Value>) {
+        let id = self.rows[atom].len() as u32;
+        for ((a, mask), index) in self.indexes.iter_mut() {
+            if *a != atom {
+                continue;
+            }
+            let key = project_mask(&row, *mask);
+            index.entry(key).or_default().push(id);
+        }
+        self.rows[atom].push(row);
+    }
+
+    fn matches(&mut self, atom: usize, mask: u64, key: &[Value]) -> &[u32] {
+        let rows = &self.rows;
+        let index = self.indexes.entry((atom, mask)).or_insert_with(|| {
+            let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+            for (id, row) in rows[atom].iter().enumerate() {
+                index
+                    .entry(project_mask(row, mask))
+                    .or_default()
+                    .push(id as u32);
+            }
+            index
+        });
+        index.get(key).map_or(&NO_ROWS, Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_query::ConjunctiveQuery;
+
+    fn plan(q: &str) -> (ConjunctiveQuery, JoinPlan) {
+        let cq: ConjunctiveQuery = q.parse().unwrap();
+        let plan = JoinPlan::new(&cq).unwrap();
+        (cq, plan)
+    }
+
+    fn iv(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn eligibility() {
+        let full: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+        assert!(delta_eligible(&full));
+        let projecting: ConjunctiveQuery = "Q(x) :- R(x, y)".parse().unwrap();
+        assert!(!delta_eligible(&projecting));
+        let self_join: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), R(y, z)".parse().unwrap();
+        assert!(!delta_eligible(&self_join));
+    }
+
+    #[test]
+    fn seeded_join_finds_exactly_the_containing_answers() {
+        let (_, plan) = plan("Q(x, y, z) :- R(x, y), S(y, z)");
+        // R = {(1,2),(3,2),(5,6)}, S = {(2,7),(2,8),(6,9)}.
+        let r = vec![iv(&[1, 2]), iv(&[3, 2]), iv(&[5, 6])];
+        let s = vec![iv(&[2, 7]), iv(&[2, 8]), iv(&[6, 9])];
+        let mut ctx = JoinCtx::new(vec![r, s]);
+
+        // Seed with S-row (2,7): answers {(1,2,7),(3,2,7)}.
+        let mut out = FxHashSet::default();
+        plan.seeded_answers(1, &iv(&[2, 7]), &mut ctx, &mut out);
+        let mut got: Vec<Vec<Value>> = out.into_iter().collect();
+        got.sort();
+        assert_eq!(got, vec![iv(&[1, 2, 7]), iv(&[3, 2, 7])]);
+
+        // Seed with R-row (5,6): answer {(5,6,9)}.
+        let mut out = FxHashSet::default();
+        plan.seeded_answers(0, &iv(&[5, 6]), &mut ctx, &mut out);
+        assert_eq!(out.into_iter().collect::<Vec<_>>(), vec![iv(&[5, 6, 9])]);
+
+        // Seed with an R-row that joins nothing.
+        let mut out = FxHashSet::default();
+        plan.seeded_answers(0, &iv(&[9, 9]), &mut ctx, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn projection_is_the_witnessing_row() {
+        let (_, plan) = plan("Q(x, y, z) :- R(x, y), S(y, z)");
+        let answer = iv(&[1, 2, 7]);
+        assert_eq!(plan.project(0, &answer), iv(&[1, 2]));
+        assert_eq!(plan.project(1, &answer), iv(&[2, 7]));
+    }
+
+    #[test]
+    fn three_atom_chain_join() {
+        let (_, plan) = plan("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)");
+        let r = vec![iv(&[1, 2])];
+        let s = vec![iv(&[2, 3]), iv(&[2, 4])];
+        let t = vec![iv(&[3, 5]), iv(&[4, 6]), iv(&[9, 9])];
+        let mut ctx = JoinCtx::new(vec![r, s, t]);
+        let mut out = FxHashSet::default();
+        plan.seeded_answers(0, &iv(&[1, 2]), &mut ctx, &mut out);
+        let mut got: Vec<Vec<Value>> = out.into_iter().collect();
+        got.sort();
+        assert_eq!(got, vec![iv(&[1, 2, 3, 5]), iv(&[1, 2, 4, 6])]);
+    }
+}

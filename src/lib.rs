@@ -58,6 +58,7 @@
 //! | [`rae_yannakakis`] | semijoin reduction + Proposition 4.2 |
 //! | [`rae_core`] | Algorithms 1–8: `CqIndex`, `LazyShuffle`, `DeletableSet`, `UcqShuffle`, `McUcqIndex` |
 //! | [`rae_sampler`] | Zhao-et-al-style baselines (EW/EO/OE/RS) + dedup adaptor |
+//! | [`rae_serve`] | snapshot-swapped concurrent serving with delta maintenance |
 //! | [`rae_tpch`] | synthetic TPC-H generator + the paper's benchmark queries |
 //! | [`rae_faults`] | deterministic failpoints, budgets, transient-error retry |
 //!
@@ -75,6 +76,7 @@ pub use rae_data;
 pub use rae_faults;
 pub use rae_query;
 pub use rae_sampler;
+pub use rae_serve;
 pub use rae_tpch;
 pub use rae_yannakakis;
 
@@ -95,6 +97,10 @@ pub mod prelude {
     pub use rae_sampler::{
         EoSampler, EwSampler, JoinSampler, OeSampler, OrderedWindowSampler, RsSampler,
         WithoutReplacement,
+    };
+    pub use rae_serve::{
+        enumeration_digest, AdmissionPolicy, Batch, Op, ServeError, ServeWriter, ServingIndex,
+        ServingReader, Snapshot,
     };
     pub use rae_yannakakis::reduce_to_full_acyclic;
 }

@@ -124,6 +124,16 @@ fn core_attempt<T>(r: Result<T, rae_core::CoreError>) -> Attempt<T> {
     }
 }
 
+fn serve_attempt<T>(r: Result<T, ServeError>) -> Attempt<T> {
+    match r {
+        Ok(v) => Attempt::Done(v),
+        Err(e) => {
+            let transient = e.is_transient();
+            Attempt::Failed(e.to_string(), transient)
+        }
+    }
+}
+
 fn churn_config(seed: u64) -> ChurnConfig {
     ChurnConfig {
         cycles: 3,
@@ -411,6 +421,217 @@ fn leapfrog_degradation_preserves_union_answers() {
     assert_eq!(degraded.count(), baseline.count());
     let got: Vec<Vec<Value>> = degraded.enumerate().collect();
     assert_eq!(got, expected, "merge fallback must not change any answer");
+}
+
+/// The concurrent serving lifecycle under chaos: a `ServeWriter` drives
+/// apply/publish/fold rounds with a seeded fault schedule armed while
+/// reader threads hammer the published snapshots. Invariants:
+///
+/// * every structured writer failure is **transient** (the `persist`
+///   driver panics on any permanent error under injection);
+/// * readers never observe a **torn snapshot** — per refreshed snapshot
+///   the access↔inverted-access bijection holds at probe ranks, and the
+///   publication epoch is monotone per reader;
+/// * after the schedule disarms, the chaotically-published overlay
+///   snapshot and a clean fold both digest identically to a fault-free
+///   fold-and-rebuild oracle over the same logical rows — retried
+///   commits/folds are idempotent, so chaos may cost time but never
+///   answers.
+#[test]
+fn chaos_concurrent_serving_recovers_digest_identical() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let _s = serial();
+    let q: ConjunctiveQuery = CHURN_QUERY.parse().unwrap();
+    let order: Vec<Symbol> = ["o", "t", "p"].into_iter().map(Symbol::new).collect();
+    let mut total_fired = 0usize;
+
+    for seed in chaos_seeds() {
+        let _quiet = QuietPanics::new();
+        // Fault-free base: one churn cohort.
+        let mut db = Database::new();
+        churn::ingest_cycle(&mut db, 0, &churn_config(seed)).unwrap();
+        let (mut w, idx) =
+            ServeWriter::new(q.clone(), &db, &order, AdmissionPolicy::default()).unwrap();
+        assert!(
+            w.is_delta_overlay(),
+            "the churn query is full and self-join-free"
+        );
+
+        // Mirror of the logical rows. It advances once per round, before
+        // the chaotic commit: retried commits are idempotent set
+        // mutations, so however many attempts a round takes, the served
+        // state converges to the mirror. Deduped at init — the serving
+        // row state is set-semantic, while the churn generator can emit
+        // duplicate lineitem rows.
+        let dedup = |mut rows: Vec<Vec<Value>>| {
+            rows.sort_unstable();
+            rows.dedup();
+            rows
+        };
+        let mut orders: Vec<Vec<Value>> = dedup(
+            db.relation("churn_orders")
+                .unwrap()
+                .rows()
+                .map(<[Value]>::to_vec)
+                .collect(),
+        );
+        let mut lines: Vec<Vec<Value>> = dedup(
+            db.relation("churn_lineitem")
+                .unwrap()
+                .rows()
+                .map(<[Value]>::to_vec)
+                .collect(),
+        );
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for r in 0..3 {
+            let stop = Arc::clone(&stop);
+            let idx = idx.clone();
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("chaos-serve-reader-{r}"))
+                    .spawn(move || {
+                        let mut reader = idx.reader();
+                        let mut last_epoch = 0u64;
+                        let mut checks = 0usize;
+                        while !stop.load(Ordering::Relaxed) {
+                            let snap = reader.refresh();
+                            let e = snap.epoch();
+                            assert!(e >= last_epoch, "publication epochs must be monotone");
+                            last_epoch = e;
+                            let n = snap.count();
+                            for k in [0, n / 2, n.saturating_sub(1)] {
+                                if k >= n {
+                                    continue;
+                                }
+                                let row = snap
+                                    .ordered_access(k)
+                                    .expect("rank below count must resolve");
+                                assert_eq!(
+                                    snap.ordered_inverted_access(&row),
+                                    Some(k),
+                                    "torn snapshot: rank {k} does not round-trip"
+                                );
+                                checks += 1;
+                            }
+                            std::thread::yield_now();
+                        }
+                        checks
+                    })
+                    .unwrap(),
+            );
+        }
+
+        let guard = install(FaultSchedule::chaos(seed, 0.002));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut fresh = 0i64;
+        for round in 0..12usize {
+            let mut batch = Batch::new();
+            for _ in 0..2 {
+                if orders.len() > 8 {
+                    let i = rng.gen_range(0..orders.len());
+                    batch.delete("churn_orders", orders.swap_remove(i));
+                }
+                if lines.len() > 8 {
+                    let i = rng.gen_range(0..lines.len());
+                    batch.delete("churn_lineitem", lines.swap_remove(i));
+                }
+            }
+            for _ in 0..3 {
+                fresh += 1;
+                let o = Value::Int(7_000_000_000 + fresh);
+                let orow = vec![o.clone(), Value::str(format!("chaos-{seed}-{fresh}"))];
+                batch.insert("churn_orders", orow.clone());
+                orders.push(orow);
+                let lrow = vec![o, Value::Int(fresh)];
+                batch.insert("churn_lineitem", lrow.clone());
+                lines.push(lrow);
+            }
+            persist("serve commit", || serve_attempt(w.commit(&batch)));
+            if round % 5 == 4 {
+                persist("serve fold", || serve_attempt(w.fold_now()));
+            }
+        }
+        total_fired += rae_faults::fired().len();
+        drop(guard);
+
+        // The last rounds after the final fold left a pending overlay, so
+        // the digest comparison below covers base ⊎ delta ∖ T, not just a
+        // freshly folded base.
+        let chaotic = idx.snapshot();
+        assert!(
+            chaotic.delta_count() > 0,
+            "seed {seed}: the final chaotic snapshot must be serving a live overlay"
+        );
+
+        // Fault-free fold-and-rebuild oracle over the mirrored rows.
+        let oracle = {
+            let mut odb = Database::new();
+            odb.add_relation(
+                "churn_orders",
+                Relation::from_rows(
+                    Schema::new(["co_orderkey", "co_custtag"]).unwrap(),
+                    orders.iter().cloned(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            odb.add_relation(
+                "churn_lineitem",
+                Relation::from_rows(
+                    Schema::new(["cl_orderkey", "cl_partkey"]).unwrap(),
+                    lines.iter().cloned(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            let oidx = OrderedCqIndex::build(&q, &odb, w.order()).unwrap();
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            let mut e = oidx.enumerate();
+            while let Some(row) = e.next_ref() {
+                rows.push(row.to_vec());
+            }
+            enumeration_digest(rows.iter().map(Vec::as_slice))
+        };
+        assert_eq!(
+            chaotic.digest(),
+            oracle,
+            "seed {seed}: the chaotically-published overlay must equal the oracle"
+        );
+
+        // A clean fold drains the overlay and must serve the identical
+        // answer sequence.
+        w.fold_now().unwrap();
+        let folded = idx.snapshot();
+        assert_eq!(
+            folded.digest(),
+            oracle,
+            "seed {seed}: folded snapshot digest"
+        );
+        assert_eq!(folded.tombstone_count(), 0, "seed {seed}");
+        assert_eq!(folded.delta_count(), 0, "seed {seed}");
+
+        stop.store(true, Ordering::Relaxed);
+        let mut checks = 0usize;
+        for h in readers {
+            checks += h
+                .join()
+                .expect("a reader thread panicked — torn snapshot observed");
+        }
+        assert!(
+            checks > 0,
+            "seed {seed}: readers validated no snapshot at all"
+        );
+    }
+    assert!(
+        total_fired > 0,
+        "the serving chaos sweep never fired a single fault — the sweep is vacuous"
+    );
 }
 
 /// Injected sampler faults read as rejected attempts: `sample()` still
