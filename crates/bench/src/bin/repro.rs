@@ -119,6 +119,16 @@ fn run_command(command: &str, cfg: &BenchConfig) -> String {
             eprintln!("[repro] wrote BENCH_5.json");
             json
         }
+        "persistence" => {
+            // Cold-start load vs full rebuild of Q3's ordered index at two
+            // scales, plus snapshot size and the checksum-validation share
+            // of the load. A loaded digest diverging from the in-memory
+            // build panics, failing the CI step.
+            let json = rae_bench::persistence::persistence_json(cfg);
+            std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+            eprintln!("[repro] wrote BENCH_6.json");
+            json
+        }
         "ablation-delete" => ablation::ablation_delete(cfg),
         "ablation-fold" => ablation::ablation_fold(cfg),
         "ablation-binary" => ablation::ablation_binary(cfg),
@@ -160,7 +170,7 @@ fn usage(message: &str) -> ! {
          \u{20}         rs-note ablation-delete ablation-binary ablation-fold\n\
          \u{20}         bench-json (writes BENCH_1.json) churn (writes BENCH_2.json)\n\
          \u{20}         preprocessing (writes BENCH_3.json) robustness (writes BENCH_4.json)\n\
-         \u{20}         serving (writes BENCH_5.json) all"
+         \u{20}         serving (writes BENCH_5.json) persistence (writes BENCH_6.json) all"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }

@@ -33,6 +33,7 @@ pub mod churn;
 pub mod delays;
 pub mod figures;
 pub mod perf_report;
+pub mod persistence;
 pub mod preprocessing;
 pub mod robustness;
 pub mod serving;

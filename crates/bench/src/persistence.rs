@@ -1,0 +1,165 @@
+//! The persistence performance report (`BENCH_6.json`).
+//!
+//! `repro persistence` measures what durable snapshots buy on restart:
+//! cold-starting TPC-H Q3's ordered index from an on-disk snapshot
+//! (`rae_store::load` — checksum validation, decode, dictionary interning,
+//! and the full `from_archive` semantic re-validation) versus rebuilding it
+//! from base relations, at the configured scale factor and at 5× that
+//! scale (defaults: 0.01 and 0.05). Alongside the speedup it records the
+//! snapshot file size and the fraction of the load spent on pure checksum
+//! validation (`rae_store::verify`), so the integrity tax is visible.
+//!
+//! Every timed load digest-matches the in-memory archive before the run
+//! counts — a load that produced different bytes would **panic**, so the
+//! recorded speedups are for verified loads only.
+
+use rae_core::{CqIndex, OrderedCqIndex};
+use rae_data::Symbol;
+use rae_store::{digest_of, ArtifactArchive};
+use rae_tpch::{generate, queries, TpchScale};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `run()` over `samples` rounds.
+fn median_ns<T>(samples: u32, mut run: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let out = run();
+            let ns = start.elapsed().as_nanos() as f64;
+            drop(out);
+            ns
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+struct ScaleReport {
+    sf: f64,
+    rows: usize,
+    answers: u128,
+    file_bytes: u64,
+    build_ns: f64,
+    load_ns: f64,
+    verify_ns: f64,
+    decode_ns: f64,
+}
+
+fn measure_scale(sf: f64, seed: u64, samples: u32, dir: &Path) -> ScaleReport {
+    let db = generate(&TpchScale::from_sf(sf), seed);
+    let q3 = queries::q3();
+    let order: Vec<Symbol> = CqIndex::build(&q3, &db)
+        .expect("q3 builds")
+        .plan()
+        .attrs_dfs();
+    let idx = OrderedCqIndex::build(&q3, &db, &order).expect("q3 ordered build");
+    let rows: usize = (0..idx.index().node_count())
+        .map(|n| idx.index().node_relation(n).len())
+        .sum();
+    let answers = idx.count();
+
+    let archive = ArtifactArchive::Ordered(idx.to_archive());
+    let expected = digest_of(&archive);
+    let path = dir.join(format!("q3-sf{sf}.{}", rae_store::SNAPSHOT_EXT));
+    let meta = rae_store::save(&path, &archive, 1, "Q3").expect("persist snapshot");
+    assert_eq!(meta.artifact_digest, expected);
+
+    // Full rebuild from base relations (the restart path without a store).
+    let build_ns = median_ns(samples, || {
+        OrderedCqIndex::build(&q3, &db, &order).expect("rebuild")
+    });
+    // Cold-start load: checksums + decode + interning + re-validation. A
+    // digest mismatch against the in-memory build panics the report.
+    let load_ns = median_ns(samples, || {
+        let (_, meta) = rae_store::load(&path).expect("snapshot loads");
+        assert_eq!(
+            meta.artifact_digest, expected,
+            "LOADED SNAPSHOT DIVERGED FROM THE IN-MEMORY BUILD — this is a bug"
+        );
+    });
+    // Checksum validation alone (no decode, no interning).
+    let verify_ns = median_ns(samples, || {
+        rae_store::verify(&path).expect("snapshot verifies")
+    });
+    // Checksums + decode to archive form (no interning, no re-validation).
+    let decode_ns = median_ns(samples, || {
+        rae_store::load_archive(&path).expect("snapshot decodes")
+    });
+
+    ScaleReport {
+        sf,
+        rows,
+        answers,
+        file_bytes: meta.file_len,
+        build_ns,
+        load_ns,
+        verify_ns,
+        decode_ns,
+    }
+}
+
+/// Runs the persistence benchmark and renders `BENCH_6.json`'s contents.
+pub fn persistence_json(cfg: &crate::BenchConfig) -> String {
+    let dir = std::env::temp_dir().join(format!("rae-bench-persistence-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // Small scale at the configured sf, wide scale at 5×.
+    let reports = [
+        measure_scale(cfg.sf, cfg.seed, 9, &dir),
+        measure_scale(cfg.sf * 5.0, cfg.seed, 5, &dir),
+    ];
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"rae-bench-persistence-v1\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"seed\": {}, \"format_version\": {}, \"query\": \"Q3\", \
+         \"speedup_target\": 10.0 }},",
+        cfg.seed,
+        rae_store::FORMAT_VERSION
+    );
+    let _ = writeln!(out, "  \"scales\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let speedup = r.build_ns / r.load_ns;
+        let verify_fraction = r.verify_ns / r.load_ns;
+        let _ = writeln!(
+            out,
+            "    {{ \"sf\": {}, \"base_rows\": {}, \"answers\": {}, \
+             \"file_bytes\": {}, \"build_ns\": {:.0}, \"load_ns\": {:.0}, \
+             \"load_speedup\": {:.2}, \"verify_ns\": {:.0}, \
+             \"verify_fraction_of_load\": {:.3}, \"decode_ns\": {:.0} }}{}",
+            r.sf,
+            r.rows,
+            r.answers,
+            r.file_bytes,
+            r.build_ns,
+            r.load_ns,
+            speedup,
+            r.verify_ns,
+            verify_fraction,
+            r.decode_ns,
+            if i + 1 == reports.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchConfig;
+
+    #[test]
+    fn persistence_report_renders_and_loads_match() {
+        let json = persistence_json(&BenchConfig::smoke());
+        assert!(json.contains("\"schema\": \"rae-bench-persistence-v1\""));
+        assert!(json.contains("load_speedup"));
+        assert!(json.contains("verify_fraction_of_load"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-data archives of the built index structures (DESIGN.md §15).
+//!
+//! An archive is the process-independent raw-parts form of an index: a
+//! deduplicated value table plus flat `u32` *table-reference* columns and
+//! the precomputed per-row artifact tables (weights, startIndex prefix
+//! sums, bucket tables, child-bucket links). Dictionary codes never appear
+//! in an archive — they are process-local, so serialized rows reference
+//! positions in the archive's own value table instead, which is what makes
+//! the on-disk byte image (and hence `rae-store`'s `artifact_digest`)
+//! stable across processes.
+//!
+//! `to_archive` walks the live structure; `from_archive` is the validated
+//! single-copy reconstruction path: it re-interns the value table (one
+//! intern per *distinct* value), rebuilds the code-keyed lookup tables,
+//! and re-checks every structural invariant the access algorithms rely on
+//! — forest shape, running intersection, bucket partition, startIndex
+//! prefix sums, weight products over child buckets, and (for ordered
+//! layouts) within-bucket sort order — surfacing any violation as
+//! [`crate::CoreError::InvalidArchive`] rather than serving wrong answers.
+//!
+//! The expensive phases of a build (sorting, semijoin reduction, weight
+//! aggregation) are all absent from this path, which is why a cold-start
+//! load is an order of magnitude cheaper than a rebuild (`BENCH_6.json`).
+
+use crate::weight::Weight;
+use rae_data::{Symbol, Value};
+
+/// Per-row startIndex storage of one node, mirroring the in-memory
+/// compact/wide split (`u64` unless some start exceeds `u64::MAX`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartsArchive {
+    /// Every start fits `u64` (the overwhelmingly common case).
+    Compact(Vec<u64>),
+    /// Overflow fallback: full `u128` starts.
+    Wide(Vec<Weight>),
+}
+
+impl StartsArchive {
+    /// Number of stored starts.
+    pub fn len(&self) -> usize {
+        match self {
+            StartsArchive::Compact(v) => v.len(),
+            StartsArchive::Wide(v) => v.len(),
+        }
+    }
+
+    /// Whether no starts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The startIndex of row `i`.
+    pub fn at(&self, i: usize) -> Weight {
+        match self {
+            StartsArchive::Compact(v) => Weight::from(v[i]),
+            StartsArchive::Wide(v) => v[i],
+        }
+    }
+}
+
+/// One bucket of a node: a contiguous row range sharing a `pAtts` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketArchive {
+    /// First row id of the bucket.
+    pub start: u32,
+    /// One past the last row id.
+    pub end: u32,
+    /// Total subtree-answer weight of the bucket.
+    pub total: Weight,
+    /// Maximum row weight in the bucket.
+    pub max_weight: Weight,
+}
+
+/// The raw parts of one join-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeArchive {
+    /// Row count (disambiguates arity-0 nodes, whose `refs` are empty).
+    pub rows: u32,
+    /// Flat row-major value-table references (`rows × arity`).
+    pub refs: Vec<u32>,
+    /// Per-row subtree answer count (Algorithm 2's `w(t)`).
+    pub weights: Vec<Weight>,
+    /// Per-row start index within its bucket.
+    pub starts: StartsArchive,
+    /// The bucket table (a partition of `0..rows`).
+    pub buckets: Vec<BucketArchive>,
+    /// Bucket id of each row.
+    pub bucket_of_row: Vec<u32>,
+    /// `child_buckets[c][row]`: bucket id in child `c` matched by `row`.
+    pub child_buckets: Vec<Vec<u32>>,
+}
+
+/// The raw parts of a [`crate::CqIndex`]: plan shape, head, value table,
+/// and one [`NodeArchive`] per plan node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CqIndexArchive {
+    /// Deduplicated value table every node's `refs` index into, in
+    /// first-occurrence order of the node walk (deterministic).
+    pub values: Vec<Value>,
+    /// Sorted attribute bag of each plan node.
+    pub bags: Vec<Vec<Symbol>>,
+    /// Parent pointer of each plan node (`None` = root).
+    pub parent: Vec<Option<usize>>,
+    /// Head attributes in answer-tuple order.
+    pub head: Vec<Symbol>,
+    /// Per-node raw parts, in plan-node order.
+    pub nodes: Vec<NodeArchive>,
+}
+
+/// The raw parts of an [`crate::OrderedCqIndex`]: the underlying index
+/// archive plus the realized order metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedCqIndexArchive {
+    /// The underlying index archive (its layout realizes the order).
+    pub index: CqIndexArchive,
+    /// The realized lexicographic variable order.
+    pub order: Vec<Symbol>,
+    /// Per plan node: `(bag column, order position)` of the columns that
+    /// introduce new order variables, most significant first.
+    pub node_new: Vec<Vec<(u32, u32)>>,
+}
+
+/// The raw parts of an [`crate::OrderedMcUcqIndex`]: one ordered archive
+/// per non-empty member subset, all over one shared ordered layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedMcUcqArchive {
+    /// Number of union members.
+    pub m: u32,
+    /// Head attributes in answer-tuple order.
+    pub head: Vec<Symbol>,
+    /// `structs[mask]` for non-empty masks; `structs[0]` is `None`.
+    pub structs: Vec<Option<OrderedCqIndexArchive>>,
+}
+
+/// Shorthand constructor for [`crate::CoreError::InvalidArchive`].
+pub(crate) fn invalid(detail: impl Into<String>) -> crate::CoreError {
+    crate::CoreError::InvalidArchive(detail.into())
+}

@@ -76,6 +76,12 @@ pub enum CoreError {
         /// The failpoint site, e.g. `"build/node"`.
         site: &'static str,
     },
+    /// A deserialized index archive is internally inconsistent (plan shape,
+    /// bucket partition, prefix sums, weight products, or sort order do not
+    /// hold). Checksums upstream catch storage corruption; this is the
+    /// semantic backstop that refuses to serve wrong answers from a
+    /// checksum-valid but logically broken artifact.
+    InvalidArchive(String),
 }
 
 impl rae_faults::Transient for CoreError {
@@ -93,6 +99,7 @@ impl rae_faults::Transient for CoreError {
             | CoreError::IncompatibleTemplates { .. }
             | CoreError::UncoveredHeadAttribute(_)
             | CoreError::MismatchedOrders { .. }
+            | CoreError::InvalidArchive(_)
             | CoreError::CapacityExceeded { .. } => false,
         }
     }
@@ -146,6 +153,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::FaultInjected { site } => {
                 write!(f, "injected fault at failpoint `{site}`")
+            }
+            CoreError::InvalidArchive(detail) => {
+                write!(f, "index archive is internally inconsistent: {detail}")
             }
         }
     }

@@ -28,6 +28,7 @@
 // recoverable state.
 #![allow(clippy::expect_used)]
 
+use crate::archive::{BucketArchive, CqIndexArchive, NodeArchive, StartsArchive};
 use crate::error::{catch_build, ensure_u32, CoreError};
 use crate::renum_cq::CqShuffle;
 use crate::scratch::AccessScratch;
@@ -1252,6 +1253,412 @@ fn weights_range(
         weights.push(w);
     }
     Ok((weights, child_buckets))
+}
+
+// ----------------------------------------------------------------------
+// Archive round-trip (DESIGN.md §15): process-independent raw parts for
+// durable snapshots. `to_archive` is a walk; `from_archive` re-validates
+// every invariant the access algorithms rely on before serving answers.
+// ----------------------------------------------------------------------
+
+impl CqIndex {
+    /// Extracts the process-independent raw parts of this index: a
+    /// deduplicated value table (in first-occurrence order of the
+    /// deterministic node/row/column walk) plus flat table-reference
+    /// columns and the per-row artifact tables. Dictionary codes never
+    /// leave the process; the archive is byte-stable across processes for
+    /// the same logical index.
+    pub fn to_archive(&self) -> CqIndexArchive {
+        let mut values: Vec<Value> = Vec::new();
+        let mut position: std::collections::HashMap<Value, u32> = std::collections::HashMap::new();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|nd| {
+                let arity = nd.rel.arity();
+                let rows = nd.rel.len();
+                let mut refs = Vec::with_capacity(if arity == 0 { 0 } else { rows * arity });
+                if arity != 0 {
+                    for v in nd.rel.values() {
+                        let next = values.len();
+                        let r = *position.entry(v.clone()).or_insert_with(|| {
+                            values.push(v.clone());
+                            // Distinct values are bounded by the dictionary's
+                            // u32 code space, so the narrowing cannot wrap.
+                            next as u32
+                        });
+                        refs.push(r);
+                    }
+                }
+                NodeArchive {
+                    rows: rows as u32,
+                    refs,
+                    weights: nd.weights.clone(),
+                    starts: match &nd.starts {
+                        StartIndex::Compact(v) => StartsArchive::Compact(v.clone()),
+                        StartIndex::Wide(v) => StartsArchive::Wide(v.clone()),
+                    },
+                    buckets: nd
+                        .buckets
+                        .iter()
+                        .map(|b| BucketArchive {
+                            start: b.start,
+                            end: b.end,
+                            total: b.total,
+                            max_weight: b.max_weight,
+                        })
+                        .collect(),
+                    bucket_of_row: nd.bucket_of_row.clone(),
+                    child_buckets: nd.child_buckets.clone(),
+                }
+            })
+            .collect();
+        CqIndexArchive {
+            values,
+            bags: (0..self.plan.node_count())
+                .map(|i| self.plan.bag(i).to_vec())
+                .collect(),
+            parent: (0..self.plan.node_count())
+                .map(|i| self.plan.parent(i))
+                .collect(),
+            head: self.head.clone(),
+            nodes,
+        }
+    }
+
+    /// Reconstructs an index from its archived raw parts without re-running
+    /// any build phase (no sorting, no semijoin reduction, no weight
+    /// aggregation): one dictionary intern per *distinct* value, one pass
+    /// per node to re-check the structural invariants, and a rebuild of the
+    /// code-keyed bucket lookup tables.
+    ///
+    /// Every violation — forest shape, running intersection, bucket
+    /// partition, startIndex prefix sums, weight products over child
+    /// buckets, key consistency along tree edges — surfaces as
+    /// [`CoreError::InvalidArchive`]; a checksum-valid but logically broken
+    /// artifact is refused, never served.
+    pub fn from_archive(archive: CqIndexArchive) -> Result<Self> {
+        catch_build("CqIndex::from_archive", move || {
+            Self::from_archive_phases(archive)
+        })
+    }
+
+    fn from_archive_phases(a: CqIndexArchive) -> Result<Self> {
+        use crate::archive::invalid;
+        let n = a.bags.len();
+        if a.parent.len() != n || a.nodes.len() != n {
+            return Err(invalid(format!(
+                "plan shape mismatch: {n} bags, {} parent pointers, {} nodes",
+                a.parent.len(),
+                a.nodes.len()
+            )));
+        }
+        // `TreePlan::new` asserts (panics) on malformed parent pointers, so
+        // the forest shape is pre-validated here where it can be refused.
+        for (i, p) in a.parent.iter().enumerate() {
+            if let Some(p) = p {
+                if *p >= n {
+                    return Err(invalid(format!(
+                        "node {i} parent {p} out of range (node count {n})"
+                    )));
+                }
+            }
+        }
+        for start in 0..n {
+            let mut cur = start;
+            let mut steps = 0usize;
+            while let Some(p) = a.parent[cur] {
+                cur = p;
+                steps += 1;
+                if steps > n {
+                    return Err(invalid("parent pointers form a cycle"));
+                }
+            }
+        }
+        let mut bag_sets = Vec::with_capacity(n);
+        for (i, bag) in a.bags.iter().enumerate() {
+            let set: std::collections::BTreeSet<Symbol> = bag.iter().cloned().collect();
+            if set.len() != bag.len() {
+                return Err(invalid(format!("node {i} bag has duplicate attributes")));
+            }
+            bag_sets.push(set);
+        }
+        // Running-intersection violations surface as the structured
+        // QueryError this returns.
+        let plan = TreePlan::new(bag_sets, a.parent.clone()).map_err(CoreError::Query)?;
+        for i in 0..n {
+            if plan.bag(i) != a.bags[i].as_slice() {
+                return Err(invalid(format!(
+                    "node {i} bag is not in canonical sorted order"
+                )));
+            }
+        }
+        // Head coverage in both directions, as in `from_parts`.
+        for i in 0..n {
+            for attr in plan.bag(i) {
+                if !a.head.contains(attr) {
+                    return Err(CoreError::UncoveredHeadAttribute(format!(
+                        "bag attribute {attr} is not a head attribute"
+                    )));
+                }
+            }
+        }
+        for attr in &a.head {
+            if !(0..n).any(|i| plan.bag(i).binary_search(attr).is_ok()) {
+                return Err(CoreError::UncoveredHeadAttribute(attr.to_string()));
+            }
+        }
+
+        // Intern the value table once (rehydrate discipline: the generation
+        // is read BEFORE any code is produced, so a racing sweep leaves the
+        // index observably stale, never silently wrong).
+        let generation = dict::current_generation();
+        let mut table_codes = Vec::with_capacity(a.values.len());
+        for v in &a.values {
+            table_codes.push(dict::intern(v).map_err(CoreError::from)?);
+        }
+
+        let mut arch_nodes: Vec<Option<NodeArchive>> = a.nodes.into_iter().map(Some).collect();
+        let mut nodes: Vec<Option<NodeIndex>> = (0..n).map(|_| None).collect();
+        for &node in plan.leaf_to_root() {
+            let arch = arch_nodes[node]
+                .take()
+                .ok_or_else(|| invalid("leaf-to-root order revisited a node"))?;
+            let built = validate_archived_node(
+                &plan,
+                node,
+                arch,
+                &a.head,
+                &a.values,
+                &table_codes,
+                generation,
+                &nodes,
+            )?;
+            nodes[node] = Some(built);
+        }
+        let nodes: Vec<NodeIndex> = nodes
+            .into_iter()
+            .map(|n| n.ok_or_else(|| invalid("plan traversal missed a node")))
+            .collect::<Result<_>>()?;
+        let root_totals: Vec<Weight> = plan
+            .roots()
+            .iter()
+            .map(|&r| nodes[r].buckets.first().map_or(0, |b| b.total))
+            .collect();
+        let total = if root_totals.contains(&0) {
+            0
+        } else {
+            checked_product(root_totals.iter().copied()).ok_or(CoreError::WeightOverflow)?
+        };
+        Ok(CqIndex {
+            plan,
+            nodes,
+            head: a.head,
+            root_totals,
+            total,
+            generation,
+        })
+    }
+}
+
+/// Validates one archived node against its (already validated) children and
+/// assembles the live [`NodeIndex`]. Checks, in order: table shapes, the
+/// bucket partition, per-bucket key grouping, startIndex prefix sums and
+/// bucket totals, and the Algorithm 2 weight invariant — every row weight
+/// equals the product of its matched child-bucket totals, and each matched
+/// child bucket carries exactly the row's shared attribute values.
+#[allow(clippy::too_many_arguments)]
+fn validate_archived_node(
+    plan: &TreePlan,
+    node: usize,
+    arch: NodeArchive,
+    head: &[Symbol],
+    values: &[Value],
+    table_codes: &[ValueCode],
+    generation: rae_data::Generation,
+    nodes: &[Option<NodeIndex>],
+) -> Result<NodeIndex> {
+    use crate::archive::invalid;
+    let bag = plan.bag(node);
+    let arity = bag.len();
+    let rows = arch.rows as usize;
+    let schema = rae_data::Schema::new(bag.iter().cloned()).map_err(CoreError::from)?;
+    if arity != 0 && arch.refs.len() != rows * arity {
+        return Err(invalid(format!(
+            "node {node}: {} refs for {rows} rows of arity {arity}",
+            arch.refs.len()
+        )));
+    }
+    let rel = Relation::from_value_table(schema, values, table_codes, &arch.refs, rows, generation)
+        .map_err(CoreError::from)?;
+    let key_cols = plan.parent_shared_cols(node);
+    let bag_to_head: Vec<usize> = bag
+        .iter()
+        .map(|attr| {
+            head.iter()
+                .position(|h| h == attr)
+                .ok_or_else(|| CoreError::UncoveredHeadAttribute(attr.to_string()))
+        })
+        .collect::<Result<_>>()?;
+    if arch.weights.len() != rows || arch.starts.len() != rows || arch.bucket_of_row.len() != rows {
+        return Err(invalid(format!(
+            "node {node}: per-row tables do not match the row count"
+        )));
+    }
+    let children = plan.children(node);
+    if arch.child_buckets.len() != children.len() {
+        return Err(invalid(format!(
+            "node {node}: {} child-bucket columns for {} children",
+            arch.child_buckets.len(),
+            children.len()
+        )));
+    }
+    for cb in &arch.child_buckets {
+        if cb.len() != rows {
+            return Err(invalid(format!(
+                "node {node}: child-bucket column does not match the row count"
+            )));
+        }
+    }
+    // For each child: (child key column, own bag column) pairs linking the
+    // shared attributes along the tree edge. Running intersection makes the
+    // binary search total.
+    let mut link_cols: Vec<Vec<(usize, usize)>> = Vec::with_capacity(children.len());
+    for &child in children {
+        let child_bag = plan.bag(child);
+        let pairs = plan
+            .parent_shared_cols(child)
+            .into_iter()
+            .map(|child_col| {
+                let own = bag
+                    .binary_search(&child_bag[child_col])
+                    .map_err(|_| invalid("running intersection violated on a tree edge"))?;
+                Ok((child_col, own))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        link_cols.push(pairs);
+    }
+    if rows == 0 && !arch.buckets.is_empty() {
+        return Err(invalid(format!("node {node}: buckets over zero rows")));
+    }
+    if key_cols.is_empty() && arch.buckets.len() > 1 {
+        return Err(invalid(format!(
+            "node {node}: multiple buckets with an empty pAtts key"
+        )));
+    }
+    let mut expected_start: u32 = 0;
+    for (bid, b) in arch.buckets.iter().enumerate() {
+        if b.start != expected_start || b.end <= b.start || b.end as usize > rows {
+            return Err(invalid(format!(
+                "node {node}: bucket {bid} [{}, {}) breaks the row partition",
+                b.start, b.end
+            )));
+        }
+        expected_start = b.end;
+        let first_codes = rel.row_codes(b.start as usize);
+        let mut total: Weight = 0;
+        let mut max_weight: Weight = 0;
+        for r in b.start..b.end {
+            let i = r as usize;
+            if arch.bucket_of_row[i] != bid as u32 {
+                return Err(invalid(format!(
+                    "node {node}: row {i} bucket id disagrees with the bucket table"
+                )));
+            }
+            let codes = rel.row_codes(i);
+            if key_cols.iter().any(|&c| codes[c] != first_codes[c]) {
+                return Err(invalid(format!(
+                    "node {node}: bucket {bid} rows do not share a pAtts key"
+                )));
+            }
+            if arch.starts.at(i) != total {
+                return Err(invalid(format!(
+                    "node {node}: row {i} startIndex breaks the prefix sum"
+                )));
+            }
+            let w = arch.weights[i];
+            let mut product: Weight = 1;
+            for (c, &child) in children.iter().enumerate() {
+                let child_node = nodes[child]
+                    .as_ref()
+                    .ok_or_else(|| invalid("child visited after parent"))?;
+                let cb_id = arch.child_buckets[c][i] as usize;
+                let cb = child_node.buckets.get(cb_id).ok_or_else(|| {
+                    invalid(format!(
+                        "node {node}: row {i} references child bucket {cb_id} out of range"
+                    ))
+                })?;
+                let child_codes = child_node.rel.row_codes(cb.start as usize);
+                if link_cols[c]
+                    .iter()
+                    .any(|&(child_col, own_col)| child_codes[child_col] != codes[own_col])
+                {
+                    return Err(invalid(format!(
+                        "node {node}: row {i} linked to child bucket {cb_id} with a \
+                         different shared-attribute key"
+                    )));
+                }
+                product = product
+                    .checked_mul(cb.total)
+                    .ok_or(CoreError::WeightOverflow)?;
+            }
+            if w != product {
+                return Err(invalid(format!(
+                    "node {node}: row {i} weight {w} does not equal the product of \
+                     its child bucket totals ({product})"
+                )));
+            }
+            total = total.checked_add(w).ok_or(CoreError::WeightOverflow)?;
+            max_weight = max_weight.max(w);
+        }
+        if b.total != total || b.max_weight != max_weight {
+            return Err(invalid(format!(
+                "node {node}: bucket {bid} total/max disagree with its rows"
+            )));
+        }
+    }
+    if expected_start as usize != rows {
+        return Err(invalid(format!(
+            "node {node}: buckets cover {expected_start} of {rows} rows"
+        )));
+    }
+    let mut bucket_by_key = CodeKeyMap::with_capacity(key_cols.len(), arch.buckets.len());
+    let mut key_buf: Vec<ValueCode> = Vec::with_capacity(key_cols.len());
+    for (bid, b) in arch.buckets.iter().enumerate() {
+        key_buf.clear();
+        let codes = rel.row_codes(b.start as usize);
+        key_buf.extend(key_cols.iter().map(|&c| codes[c]));
+        if bucket_by_key.insert(&key_buf, bid as u32).is_some() {
+            return Err(invalid(format!(
+                "node {node}: two buckets share one pAtts key"
+            )));
+        }
+    }
+    let starts = match arch.starts {
+        StartsArchive::Compact(v) => StartIndex::Compact(v),
+        StartsArchive::Wide(v) => StartIndex::Wide(v),
+    };
+    Ok(NodeIndex {
+        rel,
+        key_cols,
+        weights: arch.weights,
+        starts,
+        buckets: arch
+            .buckets
+            .iter()
+            .map(|b| BucketView {
+                start: b.start,
+                end: b.end,
+                total: b.total,
+                max_weight: b.max_weight,
+            })
+            .collect(),
+        bucket_by_key,
+        bucket_of_row: arch.bucket_of_row,
+        child_buckets: arch.child_buckets,
+        bag_to_head,
+        row_by_tuple: OnceLock::new(),
+    })
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@
 //! free-connex CQs, and [`McUcqIndex::build`] for random access over
 //! mutually-compatible unions (shared-template UCQs).
 
+pub mod archive;
 pub mod budgeted;
 pub mod delset;
 pub mod enumerate;
@@ -44,6 +45,10 @@ pub mod weight;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use archive::{
+    BucketArchive, CqIndexArchive, NodeArchive, OrderedCqIndexArchive, OrderedMcUcqArchive,
+    StartsArchive,
+};
 pub use budgeted::{Budgeted, ProbeCadence};
 pub use delset::DeletableSet;
 pub use enumerate::CqSequential;

@@ -663,6 +663,124 @@ impl<R: Rng> Iterator for McUcqShuffle<'_, R> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Archive round-trip (DESIGN.md §15).
+// ----------------------------------------------------------------------
+
+impl OrderedMcUcqIndex {
+    /// Extracts the process-independent raw parts: one ordered archive per
+    /// non-empty member subset, all over the shared ordered layout.
+    pub fn to_archive(&self) -> crate::archive::OrderedMcUcqArchive {
+        crate::archive::OrderedMcUcqArchive {
+            m: self.m as u32,
+            head: self.head.clone(),
+            structs: self
+                .structs
+                .iter()
+                .map(|s| s.as_ref().map(OrderedCqIndex::to_archive))
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the ordered union structure from archived raw parts.
+    /// Each member archive passes the full [`OrderedCqIndex::from_archive`]
+    /// validation; on top of that, all 2^m − 1 members must share one head,
+    /// one realized order, and one plan shape (the compatibility the
+    /// inclusion–exclusion ranks rely on), and the stored masks must be
+    /// exactly the non-empty subsets. The union total is recomputed by
+    /// checked inclusion–exclusion, never trusted from the file.
+    pub fn from_archive(archive: crate::archive::OrderedMcUcqArchive) -> Result<Self> {
+        crate::error::catch_build("OrderedMcUcqIndex::from_archive", move || {
+            Self::from_archive_phases(archive)
+        })
+    }
+
+    fn from_archive_phases(a: crate::archive::OrderedMcUcqArchive) -> Result<Self> {
+        use crate::archive::invalid;
+        let m = a.m as usize;
+        if m == 0 {
+            return Err(invalid("union archive with zero members"));
+        }
+        if m > MAX_DISJUNCTS {
+            return Err(CoreError::TooManyDisjuncts {
+                max: MAX_DISJUNCTS,
+                got: m,
+            });
+        }
+        if a.structs.len() != 1 << m {
+            return Err(invalid(format!(
+                "{} subset slots for {m} members (expected {})",
+                a.structs.len(),
+                1usize << m
+            )));
+        }
+        let mut arch_structs = a.structs.into_iter();
+        if arch_structs
+            .next()
+            .is_some_and(|empty_mask| empty_mask.is_some())
+        {
+            return Err(invalid("subset mask 0 must be empty"));
+        }
+        let mut structs: Vec<Option<OrderedCqIndex>> = vec![None];
+        for (offset, arch) in arch_structs.enumerate() {
+            let mask = offset + 1;
+            let Some(arch) = arch else {
+                return Err(invalid(format!("subset mask {mask} is missing")));
+            };
+            let member = OrderedCqIndex::from_archive(arch)?;
+            if member.head() != a.head {
+                return Err(invalid(format!(
+                    "subset mask {mask} head does not match the union head"
+                )));
+            }
+            if let Some(first) = structs.get(1).and_then(Option::as_ref) {
+                if member.order() != first.order() {
+                    return Err(CoreError::MismatchedOrders {
+                        expected: first.order().iter().map(|s| s.to_string()).collect(),
+                        got: member.order().iter().map(|s| s.to_string()).collect(),
+                    });
+                }
+                if !member.index().plan().same_shape(first.index().plan()) {
+                    return Err(invalid(format!(
+                        "subset mask {mask} plan shape differs from the template"
+                    )));
+                }
+            }
+            if mask.count_ones() == 1 {
+                member.index().prepare_inverted_access();
+            }
+            structs.push(Some(member));
+        }
+
+        // Checked inclusion–exclusion: a corrupted archive must not be able
+        // to underflow the unsigned total (or smuggle in a wrong one — it
+        // is recomputed, never read from the file).
+        let (mut plus, mut minus) = (0 as Weight, 0 as Weight);
+        for (mask, s) in structs.iter().enumerate().skip(1) {
+            let c = s
+                .as_ref()
+                .ok_or_else(|| invalid("non-empty mask missing after validation"))?
+                .count();
+            let acc = if mask.count_ones() % 2 == 1 {
+                &mut plus
+            } else {
+                &mut minus
+            };
+            *acc = acc.checked_add(c).ok_or(CoreError::WeightOverflow)?;
+        }
+        let total = plus
+            .checked_sub(minus)
+            .ok_or_else(|| invalid("inclusion–exclusion total underflows"))?;
+
+        Ok(OrderedMcUcqIndex {
+            m,
+            head: a.head,
+            structs,
+            total,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

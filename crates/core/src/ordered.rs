@@ -423,6 +423,157 @@ impl OrderedCqIndex {
     }
 }
 
+// ----------------------------------------------------------------------
+// Archive round-trip (DESIGN.md §15).
+// ----------------------------------------------------------------------
+
+impl OrderedCqIndex {
+    /// Extracts the process-independent raw parts: the underlying
+    /// [`CqIndex`] archive plus the realized order metadata.
+    pub fn to_archive(&self) -> crate::archive::OrderedCqIndexArchive {
+        crate::archive::OrderedCqIndexArchive {
+            index: self.index.to_archive(),
+            order: self.order.clone(),
+            node_new: self
+                .node_new
+                .iter()
+                .map(|cols| {
+                    cols.iter()
+                        .map(|&(col, pos)| (col as u32, pos as u32))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs an ordered index from archived raw parts, re-checking
+    /// — on top of everything [`CqIndex::from_archive`] validates — that
+    /// the order is a permutation of the head, that the new-column lists
+    /// partition the order positions across the plan exactly once, and
+    /// that every bucket's rows are actually sorted on its new columns
+    /// (what [`OrderedCqIndex::ordered_access`]'s binary searches rely
+    /// on). Violations surface as [`CoreError::InvalidArchive`].
+    pub fn from_archive(archive: crate::archive::OrderedCqIndexArchive) -> Result<Self> {
+        crate::error::catch_build("OrderedCqIndex::from_archive", move || {
+            Self::from_archive_phases(archive)
+        })
+    }
+
+    fn from_archive_phases(a: crate::archive::OrderedCqIndexArchive) -> Result<Self> {
+        use crate::archive::invalid;
+        let index = CqIndex::from_archive(a.index)?;
+        validate_order(index.head(), &a.order).map_err(CoreError::Query)?;
+        let order_to_head: Vec<usize> =
+            a.order
+                .iter()
+                .map(|v| {
+                    index.head().iter().position(|h| h == v).ok_or_else(|| {
+                        invalid(format!("order variable {v} is not a head variable"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+        let plan = index.plan();
+        let n = plan.node_count();
+        if a.node_new.len() != n {
+            return Err(invalid(format!(
+                "{} new-column lists for {n} plan nodes",
+                a.node_new.len()
+            )));
+        }
+        let mut node_new: Vec<Vec<(usize, usize)>> = Vec::with_capacity(n);
+        let mut position_owner = vec![false; a.order.len()];
+        for (node, cols) in a.node_new.iter().enumerate() {
+            let bag = plan.bag(node);
+            let key_cols = plan.parent_shared_cols(node);
+            // The bag splits exactly into pAtts and introduced columns.
+            if cols.len() + key_cols.len() != bag.len() {
+                return Err(invalid(format!(
+                    "node {node}: {} new columns + {} pAtts do not cover arity {}",
+                    cols.len(),
+                    key_cols.len(),
+                    bag.len()
+                )));
+            }
+            let mut live = Vec::with_capacity(cols.len());
+            let mut last_pos: Option<usize> = None;
+            for &(col, pos) in cols {
+                let (col, pos) = (col as usize, pos as usize);
+                if col >= bag.len() || pos >= a.order.len() {
+                    return Err(invalid(format!(
+                        "node {node}: new column ({col}, {pos}) out of range"
+                    )));
+                }
+                if key_cols.contains(&col) {
+                    return Err(invalid(format!(
+                        "node {node}: column {col} is a pAtts key, not introduced here"
+                    )));
+                }
+                if bag[col] != a.order[pos] {
+                    return Err(invalid(format!(
+                        "node {node}: column {col} does not carry order variable {pos}"
+                    )));
+                }
+                if last_pos.is_some_and(|p| p >= pos) {
+                    return Err(invalid(format!(
+                        "node {node}: new columns are not most-significant-first"
+                    )));
+                }
+                last_pos = Some(pos);
+                if std::mem::replace(&mut position_owner[pos], true) {
+                    return Err(invalid(format!(
+                        "order position {pos} introduced at two nodes"
+                    )));
+                }
+                live.push((col, pos));
+            }
+            node_new.push(live);
+        }
+        if let Some(pos) = position_owner.iter().position(|&owned| !owned) {
+            return Err(invalid(format!(
+                "order position {pos} is introduced at no node"
+            )));
+        }
+        // Within every bucket, rows must be sorted on the node's new
+        // columns, and no two rows may coincide on all of them (they would
+        // be duplicate rows: the bucket fixes the pAtts and the new columns
+        // are the rest of the bag).
+        for (node, cols) in node_new.iter().enumerate() {
+            let rel = index.node_relation(node);
+            for bucket_id in 0..index.bucket_count(node) {
+                let b = index.bucket(node, bucket_id as u32);
+                for r in b.start..b.end.saturating_sub(1) {
+                    let (prev, next) = (rel.row(r as usize), rel.row(r as usize + 1));
+                    let cmp = cols
+                        .iter()
+                        .map(|&(col, _)| prev[col].cmp(&next[col]))
+                        .find(|c| *c != Ordering::Equal)
+                        .unwrap_or(Ordering::Equal);
+                    match cmp {
+                        Ordering::Greater => {
+                            return Err(invalid(format!(
+                                "node {node}: bucket {bucket_id} rows out of order on the \
+                                 realized order columns"
+                            )));
+                        }
+                        Ordering::Equal => {
+                            return Err(invalid(format!(
+                                "node {node}: bucket {bucket_id} holds duplicate rows"
+                            )));
+                        }
+                        Ordering::Less => {}
+                    }
+                }
+            }
+        }
+        Ok(OrderedCqIndex {
+            index,
+            order: a.order,
+            order_to_head,
+            node_new,
+        })
+    }
+}
+
 /// A constant-delay cursor over a rank window of an ordered index
 /// ([`OrderedCqIndex::range`]): the Theorem 4.1 sequential enumerator
 /// seeked to the window start. Zero heap allocations per answer via

@@ -1,0 +1,190 @@
+//! Archive round-trip: `to_archive` → `from_archive` must reproduce the
+//! exact answer stream, and `from_archive` must refuse tampered archives
+//! with a structured `CoreError::InvalidArchive` (never a panic, never a
+//! wrong answer).
+
+use rae_core::{CoreError, CqIndex, OrderedCqIndex, OrderedMcUcqIndex};
+use rae_data::{Database, Relation, Schema, Symbol, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    let r = Relation::from_rows(
+        Schema::new(["a", "b"]).unwrap(),
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(10)],
+            vec![Value::Int(1), Value::Int(20)],
+            vec![Value::Int(3), Value::Int(30)],
+        ],
+    )
+    .unwrap();
+    let s = Relation::from_rows(
+        Schema::new(["b", "c"]).unwrap(),
+        vec![
+            vec![Value::Int(10), Value::str("x")],
+            vec![Value::Int(10), Value::str("y")],
+            vec![Value::Int(20), Value::str("x")],
+            vec![Value::Int(30), Value::str("z")],
+        ],
+    )
+    .unwrap();
+    db.add_relation("R", r).unwrap();
+    db.add_relation("S", s).unwrap();
+    db
+}
+
+#[test]
+fn cq_round_trip_preserves_every_answer() {
+    let db = db();
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+    let restored = CqIndex::from_archive(idx.to_archive()).unwrap();
+    assert_eq!(restored.count(), idx.count());
+    for j in 0..idx.count() {
+        assert_eq!(restored.access(j), idx.access(j));
+    }
+    // Inverted access over the restored index agrees too.
+    for j in 0..idx.count() {
+        let answer = idx.access(j).unwrap();
+        assert_eq!(restored.inverted_access(&answer), Some(j));
+    }
+}
+
+#[test]
+fn archives_are_deterministic() {
+    let db = db();
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+    let a = idx.to_archive();
+    let b = CqIndex::from_archive(idx.to_archive())
+        .unwrap()
+        .to_archive();
+    assert_eq!(a, b, "archive → load → archive must be a fixed point");
+}
+
+#[test]
+fn ordered_round_trip_preserves_order_semantics() {
+    let db = db();
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let order = [Symbol::new("z"), Symbol::new("y"), Symbol::new("x")];
+    let idx = OrderedCqIndex::build(&cq, &db, &order).unwrap();
+    let restored = OrderedCqIndex::from_archive(idx.to_archive()).unwrap();
+    assert_eq!(restored.count(), idx.count());
+    assert_eq!(restored.order(), idx.order());
+    for k in 0..idx.count() {
+        assert_eq!(restored.ordered_access(k), idx.ordered_access(k));
+    }
+    assert_eq!(
+        restored.range_count(&[Value::str("x")]),
+        idx.range_count(&[Value::str("x")])
+    );
+}
+
+#[test]
+fn ordered_union_round_trip() {
+    let db = db();
+    let ucq = "Q(x, y) :- R(x, y) ; Q(x, y) :- S(x, y)".parse().unwrap();
+    let order = [Symbol::new("y"), Symbol::new("x")];
+    let idx = OrderedMcUcqIndex::build(&ucq, &db, &order).unwrap();
+    let restored = OrderedMcUcqIndex::from_archive(idx.to_archive()).unwrap();
+    assert_eq!(restored.count(), idx.count());
+    for k in 0..idx.count() {
+        assert_eq!(restored.ordered_access(k), idx.ordered_access(k));
+    }
+}
+
+#[test]
+fn tampered_weight_is_refused() {
+    let db = db();
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+    let mut archive = idx.to_archive();
+    // Inflate one row weight: the Algorithm 2 invariant (weight = product
+    // of child bucket totals) no longer holds.
+    let node = archive
+        .nodes
+        .iter_mut()
+        .find(|n| !n.weights.is_empty())
+        .unwrap();
+    node.weights[0] += 1;
+    match CqIndex::from_archive(archive) {
+        Err(CoreError::InvalidArchive(detail)) => {
+            assert!(detail.contains("weight"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected InvalidArchive, got {other:?}"),
+    }
+}
+
+#[test]
+fn tampered_parent_pointers_are_refused() {
+    let db = db();
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+
+    let mut cyclic = idx.to_archive();
+    let n = cyclic.parent.len();
+    for p in cyclic.parent.iter_mut() {
+        *p = Some(0); // includes a self-loop at node 0
+    }
+    assert!(matches!(
+        CqIndex::from_archive(cyclic),
+        Err(CoreError::InvalidArchive(_))
+    ));
+
+    let mut out_of_range = idx.to_archive();
+    out_of_range.parent[0] = Some(n + 7);
+    assert!(matches!(
+        CqIndex::from_archive(out_of_range),
+        Err(CoreError::InvalidArchive(_))
+    ));
+}
+
+#[test]
+fn tampered_value_ref_is_refused() {
+    let db = db();
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let idx = CqIndex::build(&cq, &db).unwrap();
+    let mut archive = idx.to_archive();
+    let table = archive.values.len() as u32;
+    let node = archive
+        .nodes
+        .iter_mut()
+        .find(|n| !n.refs.is_empty())
+        .unwrap();
+    node.refs[0] = table + 3;
+    // Surfaces as the data layer's structured out-of-range error, wrapped.
+    assert!(CqIndex::from_archive(archive).is_err());
+}
+
+#[test]
+fn tampered_sort_order_is_refused_for_ordered_layouts() {
+    let db = db();
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let order = [Symbol::new("x"), Symbol::new("y"), Symbol::new("z")];
+    let idx = OrderedCqIndex::build(&cq, &db, &order).unwrap();
+    let mut archive = idx.to_archive();
+    // Swap two rows of one node inside a single bucket by rewriting refs;
+    // find a node with a bucket of at least two rows first.
+    let plain = CqIndex::from_archive(archive.index.clone()).unwrap();
+    let mut target = None;
+    'outer: for node in 0..plain.node_count() {
+        for bucket_id in 0..plain.bucket_count(node) {
+            let b = plain.bucket(node, bucket_id as u32);
+            if b.end - b.start >= 2 {
+                target = Some((node, b.start as usize));
+                break 'outer;
+            }
+        }
+    }
+    let Some((node, row)) = target else {
+        panic!("expected some bucket with two rows");
+    };
+    let arity = plain.node_relation(node).arity();
+    let refs = &mut archive.index.nodes[node].refs;
+    for c in 0..arity {
+        refs.swap(row * arity + c, (row + 1) * arity + c);
+    }
+    // The swap breaks either the within-bucket sort order or a structural
+    // invariant below it — never yields a working index silently.
+    assert!(OrderedCqIndex::from_archive(archive).is_err());
+}

@@ -56,6 +56,15 @@ pub enum DataError {
         /// The failpoint site, e.g. `"dict/intern"`.
         site: &'static str,
     },
+    /// A flat row column referenced a position past the end of its value
+    /// table (snapshot-load bulk construction,
+    /// [`crate::Relation::from_value_table`]).
+    ValueRefOutOfRange {
+        /// The offending table reference.
+        reference: u32,
+        /// Length of the value table.
+        table: usize,
+    },
     /// A worker thread panicked during a parallel data-layer operation.
     /// The operation's partial effects are additive-only (e.g. some values
     /// of a batch interned), so retrying is safe.
@@ -78,6 +87,7 @@ impl rae_faults::Transient for DataError {
             | DataError::UnknownRelation(_)
             | DataError::UnknownAttribute { .. }
             | DataError::DuplicateRelation(_)
+            | DataError::ValueRefOutOfRange { .. }
             | DataError::DictionaryFull => false,
         }
     }
@@ -130,6 +140,11 @@ impl fmt::Display for DataError {
             DataError::FaultInjected { site } => {
                 write!(f, "injected fault at failpoint `{site}`")
             }
+            DataError::ValueRefOutOfRange { reference, table } => write!(
+                f,
+                "row column references value-table position {reference}, \
+                 but the table holds {table} values"
+            ),
             DataError::WorkerPanicked { context } => {
                 write!(f, "worker thread panicked during {context}")
             }

@@ -80,6 +80,12 @@ mod imp {
     pub fn eval_error(_site: &'static str) -> bool {
         false
     }
+
+    /// Inert probe: no schedule, hence no seed.
+    #[inline(always)]
+    pub fn active_seed() -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(feature = "failpoints")]
@@ -137,6 +143,9 @@ mod imp {
         "serve/apply",
         "serve/publish",
         "serve/fold",
+        "store/write",
+        "store/fsync",
+        "store/torn",
     ];
 
     impl FaultSchedule {
@@ -333,6 +342,14 @@ mod imp {
         Some(kind)
     }
 
+    /// The seed of the currently installed schedule, if any. Sites whose
+    /// fault *shape* is parameterized (e.g. the seeded truncation offset of
+    /// `store/torn`) derive their parameters from this so a single `u64`
+    /// still replays the entire run.
+    pub fn active_seed() -> Option<u64> {
+        lock().as_ref().map(|a| a.schedule.seed)
+    }
+
     /// Direct probe for degradation decisions made mid-expression (where the
     /// macro's `return`-based handler does not fit): returns `true` when an
     /// Error-kind fault fires, panics on a Panic-kind fault.
@@ -346,7 +363,7 @@ mod imp {
     }
 }
 
-pub use imp::{eval, eval_error};
+pub use imp::{active_seed, eval, eval_error};
 
 #[cfg(feature = "failpoints")]
 pub use imp::{

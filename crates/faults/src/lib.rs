@@ -36,7 +36,7 @@ mod failpoint;
 pub mod retry;
 
 pub use budget::{Breach, Budget, BudgetExceeded};
-pub use failpoint::{eval, eval_error, FaultKind};
+pub use failpoint::{active_seed, eval, eval_error, FaultKind};
 pub use retry::{BackoffSchedule, RetryPolicy, Transient};
 
 #[cfg(feature = "failpoints")]

@@ -1,4 +1,8 @@
 #![deny(missing_docs)]
+// Panicking extractors are banned in library code; everything surfaces a
+// structured, classifiable `QueryError`.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # rae-query
 //!

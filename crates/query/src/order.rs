@@ -45,6 +45,12 @@
 //! Unrealizable orders are rejected with
 //! [`QueryError::UnrealizableOrder`], never a panic.
 
+// Sanctioned panics: each `expect` names an invariant the synthesis search
+// establishes before the lookup (coverage validated, bags are subsets of
+// their source, search success covers every bag); violation is a bug, not a
+// recoverable state.
+#![allow(clippy::expect_used)]
+
 use crate::error::QueryError;
 use crate::join_tree::TreePlan;
 use crate::Result;

@@ -225,7 +225,9 @@ impl<'a> Parser<'a> {
                         Some(_) => {
                             // Consume one UTF-8 character.
                             let rest = &self.input[self.pos..];
-                            let ch = rest.chars().next().expect("non-empty");
+                            let Some(ch) = rest.chars().next() else {
+                                return Err(self.error("unterminated string"));
+                            };
                             s.push(ch);
                             self.pos += ch.len_utf8();
                         }

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Panicking extractors are banned in library code; everything surfaces a
+// structured, classifiable `SamplerError`.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # rae-sampler
 //!

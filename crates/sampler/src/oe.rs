@@ -1,5 +1,10 @@
 //! The OE (hybrid Olken/exact) sampler.
 
+// Sanctioned panics: each `expect` names a structural invariant of the
+// built index (ids and counts fit u32, uniform ranks are in range);
+// violation is a bug, not a recoverable state.
+#![allow(clippy::expect_used)]
+
 use crate::JoinSampler;
 use rae_core::{AccessScratch, CqIndex, Weight};
 use rae_data::Value;

@@ -98,7 +98,7 @@ pub mod snapshot;
 pub mod writer;
 
 pub use snapshot::{enumeration_digest, ServingIndex, ServingReader, Snapshot, SnapshotScan};
-pub use writer::{AdmissionPolicy, Batch, Op, ServeWriter};
+pub use writer::{AdmissionPolicy, Batch, FoldEvent, Op, ServeWriter};
 
 use rae_faults::Transient;
 use std::fmt;
@@ -146,6 +146,9 @@ pub enum ServeError {
     /// An internal invariant of the serving algebra was violated (a bug,
     /// not a retryable condition).
     Invariant(&'static str),
+    /// A snapshot persistence or recovery error from `rae-store` (fold
+    /// persistence, cold-start recovery).
+    Store(rae_store::StoreError),
 }
 
 impl fmt::Display for ServeError {
@@ -175,6 +178,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::FoldPanicked => write!(f, "background fold worker panicked"),
             ServeError::Invariant(what) => write!(f, "serving invariant violated: {what}"),
+            ServeError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -185,6 +189,7 @@ impl std::error::Error for ServeError {
             ServeError::Core(e) => Some(e),
             ServeError::Data(e) => Some(e),
             ServeError::Query(e) => Some(e),
+            ServeError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -196,6 +201,7 @@ impl Transient for ServeError {
             ServeError::Core(e) => e.is_transient(),
             ServeError::Data(e) => e.is_transient(),
             ServeError::Query(e) => e.is_transient(),
+            ServeError::Store(e) => e.is_transient(),
             // Backpressure clears once a fold drains the delta; an
             // in-progress fold finishes; injected faults and worker
             // panics are the chaos schedule's transients.
@@ -225,6 +231,12 @@ impl From<rae_data::DataError> for ServeError {
 impl From<rae_query::QueryError> for ServeError {
     fn from(e: rae_query::QueryError) -> Self {
         ServeError::Query(e)
+    }
+}
+
+impl From<rae_store::StoreError> for ServeError {
+    fn from(e: rae_store::StoreError) -> Self {
+        ServeError::Store(e)
     }
 }
 

@@ -323,6 +323,55 @@ impl ServingIndex {
             shared: Arc::clone(&self.shared),
         }
     }
+
+    /// Cold-start recovery: loads the newest valid persisted snapshot in
+    /// `dir` (quarantining everything that fails validation — see
+    /// [`rae_store::recover_dir`]) and publishes it as a read-only serving
+    /// sequence at the snapshot's recorded epoch.
+    ///
+    /// The recovered index serves reads immediately; to resume writes,
+    /// build a fresh [`crate::ServeWriter`] over the recovered base data
+    /// and point it at the same persistence directory (its next fold
+    /// epochs continue past the recovered one).
+    ///
+    /// Returns the serving handle together with the snapshot's validated
+    /// metadata (epoch, artifact digest, file path is
+    /// `meta`'s label/epoch naming).
+    pub fn recover(dir: &std::path::Path) -> Result<(Self, rae_store::SnapshotMeta)> {
+        let (_path, artifact, meta) = rae_store::recover_dir(dir)?;
+        let rae_store::Artifact::Ordered(base) = artifact else {
+            return Err(ServeError::Store(rae_store::StoreError::Corrupt {
+                section: "footer".to_string(),
+                detail: format!(
+                    "recovered snapshot holds a `{}` index, but serving resumes from \
+                     ordered bases",
+                    meta.kind
+                ),
+            }));
+        };
+        let base = Arc::new(base);
+        // Rebuild the epoch-0-style read state: the base alone, no
+        // tombstones, no delta. The live value set is collected from the
+        // base's own node relations (the same values `from_archive` just
+        // interned), so subsequent sweeps keep them alive.
+        let mut set: rae_data::FxHashSet<Value> = rae_data::FxHashSet::default();
+        for node in 0..base.index().node_count() {
+            for v in base.index().node_relation(node).values() {
+                set.insert(v.clone());
+            }
+        }
+        let values: Vec<Value> = set.into_iter().collect();
+        let union = RankedUcq::from_shared_members(vec![Arc::clone(&base)])?;
+        let snap = Arc::new(Snapshot::assemble(
+            union,
+            Vec::new(),
+            meta.epoch,
+            Arc::new(values),
+            0,
+        )?);
+        let shared = Arc::new(Shared::new(snap));
+        Ok((ServingIndex { shared }, meta))
+    }
 }
 
 /// A per-thread read handle: keeps an `Arc` to the last snapshot it saw

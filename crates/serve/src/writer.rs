@@ -29,12 +29,34 @@ use rae_core::{BuildOptions, OrderedCqIndex, RankedUcq, Weight};
 use rae_data::{Database, FxHashMap, FxHashSet, Relation, Schema, Symbol, Value};
 use rae_faults::{fail_point, Budget};
 use rae_query::{Atom, ConjunctiveQuery};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Relation name of the materialized delta member inside a publish.
 const DELTA_REL: &str = "__serve_delta";
+
+/// What a completed fold did, handed to the [`ServeWriter::on_fold`]
+/// callback after the folded snapshot is published (and, when fold
+/// persistence is enabled, durably on disk).
+#[derive(Debug, Clone)]
+pub struct FoldEvent {
+    /// The epoch the folded snapshot was published under.
+    pub epoch: u64,
+    /// Where the folded base was persisted, when
+    /// [`ServeWriter::persist_folds_to`] is configured.
+    pub persisted: Option<PathBuf>,
+}
+
+/// Post-fold side-effect hook (closures have no useful `Debug`).
+struct FoldHook(Box<dyn FnMut(&FoldEvent) + Send>);
+
+impl std::fmt::Debug for FoldHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FoldHook")
+    }
+}
 
 /// Admission control for the writer: how much pending (unfolded) delta
 /// the serving structure will carry, and the resource budgets under which
@@ -218,6 +240,11 @@ pub struct ServeWriter {
     /// code slots.
     retained: Vec<Weak<Snapshot>>,
     fold: Option<FoldJob>,
+    /// When set, every completed fold persists the new base here as
+    /// `snap-<epoch>.rae` via `rae-store`'s atomic-publish protocol.
+    persist_dir: Option<PathBuf>,
+    /// Post-publish fold observer (tests, metrics, persistence fan-out).
+    on_fold: Option<FoldHook>,
 }
 
 impl ServeWriter {
@@ -309,6 +336,8 @@ impl ServeWriter {
             policy,
             retained: vec![Arc::downgrade(&snap)],
             fold: None,
+            persist_dir: None,
+            on_fold: None,
         };
         drop(snap);
         writer.rebuild_ctx();
@@ -755,7 +784,7 @@ impl ServeWriter {
             }
         }
         self.rebuild_ctx();
-        match self.strategy {
+        let epoch = match self.strategy {
             Strategy::DeltaOverlay => self.publish_overlay(),
             Strategy::RebuildPerPublish => {
                 let union = RankedUcq::from_shared_members(vec![Arc::clone(&self.base)])?;
@@ -768,6 +797,48 @@ impl ServeWriter {
                     0,
                 )?)
             }
+        }?;
+        // Persist the folded base AFTER publication: a persistence
+        // failure (full disk, injected `store/*` fault) leaves the folded
+        // snapshot serving; only durability is lost, and recovery falls
+        // back to the previous on-disk epoch.
+        let persisted = match &self.persist_dir {
+            Some(dir) => {
+                let path = dir.join(format!("snap-{epoch}.{}", rae_store::SNAPSHOT_EXT));
+                let archive = rae_store::ArtifactArchive::Ordered(self.base.to_archive());
+                rae_store::save(&path, &archive, epoch, self.query.name())?;
+                Some(path)
+            }
+            None => None,
+        };
+        let event = FoldEvent { epoch, persisted };
+        if let Some(hook) = &mut self.on_fold {
+            (hook.0)(&event);
         }
+        Ok(epoch)
+    }
+
+    /// Enables fold persistence: every completed fold (synchronous or
+    /// background) durably writes its new base index to
+    /// `dir/snap-<epoch>.rae` through `rae-store`'s crash-consistent
+    /// publish protocol, after the in-memory snapshot swap. Cold starts
+    /// resume from the newest valid file via
+    /// [`crate::ServingIndex::recover`].
+    pub fn persist_folds_to(&mut self, dir: impl Into<PathBuf>) {
+        self.persist_dir = Some(dir.into());
+    }
+
+    /// The configured fold-persistence directory, if any.
+    pub fn persist_target(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
+    }
+
+    /// Registers a callback fired after every completed fold — once the
+    /// folded snapshot is published and (if configured) persisted. Replaces
+    /// any previous callback. This is the push-style complement of
+    /// [`ServeWriter::poll_fold`]: persistence bookkeeping and tests count
+    /// folds here instead of polling.
+    pub fn on_fold(&mut self, hook: impl FnMut(&FoldEvent) + Send + 'static) {
+        self.on_fold = Some(FoldHook(Box::new(hook)));
     }
 }

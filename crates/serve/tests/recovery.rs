@@ -1,0 +1,176 @@
+//! Fold persistence and cold-start recovery: `persist_folds_to` writes a
+//! durable snapshot after every fold publication, the `on_fold` callback
+//! observes it, and `ServingIndex::recover` restarts read service from the
+//! newest valid snapshot — falling back past corrupted files, which are
+//! quarantined, never deleted.
+//!
+//! Folds sweep the process-global dictionary generation, so every test
+//! serializes on [`lock`] like the main serving suite.
+
+use rae_data::{Database, Relation, Schema, Symbol, Value};
+use rae_query::ConjunctiveQuery;
+use rae_serve::{AdmissionPolicy, Batch, FoldEvent, ServeWriter, ServingIndex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rae-serve-recovery-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn iv(vals: &[i64]) -> Vec<Value> {
+    vals.iter().map(|&v| Value::Int(v)).collect()
+}
+
+fn setup() -> (ServeWriter, ServingIndex) {
+    let mut db = Database::new();
+    let rel = |attrs: [&str; 2], rows: &[[i64; 2]]| {
+        Relation::from_rows(
+            Schema::new(attrs).unwrap(),
+            rows.iter().map(|row| iv(&row[..])),
+        )
+        .unwrap()
+    };
+    db.add_relation("R", rel(["o", "t"], &[[1, 10], [2, 20]]))
+        .unwrap();
+    db.add_relation("S", rel(["o", "p"], &[[1, 7], [2, 8]]))
+        .unwrap();
+    let query: ConjunctiveQuery = "Q(o, t, p) :- R(o, t), S(o, p)".parse().unwrap();
+    let order: Vec<Symbol> = ["o", "t", "p"].into_iter().map(Symbol::new).collect();
+    ServeWriter::new(query, &db, &order, AdmissionPolicy::default()).unwrap()
+}
+
+#[test]
+fn folds_persist_snapshots_and_fire_the_callback() {
+    let _guard = lock();
+    let dir = scratch("persist");
+    let (mut writer, _index) = setup();
+    writer.persist_folds_to(&dir);
+    assert_eq!(writer.persist_target(), Some(dir.as_path()));
+
+    let events: Arc<Mutex<Vec<FoldEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    writer.on_fold(move |e: &FoldEvent| sink.lock().unwrap().push(e.clone()));
+
+    let mut batch = Batch::new();
+    batch.insert("R", iv(&[3, 30]));
+    batch.insert("S", iv(&[3, 9]));
+    writer.commit(&batch).unwrap();
+    let epoch1 = writer.fold_now().unwrap();
+
+    let mut batch = Batch::new();
+    batch.delete("S", iv(&[2, 8]));
+    writer.commit(&batch).unwrap();
+    let epoch2 = writer.fold_now().unwrap();
+    assert!(epoch2 > epoch1);
+
+    let events = events.lock().unwrap();
+    assert_eq!(events.len(), 2, "one event per fold");
+    assert_eq!(events[0].epoch, epoch1);
+    assert_eq!(events[1].epoch, epoch2);
+    for e in events.iter() {
+        let path = e.persisted.as_ref().expect("fold persisted");
+        assert!(path.starts_with(&dir));
+        assert!(path.exists(), "{path:?} missing");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_restores_the_newest_fold_exactly() {
+    let _guard = lock();
+    let dir = scratch("recover");
+    let (mut writer, index) = setup();
+    writer.persist_folds_to(&dir);
+
+    let mut batch = Batch::new();
+    batch.insert("R", iv(&[3, 30]));
+    batch.insert("S", iv(&[3, 9]));
+    batch.delete("S", iv(&[2, 8]));
+    writer.commit(&batch).unwrap();
+    let epoch = writer.fold_now().unwrap();
+
+    let mut live = index.reader();
+    let live_snap = live.refresh();
+    let live_digest = live_snap.digest();
+    let live_count = live_snap.count();
+
+    // Cold start: a different "process" (fresh ServingIndex) from disk.
+    let (recovered, meta) = ServingIndex::recover(&dir).unwrap();
+    assert_eq!(meta.epoch, epoch);
+    let mut reader = recovered.reader();
+    let snap = reader.refresh();
+    assert_eq!(snap.epoch(), epoch);
+    assert_eq!(snap.count(), live_count);
+    assert_eq!(snap.digest(), live_digest, "recovered answers diverge");
+    assert_eq!(snap.tombstone_count(), 0, "folds are tombstone-free");
+    // The access algebra works end to end on the recovered snapshot.
+    for k in 0..snap.count() {
+        let row = snap.ordered_access(k).unwrap();
+        assert_eq!(snap.ordered_inverted_access(&row), Some(k));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_falls_back_past_a_corrupted_newest_snapshot() {
+    let _guard = lock();
+    let dir = scratch("fallback");
+    let (mut writer, _index) = setup();
+    writer.persist_folds_to(&dir);
+
+    let mut batch = Batch::new();
+    batch.insert("R", iv(&[3, 30]));
+    writer.commit(&batch).unwrap();
+    let epoch1 = writer.fold_now().unwrap();
+
+    let mut batch = Batch::new();
+    batch.insert("S", iv(&[3, 9]));
+    writer.commit(&batch).unwrap();
+    let epoch2 = writer.fold_now().unwrap();
+
+    // Flip one payload byte of the newest snapshot.
+    let newest = dir.join(format!("snap-{epoch2}.rae"));
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let (recovered, meta) = ServingIndex::recover(&dir).unwrap();
+    assert_eq!(meta.epoch, epoch1, "must fall back to the older fold");
+    assert!(recovered.reader().refresh().count() > 0);
+    // The corrupted file was quarantined aside, not deleted.
+    assert!(!newest.exists());
+    let quarantined = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().to_string_lossy().contains(".corrupt"))
+        .count();
+    assert_eq!(quarantined, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_of_an_empty_directory_is_a_structured_error() {
+    let _guard = lock();
+    let dir = scratch("nothing");
+    let err = ServingIndex::recover(&dir).unwrap_err();
+    assert!(
+        err.to_string().contains("no loadable snapshot"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

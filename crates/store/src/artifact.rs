@@ -1,0 +1,490 @@
+//! Artifact ⇄ section codec. An artifact (one built index in archive form)
+//! encodes to a deterministic ordered list of named sections — flat `u32`
+//! reference columns, `u64`/`u128` startIndex prefix sums, bucket tables,
+//! and the deduplicated value table — and the `artifact_digest` is the
+//! FNV-1a 64 over the concatenated section payloads in that order. The
+//! encoding references the archive's own value table (never process-local
+//! dictionary codes), so the digest of a logical index is identical across
+//! processes: the crash harness compares digests computed in different
+//! processes to prove recovery exactness.
+
+use crate::error::StoreError;
+use crate::wire::{Reader, Writer};
+use rae_core::{
+    BucketArchive, CqIndex, CqIndexArchive, NodeArchive, OrderedCqIndex, OrderedCqIndexArchive,
+    OrderedMcUcqArchive, OrderedMcUcqIndex, StartsArchive,
+};
+use std::collections::BTreeMap;
+
+/// What kind of index a snapshot holds (the footer's kind tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A plain [`CqIndex`] (Theorem 4.3 layout).
+    Cq,
+    /// An [`OrderedCqIndex`] (lex-ordered layout).
+    Ordered,
+    /// An [`OrderedMcUcqIndex`] (2^m − 1 ordered members).
+    OrderedUnion,
+}
+
+impl ArtifactKind {
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::Cq => 1,
+            ArtifactKind::Ordered => 2,
+            ArtifactKind::OrderedUnion => 3,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(ArtifactKind::Cq),
+            2 => Some(ArtifactKind::Ordered),
+            3 => Some(ArtifactKind::OrderedUnion),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ArtifactKind::Cq => "cq",
+            ArtifactKind::Ordered => "ordered",
+            ArtifactKind::OrderedUnion => "ordered-union",
+        })
+    }
+}
+
+/// The archived (process-independent) form of one persistable index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactArchive {
+    /// A plain CQ index archive.
+    Cq(CqIndexArchive),
+    /// An ordered CQ index archive.
+    Ordered(OrderedCqIndexArchive),
+    /// An ordered same-template union archive.
+    OrderedUnion(OrderedMcUcqArchive),
+}
+
+/// A live, validated index reconstructed from a snapshot.
+#[derive(Debug)]
+pub enum Artifact {
+    /// A plain CQ index.
+    Cq(CqIndex),
+    /// An ordered CQ index.
+    Ordered(OrderedCqIndex),
+    /// An ordered same-template union.
+    OrderedUnion(OrderedMcUcqIndex),
+}
+
+impl ArtifactArchive {
+    /// The kind tag this archive serializes under.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            ArtifactArchive::Cq(_) => ArtifactKind::Cq,
+            ArtifactArchive::Ordered(_) => ArtifactKind::Ordered,
+            ArtifactArchive::OrderedUnion(_) => ArtifactKind::OrderedUnion,
+        }
+    }
+
+    /// Encodes into the deterministic ordered section list.
+    pub(crate) fn to_sections(&self) -> Vec<(String, Vec<u8>)> {
+        let mut out = Vec::new();
+        match self {
+            ArtifactArchive::Cq(a) => encode_cq("", a, &mut out),
+            ArtifactArchive::Ordered(a) => encode_ordered("", a, &mut out),
+            ArtifactArchive::OrderedUnion(a) => {
+                let mut w = Writer::new();
+                w.put_u32(a.m);
+                w.put_symbols(&a.head);
+                out.push(("union".to_string(), w.into_bytes()));
+                for (mask, member) in a.structs.iter().enumerate() {
+                    if let Some(member) = member {
+                        encode_ordered(&format!("m{mask}/"), member, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes an archive of `kind` from named section payloads.
+    pub(crate) fn from_sections(
+        kind: ArtifactKind,
+        sections: &BTreeMap<String, &[u8]>,
+    ) -> Result<Self, StoreError> {
+        match kind {
+            ArtifactKind::Cq => Ok(ArtifactArchive::Cq(decode_cq("", sections)?)),
+            ArtifactKind::Ordered => Ok(ArtifactArchive::Ordered(decode_ordered("", sections)?)),
+            ArtifactKind::OrderedUnion => {
+                let bytes = section(sections, "union")?;
+                let mut r = Reader::new("union", bytes);
+                let m = r.get_u32()?;
+                let head = r.get_symbols()?;
+                r.finish()?;
+                if m == 0 || m > 24 {
+                    return Err(StoreError::Corrupt {
+                        section: "union".to_string(),
+                        detail: format!("implausible member count {m}"),
+                    });
+                }
+                let mut structs = vec![None];
+                for mask in 1..(1usize << m) {
+                    structs.push(Some(decode_ordered(&format!("m{mask}/"), sections)?));
+                }
+                Ok(ArtifactArchive::OrderedUnion(OrderedMcUcqArchive {
+                    m,
+                    head,
+                    structs,
+                }))
+            }
+        }
+    }
+
+    /// Reconstructs the live index, running the full `from_archive`
+    /// semantic validation (the backstop behind the checksums).
+    pub fn realize(self) -> Result<Artifact, StoreError> {
+        Ok(match self {
+            ArtifactArchive::Cq(a) => Artifact::Cq(CqIndex::from_archive(a)?),
+            ArtifactArchive::Ordered(a) => Artifact::Ordered(OrderedCqIndex::from_archive(a)?),
+            ArtifactArchive::OrderedUnion(a) => {
+                Artifact::OrderedUnion(OrderedMcUcqIndex::from_archive(a)?)
+            }
+        })
+    }
+}
+
+fn encode_cq(prefix: &str, a: &CqIndexArchive, out: &mut Vec<(String, Vec<u8>)>) {
+    let mut w = Writer::new();
+    w.put_symbols(&a.head);
+    w.put_len(a.bags.len());
+    for (bag, parent) in a.bags.iter().zip(&a.parent) {
+        match parent {
+            Some(p) => {
+                w.put_u8(1);
+                w.put_u32(*p as u32);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_symbols(bag);
+    }
+    out.push((format!("{prefix}plan"), w.into_bytes()));
+
+    let mut w = Writer::new();
+    w.put_len(a.values.len());
+    for v in &a.values {
+        w.put_value(v);
+    }
+    out.push((format!("{prefix}values"), w.into_bytes()));
+
+    for (i, node) in a.nodes.iter().enumerate() {
+        let mut w = Writer::new();
+        w.put_u32(node.rows);
+        w.put_len(node.refs.len());
+        for &r in &node.refs {
+            w.put_u32(r);
+        }
+        out.push((format!("{prefix}node{i}/refs"), w.into_bytes()));
+
+        let mut w = Writer::new();
+        w.put_len(node.weights.len());
+        for &wt in &node.weights {
+            w.put_u128(wt);
+        }
+        out.push((format!("{prefix}node{i}/weights"), w.into_bytes()));
+
+        let mut w = Writer::new();
+        match &node.starts {
+            StartsArchive::Compact(v) => {
+                w.put_u8(0);
+                w.put_len(v.len());
+                for &s in v {
+                    w.put_u64(s);
+                }
+            }
+            StartsArchive::Wide(v) => {
+                w.put_u8(1);
+                w.put_len(v.len());
+                for &s in v {
+                    w.put_u128(s);
+                }
+            }
+        }
+        out.push((format!("{prefix}node{i}/starts"), w.into_bytes()));
+
+        let mut w = Writer::new();
+        w.put_len(node.buckets.len());
+        for b in &node.buckets {
+            w.put_u32(b.start);
+            w.put_u32(b.end);
+            w.put_u128(b.total);
+            w.put_u128(b.max_weight);
+        }
+        out.push((format!("{prefix}node{i}/buckets"), w.into_bytes()));
+
+        let mut w = Writer::new();
+        w.put_len(node.bucket_of_row.len());
+        for &b in &node.bucket_of_row {
+            w.put_u32(b);
+        }
+        w.put_len(node.child_buckets.len());
+        for col in &node.child_buckets {
+            w.put_len(col.len());
+            for &b in col {
+                w.put_u32(b);
+            }
+        }
+        out.push((format!("{prefix}node{i}/links"), w.into_bytes()));
+    }
+}
+
+fn encode_ordered(prefix: &str, a: &OrderedCqIndexArchive, out: &mut Vec<(String, Vec<u8>)>) {
+    encode_cq(prefix, &a.index, out);
+    let mut w = Writer::new();
+    w.put_symbols(&a.order);
+    w.put_len(a.node_new.len());
+    for cols in &a.node_new {
+        w.put_len(cols.len());
+        for &(col, pos) in cols {
+            w.put_u32(col);
+            w.put_u32(pos);
+        }
+    }
+    out.push((format!("{prefix}order"), w.into_bytes()));
+}
+
+fn section<'a>(sections: &'a BTreeMap<String, &[u8]>, name: &str) -> Result<&'a [u8], StoreError> {
+    sections
+        .get(name)
+        .copied()
+        .ok_or_else(|| StoreError::Corrupt {
+            section: name.to_string(),
+            detail: "section missing from the file".to_string(),
+        })
+}
+
+fn decode_cq(
+    prefix: &str,
+    sections: &BTreeMap<String, &[u8]>,
+) -> Result<CqIndexArchive, StoreError> {
+    let name = format!("{prefix}plan");
+    let mut r = Reader::new(&name, section(sections, &name)?);
+    let head = r.get_symbols()?;
+    let n = r.get_len(1)?;
+    let mut bags = Vec::with_capacity(n);
+    let mut parent = Vec::with_capacity(n);
+    for _ in 0..n {
+        parent.push(match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u32()? as usize),
+            tag => {
+                return Err(StoreError::Corrupt {
+                    section: name.clone(),
+                    detail: format!("unknown parent tag {tag}"),
+                })
+            }
+        });
+        bags.push(r.get_symbols()?);
+    }
+    r.finish()?;
+
+    let name = format!("{prefix}values");
+    let mut r = Reader::new(&name, section(sections, &name)?);
+    let count = r.get_len(1)?;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(r.get_value()?);
+    }
+    r.finish()?;
+
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = format!("{prefix}node{i}/refs");
+        let mut r = Reader::new(&name, section(sections, &name)?);
+        let rows = r.get_u32()?;
+        let len = r.get_len(4)?;
+        let mut refs = Vec::with_capacity(len);
+        for _ in 0..len {
+            refs.push(r.get_u32()?);
+        }
+        r.finish()?;
+
+        let name = format!("{prefix}node{i}/weights");
+        let mut r = Reader::new(&name, section(sections, &name)?);
+        let len = r.get_len(16)?;
+        let mut weights = Vec::with_capacity(len);
+        for _ in 0..len {
+            weights.push(r.get_u128()?);
+        }
+        r.finish()?;
+
+        let name = format!("{prefix}node{i}/starts");
+        let mut r = Reader::new(&name, section(sections, &name)?);
+        let starts = match r.get_u8()? {
+            0 => {
+                let len = r.get_len(8)?;
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(r.get_u64()?);
+                }
+                StartsArchive::Compact(v)
+            }
+            1 => {
+                let len = r.get_len(16)?;
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(r.get_u128()?);
+                }
+                StartsArchive::Wide(v)
+            }
+            tag => {
+                return Err(StoreError::Corrupt {
+                    section: name.clone(),
+                    detail: format!("unknown starts tag {tag}"),
+                })
+            }
+        };
+        r.finish()?;
+
+        let name = format!("{prefix}node{i}/buckets");
+        let mut r = Reader::new(&name, section(sections, &name)?);
+        let len = r.get_len(40)?;
+        let mut buckets = Vec::with_capacity(len);
+        for _ in 0..len {
+            buckets.push(BucketArchive {
+                start: r.get_u32()?,
+                end: r.get_u32()?,
+                total: r.get_u128()?,
+                max_weight: r.get_u128()?,
+            });
+        }
+        r.finish()?;
+
+        let name = format!("{prefix}node{i}/links");
+        let mut r = Reader::new(&name, section(sections, &name)?);
+        let len = r.get_len(4)?;
+        let mut bucket_of_row = Vec::with_capacity(len);
+        for _ in 0..len {
+            bucket_of_row.push(r.get_u32()?);
+        }
+        let cols = r.get_len(8)?;
+        let mut child_buckets = Vec::with_capacity(cols);
+        for _ in 0..cols {
+            let len = r.get_len(4)?;
+            let mut col = Vec::with_capacity(len);
+            for _ in 0..len {
+                col.push(r.get_u32()?);
+            }
+            child_buckets.push(col);
+        }
+        r.finish()?;
+
+        nodes.push(NodeArchive {
+            rows,
+            refs,
+            weights,
+            starts,
+            buckets,
+            bucket_of_row,
+            child_buckets,
+        });
+    }
+
+    Ok(CqIndexArchive {
+        values,
+        bags,
+        parent,
+        head,
+        nodes,
+    })
+}
+
+fn decode_ordered(
+    prefix: &str,
+    sections: &BTreeMap<String, &[u8]>,
+) -> Result<OrderedCqIndexArchive, StoreError> {
+    let index = decode_cq(prefix, sections)?;
+    let name = format!("{prefix}order");
+    let mut r = Reader::new(&name, section(sections, &name)?);
+    let order = r.get_symbols()?;
+    let n = r.get_len(8)?;
+    let mut node_new = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.get_len(8)?;
+        let mut cols = Vec::with_capacity(len);
+        for _ in 0..len {
+            cols.push((r.get_u32()?, r.get_u32()?));
+        }
+        node_new.push(cols);
+    }
+    r.finish()?;
+    Ok(OrderedCqIndexArchive {
+        index,
+        order,
+        node_new,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_data::{Symbol, Value};
+
+    fn tiny_cq_archive() -> CqIndexArchive {
+        // One node, one attribute, two rows — hand-rolled but consistent.
+        CqIndexArchive {
+            values: vec![Value::Int(1), Value::Int(2)],
+            bags: vec![vec![Symbol::new("x")]],
+            parent: vec![None],
+            head: vec![Symbol::new("x")],
+            nodes: vec![NodeArchive {
+                rows: 2,
+                refs: vec![0, 1],
+                weights: vec![1, 1],
+                starts: StartsArchive::Compact(vec![0, 1]),
+                buckets: vec![BucketArchive {
+                    start: 0,
+                    end: 2,
+                    total: 2,
+                    max_weight: 1,
+                }],
+                bucket_of_row: vec![0, 0],
+                child_buckets: vec![],
+            }],
+        }
+    }
+
+    fn as_slices(owned: &[(String, Vec<u8>)]) -> BTreeMap<String, &[u8]> {
+        owned
+            .iter()
+            .map(|(n, p)| (n.clone(), p.as_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn sections_round_trip() {
+        let archive = ArtifactArchive::Cq(tiny_cq_archive());
+        let owned = archive.to_sections();
+        let decoded = ArtifactArchive::from_sections(ArtifactKind::Cq, &as_slices(&owned)).unwrap();
+        assert_eq!(decoded, archive);
+    }
+
+    #[test]
+    fn missing_section_is_structured() {
+        let archive = ArtifactArchive::Cq(tiny_cq_archive());
+        let owned = archive.to_sections();
+        let mut sections = as_slices(&owned);
+        sections.remove("node0/weights");
+        assert!(matches!(
+            ArtifactArchive::from_sections(ArtifactKind::Cq, &sections),
+            Err(StoreError::Corrupt { section, .. }) if section == "node0/weights"
+        ));
+    }
+
+    #[test]
+    fn encode_order_is_deterministic() {
+        let archive = ArtifactArchive::Cq(tiny_cq_archive());
+        assert_eq!(archive.to_sections(), archive.to_sections());
+    }
+}

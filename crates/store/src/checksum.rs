@@ -1,0 +1,133 @@
+//! FNV-1a 64 — the workspace's checksum (same algorithm the failpoint
+//! registry uses for site hashing). Not cryptographic: it defends against
+//! torn writes, truncation, and bit rot, not an adversary.
+
+/// FNV-1a 64 offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const PRIME: u64 = 0x100_0000_01b3;
+
+/// A streaming FNV-1a 64 hasher over byte slices.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Starts a fresh hash at the offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: OFFSET }
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Word-folded FNV-1a 64: folds the payload length up front, then each
+/// 8-byte little-endian word (final word zero-padded) through the same
+/// xor-multiply step as [`fnv64`] — one step per word instead of per byte,
+/// so section-payload checksumming is not the dominant cost of a load.
+///
+/// Not byte-compatible with [`fnv64`]; it is the checksum of **section
+/// payloads** in the snapshot format (small fixed-size regions keep the
+/// canonical byte-wise form). Every single-bit flip still changes the
+/// hash — each fold is a bijection of the state for a fixed input word —
+/// and the up-front length fold separates payloads that differ only by
+/// zero-padding of the tail word.
+pub fn fnv64_fast(bytes: &[u8]) -> u64 {
+    let mut state = (OFFSET ^ bytes.len() as u64).wrapping_mul(PRIME);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        state = (state ^ u64::from_le_bytes(w)).wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        state = (state ^ u64::from_le_bytes(w)).wrapping_mul(PRIME);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_hash() {
+        let base = b"the quick brown fox".to_vec();
+        let h0 = fnv64(&base);
+        let f0 = fnv64_fast(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(fnv64(&flipped), h0, "flip at byte {i} bit {bit}");
+                assert_ne!(fnv64_fast(&flipped), f0, "fast flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_variant_separates_zero_padded_tails() {
+        // Same padded tail word, different lengths: the length fold keeps
+        // the hashes apart.
+        assert_ne!(fnv64_fast(&[1]), fnv64_fast(&[1, 0]));
+        assert_ne!(fnv64_fast(&[]), fnv64_fast(&[0; 8]));
+        assert_ne!(fnv64_fast(&[0; 8]), fnv64_fast(&[0; 16]));
+    }
+
+    #[test]
+    fn fast_variant_matches_a_word_level_reference() {
+        // Independent re-derivation: fold len, then LE words.
+        let bytes: Vec<u8> = (0u8..23).collect();
+        let mut state = (0xcbf2_9ce4_8422_2325u64 ^ 23).wrapping_mul(0x100_0000_01b3);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            state = (state ^ u64::from_le_bytes(w)).wrapping_mul(0x100_0000_01b3);
+        }
+        assert_eq!(fnv64_fast(&bytes), state);
+    }
+}

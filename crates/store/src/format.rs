@@ -1,0 +1,480 @@
+//! The on-disk container and the crash-consistent publish protocol
+//! (DESIGN.md §15).
+//!
+//! ## File layout
+//!
+//! ```text
+//! header  (24 B): magic "RAESTOR1" | version u32 | endian tag u32
+//!                 | FNV-1a 64 over the previous 16 bytes
+//! payload       : section payloads, back to back (offsets in the footer)
+//! footer        : kind tag | version (redundant) | epoch | label
+//!                 | artifact_digest | section table
+//!                 (name, offset, len, FNV-1a 64 per section)
+//! trailer (32 B): footer offset u64 | footer len u64
+//!                 | FNV-1a 64 over the footer bytes | magic "RAEEND.1"
+//! ```
+//!
+//! All integers little-endian. The trailer is found from EOF, so loading
+//! never scans; a file truncated anywhere fails either the trailer magic,
+//! the footer checksum, or a section checksum — always a structured
+//! [`StoreError`], never a panic or a wrong answer.
+//!
+//! ## Publish protocol
+//!
+//! Writes go to a unique temp file in the destination directory, then:
+//! write → `fsync(temp)` → `rename(temp, final)` → `fsync(dir)`. POSIX
+//! rename atomicity guarantees a reader (or a post-crash recovery) sees
+//! either the old complete file or the new complete file under the final
+//! name — never a prefix. The `RAE_STORE_CRASH` environment variable aborts
+//! the process at named points of this protocol (the crash harness drives
+//! it from a parent process), and the `store/write` / `store/fsync` /
+//! `store/torn` failpoints inject the corresponding I/O failures
+//! deterministically.
+
+use crate::artifact::{Artifact, ArtifactArchive, ArtifactKind};
+use crate::checksum::{fnv64, fnv64_fast, Fnv64};
+use crate::error::{io_err, StoreError};
+use crate::wire::{Reader, Writer};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The snapshot format version this build reads and writes. Bump on any
+/// layout change; old versions are rebuilt from base data, not migrated.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File extension of live snapshot files (`recover_dir` scans for it).
+pub const SNAPSHOT_EXT: &str = "rae";
+
+/// Environment variable aborting the process at a named point of the
+/// publish protocol (crash-injection harness). Values: `temp-created`,
+/// `mid-write:<bytes>`, `after-write`, `after-fsync`, `after-rename`.
+pub const CRASH_ENV: &str = "RAE_STORE_CRASH";
+
+const MAGIC: &[u8; 8] = b"RAESTOR1";
+const END_MAGIC: &[u8; 8] = b"RAEEND.1";
+const ENDIAN_TAG: u32 = 0x0A0B_0C0D;
+const HEADER_LEN: usize = 24;
+const TRAILER_LEN: usize = 32;
+
+/// Validated metadata of one snapshot file.
+#[derive(Debug, Clone)]
+pub struct SnapshotMeta {
+    /// Format version found in the header.
+    pub version: u32,
+    /// What kind of index the file holds.
+    pub kind: ArtifactKind,
+    /// Writer-assigned epoch (the serve layer uses its publish epoch).
+    pub epoch: u64,
+    /// Free-form writer label (e.g. the query name).
+    pub label: String,
+    /// The process-independent identity of the artifact: FNV-1a 64 over
+    /// each section's `(name, checksum)` pair in table order, where the
+    /// per-section checksum is the word-folded
+    /// [`fnv64_fast`](crate::fnv64_fast) of its payload. Validating the
+    /// sections therefore validates the digest in the same single pass.
+    pub artifact_digest: u64,
+    /// Total file size in bytes.
+    pub file_len: u64,
+}
+
+fn crash_point(point: &str) {
+    if let Ok(v) = std::env::var(CRASH_ENV) {
+        if v == point {
+            std::process::abort();
+        }
+    }
+}
+
+/// The `mid-write:<n>` crash point: how many bytes to write before
+/// aborting, if armed.
+fn mid_write_budget() -> Option<usize> {
+    let v = std::env::var(CRASH_ENV).ok()?;
+    let n = v.strip_prefix("mid-write:")?;
+    n.parse().ok()
+}
+
+/// Serializes the full file image (header + payload + footer + trailer)
+/// and returns it with the artifact digest.
+fn build_image(artifact: &ArtifactArchive, epoch: u64, label: &str) -> (Vec<u8>, u64) {
+    let sections = artifact.to_sections();
+
+    let mut image = Vec::new();
+    image.extend_from_slice(MAGIC);
+    image.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    image.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+    let header_sum = fnv64(&image[..16]);
+    image.extend_from_slice(&header_sum.to_le_bytes());
+    debug_assert_eq!(image.len(), HEADER_LEN);
+
+    let mut digest = Fnv64::new();
+    let mut table = Vec::with_capacity(sections.len());
+    for (name, payload) in &sections {
+        let offset = image.len() as u64;
+        let sum = fnv64_fast(payload);
+        digest.update(name.as_bytes());
+        digest.update(&sum.to_le_bytes());
+        table.push((name.clone(), offset, payload.len() as u64, sum));
+        image.extend_from_slice(payload);
+    }
+    let artifact_digest = digest.finish();
+
+    let mut footer = Writer::new();
+    footer.put_u8(artifact.kind().tag());
+    footer.put_u32(FORMAT_VERSION);
+    footer.put_u64(epoch);
+    footer.put_str(label);
+    footer.put_u64(artifact_digest);
+    footer.put_len(table.len());
+    for (name, offset, len, sum) in &table {
+        footer.put_str(name);
+        footer.put_u64(*offset);
+        footer.put_u64(*len);
+        footer.put_u64(*sum);
+    }
+    let footer = footer.into_bytes();
+    let footer_offset = image.len() as u64;
+    let footer_sum = fnv64(&footer);
+    image.extend_from_slice(&footer);
+
+    image.extend_from_slice(&footer_offset.to_le_bytes());
+    image.extend_from_slice(&(footer.len() as u64).to_le_bytes());
+    image.extend_from_slice(&footer_sum.to_le_bytes());
+    image.extend_from_slice(END_MAGIC);
+
+    (image, artifact_digest)
+}
+
+fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    // Directory fsync makes the rename itself durable. On platforms where
+    // directories cannot be opened for sync this is best-effort.
+    if let Ok(d) = fs::File::open(dir) {
+        d.sync_all().map_err(io_err("fsync directory"))?;
+    }
+    Ok(())
+}
+
+/// Persists `artifact` at `path` crash-consistently and returns the
+/// snapshot metadata (including the artifact digest).
+///
+/// The write is atomic-publish: a reader of `path` — concurrent or after a
+/// crash at any point — sees either the previous complete file or the new
+/// complete file, never a partial one.
+pub fn save(
+    path: &Path,
+    artifact: &ArtifactArchive,
+    epoch: u64,
+    label: &str,
+) -> Result<SnapshotMeta, StoreError> {
+    let (image, artifact_digest) = build_image(artifact, epoch, label);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+
+    // Injected torn write: a seed-derived prefix lands under the FINAL
+    // name (modelling a non-atomic in-place writer / lying disk), then the
+    // save fails. Recovery must detect and quarantine the torn file.
+    if rae_faults::eval_error("store/torn") {
+        let seed = rae_faults::active_seed().unwrap_or(0);
+        // SplitMix64 finalizer over the seed picks the truncation offset.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let cut = 1 + (z as usize) % (image.len() - 1);
+        fs::write(path, &image[..cut]).map_err(io_err("torn write"))?;
+        return Err(StoreError::FaultInjected { site: "store/torn" });
+    }
+
+    if rae_faults::eval_error("store/write") {
+        return Err(StoreError::FaultInjected {
+            site: "store/write",
+        });
+    }
+
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("snapshot");
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+
+    let result = (|| {
+        let mut f = fs::File::create(&tmp).map_err(io_err("create temp"))?;
+        crash_point("temp-created");
+        if let Some(budget) = mid_write_budget() {
+            let cut = budget.min(image.len());
+            f.write_all(&image[..cut]).map_err(io_err("write temp"))?;
+            std::process::abort();
+        }
+        f.write_all(&image).map_err(io_err("write temp"))?;
+        crash_point("after-write");
+        if rae_faults::eval_error("store/fsync") {
+            return Err(StoreError::FaultInjected {
+                site: "store/fsync",
+            });
+        }
+        f.sync_all().map_err(io_err("fsync temp"))?;
+        drop(f);
+        crash_point("after-fsync");
+        fs::rename(&tmp, path).map_err(io_err("rename into place"))?;
+        crash_point("after-rename");
+        if let Some(dir) = dir {
+            fsync_dir(dir)?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the unique temp name makes a leftover inert.
+        let _ = fs::remove_file(&tmp);
+    }
+    result?;
+
+    Ok(SnapshotMeta {
+        version: FORMAT_VERSION,
+        kind: artifact.kind(),
+        epoch,
+        label: label.to_string(),
+        artifact_digest,
+        file_len: image.len() as u64,
+    })
+}
+
+/// Parsed-and-verified file: metadata plus the located section payloads as
+/// `(offset, len)` regions of the file bytes (no copies — `verify` never
+/// materializes payloads, and `load_archive` decodes straight from the
+/// mapped regions).
+struct VerifiedFile {
+    meta: SnapshotMeta,
+    sections: BTreeMap<String, (usize, usize)>,
+}
+
+fn corrupt(section: &str, detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        section: section.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Reads and checksum-validates every layer of the file: trailer, header,
+/// footer, every section, and the artifact digest. No decoding of section
+/// contents happens here.
+fn verify_bytes(bytes: &[u8]) -> Result<VerifiedFile, StoreError> {
+    let len = bytes.len() as u64;
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(StoreError::TruncatedFile {
+            expected: (HEADER_LEN + TRAILER_LEN) as u64,
+            actual: len,
+        });
+    }
+    // Header.
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt("header", "bad magic"));
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let endian = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    if endian != ENDIAN_TAG {
+        return Err(corrupt("header", format!("endianness tag {endian:#010x}")));
+    }
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(&bytes[16..24]);
+    if u64::from_le_bytes(sum) != fnv64(&bytes[..16]) {
+        return Err(corrupt("header", "header checksum mismatch"));
+    }
+    // Trailer.
+    let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+    if &trailer[24..32] != END_MAGIC {
+        // A crashed or torn write usually lands here: the file simply ends
+        // early, so the bytes where the trailer should be are payload.
+        return Err(StoreError::TruncatedFile {
+            expected: len + TRAILER_LEN as u64,
+            actual: len,
+        });
+    }
+    let footer_offset = u64::from_le_bytes(
+        trailer[..8]
+            .try_into()
+            .map_err(|_| corrupt("trailer", "short read"))?,
+    );
+    let footer_len = u64::from_le_bytes(
+        trailer[8..16]
+            .try_into()
+            .map_err(|_| corrupt("trailer", "short read"))?,
+    );
+    let footer_sum = u64::from_le_bytes(
+        trailer[16..24]
+            .try_into()
+            .map_err(|_| corrupt("trailer", "short read"))?,
+    );
+    let footer_end = footer_offset.checked_add(footer_len);
+    let trailer_start = len - TRAILER_LEN as u64;
+    if footer_offset < HEADER_LEN as u64 || footer_end.is_none_or(|e| e != trailer_start) {
+        return Err(corrupt(
+            "trailer",
+            format!("footer region [{footer_offset}, +{footer_len}) out of bounds"),
+        ));
+    }
+    let footer_bytes = &bytes[footer_offset as usize..(footer_offset + footer_len) as usize];
+    if fnv64(footer_bytes) != footer_sum {
+        return Err(corrupt("footer", "footer checksum mismatch"));
+    }
+    // Footer.
+    let mut r = Reader::new("footer", footer_bytes);
+    let kind = ArtifactKind::from_tag(r.get_u8()?)
+        .ok_or_else(|| corrupt("footer", "unknown artifact kind tag"))?;
+    let footer_version = r.get_u32()?;
+    if footer_version != version {
+        return Err(corrupt(
+            "footer",
+            format!("footer version {footer_version} disagrees with header {version}"),
+        ));
+    }
+    let epoch = r.get_u64()?;
+    let label = r.get_str()?.to_string();
+    let artifact_digest = r.get_u64()?;
+    let table_len = r.get_len(1)?;
+    let mut digest = Fnv64::new();
+    let mut sections = BTreeMap::new();
+    for _ in 0..table_len {
+        let name = r.get_str()?.to_string();
+        let offset = r.get_u64()?;
+        let sec_len = r.get_u64()?;
+        let sec_sum = r.get_u64()?;
+        let end = offset.checked_add(sec_len);
+        if offset < HEADER_LEN as u64 || end.is_none_or(|e| e > footer_offset) {
+            return Err(corrupt(
+                &name,
+                format!("section region [{offset}, +{sec_len}) out of bounds"),
+            ));
+        }
+        let payload = &bytes[offset as usize..(offset + sec_len) as usize];
+        if fnv64_fast(payload) != sec_sum {
+            return Err(corrupt(&name, "section checksum mismatch"));
+        }
+        digest.update(name.as_bytes());
+        digest.update(&sec_sum.to_le_bytes());
+        if sections
+            .insert(name.clone(), (offset as usize, sec_len as usize))
+            .is_some()
+        {
+            return Err(corrupt(&name, "duplicate section name"));
+        }
+    }
+    r.finish()?;
+    let actual = digest.finish();
+    if actual != artifact_digest {
+        return Err(StoreError::DigestMismatch {
+            expected: artifact_digest,
+            actual,
+        });
+    }
+    Ok(VerifiedFile {
+        meta: SnapshotMeta {
+            version,
+            kind,
+            epoch,
+            label,
+            artifact_digest,
+            file_len: len,
+        },
+        sections,
+    })
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    fs::read(path).map_err(io_err("read snapshot"))
+}
+
+/// Checksum-validates a snapshot file without decoding it: every section
+/// checksum, the footer/trailer/header sums, and the artifact digest.
+pub fn verify(path: &Path) -> Result<SnapshotMeta, StoreError> {
+    Ok(verify_bytes(&read_file(path)?)?.meta)
+}
+
+/// Loads a snapshot back to its archive form (checksums + decode, no
+/// dictionary interning and no semantic re-validation yet).
+pub fn load_archive(path: &Path) -> Result<(ArtifactArchive, SnapshotMeta), StoreError> {
+    let bytes = read_file(path)?;
+    let verified = verify_bytes(&bytes)?;
+    let sections: BTreeMap<String, &[u8]> = verified
+        .sections
+        .iter()
+        .map(|(name, &(offset, len))| (name.clone(), &bytes[offset..offset + len]))
+        .collect();
+    let archive = ArtifactArchive::from_sections(verified.meta.kind, &sections)?;
+    Ok((archive, verified.meta))
+}
+
+/// Loads a snapshot all the way to a live, validated index: checksums,
+/// decode, dictionary interning, and the full `from_archive` semantic
+/// re-validation. This is the only function handing out a usable index.
+pub fn load(path: &Path) -> Result<(Artifact, SnapshotMeta), StoreError> {
+    let (archive, meta) = load_archive(path)?;
+    Ok((archive.realize()?, meta))
+}
+
+/// Moves a failed file aside as `<name>.corrupt` (numbered on collision)
+/// in the same directory — quarantined for diagnosis, never deleted.
+pub fn quarantine(path: &Path) -> Result<PathBuf, StoreError> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("snapshot");
+    let mut target = path.with_file_name(format!("{file_name}.corrupt"));
+    let mut attempt = 1u32;
+    while target.exists() {
+        target = path.with_file_name(format!("{file_name}.corrupt.{attempt}"));
+        attempt += 1;
+    }
+    fs::rename(path, &target).map_err(io_err("quarantine rename"))?;
+    Ok(target)
+}
+
+/// Cold-start recovery: scans `dir` for `*.rae` snapshots, quarantines
+/// every file that fails validation (renamed aside, never deleted), and
+/// loads the newest valid one (highest epoch, file name as tie-break).
+///
+/// Returns [`StoreError::NoSnapshot`] — listing the quarantined files —
+/// when nothing loadable remains.
+pub fn recover_dir(dir: &Path) -> Result<(PathBuf, Artifact, SnapshotMeta), StoreError> {
+    let entries = fs::read_dir(dir).map_err(io_err("read snapshot directory"))?;
+    let mut quarantined = Vec::new();
+    let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(io_err("read snapshot directory"))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(SNAPSHOT_EXT) {
+            continue;
+        }
+        match verify(&path) {
+            Ok(meta) => candidates.push((meta.epoch, path)),
+            Err(StoreError::Io { .. }) => {
+                // Unreadable now ≠ corrupt; leave it alone and move on.
+            }
+            Err(_) => match quarantine(&path) {
+                Ok(q) => quarantined.push(q),
+                Err(_) => quarantined.push(path),
+            },
+        }
+    }
+    // Newest first.
+    candidates.sort_by(|a, b| b.cmp(a));
+    for (_, path) in candidates {
+        match load(&path) {
+            Ok((artifact, meta)) => return Ok((path, artifact, meta)),
+            Err(StoreError::Io { .. }) => continue,
+            Err(_) => match quarantine(&path) {
+                Ok(q) => quarantined.push(q),
+                Err(_) => quarantined.push(path),
+            },
+        }
+    }
+    Err(StoreError::NoSnapshot {
+        dir: dir.to_path_buf(),
+        quarantined,
+    })
+}

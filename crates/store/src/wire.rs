@@ -1,0 +1,251 @@
+//! Little-endian byte encode/decode helpers. Every multi-byte integer in
+//! the format is little-endian regardless of host; the header's endianness
+//! tag exists so a corrupted or foreign byte order is a structured error,
+//! not a reinterpretation.
+
+use crate::error::StoreError;
+use rae_data::{Symbol, Value};
+
+/// An append-only byte buffer for one section payload.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Collection lengths are always `u64` on the wire (flat columns can
+    /// exceed the `u32` element-id space: rows × arity).
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn put_symbol(&mut self, s: &Symbol) {
+        self.put_str(s.as_str());
+    }
+
+    pub fn put_symbols(&mut self, syms: &[Symbol]) {
+        self.put_len(syms.len());
+        for s in syms {
+            self.put_symbol(s);
+        }
+    }
+
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.put_u8(0);
+                self.put_i64(*i);
+            }
+            Value::Str(s) => {
+                self.put_u8(1);
+                self.put_symbol(s);
+            }
+        }
+    }
+}
+
+/// A bounds-checked cursor over one section payload. Every read failure is
+/// a [`StoreError::Corrupt`] naming the section.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(section: &'a str, buf: &'a [u8]) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            section: self.section.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.corrupt(format!("read past end ({n} bytes at {})", self.pos)))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub fn get_u128(&mut self) -> Result<u128, StoreError> {
+        let b = self.take(16)?;
+        let mut a = [0u8; 16];
+        a.copy_from_slice(b);
+        Ok(u128::from_le_bytes(a))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, StoreError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    /// Reads a `u64` length and sanity-bounds it against the bytes left
+    /// (each element needs at least `min_elem_bytes`), so a corrupted
+    /// length cannot drive a multi-gigabyte allocation.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let n = self.get_u64()?;
+        let n = usize::try_from(n).map_err(|_| self.corrupt("length overflows usize"))?;
+        let remaining = self.buf.len() - self.pos;
+        if n.checked_mul(min_elem_bytes.max(1))
+            .is_none_or(|bytes| bytes > remaining)
+        {
+            return Err(self.corrupt(format!(
+                "length {n} needs more bytes than the {remaining} remaining"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn get_str(&mut self) -> Result<&'a str, StoreError> {
+        let n = self.get_len(1)?;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes).map_err(|_| self.corrupt("string is not UTF-8"))
+    }
+
+    pub fn get_symbol(&mut self) -> Result<Symbol, StoreError> {
+        Ok(Symbol::new(self.get_str()?))
+    }
+
+    pub fn get_symbols(&mut self) -> Result<Vec<Symbol>, StoreError> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_symbol()).collect()
+    }
+
+    pub fn get_value(&mut self) -> Result<Value, StoreError> {
+        match self.get_u8()? {
+            0 => Ok(Value::Int(self.get_i64()?)),
+            1 => Ok(Value::Str(self.get_symbol()?)),
+            tag => Err(self.corrupt(format!("unknown value tag {tag}"))),
+        }
+    }
+
+    /// Asserts the payload was consumed exactly (trailing garbage is
+    /// corruption, not padding).
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(self.corrupt(format!(
+                "{} trailing bytes after the payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars_and_values() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u128(u128::MAX / 3);
+        w.put_value(&Value::Int(-42));
+        w.put_value(&Value::str("héllo"));
+        w.put_symbols(&[Symbol::new("a"), Symbol::new("b")]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new("test", &bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.get_value().unwrap(), Value::Int(-42));
+        assert_eq!(r.get_value().unwrap(), Value::str("héllo"));
+        assert_eq!(
+            r.get_symbols().unwrap(),
+            vec![Symbol::new("a"), Symbol::new("b")]
+        );
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn oversized_length_is_structured_corruption() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // a length that cannot fit
+        let bytes = w.into_bytes();
+        let mut r = Reader::new("s", &bytes);
+        assert!(matches!(
+            r.get_len(8),
+            Err(StoreError::Corrupt { section, .. }) if section == "s"
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corruption() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new("s", &bytes);
+        r.get_u32().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

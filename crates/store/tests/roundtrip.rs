@@ -1,0 +1,303 @@
+//! Snapshot round-trips over the paper's TPC-H benchmark queries, and a
+//! byte-level corruption fuzz: every single-byte corruption of a snapshot
+//! file must surface as a structured [`StoreError`] — never a panic, never
+//! a silently wrong index.
+
+use proptest::prelude::*;
+use rae_core::{CqIndex, OrderedCqIndex, OrderedMcUcqIndex};
+use rae_data::{Database, Relation, Schema, Symbol, Value};
+use rae_store::{
+    digest_of, load, save, verify, Artifact, ArtifactArchive, StoreError, SNAPSHOT_EXT,
+};
+use rae_tpch::{generate, prepare_selections, queries, TpchScale};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rae-store-roundtrip-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tpch_db() -> Database {
+    let mut db = generate(&TpchScale::tiny(), 42);
+    prepare_selections(&mut db).unwrap();
+    db
+}
+
+/// Round-trips `archive` through a snapshot file and checks the digest
+/// chain: in-memory digest == on-disk digest == re-serialized digest.
+fn round_trip(dir: &std::path::Path, name: &str, archive: ArtifactArchive) -> Artifact {
+    let expected = digest_of(&archive);
+    let path = dir.join(format!("{name}.{SNAPSHOT_EXT}"));
+    let meta = save(&path, &archive, 1, name).unwrap();
+    assert_eq!(meta.artifact_digest, expected, "{name}: save digest");
+    assert_eq!(verify(&path).unwrap().artifact_digest, expected);
+    let (artifact, meta) = load(&path).unwrap();
+    assert_eq!(meta.artifact_digest, expected, "{name}: load digest");
+    // Serialization of the restored index is a fixed point.
+    let re_archived = match &artifact {
+        Artifact::Cq(idx) => ArtifactArchive::Cq(idx.to_archive()),
+        Artifact::Ordered(idx) => ArtifactArchive::Ordered(idx.to_archive()),
+        Artifact::OrderedUnion(idx) => ArtifactArchive::OrderedUnion(idx.to_archive()),
+    };
+    assert_eq!(
+        digest_of(&re_archived),
+        expected,
+        "{name}: re-archive digest"
+    );
+    artifact
+}
+
+#[test]
+fn tpch_cq_snapshots_round_trip() {
+    let db = tpch_db();
+    let dir = scratch("cq");
+    for (name, cq) in queries::all_cqs() {
+        let idx = CqIndex::build(&cq, &db).unwrap();
+        let Artifact::Cq(restored) = round_trip(&dir, name, ArtifactArchive::Cq(idx.to_archive()))
+        else {
+            panic!("{name}: wrong artifact kind");
+        };
+        assert_eq!(restored.count(), idx.count(), "{name}: count");
+        let n = idx.count();
+        let stride = (n / 64).max(1);
+        let mut j = 0;
+        while j < n {
+            assert_eq!(restored.access(j), idx.access(j), "{name}: access({j})");
+            j += stride;
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tpch_ordered_snapshots_round_trip() {
+    let db = tpch_db();
+    let dir = scratch("ordered");
+    for (name, cq) in queries::all_cqs() {
+        // The plan's own DFS new-attribute sequence is realizable by
+        // construction — the head order itself need not be.
+        let order: Vec<Symbol> = CqIndex::build(&cq, &db).unwrap().plan().attrs_dfs();
+        let idx = OrderedCqIndex::build(&cq, &db, &order).unwrap();
+        let Artifact::Ordered(restored) =
+            round_trip(&dir, name, ArtifactArchive::Ordered(idx.to_archive()))
+        else {
+            panic!("{name}: wrong artifact kind");
+        };
+        assert_eq!(restored.count(), idx.count(), "{name}: count");
+        assert_eq!(restored.order(), idx.order(), "{name}: order");
+        let n = idx.count();
+        let stride = (n / 64).max(1);
+        let mut k = 0;
+        while k < n {
+            assert_eq!(
+                restored.ordered_access(k),
+                idx.ordered_access(k),
+                "{name}: ordered_access({k})"
+            );
+            k += stride;
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tpch_union_snapshots_round_trip() {
+    let db = tpch_db();
+    let dir = scratch("union");
+    for (name, ucq) in queries::all_ucqs() {
+        // mc-UCQ members share one join-tree template, so the first
+        // member's DFS attribute sequence realizes for every member.
+        let order: Vec<Symbol> = CqIndex::build(&ucq.disjuncts()[0], &db)
+            .unwrap()
+            .plan()
+            .attrs_dfs();
+        let idx = OrderedMcUcqIndex::build(&ucq, &db, &order).unwrap();
+        let file = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect::<String>();
+        let Artifact::OrderedUnion(restored) =
+            round_trip(&dir, &file, ArtifactArchive::OrderedUnion(idx.to_archive()))
+        else {
+            panic!("{name}: wrong artifact kind");
+        };
+        assert_eq!(restored.count(), idx.count(), "{name}: count");
+        let n = idx.count();
+        let stride = (n / 64).max(1);
+        let mut k = 0;
+        while k < n {
+            assert_eq!(
+                restored.ordered_access(k),
+                idx.ordered_access(k),
+                "{name}: ordered_access({k})"
+            );
+            k += stride;
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A small fixed index for the corruption fuzz (keeps the file a few KB so
+/// the exhaustive sweep stays fast).
+fn small_archive() -> ArtifactArchive {
+    let mut db = Database::new();
+    db.add_relation(
+        "R",
+        Relation::from_rows(
+            Schema::new(["a", "b"]).unwrap(),
+            (0..6i64).map(|i| vec![Value::Int(i % 3), Value::Int(i)]),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.add_relation(
+        "S",
+        Relation::from_rows(
+            Schema::new(["b", "c"]).unwrap(),
+            (0..6i64).map(|i| vec![Value::Int(i), Value::str(["x", "y"][i as usize % 2])]),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let order: Vec<Symbol> = ["x", "y", "z"].into_iter().map(Symbol::new).collect();
+    ArtifactArchive::Ordered(
+        OrderedCqIndex::build(&cq, &db, &order)
+            .unwrap()
+            .to_archive(),
+    )
+}
+
+#[test]
+fn every_single_byte_corruption_is_refused() {
+    let dir = scratch("fuzz");
+    let path = dir.join(format!("victim.{SNAPSHOT_EXT}"));
+    let archive = small_archive();
+    save(&path, &archive, 1, "fuzz").unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    let expected = digest_of(&archive);
+
+    let mut refused = 0usize;
+    for i in 0..pristine.len() {
+        for bit in 0..8 {
+            let mut bytes = pristine.clone();
+            bytes[i] ^= 1 << bit;
+            std::fs::write(&path, &bytes).unwrap();
+            match load(&path) {
+                Err(_) => refused += 1,
+                Ok((_, meta)) => panic!(
+                    "flip at byte {i} bit {bit} loaded silently (digest {:#x} vs {expected:#x})",
+                    meta.artifact_digest
+                ),
+            }
+        }
+    }
+    assert_eq!(refused, pristine.len() * 8);
+
+    // And every truncation.
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        assert!(load(&path).is_err(), "truncation to {cut} bytes loaded");
+    }
+
+    // The pristine bytes still load — the harness itself isn't broken.
+    std::fs::write(&path, &pristine).unwrap();
+    assert_eq!(load(&path).unwrap().1.artifact_digest, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corruption_errors_are_structured() {
+    // Spot-check that representative corruptions map to the intended
+    // variants, not just "some error".
+    let dir = scratch("variants");
+    let path = dir.join(format!("victim.{SNAPSHOT_EXT}"));
+    save(&path, &small_archive(), 1, "variants").unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Unsupported version.
+    let mut bytes = pristine.clone();
+    bytes[8] = 0xFF;
+    // Re-stamp the header checksum so the version check itself is reached.
+    let sum = rae_store::fnv64(&bytes[..16]).to_le_bytes();
+    bytes[16..24].copy_from_slice(&sum);
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        load(&path),
+        Err(StoreError::VersionMismatch { found, .. }) if found == 0xFF
+    ));
+
+    // Lost trailer → truncation report.
+    std::fs::write(&path, &pristine[..pristine.len() - 8]).unwrap();
+    assert!(matches!(load(&path), Err(StoreError::TruncatedFile { .. })));
+
+    // Flip one payload byte and fix up nothing: section checksum catches it.
+    let mut bytes = pristine.clone();
+    bytes[40] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(load(&path), Err(StoreError::Corrupt { .. })));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+type Rows = Vec<(i64, i64)>;
+
+fn two_table_db(r_rows: &Rows, s_rows: &Rows) -> Database {
+    let rel = |schema: [&str; 2], rows: &Rows| {
+        Relation::from_rows(
+            Schema::new(schema).unwrap(),
+            rows.iter()
+                .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]),
+        )
+        .unwrap()
+    };
+    let mut db = Database::new();
+    db.add_relation("R", rel(["a", "b"], r_rows)).unwrap();
+    db.add_relation("S", rel(["b", "c"], s_rows)).unwrap();
+    db
+}
+
+/// One random-database round-trip case: serialize → load → identical
+/// digest and identical ordered answer stream.
+fn check_random_round_trip(r_rows: &Rows, s_rows: &Rows) {
+    let db = two_table_db(r_rows, s_rows);
+    let cq = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    let order: Vec<Symbol> = ["z", "y", "x"].into_iter().map(Symbol::new).collect();
+    let idx = OrderedCqIndex::build(&cq, &db, &order).unwrap();
+    let archive = ArtifactArchive::Ordered(idx.to_archive());
+    let expected = digest_of(&archive);
+
+    let dir = scratch("prop");
+    let path = dir.join(format!("p.{SNAPSHOT_EXT}"));
+    let meta = save(&path, &archive, 7, "prop").unwrap();
+    assert_eq!(meta.artifact_digest, expected);
+    let (artifact, meta) = load(&path).unwrap();
+    assert_eq!(meta.artifact_digest, expected);
+    let Artifact::Ordered(restored) = artifact else {
+        panic!("wrong artifact kind");
+    };
+    assert_eq!(restored.count(), idx.count());
+    for k in 0..idx.count() {
+        assert_eq!(restored.ordered_access(k), idx.ordered_access(k));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_indexes_round_trip(
+        r_rows in prop::collection::vec((-4..4i64, -4..4i64), 0..20),
+        s_rows in prop::collection::vec((-4..4i64, -4..4i64), 0..20),
+    ) {
+        check_random_round_trip(&r_rows, &s_rows);
+    }
+}
