@@ -5,9 +5,14 @@
 //! (`rae_store::load` — checksum validation, decode, dictionary interning,
 //! and the full `from_archive` semantic re-validation) versus rebuilding it
 //! from base relations, at the configured scale factor and at 5× that
-//! scale (defaults: 0.01 and 0.05). Alongside the speedup it records the
-//! snapshot file size and the fraction of the load spent on pure checksum
-//! validation (`rae_store::verify`), so the integrity tax is visible.
+//! scale (defaults: 0.01 and 0.05). Since format v2 it also times the
+//! zero-copy path (`rae_store::load_borrowed` — the mmap'd image serves
+//! the column payloads in place, skipping every table copy), and each
+//! borrowed sample asserts `meta.borrowed` so a silent fallback to the
+//! owned decode cannot masquerade as a zero-copy number. Alongside the
+//! speedups it records the snapshot file size and the fraction of the
+//! owned load spent on pure checksum validation (`rae_store::verify`),
+//! so the integrity tax is visible.
 //!
 //! Every timed load digest-matches the in-memory archive before the run
 //! counts — a load that produced different bytes would **panic**, so the
@@ -43,8 +48,10 @@ struct ScaleReport {
     file_bytes: u64,
     build_ns: f64,
     load_ns: f64,
+    borrowed_load_ns: f64,
     verify_ns: f64,
     decode_ns: f64,
+    borrowed_decode_ns: f64,
 }
 
 fn measure_scale(sf: f64, seed: u64, samples: u32, dir: &Path) -> ScaleReport {
@@ -79,6 +86,18 @@ fn measure_scale(sf: f64, seed: u64, samples: u32, dir: &Path) -> ScaleReport {
             "LOADED SNAPSHOT DIVERGED FROM THE IN-MEMORY BUILD — this is a bug"
         );
     });
+    // Zero-copy cold start: same checksums and semantic re-validation, but
+    // the node tables are views into the mapped image instead of copies.
+    // Every sample must actually borrow — a fallback here would be a bug
+    // in the bench environment, not a slower-but-valid number.
+    let borrowed_load_ns = median_ns(samples, || {
+        let (_, meta) = rae_store::load_borrowed(&path).expect("snapshot loads zero-copy");
+        assert_eq!(meta.artifact_digest, expected);
+        assert!(
+            meta.borrowed,
+            "zero-copy load fell back to the owned decode"
+        );
+    });
     // Checksum validation alone (no decode, no interning).
     let verify_ns = median_ns(samples, || {
         rae_store::verify(&path).expect("snapshot verifies")
@@ -86,6 +105,10 @@ fn measure_scale(sf: f64, seed: u64, samples: u32, dir: &Path) -> ScaleReport {
     // Checksums + decode to archive form (no interning, no re-validation).
     let decode_ns = median_ns(samples, || {
         rae_store::load_archive(&path).expect("snapshot decodes")
+    });
+    // Checksums + borrowed archive views (no column copies at all).
+    let borrowed_decode_ns = median_ns(samples, || {
+        rae_store::load_archive_borrowed(&path).expect("snapshot decodes zero-copy")
     });
 
     ScaleReport {
@@ -95,8 +118,10 @@ fn measure_scale(sf: f64, seed: u64, samples: u32, dir: &Path) -> ScaleReport {
         file_bytes: meta.file_len,
         build_ns,
         load_ns,
+        borrowed_load_ns,
         verify_ns,
         decode_ns,
+        borrowed_decode_ns,
     }
 }
 
@@ -113,7 +138,7 @@ pub fn persistence_json(cfg: &crate::BenchConfig) -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"rae-bench-persistence-v1\",");
+    let _ = writeln!(out, "  \"schema\": \"rae-bench-persistence-v2\",");
     let _ = writeln!(
         out,
         "  \"config\": {{ \"seed\": {}, \"format_version\": {}, \"query\": \"Q3\", \
@@ -124,13 +149,16 @@ pub fn persistence_json(cfg: &crate::BenchConfig) -> String {
     let _ = writeln!(out, "  \"scales\": [");
     for (i, r) in reports.iter().enumerate() {
         let speedup = r.build_ns / r.load_ns;
+        let borrowed_speedup = r.build_ns / r.borrowed_load_ns;
         let verify_fraction = r.verify_ns / r.load_ns;
         let _ = writeln!(
             out,
             "    {{ \"sf\": {}, \"base_rows\": {}, \"answers\": {}, \
              \"file_bytes\": {}, \"build_ns\": {:.0}, \"load_ns\": {:.0}, \
-             \"load_speedup\": {:.2}, \"verify_ns\": {:.0}, \
-             \"verify_fraction_of_load\": {:.3}, \"decode_ns\": {:.0} }}{}",
+             \"load_speedup\": {:.2}, \"borrowed_load_ns\": {:.0}, \
+             \"borrowed_load_speedup\": {:.2}, \"verify_ns\": {:.0}, \
+             \"verify_fraction_of_load\": {:.3}, \"decode_ns\": {:.0}, \
+             \"borrowed_decode_ns\": {:.0} }}{}",
             r.sf,
             r.rows,
             r.answers,
@@ -138,9 +166,12 @@ pub fn persistence_json(cfg: &crate::BenchConfig) -> String {
             r.build_ns,
             r.load_ns,
             speedup,
+            r.borrowed_load_ns,
+            borrowed_speedup,
             r.verify_ns,
             verify_fraction,
             r.decode_ns,
+            r.borrowed_decode_ns,
             if i + 1 == reports.len() { "" } else { "," }
         );
     }
@@ -158,8 +189,9 @@ mod tests {
     #[test]
     fn persistence_report_renders_and_loads_match() {
         let json = persistence_json(&BenchConfig::smoke());
-        assert!(json.contains("\"schema\": \"rae-bench-persistence-v1\""));
+        assert!(json.contains("\"schema\": \"rae-bench-persistence-v2\""));
         assert!(json.contains("load_speedup"));
+        assert!(json.contains("borrowed_load_speedup"));
         assert!(json.contains("verify_fraction_of_load"));
     }
 }

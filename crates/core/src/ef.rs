@@ -1,0 +1,414 @@
+//! Elias-Fano encoding of a node's startIndex (DESIGN.md §16).
+//!
+//! Algorithm 2's startIndex is, per bucket, a non-decreasing prefix-sum
+//! array of answer weights. Because every row's weight is at least 1, the
+//! *global* cumulative sequence `g[i] = (sum of totals of earlier
+//! buckets) + startIndex[i]` is strictly increasing — exactly the shape
+//! Elias-Fano compresses to `n·(2 + ⌈log₂(u/n)⌉)` bits plus a small
+//! select directory, while still answering `g(i)` in O(1). Per-bucket
+//! startIndex values are recovered as `g(i) − g(first row of bucket)`,
+//! and `rank_leq` (the binary search a rank descent performs inside one
+//! bucket) runs on `g` directly since the bucket base shifts both sides
+//! equally.
+//!
+//! The store picks this encoding per node only when the cumulative total
+//! fits `u64` and the encoded size beats the compact `u64` layout; the
+//! compact/wide encodings remain as fallbacks with byte-identical rank
+//! semantics. Columns are [`Col`]s, so a borrowed snapshot serves rank
+//! descents straight from file bytes.
+//!
+//! Layout: `low_bits = ⌊log₂(u/n)⌋` low-order bits of each value packed
+//! into `lower`; the remaining high bits as a unary-coded bitvector
+//! `upper` (bit `high(i) + i` set for each `i`); `samples[k]` caches the
+//! bit position of set bit `64k` so `select1` scans at most a few words.
+
+use crate::column::Col;
+
+/// Select-directory granularity: one cached position per this many set
+/// bits. `select1` scans from the nearest sample; with `low_bits` chosen
+/// as ⌊log₂(u/n)⌋ the upper bitvector has density ≥ 1/3, so the scan is
+/// bounded by a handful of words.
+const SAMPLE_EVERY: usize = 64;
+
+/// An Elias-Fano-encoded strictly increasing `u64` sequence, answering
+/// `get(i)` in O(1) via a sampled `select1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EfStarts {
+    len: usize,
+    low_bits: u32,
+    lower: Col<u64>,
+    upper: Col<u64>,
+    samples: Col<u64>,
+}
+
+impl EfStarts {
+    /// Encodes a strictly increasing sequence, or `None` when the
+    /// encoding would not beat the compact `u64` layout (8 bytes/row).
+    /// Callers guarantee monotonicity (debug-asserted).
+    pub fn encode(global: &[u64]) -> Option<EfStarts> {
+        let n = global.len();
+        if n == 0 {
+            return None;
+        }
+        debug_assert!(
+            global.windows(2).all(|w| w[0] < w[1]),
+            "EF input not strictly increasing"
+        );
+        let last = global[n - 1];
+        // Universe size; `last` may be u64::MAX so compute in u128.
+        let u = last as u128 + 1;
+        let low_bits = (u / n as u128).checked_ilog2().unwrap_or(0).min(63);
+        let high_last = last >> low_bits;
+        let upper_bits = (n as u64).checked_add(high_last)?.checked_add(1)?;
+        let upper_words = upper_bits.div_ceil(64) as usize;
+        let lower_words = (n as u64 * low_bits as u64).div_ceil(64) as usize;
+        let sample_words = n.div_ceil(SAMPLE_EVERY);
+        let encoded_bytes = (upper_words + lower_words + sample_words) * 8 + 24;
+        if encoded_bytes >= n * 8 {
+            return None;
+        }
+
+        let mut lower = vec![0u64; lower_words];
+        let mut upper = vec![0u64; upper_words];
+        let mut samples = Vec::with_capacity(sample_words);
+        let low_mask = if low_bits == 0 {
+            0
+        } else {
+            u64::MAX >> (64 - low_bits)
+        };
+        for (i, &v) in global.iter().enumerate() {
+            if low_bits > 0 {
+                let low = v & low_mask;
+                let bit = i as u64 * low_bits as u64;
+                let (word, shift) = ((bit / 64) as usize, (bit % 64) as u32);
+                lower[word] |= low << shift;
+                if shift as u64 + low_bits as u64 > 64 {
+                    lower[word + 1] |= low >> (64 - shift);
+                }
+            }
+            let pos = (v >> low_bits) + i as u64;
+            upper[(pos / 64) as usize] |= 1u64 << (pos % 64);
+            if i % SAMPLE_EVERY == 0 {
+                samples.push(pos);
+            }
+        }
+        Some(EfStarts {
+            len: n,
+            low_bits,
+            lower: Col::Owned(lower),
+            upper: Col::Owned(upper),
+            samples: Col::Owned(samples),
+        })
+    }
+
+    /// Reassembles an encoding from decoded (possibly borrowed) columns,
+    /// fully validating structure so `get` can never read out of bounds
+    /// or return values from a malformed bitvector: column lengths must
+    /// match `len`/`low_bits` exactly, the upper bitvector must contain
+    /// exactly `len` set bits with none at or beyond the top, and every
+    /// sample must equal the position of set bit `64k`.
+    pub fn from_parts(
+        len: usize,
+        low_bits: u32,
+        lower: Col<u64>,
+        upper: Col<u64>,
+        samples: Col<u64>,
+    ) -> Result<EfStarts, String> {
+        if len == 0 {
+            return Err("EF sequence cannot be empty".into());
+        }
+        if low_bits > 63 {
+            return Err(format!("EF low_bits {low_bits} out of range"));
+        }
+        // u128: a hostile `len` from the wire must not overflow the
+        // expected-size computation into a spurious match.
+        let want_lower = usize::try_from((len as u128 * low_bits as u128).div_ceil(64))
+            .map_err(|_| "EF lower array size overflows".to_string())?;
+        if lower.len() != want_lower {
+            return Err(format!(
+                "EF lower array has {} words, expected {want_lower}",
+                lower.len()
+            ));
+        }
+        if samples.len() != len.div_ceil(SAMPLE_EVERY) {
+            return Err(format!(
+                "EF sample directory has {} entries, expected {}",
+                samples.len(),
+                len.div_ceil(SAMPLE_EVERY)
+            ));
+        }
+        // One linear scan of the upper bitvector: count set bits, check
+        // each 64th against the sample directory.
+        let mut seen = 0usize;
+        for (w, &word) in upper.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let tz = bits.trailing_zeros();
+                bits &= bits - 1;
+                if seen >= len {
+                    return Err(format!("EF upper bitvector has more than {len} set bits"));
+                }
+                if seen.is_multiple_of(SAMPLE_EVERY) {
+                    let pos = w as u64 * 64 + tz as u64;
+                    if samples[seen / SAMPLE_EVERY] != pos {
+                        return Err(format!(
+                            "EF sample {} is {} but set bit {seen} is at {pos}",
+                            seen / SAMPLE_EVERY,
+                            samples[seen / SAMPLE_EVERY]
+                        ));
+                    }
+                }
+                seen += 1;
+            }
+        }
+        if seen != len {
+            return Err(format!(
+                "EF upper bitvector has {seen} set bits, expected {len}"
+            ));
+        }
+        Ok(EfStarts {
+            len,
+            low_bits,
+            lower,
+            upper,
+            samples,
+        })
+    }
+
+    /// Number of encoded values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty (never true for a validated
+    /// encoding, but the conventional pair of `len`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The encoding parameters and columns, in wire order — what the
+    /// store serializes.
+    pub fn parts(&self) -> (usize, u32, &Col<u64>, &Col<u64>, &Col<u64>) {
+        (
+            self.len,
+            self.low_bits,
+            &self.lower,
+            &self.upper,
+            &self.samples,
+        )
+    }
+
+    /// Position of the `i`-th set bit of the upper bitvector (0-based).
+    /// `i < len` required; validation guaranteed at least `len` set bits,
+    /// so the scan terminates in bounds.
+    #[inline]
+    fn select1(&self, i: usize) -> u64 {
+        let upper = self.upper.as_slice();
+        let start = self.samples[i / SAMPLE_EVERY];
+        let mut remaining = (i % SAMPLE_EVERY) as u32;
+        let mut w = (start / 64) as usize;
+        // Mask off bits before the sampled position in its word.
+        let mut word = upper[w] & (u64::MAX << (start % 64));
+        loop {
+            let ones = word.count_ones();
+            if ones > remaining {
+                let mut bits = word;
+                for _ in 0..remaining {
+                    bits &= bits - 1;
+                }
+                return w as u64 * 64 + bits.trailing_zeros() as u64;
+            }
+            remaining -= ones;
+            w += 1;
+            word = upper[w];
+        }
+    }
+
+    /// The `i`-th value of the global cumulative sequence.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let high = self.select1(i) - i as u64;
+        (high << self.low_bits) | self.low(i)
+    }
+
+    #[inline]
+    fn low(&self, i: usize) -> u64 {
+        if self.low_bits == 0 {
+            return 0;
+        }
+        let lower = self.lower.as_slice();
+        let bit = i as u64 * self.low_bits as u64;
+        let (word, shift) = ((bit / 64) as usize, (bit % 64) as u32);
+        let mut v = lower[word] >> shift;
+        if shift + self.low_bits > 64 && word + 1 < lower.len() {
+            v |= lower[word + 1] << (64 - shift);
+        }
+        v & (u64::MAX >> (64 - self.low_bits))
+    }
+
+    /// Count of positions `k` in `start..end` (a bucket's row range) with
+    /// `g(k) − g(start) ≤ j` — the Elias-Fano form of the compact
+    /// layout's `rank_leq`, identical semantics bucket-by-bucket. `j` is
+    /// a full `u128` answer rank; comparison happens in `u128` so wide-j
+    /// overflow boundaries behave exactly like the compact fallback.
+    pub fn rank_leq(&self, start: usize, end: usize, j: u128) -> usize {
+        debug_assert!(start <= end && end <= self.len);
+        if start >= end {
+            return 0;
+        }
+        let base = self.get(start);
+        // partition_point over the bucket's rows.
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            // checked_sub: on valid data g is increasing so g(mid) ≥ base;
+            // a malformed (yet checksum-valid) file must degrade to a
+            // wrong count that semantic validation rejects, never a panic.
+            if self.get(mid).checked_sub(base).map(u128::from) <= Some(j) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo - start
+    }
+
+    /// Sequentially decodes the full global sequence (owned loads expand
+    /// EF back to the compact layout). One linear pass over the upper
+    /// bitvector — no per-element `select1`.
+    pub fn decode_all(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut i = 0usize;
+        for (w, &word) in self.upper.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let pos = w as u64 * 64 + bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                let high = pos - i as u64;
+                out.push((high << self.low_bits) | self.low(i));
+                i += 1;
+            }
+        }
+        debug_assert_eq!(i, self.len);
+        out
+    }
+
+    /// Whether every column is a zero-copy view into a snapshot buffer.
+    pub fn is_borrowed(&self) -> bool {
+        self.lower.is_borrowed() && self.upper.is_borrowed() && self.samples.is_borrowed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strictly_increasing(seed: u64, n: usize, gap: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        let mut v = 0u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v = v + 1 + (state >> 33) % gap;
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_get_round_trips() {
+        for gap in [1u64, 7, 1000, 1 << 40] {
+            let g = strictly_increasing(42, 500, gap);
+            let Some(ef) = EfStarts::encode(&g) else {
+                // High-gap sequences may be unprofitable; that's a valid
+                // outcome, not a failure.
+                assert!(gap >= 1 << 40);
+                continue;
+            };
+            for (i, &v) in g.iter().enumerate() {
+                assert_eq!(ef.get(i), v, "gap {gap} index {i}");
+            }
+            assert_eq!(ef.decode_all(), g);
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let g = strictly_increasing(7, 300, 9);
+        let ef = EfStarts::encode(&g).unwrap();
+        let (len, low_bits, lower, upper, samples) = ef.parts();
+        let re = EfStarts::from_parts(len, low_bits, lower.clone(), upper.clone(), samples.clone())
+            .unwrap();
+        assert_eq!(re, ef);
+
+        // A cleared upper bit is caught by the popcount check.
+        let mut bad_upper: Vec<u64> = upper.as_slice().to_vec();
+        for w in bad_upper.iter_mut() {
+            if *w != 0 {
+                *w &= *w - 1;
+                break;
+            }
+        }
+        assert!(EfStarts::from_parts(
+            len,
+            low_bits,
+            lower.clone(),
+            Col::Owned(bad_upper),
+            samples.clone()
+        )
+        .is_err());
+
+        // A corrupted sample is caught by the directory check.
+        let mut bad_samples: Vec<u64> = samples.as_slice().to_vec();
+        bad_samples[0] ^= 1;
+        assert!(EfStarts::from_parts(
+            len,
+            low_bits,
+            lower.clone(),
+            upper.clone(),
+            Col::Owned(bad_samples)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rank_leq_matches_partition_point() {
+        let g = strictly_increasing(99, 400, 5);
+        let ef = EfStarts::encode(&g).unwrap();
+        let buckets = [(0usize, 50usize), (50, 51), (51, 400), (120, 120)];
+        for &(start, end) in &buckets {
+            let base = if start < end { g[start] } else { 0 };
+            for j in [0u128, 1, 3, 17, 1 << 20, u128::MAX] {
+                let expect = g[start..end]
+                    .iter()
+                    .filter(|&&v| (v - base) as u128 <= j)
+                    .count();
+                assert_eq!(
+                    ef.rank_leq(start, end, j),
+                    expect,
+                    "bucket {start}..{end} j {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_sequence_is_profitable() {
+        // Consecutive integers: the canonical dense case, ~2 bits/value.
+        let g: Vec<u64> = (1..=4096).collect();
+        let ef = EfStarts::encode(&g).unwrap();
+        let (_, _, lower, upper, samples) = ef.parts();
+        let bytes = (lower.len() + upper.len() + samples.len()) * 8;
+        assert!(
+            bytes * 4 < g.len() * 8,
+            "EF should be ≤ 1/4 of compact here"
+        );
+        assert_eq!(ef.decode_all(), g);
+    }
+}

@@ -28,7 +28,8 @@
 // recoverable state.
 #![allow(clippy::expect_used)]
 
-use crate::archive::{BucketArchive, CqIndexArchive, NodeArchive, StartsArchive};
+use crate::archive::{Buckets, CqIndexArchive, NodeArchive, Starts};
+use crate::column::Col;
 use crate::error::{catch_build, ensure_u32, CoreError};
 use crate::renum_cq::CqShuffle;
 use crate::scratch::AccessScratch;
@@ -124,69 +125,27 @@ pub struct BucketView {
     pub max_weight: Weight,
 }
 
-/// Per-row `startIndex` storage (Algorithm 2). Compact `u64` whenever every
-/// start fits (always, short of more than 2^64 answers below one bucket) —
-/// half the cache traffic per binary-search probe and no duplicated wide
-/// vector; the `u128` layout is kept only as the overflow fallback.
-#[derive(Debug)]
-enum StartIndex {
-    Compact(Vec<u64>),
-    Wide(Vec<Weight>),
-}
-
-impl StartIndex {
-    fn from_weights(starts: Vec<Weight>) -> Self {
-        match starts
-            .iter()
-            .map(|&s| u64::try_from(s).ok())
-            .collect::<Option<Vec<u64>>>()
-        {
-            Some(compact) => StartIndex::Compact(compact),
-            None => StartIndex::Wide(starts),
-        }
-    }
-
-    /// The startIndex of row `i`.
-    #[inline]
-    fn at(&self, i: usize) -> Weight {
-        match self {
-            StartIndex::Compact(v) => Weight::from(v[i]),
-            StartIndex::Wide(v) => v[i],
-        }
-    }
-
-    /// Number of rows in `[start, end)` whose startIndex is ≤ `j` (the
-    /// access binary search).
-    #[inline]
-    fn rank_leq(&self, start: usize, end: usize, j: Weight) -> usize {
-        match self {
-            StartIndex::Compact(v) => match u64::try_from(j) {
-                Ok(j64) => v[start..end].partition_point(|&s| s <= j64),
-                // Every compact start fits u64 < j: all rows qualify.
-                Err(_) => end - start,
-            },
-            StartIndex::Wide(v) => v[start..end].partition_point(|&s| s <= j),
-        }
-    }
-}
-
 #[derive(Debug)]
 struct NodeIndex {
     rel: Relation,
     /// Positions (in the bag) of the attributes shared with the parent.
     key_cols: Vec<usize>,
     /// Per-row subtree answer count (Algorithm 2's `w(t)`), always ≥ 1.
-    weights: Vec<Weight>,
-    /// Per-row start index within its bucket (Algorithm 2's `startIndex`).
-    starts: StartIndex,
-    buckets: Vec<BucketView>,
+    /// Owned for fresh builds; a zero-copy snapshot view after a
+    /// borrowed load (likewise for the other [`Col`]-typed tables).
+    weights: Col<Weight>,
+    /// Per-row start index within its bucket (Algorithm 2's
+    /// `startIndex`) — compact/wide direct layouts or the succinct
+    /// Elias-Fano encoding (see [`crate::archive::Starts`]).
+    starts: Starts,
+    buckets: Buckets,
     /// `pAtts` key (dictionary codes) → bucket id; probed with borrowed
     /// code slices, so no key is ever materialized on the lookup path.
     bucket_by_key: CodeKeyMap,
     /// Bucket id of each row.
-    bucket_of_row: Vec<u32>,
+    bucket_of_row: Col<u32>,
     /// `child_buckets[c][row]`: bucket id in child `c` matched by `row`.
-    child_buckets: Vec<Vec<u32>>,
+    child_buckets: Vec<Col<u32>>,
     /// For each bag column, the head position it feeds.
     bag_to_head: Vec<usize>,
     /// Lazily built full-tuple-codes → row id lookup (Algorithm 4, line 4).
@@ -196,6 +155,20 @@ struct NodeIndex {
 }
 
 impl NodeIndex {
+    /// The startIndex of `row_id` within its bucket, resolving the
+    /// bucket base only when the Elias-Fano layout needs it (the direct
+    /// layouts skip the bucket lookup entirely).
+    #[inline]
+    fn start_of_row(&self, row_id: usize) -> Weight {
+        match &self.starts {
+            Starts::EliasFano(_) => {
+                let first = self.buckets.at(self.bucket_of_row[row_id] as usize).start;
+                self.starts.at(row_id, first as usize)
+            }
+            _ => self.starts.at(row_id, 0),
+        }
+    }
+
     fn row_lookup(&self) -> &CodeKeyMap {
         self.row_by_tuple.get_or_init(|| {
             // Row count was validated against u32 in `from_parts`. Sized to
@@ -724,7 +697,7 @@ impl CqIndex {
         }
         while let Some((node, bucket_id, sub_index)) = scratch.stack.pop() {
             let nd = &self.nodes[node as usize];
-            let bucket = &nd.buckets[bucket_id as usize];
+            let bucket = nd.buckets.at(bucket_id as usize);
             debug_assert!(sub_index < bucket.total);
             // Binary search: the last row of the bucket with startIndex ≤ j,
             // over the compact u64 layout whenever starts fit.
@@ -732,7 +705,7 @@ impl CqIndex {
                 .starts
                 .rank_leq(bucket.start as usize, bucket.end as usize, sub_index);
             let row_id = bucket.start as usize + offset - 1;
-            let mut remainder = sub_index - nd.starts.at(row_id);
+            let mut remainder = sub_index - nd.starts.at(row_id, bucket.start as usize);
             debug_assert!(remainder < nd.weights[row_id]);
 
             let row = nd.rel.row(row_id);
@@ -746,7 +719,7 @@ impl CqIndex {
             let children = self.plan.children(node as usize);
             for (c, &child) in children.iter().enumerate().rev() {
                 let child_bucket = nd.child_buckets[c][row_id];
-                let radix = self.nodes[child].buckets[child_bucket as usize].total;
+                let radix = self.nodes[child].buckets.at(child_bucket as usize).total;
                 debug_assert!(radix > 0, "zero-weight bucket reached during access");
                 scratch
                     .stack
@@ -807,12 +780,12 @@ impl CqIndex {
             let mut digit: Weight = 0;
             for (c, &child) in self.plan.children(node).iter().enumerate() {
                 let child_bucket = nd.child_buckets[c][row_id];
-                let radix = self.nodes[child].buckets[child_bucket as usize].total;
+                let radix = self.nodes[child].buckets.at(child_bucket as usize).total;
                 let child_digit = scratch.node_digits[child];
                 debug_assert!(child_digit < radix);
                 digit = digit * radix + child_digit;
             }
-            scratch.node_digits[node] = nd.starts.at(row_id) + digit;
+            scratch.node_digits[node] = nd.start_of_row(row_id) + digit;
         }
         let mut index: Weight = 0;
         for (&root, &total) in self.plan.roots().iter().zip(self.root_totals.iter()) {
@@ -880,7 +853,7 @@ impl CqIndex {
     /// The single bucket of a root node, if the index is non-empty.
     pub fn root_bucket(&self, root: usize) -> Option<BucketView> {
         debug_assert!(self.plan.roots().contains(&root));
-        self.nodes[root].buckets.first().copied()
+        self.nodes[root].buckets.first()
     }
 
     /// The bucket of child `child_pos` of `node` matched by `row`.
@@ -888,7 +861,7 @@ impl CqIndex {
         let nd = &self.nodes[node];
         let child = self.plan.children(node)[child_pos];
         let bucket_id = nd.child_buckets[child_pos][row as usize];
-        self.nodes[child].buckets[bucket_id as usize]
+        self.nodes[child].buckets.at(bucket_id as usize)
     }
 
     /// Writes the head values contributed by `row` of `node` into `answer`.
@@ -917,7 +890,7 @@ impl CqIndex {
 
     /// A bucket of `node` by id.
     pub fn bucket(&self, node: usize, bucket_id: u32) -> BucketView {
-        self.nodes[node].buckets[bucket_id as usize]
+        self.nodes[node].buckets.at(bucket_id as usize)
     }
 
     /// Number of buckets of `node`.
@@ -927,7 +900,28 @@ impl CqIndex {
 
     /// The startIndex of `row` within its bucket (Algorithm 2).
     pub fn row_start(&self, node: usize, row: u32) -> Weight {
-        self.nodes[node].starts.at(row as usize)
+        self.nodes[node].start_of_row(row as usize)
+    }
+
+    /// Whether every per-row artifact table (weights, starts, buckets,
+    /// bucket ids, child links) is a zero-copy view into a snapshot
+    /// buffer — true exactly for indexes reconstructed by the store's
+    /// borrowed load path.
+    pub fn storage_is_borrowed(&self) -> bool {
+        !self.nodes.is_empty()
+            && self.nodes.iter().all(|nd| {
+                nd.weights.is_borrowed()
+                    && nd.starts.is_borrowed()
+                    && nd.buckets.is_borrowed()
+                    && nd.bucket_of_row.is_borrowed()
+                    && nd.child_buckets.iter().all(Col::is_borrowed)
+            })
+    }
+
+    /// The startIndex layout name of `node` (`"compact"`, `"wide"`, or
+    /// `"elias-fano"`) — test/bench introspection.
+    pub fn starts_encoding(&self, node: usize) -> &'static str {
+        self.nodes[node].starts.encoding()
     }
 }
 
@@ -1144,12 +1138,12 @@ fn build_node(
     Ok(NodeIndex {
         rel,
         key_cols,
-        weights,
-        starts: StartIndex::from_weights(starts),
-        buckets,
+        weights: Col::Owned(weights),
+        starts: Starts::from_weights(starts),
+        buckets: Buckets::from_views(&buckets),
         bucket_by_key,
-        bucket_of_row,
-        child_buckets,
+        bucket_of_row: Col::Owned(bucket_of_row),
+        child_buckets: child_buckets.into_iter().map(Col::Owned).collect(),
         bag_to_head,
         row_by_tuple: OnceLock::new(),
     })
@@ -1244,7 +1238,7 @@ fn weights_range(
                 }
             };
             child_buckets[c].push(bucket_id);
-            let bucket_total = child_node.buckets[bucket_id as usize].total;
+            let bucket_total = child_node.buckets.at(bucket_id as usize).total;
             w = w
                 .checked_mul(bucket_total)
                 .ok_or(CoreError::WeightOverflow)?;
@@ -1290,24 +1284,15 @@ impl CqIndex {
                         refs.push(r);
                     }
                 }
+                // Col clones are cheap for borrowed tables (an Arc bump):
+                // archiving a borrowed-loaded index copies nothing but the
+                // value table.
                 NodeArchive {
                     rows: rows as u32,
-                    refs,
+                    refs: Col::Owned(refs),
                     weights: nd.weights.clone(),
-                    starts: match &nd.starts {
-                        StartIndex::Compact(v) => StartsArchive::Compact(v.clone()),
-                        StartIndex::Wide(v) => StartsArchive::Wide(v.clone()),
-                    },
-                    buckets: nd
-                        .buckets
-                        .iter()
-                        .map(|b| BucketArchive {
-                            start: b.start,
-                            end: b.end,
-                            total: b.total,
-                            max_weight: b.max_weight,
-                        })
-                        .collect(),
+                    starts: nd.starts.clone(),
+                    buckets: nd.buckets.clone(),
                     bucket_of_row: nd.bucket_of_row.clone(),
                     child_buckets: nd.child_buckets.clone(),
                 }
@@ -1546,6 +1531,28 @@ fn validate_archived_node(
             "node {node}: multiple buckets with an empty pAtts key"
         )));
     }
+    {
+        // SoA shape: all four bucket columns must be parallel before any
+        // `at(i)` assembles a view (decoders enforce this too; re-checked
+        // here for hand-built archives).
+        let nb = arch.buckets.len();
+        if arch.buckets.end.len() != nb
+            || arch.buckets.total.len() != nb
+            || arch.buckets.max_weight.len() != nb
+        {
+            return Err(invalid(format!(
+                "node {node}: bucket table columns are not parallel"
+            )));
+        }
+    }
+    // The Elias-Fano layout answers random `at` through two select1
+    // probes; validation visits every row exactly once, so decode the
+    // global sequence up front and index it flat — the comparisons are
+    // identical, the cost linear.
+    let ef_global: Option<Vec<u64>> = match &arch.starts {
+        Starts::EliasFano(ef) => Some(ef.decode_all()),
+        _ => None,
+    };
     let mut expected_start: u32 = 0;
     for (bid, b) in arch.buckets.iter().enumerate() {
         if b.start != expected_start || b.end <= b.start || b.end as usize > rows {
@@ -1571,7 +1578,14 @@ fn validate_archived_node(
                     "node {node}: bucket {bid} rows do not share a pAtts key"
                 )));
             }
-            if arch.starts.at(i) != total {
+            let start_at = match &ef_global {
+                // Same value `Starts::at` computes for this layout
+                // (bucket-relative via wrapping subtraction), without the
+                // per-row select1 probes.
+                Some(g) => Weight::from(g[i].wrapping_sub(g[b.start as usize])),
+                None => arch.starts.at(i, b.start as usize),
+            };
+            if start_at != total {
                 return Err(invalid(format!(
                     "node {node}: row {i} startIndex breaks the prefix sum"
                 )));
@@ -1634,25 +1648,14 @@ fn validate_archived_node(
             )));
         }
     }
-    let starts = match arch.starts {
-        StartsArchive::Compact(v) => StartIndex::Compact(v),
-        StartsArchive::Wide(v) => StartIndex::Wide(v),
-    };
+    // Tables move (not copy) into the live node: for a borrowed archive
+    // these stay zero-copy views into the snapshot file.
     Ok(NodeIndex {
         rel,
         key_cols,
         weights: arch.weights,
-        starts,
-        buckets: arch
-            .buckets
-            .iter()
-            .map(|b| BucketView {
-                start: b.start,
-                end: b.end,
-                total: b.total,
-                max_weight: b.max_weight,
-            })
-            .collect(),
+        starts: arch.starts,
+        buckets: arch.buckets,
         bucket_by_key,
         bucket_of_row: arch.bucket_of_row,
         child_buckets: arch.child_buckets,
@@ -1954,8 +1957,8 @@ mod tests {
         // The `Err(_) => end - start` fallback: a probe weight above
         // u64::MAX can never be exceeded by a compact (u64) startIndex, so
         // every row in the range qualifies. Lock in that overflow behavior.
-        let compact = StartIndex::from_weights(vec![0, 5, 9, 14]);
-        assert!(matches!(compact, StartIndex::Compact(_)));
+        let compact = Starts::from_weights(vec![0, 5, 9, 14]);
+        assert!(matches!(compact, Starts::Compact(_)));
         let wide_j: Weight = Weight::from(u64::MAX) + 1;
         assert_eq!(compact.rank_leq(0, 4, wide_j), 4);
         assert_eq!(compact.rank_leq(1, 3, wide_j), 2); // sub-range too
@@ -1971,12 +1974,12 @@ mod tests {
         // Starts that do not fit u64 force the wide layout; ranks must be
         // exact on both sides of the u64 boundary.
         let big: Weight = Weight::from(u64::MAX) + 7;
-        let wide = StartIndex::from_weights(vec![0, 10, big]);
-        assert!(matches!(wide, StartIndex::Wide(_)));
+        let wide = Starts::from_weights(vec![0, 10, big]);
+        assert!(matches!(wide, Starts::Wide(_)));
         assert_eq!(wide.rank_leq(0, 3, 9), 1);
         assert_eq!(wide.rank_leq(0, 3, Weight::from(u64::MAX)), 2);
         assert_eq!(wide.rank_leq(0, 3, big), 3);
-        assert_eq!(wide.at(2), big);
+        assert_eq!(wide.at(2, 0), big);
     }
 
     #[test]

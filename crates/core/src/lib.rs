@@ -29,7 +29,9 @@
 
 pub mod archive;
 pub mod budgeted;
+pub mod column;
 pub mod delset;
+pub mod ef;
 pub mod enumerate;
 pub mod error;
 pub mod index;
@@ -46,11 +48,12 @@ pub mod weight;
 pub(crate) mod testutil;
 
 pub use archive::{
-    BucketArchive, CqIndexArchive, NodeArchive, OrderedCqIndexArchive, OrderedMcUcqArchive,
-    StartsArchive,
+    Buckets, CqIndexArchive, NodeArchive, OrderedCqIndexArchive, OrderedMcUcqArchive, Starts,
 };
 pub use budgeted::{Budgeted, ProbeCadence};
+pub use column::{AlignedBytes, Col, ColumnError, Pod, StableBytes};
 pub use delset::DeletableSet;
+pub use ef::EfStarts;
 pub use enumerate::CqSequential;
 pub use error::CoreError;
 pub use index::{BucketView, BuildOptions, CqIndex, BUILD_THREADS_ENV};

@@ -106,7 +106,7 @@ fn tampered_weight_is_refused() {
         .iter_mut()
         .find(|n| !n.weights.is_empty())
         .unwrap();
-    node.weights[0] += 1;
+    node.weights.to_mut()[0] += 1;
     match CqIndex::from_archive(archive) {
         Err(CoreError::InvalidArchive(detail)) => {
             assert!(detail.contains("weight"), "unexpected detail: {detail}");
@@ -151,7 +151,7 @@ fn tampered_value_ref_is_refused() {
         .iter_mut()
         .find(|n| !n.refs.is_empty())
         .unwrap();
-    node.refs[0] = table + 3;
+    node.refs.to_mut()[0] = table + 3;
     // Surfaces as the data layer's structured out-of-range error, wrapped.
     assert!(CqIndex::from_archive(archive).is_err());
 }
@@ -180,7 +180,7 @@ fn tampered_sort_order_is_refused_for_ordered_layouts() {
         panic!("expected some bucket with two rows");
     };
     let arity = plain.node_relation(node).arity();
-    let refs = &mut archive.index.nodes[node].refs;
+    let refs = archive.index.nodes[node].refs.to_mut();
     for c in 0..arity {
         refs.swap(row * arity + c, (row + 1) * arity + c);
     }

@@ -338,7 +338,11 @@ impl ServingIndex {
     /// metadata (epoch, artifact digest, file path is
     /// `meta`'s label/epoch naming).
     pub fn recover(dir: &std::path::Path) -> Result<(Self, rae_store::SnapshotMeta)> {
-        let (_path, artifact, meta) = rae_store::recover_dir(dir)?;
+        // Zero-copy cold start: the recovered index serves straight from a
+        // read-only mapping of the snapshot file, falling back to an owned
+        // decode on buffers that cannot support views (`meta.borrowed`
+        // records which path won). Validation is identical either way.
+        let (_path, artifact, meta) = rae_store::recover_dir_with(dir, true)?;
         let rae_store::Artifact::Ordered(base) = artifact else {
             return Err(ServeError::Store(rae_store::StoreError::Corrupt {
                 section: "footer".to_string(),

@@ -1,20 +1,38 @@
 //! Artifact ⇄ section codec. An artifact (one built index in archive form)
 //! encodes to a deterministic ordered list of named sections — flat `u32`
-//! reference columns, `u64`/`u128` startIndex prefix sums, bucket tables,
-//! and the deduplicated value table — and the `artifact_digest` is the
-//! FNV-1a 64 over the concatenated section payloads in that order. The
+//! reference columns, startIndex arrays (compact `u64`, wide `u128`, or
+//! Elias-Fano, chosen per node by encoded size), struct-of-arrays bucket
+//! tables, and the deduplicated value table — and the `artifact_digest` is
+//! the FNV-1a 64 over the concatenated section payloads in that order. The
 //! encoding references the archive's own value table (never process-local
 //! dictionary codes), so the digest of a logical index is identical across
 //! processes: the crash harness compares digests computed in different
 //! processes to prove recovery exactness.
+//!
+//! Format v2 lays every numeric array on a 16-byte payload boundary
+//! (zero padding inside the checksummed payload), which is what lets
+//! [`ArtifactArchive::from_sections`] decode in *borrowed* mode: columns
+//! become validated zero-copy [`rae_core::Col`] views straight into the
+//! snapshot buffer instead of owned copies.
+//!
+//! The Elias-Fano choice is transparent to digests: the owned decode
+//! expands EF back to the compact layout, and re-encoding a (valid)
+//! compact node deterministically re-selects EF with identical bytes, so
+//! `save(load(x))` still digests to `digest(x)` whichever path loaded it.
 
 use crate::error::StoreError;
-use crate::wire::{Reader, Writer};
+use crate::wire::{ColSource, Reader, Writer};
 use rae_core::{
-    BucketArchive, CqIndex, CqIndexArchive, NodeArchive, OrderedCqIndex, OrderedCqIndexArchive,
-    OrderedMcUcqArchive, OrderedMcUcqIndex, StartsArchive,
+    Buckets, Col, CqIndex, CqIndexArchive, EfStarts, NodeArchive, OrderedCqIndex,
+    OrderedCqIndexArchive, OrderedMcUcqArchive, OrderedMcUcqIndex, StableBytes, Starts,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// startIndex layout tags on the wire.
+const STARTS_COMPACT: u8 = 0;
+const STARTS_WIDE: u8 = 1;
+const STARTS_ELIAS_FANO: u8 = 2;
 
 /// What kind of index a snapshot holds (the footer's kind tag).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +96,16 @@ pub enum Artifact {
     OrderedUnion(OrderedMcUcqIndex),
 }
 
+/// One named section: its payload bytes plus the payload's absolute
+/// offset within the snapshot buffer (what anchors borrowed views).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SectionData<'a> {
+    pub bytes: &'a [u8],
+    pub abs: usize,
+}
+
+pub(crate) type Sections<'a> = BTreeMap<String, SectionData<'a>>;
+
 impl ArtifactArchive {
     /// The kind tag this archive serializes under.
     pub fn kind(&self) -> ArtifactKind {
@@ -88,7 +116,8 @@ impl ArtifactArchive {
         }
     }
 
-    /// Encodes into the deterministic ordered section list.
+    /// Encodes into the deterministic ordered section list. Every payload
+    /// is a 16-byte multiple (padding is part of the checksummed bytes).
     pub(crate) fn to_sections(&self) -> Vec<(String, Vec<u8>)> {
         let mut out = Vec::new();
         match self {
@@ -98,6 +127,7 @@ impl ArtifactArchive {
                 let mut w = Writer::new();
                 w.put_u32(a.m);
                 w.put_symbols(&a.head);
+                w.pad_to_16();
                 out.push(("union".to_string(), w.into_bytes()));
                 for (mask, member) in a.structs.iter().enumerate() {
                     if let Some(member) = member {
@@ -106,23 +136,32 @@ impl ArtifactArchive {
                 }
             }
         }
+        debug_assert!(out.iter().all(|(_, p)| p.len() % 16 == 0));
         out
     }
 
-    /// Decodes an archive of `kind` from named section payloads.
+    /// Decodes an archive of `kind` from named section payloads. With an
+    /// `owner`, numeric columns are zero-copy views into it (anchored at
+    /// each section's absolute offset); a view the buffer cannot support
+    /// surfaces as [`StoreError::Unborrowable`] for the caller to fall
+    /// back on. Without one, everything is copied out as owned vectors
+    /// and Elias-Fano startIndex nodes are expanded back to compact.
     pub(crate) fn from_sections(
         kind: ArtifactKind,
-        sections: &BTreeMap<String, &[u8]>,
+        sections: &Sections<'_>,
+        owner: Option<&Arc<dyn StableBytes>>,
     ) -> Result<Self, StoreError> {
         match kind {
-            ArtifactKind::Cq => Ok(ArtifactArchive::Cq(decode_cq("", sections)?)),
-            ArtifactKind::Ordered => Ok(ArtifactArchive::Ordered(decode_ordered("", sections)?)),
+            ArtifactKind::Cq => Ok(ArtifactArchive::Cq(decode_cq("", sections, owner)?)),
+            ArtifactKind::Ordered => Ok(ArtifactArchive::Ordered(decode_ordered(
+                "", sections, owner,
+            )?)),
             ArtifactKind::OrderedUnion => {
-                let bytes = section(sections, "union")?;
-                let mut r = Reader::new("union", bytes);
+                let sec = section(sections, "union")?;
+                let mut r = Reader::new("union", sec.bytes);
                 let m = r.get_u32()?;
                 let head = r.get_symbols()?;
-                r.finish()?;
+                r.finish_padded()?;
                 if m == 0 || m > 24 {
                     return Err(StoreError::Corrupt {
                         section: "union".to_string(),
@@ -131,7 +170,7 @@ impl ArtifactArchive {
                 }
                 let mut structs = vec![None];
                 for mask in 1..(1usize << m) {
-                    structs.push(Some(decode_ordered(&format!("m{mask}/"), sections)?));
+                    structs.push(Some(decode_ordered(&format!("m{mask}/"), sections, owner)?));
                 }
                 Ok(ArtifactArchive::OrderedUnion(OrderedMcUcqArchive {
                     m,
@@ -155,6 +194,32 @@ impl ArtifactArchive {
     }
 }
 
+/// The global cumulative startIndex sequence of one node — per-bucket
+/// starts shifted by the running sum of earlier buckets' totals — when it
+/// is strictly increasing and fits `u64` (the shape Elias-Fano needs).
+/// `None` means "keep the direct layout". Valid archives always qualify
+/// on monotonicity (weights ≥ 1); the checks make encoding total for
+/// hand-built or hostile archives too.
+fn ef_global(node: &NodeArchive) -> Option<Vec<u64>> {
+    let Starts::Compact(starts) = &node.starts else {
+        return None;
+    };
+    let mut g: Vec<u64> = Vec::with_capacity(starts.len());
+    let mut base: u128 = 0;
+    for bucket in node.buckets.iter() {
+        for i in bucket.start..bucket.end {
+            let v = base.checked_add(u128::from(*starts.get(i as usize)?))?;
+            let v = u64::try_from(v).ok()?;
+            if g.last().is_some_and(|&prev| prev >= v) {
+                return None;
+            }
+            g.push(v);
+        }
+        base = base.checked_add(bucket.total)?;
+    }
+    (g.len() == starts.len()).then_some(g)
+}
+
 fn encode_cq(prefix: &str, a: &CqIndexArchive, out: &mut Vec<(String, Vec<u8>)>) {
     let mut w = Writer::new();
     w.put_symbols(&a.head);
@@ -169,6 +234,7 @@ fn encode_cq(prefix: &str, a: &CqIndexArchive, out: &mut Vec<(String, Vec<u8>)>)
         }
         w.put_symbols(bag);
     }
+    w.pad_to_16();
     out.push((format!("{prefix}plan"), w.into_bytes()));
 
     let mut w = Writer::new();
@@ -176,64 +242,103 @@ fn encode_cq(prefix: &str, a: &CqIndexArchive, out: &mut Vec<(String, Vec<u8>)>)
     for v in &a.values {
         w.put_value(v);
     }
+    w.pad_to_16();
     out.push((format!("{prefix}values"), w.into_bytes()));
 
     for (i, node) in a.nodes.iter().enumerate() {
         let mut w = Writer::new();
         w.put_u32(node.rows);
         w.put_len(node.refs.len());
-        for &r in &node.refs {
-            w.put_u32(r);
-        }
+        w.pad_to_16();
+        w.put_col(&node.refs);
+        w.pad_to_16();
         out.push((format!("{prefix}node{i}/refs"), w.into_bytes()));
 
         let mut w = Writer::new();
         w.put_len(node.weights.len());
-        for &wt in &node.weights {
-            w.put_u128(wt);
-        }
+        w.pad_to_16();
+        w.put_col(&node.weights);
         out.push((format!("{prefix}node{i}/weights"), w.into_bytes()));
 
         let mut w = Writer::new();
-        match &node.starts {
-            StartsArchive::Compact(v) => {
-                w.put_u8(0);
-                w.put_len(v.len());
-                for &s in v {
-                    w.put_u64(s);
-                }
+        match (
+            &node.starts,
+            ef_global(node).and_then(|g| EfStarts::encode(&g)),
+        ) {
+            (_, Some(ef)) => {
+                let (len, low_bits, lower, upper, samples) = ef.parts();
+                w.put_u8(STARTS_ELIAS_FANO);
+                w.put_len(len);
+                w.put_u32(low_bits);
+                w.put_len(lower.len());
+                w.put_len(upper.len());
+                w.put_len(samples.len());
+                w.pad_to_16();
+                w.put_col(lower);
+                w.pad_to_16();
+                w.put_col(upper);
+                w.pad_to_16();
+                w.put_col(samples);
+                w.pad_to_16();
             }
-            StartsArchive::Wide(v) => {
-                w.put_u8(1);
+            (Starts::Compact(v), None) => {
+                w.put_u8(STARTS_COMPACT);
                 w.put_len(v.len());
-                for &s in v {
-                    w.put_u128(s);
-                }
+                w.pad_to_16();
+                w.put_col(v);
+                w.pad_to_16();
+            }
+            (Starts::Wide(v), None) => {
+                w.put_u8(STARTS_WIDE);
+                w.put_len(v.len());
+                w.pad_to_16();
+                w.put_col(v);
+            }
+            // ef_global only returns Some for Compact nodes, and live
+            // EliasFano starts (a borrowed load being re-saved) re-encode
+            // their parts verbatim below — unreachable by construction,
+            // but total: fall back to expanding through rank semantics.
+            (Starts::EliasFano(ef), None) => {
+                let (len, low_bits, lower, upper, samples) = ef.parts();
+                w.put_u8(STARTS_ELIAS_FANO);
+                w.put_len(len);
+                w.put_u32(low_bits);
+                w.put_len(lower.len());
+                w.put_len(upper.len());
+                w.put_len(samples.len());
+                w.pad_to_16();
+                w.put_col(lower);
+                w.pad_to_16();
+                w.put_col(upper);
+                w.pad_to_16();
+                w.put_col(samples);
+                w.pad_to_16();
             }
         }
         out.push((format!("{prefix}node{i}/starts"), w.into_bytes()));
 
         let mut w = Writer::new();
         w.put_len(node.buckets.len());
-        for b in &node.buckets {
-            w.put_u32(b.start);
-            w.put_u32(b.end);
-            w.put_u128(b.total);
-            w.put_u128(b.max_weight);
-        }
+        w.pad_to_16();
+        w.put_col(&node.buckets.start);
+        w.pad_to_16();
+        w.put_col(&node.buckets.end);
+        w.pad_to_16();
+        w.put_col(&node.buckets.total);
+        w.put_col(&node.buckets.max_weight);
         out.push((format!("{prefix}node{i}/buckets"), w.into_bytes()));
 
         let mut w = Writer::new();
         w.put_len(node.bucket_of_row.len());
-        for &b in &node.bucket_of_row {
-            w.put_u32(b);
-        }
         w.put_len(node.child_buckets.len());
+        w.pad_to_16();
+        w.put_col(&node.bucket_of_row);
+        w.pad_to_16();
         for col in &node.child_buckets {
             w.put_len(col.len());
-            for &b in col {
-                w.put_u32(b);
-            }
+            w.pad_to_16();
+            w.put_col(col);
+            w.pad_to_16();
         }
         out.push((format!("{prefix}node{i}/links"), w.into_bytes()));
     }
@@ -251,10 +356,11 @@ fn encode_ordered(prefix: &str, a: &OrderedCqIndexArchive, out: &mut Vec<(String
             w.put_u32(pos);
         }
     }
+    w.pad_to_16();
     out.push((format!("{prefix}order"), w.into_bytes()));
 }
 
-fn section<'a>(sections: &'a BTreeMap<String, &[u8]>, name: &str) -> Result<&'a [u8], StoreError> {
+fn section<'a>(sections: &Sections<'a>, name: &str) -> Result<SectionData<'a>, StoreError> {
     sections
         .get(name)
         .copied()
@@ -264,12 +370,33 @@ fn section<'a>(sections: &'a BTreeMap<String, &[u8]>, name: &str) -> Result<&'a 
         })
 }
 
+/// Reader for a named section, wired to decode columns from `owner` (or
+/// owned copies when borrowing is off).
+fn reader<'a>(
+    name: &'a str,
+    sec: SectionData<'a>,
+    owner: Option<&Arc<dyn StableBytes>>,
+) -> Reader<'a> {
+    match owner {
+        Some(owner) => Reader::with_source(
+            name,
+            sec.bytes,
+            ColSource::Borrowed {
+                owner: Arc::clone(owner),
+                payload_base: sec.abs,
+            },
+        ),
+        None => Reader::new(name, sec.bytes),
+    }
+}
+
 fn decode_cq(
     prefix: &str,
-    sections: &BTreeMap<String, &[u8]>,
+    sections: &Sections<'_>,
+    owner: Option<&Arc<dyn StableBytes>>,
 ) -> Result<CqIndexArchive, StoreError> {
     let name = format!("{prefix}plan");
-    let mut r = Reader::new(&name, section(sections, &name)?);
+    let mut r = Reader::new(&name, section(sections, &name)?.bytes);
     let head = r.get_symbols()?;
     let n = r.get_len(1)?;
     let mut bags = Vec::with_capacity(n);
@@ -287,56 +414,130 @@ fn decode_cq(
         });
         bags.push(r.get_symbols()?);
     }
-    r.finish()?;
+    r.finish_padded()?;
 
     let name = format!("{prefix}values");
-    let mut r = Reader::new(&name, section(sections, &name)?);
+    let mut r = Reader::new(&name, section(sections, &name)?.bytes);
     let count = r.get_len(1)?;
     let mut values = Vec::with_capacity(count);
     for _ in 0..count {
         values.push(r.get_value()?);
     }
-    r.finish()?;
+    r.finish_padded()?;
 
     let mut nodes = Vec::with_capacity(n);
     for i in 0..n {
         let name = format!("{prefix}node{i}/refs");
-        let mut r = Reader::new(&name, section(sections, &name)?);
+        let mut r = reader(&name, section(sections, &name)?, owner);
         let rows = r.get_u32()?;
         let len = r.get_len(4)?;
-        let mut refs = Vec::with_capacity(len);
-        for _ in 0..len {
-            refs.push(r.get_u32()?);
-        }
-        r.finish()?;
+        let refs: Col<u32> = r.get_col(len)?;
+        r.finish_padded()?;
 
         let name = format!("{prefix}node{i}/weights");
-        let mut r = Reader::new(&name, section(sections, &name)?);
+        let mut r = reader(&name, section(sections, &name)?, owner);
         let len = r.get_len(16)?;
-        let mut weights = Vec::with_capacity(len);
-        for _ in 0..len {
-            weights.push(r.get_u128()?);
-        }
-        r.finish()?;
+        let weights: Col<u128> = r.get_col(len)?;
+        r.finish_padded()?;
+
+        // Buckets before starts: the owned Elias-Fano expansion needs the
+        // bucket table to turn global cumulative values back into
+        // per-bucket starts.
+        let name = format!("{prefix}node{i}/buckets");
+        let mut r = reader(&name, section(sections, &name)?, owner);
+        let len = r.get_len(40)?;
+        let b_start: Col<u32> = r.get_col(len)?;
+        let b_end: Col<u32> = r.get_col(len)?;
+        let b_total: Col<u128> = r.get_col(len)?;
+        let b_max: Col<u128> = r.get_col(len)?;
+        let buckets = Buckets::from_cols(b_start, b_end, b_total, b_max).map_err(|detail| {
+            StoreError::Corrupt {
+                section: name.clone(),
+                detail,
+            }
+        })?;
+        r.finish_padded()?;
 
         let name = format!("{prefix}node{i}/starts");
-        let mut r = Reader::new(&name, section(sections, &name)?);
+        let mut r = reader(&name, section(sections, &name)?, owner);
         let starts = match r.get_u8()? {
-            0 => {
+            STARTS_COMPACT => {
                 let len = r.get_len(8)?;
-                let mut v = Vec::with_capacity(len);
-                for _ in 0..len {
-                    v.push(r.get_u64()?);
-                }
-                StartsArchive::Compact(v)
+                Starts::Compact(r.get_col(len)?)
             }
-            1 => {
+            STARTS_WIDE => {
                 let len = r.get_len(16)?;
-                let mut v = Vec::with_capacity(len);
-                for _ in 0..len {
-                    v.push(r.get_u128()?);
+                Starts::Wide(r.get_col(len)?)
+            }
+            STARTS_ELIAS_FANO => {
+                // The element count is NOT bounds-checked against the
+                // payload (EF stores far fewer than 8 bytes/element);
+                // `from_parts` cross-validates it against the word
+                // counts, which `get_col` does bound, before anything
+                // allocates proportionally to it.
+                let len = usize::try_from(r.get_u64()?).map_err(|_| StoreError::Corrupt {
+                    section: name.clone(),
+                    detail: "EF length overflows usize".to_string(),
+                })?;
+                let low_bits = r.get_u32()?;
+                let n_lower = r.get_len(8)?;
+                let n_upper = r.get_len(8)?;
+                let n_samples = r.get_len(8)?;
+                let lower: Col<u64> = r.get_col(n_lower)?;
+                let upper: Col<u64> = r.get_col(n_upper)?;
+                let samples: Col<u64> = r.get_col(n_samples)?;
+                let ef = EfStarts::from_parts(len, low_bits, lower, upper, samples).map_err(
+                    |detail| StoreError::Corrupt {
+                        section: name.clone(),
+                        detail,
+                    },
+                )?;
+                if owner.is_some() {
+                    // Borrowed load: serve ranks straight off the
+                    // succinct structure.
+                    Starts::EliasFano(ef)
+                } else {
+                    // Owned load: expand the global sequence back to
+                    // per-bucket compact starts (checked subtraction —
+                    // a non-monotone hostile sequence is corruption,
+                    // not a wrap).
+                    let g = ef.decode_all();
+                    if g.len() != len {
+                        return Err(StoreError::Corrupt {
+                            section: name.clone(),
+                            detail: "EF decoded length disagrees".to_string(),
+                        });
+                    }
+                    let mut compact = vec![0u64; len];
+                    let mut covered = 0usize;
+                    for bucket in buckets.iter() {
+                        let (bs, be) = (bucket.start as usize, bucket.end as usize);
+                        if bs > be || be > len {
+                            return Err(StoreError::Corrupt {
+                                section: name.clone(),
+                                detail: format!("bucket range {bs}..{be} outside {len} starts"),
+                            });
+                        }
+                        for row in bs..be {
+                            compact[row] =
+                                g[row]
+                                    .checked_sub(g[bs])
+                                    .ok_or_else(|| StoreError::Corrupt {
+                                        section: name.clone(),
+                                        detail: "EF sequence not monotone within a bucket"
+                                            .to_string(),
+                                    })?;
+                        }
+                        covered += be - bs;
+                    }
+                    if covered != len {
+                        return Err(StoreError::Corrupt {
+                            section: name.clone(),
+                            detail: format!("buckets cover {covered} of {len} starts"),
+                        });
+                    }
+                    Starts::Compact(Col::Owned(compact))
                 }
-                StartsArchive::Wide(v)
             }
             tag => {
                 return Err(StoreError::Corrupt {
@@ -345,40 +546,24 @@ fn decode_cq(
                 })
             }
         };
-        r.finish()?;
-
-        let name = format!("{prefix}node{i}/buckets");
-        let mut r = Reader::new(&name, section(sections, &name)?);
-        let len = r.get_len(40)?;
-        let mut buckets = Vec::with_capacity(len);
-        for _ in 0..len {
-            buckets.push(BucketArchive {
-                start: r.get_u32()?,
-                end: r.get_u32()?,
-                total: r.get_u128()?,
-                max_weight: r.get_u128()?,
-            });
-        }
-        r.finish()?;
+        r.finish_padded()?;
 
         let name = format!("{prefix}node{i}/links");
-        let mut r = Reader::new(&name, section(sections, &name)?);
+        let mut r = reader(&name, section(sections, &name)?, owner);
         let len = r.get_len(4)?;
-        let mut bucket_of_row = Vec::with_capacity(len);
-        for _ in 0..len {
-            bucket_of_row.push(r.get_u32()?);
-        }
-        let cols = r.get_len(8)?;
+        let cols = r.get_len(0)?;
+        let bucket_of_row: Col<u32> = r.get_col(len)?;
+        // Each column is followed by its own padding; consume it so the
+        // next length is read aligned, exactly as encoded.
+        r.align_16()?;
         let mut child_buckets = Vec::with_capacity(cols);
         for _ in 0..cols {
             let len = r.get_len(4)?;
-            let mut col = Vec::with_capacity(len);
-            for _ in 0..len {
-                col.push(r.get_u32()?);
-            }
+            let col: Col<u32> = r.get_col(len)?;
+            r.align_16()?;
             child_buckets.push(col);
         }
-        r.finish()?;
+        r.finish_padded()?;
 
         nodes.push(NodeArchive {
             rows,
@@ -402,11 +587,12 @@ fn decode_cq(
 
 fn decode_ordered(
     prefix: &str,
-    sections: &BTreeMap<String, &[u8]>,
+    sections: &Sections<'_>,
+    owner: Option<&Arc<dyn StableBytes>>,
 ) -> Result<OrderedCqIndexArchive, StoreError> {
-    let index = decode_cq(prefix, sections)?;
+    let index = decode_cq(prefix, sections, owner)?;
     let name = format!("{prefix}order");
-    let mut r = Reader::new(&name, section(sections, &name)?);
+    let mut r = Reader::new(&name, section(sections, &name)?.bytes);
     let order = r.get_symbols()?;
     let n = r.get_len(8)?;
     let mut node_new = Vec::with_capacity(n);
@@ -418,7 +604,7 @@ fn decode_ordered(
         }
         node_new.push(cols);
     }
-    r.finish()?;
+    r.finish_padded()?;
     Ok(OrderedCqIndexArchive {
         index,
         order,
@@ -431,7 +617,7 @@ mod tests {
     use super::*;
     use rae_data::{Symbol, Value};
 
-    fn tiny_cq_archive() -> CqIndexArchive {
+    pub(crate) fn tiny_cq_archive() -> CqIndexArchive {
         // One node, one attribute, two rows — hand-rolled but consistent.
         CqIndexArchive {
             values: vec![Value::Int(1), Value::Int(2)],
@@ -440,25 +626,34 @@ mod tests {
             head: vec![Symbol::new("x")],
             nodes: vec![NodeArchive {
                 rows: 2,
-                refs: vec![0, 1],
-                weights: vec![1, 1],
-                starts: StartsArchive::Compact(vec![0, 1]),
-                buckets: vec![BucketArchive {
-                    start: 0,
-                    end: 2,
-                    total: 2,
-                    max_weight: 1,
-                }],
-                bucket_of_row: vec![0, 0],
+                refs: Col::Owned(vec![0, 1]),
+                weights: Col::Owned(vec![1, 1]),
+                starts: Starts::Compact(Col::Owned(vec![0, 1])),
+                buckets: Buckets::from_cols(
+                    Col::Owned(vec![0]),
+                    Col::Owned(vec![2]),
+                    Col::Owned(vec![2]),
+                    Col::Owned(vec![1]),
+                )
+                .unwrap(),
+                bucket_of_row: Col::Owned(vec![0, 0]),
                 child_buckets: vec![],
             }],
         }
     }
 
-    fn as_slices(owned: &[(String, Vec<u8>)]) -> BTreeMap<String, &[u8]> {
+    fn as_sections(owned: &[(String, Vec<u8>)]) -> Sections<'_> {
         owned
             .iter()
-            .map(|(n, p)| (n.clone(), p.as_slice()))
+            .map(|(n, p)| {
+                (
+                    n.clone(),
+                    SectionData {
+                        bytes: p.as_slice(),
+                        abs: 0,
+                    },
+                )
+            })
             .collect()
     }
 
@@ -466,7 +661,8 @@ mod tests {
     fn sections_round_trip() {
         let archive = ArtifactArchive::Cq(tiny_cq_archive());
         let owned = archive.to_sections();
-        let decoded = ArtifactArchive::from_sections(ArtifactKind::Cq, &as_slices(&owned)).unwrap();
+        let decoded =
+            ArtifactArchive::from_sections(ArtifactKind::Cq, &as_sections(&owned), None).unwrap();
         assert_eq!(decoded, archive);
     }
 
@@ -474,10 +670,10 @@ mod tests {
     fn missing_section_is_structured() {
         let archive = ArtifactArchive::Cq(tiny_cq_archive());
         let owned = archive.to_sections();
-        let mut sections = as_slices(&owned);
+        let mut sections = as_sections(&owned);
         sections.remove("node0/weights");
         assert!(matches!(
-            ArtifactArchive::from_sections(ArtifactKind::Cq, &sections),
+            ArtifactArchive::from_sections(ArtifactKind::Cq, &sections, None),
             Err(StoreError::Corrupt { section, .. }) if section == "node0/weights"
         ));
     }
@@ -486,5 +682,45 @@ mod tests {
     fn encode_order_is_deterministic() {
         let archive = ArtifactArchive::Cq(tiny_cq_archive());
         assert_eq!(archive.to_sections(), archive.to_sections());
+    }
+
+    #[test]
+    fn payloads_are_aligned_multiples() {
+        let archive = ArtifactArchive::Cq(tiny_cq_archive());
+        for (name, payload) in archive.to_sections() {
+            assert_eq!(payload.len() % 16, 0, "section {name} not padded");
+        }
+    }
+
+    #[test]
+    fn dense_starts_pick_elias_fano_and_round_trip() {
+        // One bucket, consecutive starts: EF is profitable and must
+        // decode (owned) back to the identical compact archive.
+        let rows = 4096u32;
+        let mut a = tiny_cq_archive();
+        let node = &mut a.nodes[0];
+        node.rows = rows;
+        node.refs = Col::Owned((0..rows).map(|_| 0).collect());
+        node.weights = Col::Owned(vec![1u128; rows as usize]);
+        node.starts = Starts::Compact(Col::Owned((0..rows as u64).collect()));
+        node.buckets = Buckets::from_cols(
+            Col::Owned(vec![0]),
+            Col::Owned(vec![rows]),
+            Col::Owned(vec![rows as u128]),
+            Col::Owned(vec![1]),
+        )
+        .unwrap();
+        node.bucket_of_row = Col::Owned(vec![0; rows as usize]);
+        let archive = ArtifactArchive::Cq(a);
+        let owned = archive.to_sections();
+        let starts_payload = &owned.iter().find(|(n, _)| n == "node0/starts").unwrap().1;
+        assert_eq!(starts_payload[0], STARTS_ELIAS_FANO);
+        // Succinct: far smaller than the 8-byte/row compact layout.
+        assert!(starts_payload.len() < rows as usize * 2);
+        let decoded =
+            ArtifactArchive::from_sections(ArtifactKind::Cq, &as_sections(&owned), None).unwrap();
+        assert_eq!(decoded, archive);
+        // Digest fixed point: re-encoding re-selects EF with equal bytes.
+        assert_eq!(decoded.to_sections(), owned);
     }
 }

@@ -59,6 +59,14 @@ pub enum StoreError {
         /// The failpoint site, e.g. `"store/write"`.
         site: &'static str,
     },
+    /// The file is valid, but zero-copy column views cannot be
+    /// constructed over this buffer (a misaligned mapping or a big-endian
+    /// host). `load_borrowed` catches this internally and falls back to
+    /// the owned decode; it never signals a bad file.
+    Unborrowable {
+        /// Why the view was refused.
+        detail: String,
+    },
     /// No loadable snapshot was found during directory recovery (the
     /// payload lists the files that were quarantined on the way).
     NoSnapshot {
@@ -81,6 +89,8 @@ impl rae_faults::Transient for StoreError {
             | StoreError::Corrupt { .. }
             | StoreError::VersionMismatch { .. }
             | StoreError::DigestMismatch { .. }
+            // Alignment/endianness of a mapping does not change on retry.
+            | StoreError::Unborrowable { .. }
             | StoreError::NoSnapshot { .. } => false,
         }
     }
@@ -110,6 +120,9 @@ impl fmt::Display for StoreError {
             StoreError::Archive(e) => write!(f, "snapshot decoded but failed validation: {e}"),
             StoreError::FaultInjected { site } => {
                 write!(f, "injected fault at failpoint `{site}`")
+            }
+            StoreError::Unborrowable { detail } => {
+                write!(f, "zero-copy views unavailable for this buffer: {detail}")
             }
             StoreError::NoSnapshot { dir, quarantined } => write!(
                 f,

@@ -1,12 +1,17 @@
 //! The on-disk container and the crash-consistent publish protocol
 //! (DESIGN.md §15).
 //!
-//! ## File layout
+//! ## File layout (format v2)
 //!
 //! ```text
-//! header  (24 B): magic "RAESTOR1" | version u32 | endian tag u32
-//!                 | FNV-1a 64 over the previous 16 bytes
-//! payload       : section payloads, back to back (offsets in the footer)
+//! header  (32 B): magic "RAESTOR1" | version u32 | endian tag u32
+//!                 | alignment u32 (16) | reserved u32 (0)
+//!                 | FNV-1a 64 over the previous 24 bytes
+//! payload       : section payloads, back to back (offsets in the footer);
+//!                 every payload is a 16-byte multiple with numeric arrays
+//!                 on 16-byte payload boundaries, so with the 32-byte
+//!                 header every array is 16-aligned in the FILE — the
+//!                 invariant the zero-copy `load_borrowed` path builds on
 //! footer        : kind tag | version (redundant) | epoch | label
 //!                 | artifact_digest | section table
 //!                 (name, offset, len, FNV-1a 64 per section)
@@ -18,6 +23,18 @@
 //! never scans; a file truncated anywhere fails either the trailer magic,
 //! the footer checksum, or a section checksum — always a structured
 //! [`StoreError`], never a panic or a wrong answer.
+//!
+//! ## Zero-copy loads
+//!
+//! [`load_borrowed`] maps the file read-only (falling back to a 16-aligned
+//! heap read where mapping fails), runs the exact same checksum + digest
+//! validation, then decodes with *borrowed* columns: every numeric table
+//! of the resulting index is a validated view into the mapping, kept alive
+//! by a shared owner handle. A buffer that cannot support views (odd
+//! alignment, big-endian host) silently falls back to the owned decode —
+//! same artifact, same digest, just copied. Mutating a published snapshot
+//! file in place while it is mapped is outside the protocol's contract
+//! (the publish path only ever renames whole files).
 //!
 //! ## Publish protocol
 //!
@@ -31,18 +48,23 @@
 //! `store/torn` failpoints inject the corresponding I/O failures
 //! deterministically.
 
-use crate::artifact::{Artifact, ArtifactArchive, ArtifactKind};
+use crate::artifact::{Artifact, ArtifactArchive, ArtifactKind, SectionData, Sections};
 use crate::checksum::{fnv64, fnv64_fast, Fnv64};
 use crate::error::{io_err, StoreError};
 use crate::wire::{Reader, Writer};
+use rae_core::{AlignedBytes, StableBytes};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The snapshot format version this build reads and writes. Bump on any
 /// layout change; old versions are rebuilt from base data, not migrated.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: 32-byte header with alignment tag; 16-aligned section payloads
+/// (zero-copy loadable); struct-of-arrays bucket tables; per-node
+/// Elias-Fano startIndex encoding.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File extension of live snapshot files (`recover_dir` scans for it).
 pub const SNAPSHOT_EXT: &str = "rae";
@@ -55,7 +77,8 @@ pub const CRASH_ENV: &str = "RAE_STORE_CRASH";
 const MAGIC: &[u8; 8] = b"RAESTOR1";
 const END_MAGIC: &[u8; 8] = b"RAEEND.1";
 const ENDIAN_TAG: u32 = 0x0A0B_0C0D;
-const HEADER_LEN: usize = 24;
+const ALIGN_TAG: u32 = 16;
+const HEADER_LEN: usize = 32;
 const TRAILER_LEN: usize = 32;
 
 /// Validated metadata of one snapshot file.
@@ -77,6 +100,9 @@ pub struct SnapshotMeta {
     pub artifact_digest: u64,
     /// Total file size in bytes.
     pub file_len: u64,
+    /// Whether this load serves zero-copy views into the snapshot buffer
+    /// (`true` only for a [`load_borrowed`] that did not fall back).
+    pub borrowed: bool,
 }
 
 fn crash_point(point: &str) {
@@ -104,7 +130,9 @@ fn build_image(artifact: &ArtifactArchive, epoch: u64, label: &str) -> (Vec<u8>,
     image.extend_from_slice(MAGIC);
     image.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     image.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
-    let header_sum = fnv64(&image[..16]);
+    image.extend_from_slice(&ALIGN_TAG.to_le_bytes());
+    image.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    let header_sum = fnv64(&image[..24]);
     image.extend_from_slice(&header_sum.to_le_bytes());
     debug_assert_eq!(image.len(), HEADER_LEN);
 
@@ -112,6 +140,9 @@ fn build_image(artifact: &ArtifactArchive, epoch: u64, label: &str) -> (Vec<u8>,
     let mut table = Vec::with_capacity(sections.len());
     for (name, payload) in &sections {
         let offset = image.len() as u64;
+        // Padded payloads + 32-byte header keep every section payload —
+        // and hence every array within one — 16-aligned in the file.
+        debug_assert_eq!(offset % u64::from(ALIGN_TAG), 0, "section {name}");
         let sum = fnv64_fast(payload);
         digest.update(name.as_bytes());
         digest.update(&sum.to_le_bytes());
@@ -235,6 +266,7 @@ pub fn save(
         label: label.to_string(),
         artifact_digest,
         file_len: image.len() as u64,
+        borrowed: false,
     })
 }
 
@@ -280,9 +312,16 @@ fn verify_bytes(bytes: &[u8]) -> Result<VerifiedFile, StoreError> {
     if endian != ENDIAN_TAG {
         return Err(corrupt("header", format!("endianness tag {endian:#010x}")));
     }
+    let align = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]);
+    if align != ALIGN_TAG {
+        return Err(corrupt(
+            "header",
+            format!("alignment tag {align}, expected {ALIGN_TAG}"),
+        ));
+    }
     let mut sum = [0u8; 8];
-    sum.copy_from_slice(&bytes[16..24]);
-    if u64::from_le_bytes(sum) != fnv64(&bytes[..16]) {
+    sum.copy_from_slice(&bytes[24..32]);
+    if u64::from_le_bytes(sum) != fnv64(&bytes[..24]) {
         return Err(corrupt("header", "header checksum mismatch"));
     }
     // Trailer.
@@ -380,6 +419,7 @@ fn verify_bytes(bytes: &[u8]) -> Result<VerifiedFile, StoreError> {
             label,
             artifact_digest,
             file_len: len,
+            borrowed: false,
         },
         sections,
     })
@@ -395,17 +435,32 @@ pub fn verify(path: &Path) -> Result<SnapshotMeta, StoreError> {
     Ok(verify_bytes(&read_file(path)?)?.meta)
 }
 
+/// Builds the name → (payload, absolute offset) view over verified bytes.
+/// `image_start` is where the file image begins inside the full owner
+/// buffer (nonzero only for the deliberately misaligned test fixture).
+fn section_map<'a>(verified: &VerifiedFile, bytes: &'a [u8], image_start: usize) -> Sections<'a> {
+    verified
+        .sections
+        .iter()
+        .map(|(name, &(offset, len))| {
+            (
+                name.clone(),
+                SectionData {
+                    bytes: &bytes[offset..offset + len],
+                    abs: image_start + offset,
+                },
+            )
+        })
+        .collect()
+}
+
 /// Loads a snapshot back to its archive form (checksums + decode, no
 /// dictionary interning and no semantic re-validation yet).
 pub fn load_archive(path: &Path) -> Result<(ArtifactArchive, SnapshotMeta), StoreError> {
     let bytes = read_file(path)?;
     let verified = verify_bytes(&bytes)?;
-    let sections: BTreeMap<String, &[u8]> = verified
-        .sections
-        .iter()
-        .map(|(name, &(offset, len))| (name.clone(), &bytes[offset..offset + len]))
-        .collect();
-    let archive = ArtifactArchive::from_sections(verified.meta.kind, &sections)?;
+    let sections = section_map(&verified, &bytes, 0);
+    let archive = ArtifactArchive::from_sections(verified.meta.kind, &sections, None)?;
     Ok((archive, verified.meta))
 }
 
@@ -414,6 +469,79 @@ pub fn load_archive(path: &Path) -> Result<(ArtifactArchive, SnapshotMeta), Stor
 /// re-validation. This is the only function handing out a usable index.
 pub fn load(path: &Path) -> Result<(Artifact, SnapshotMeta), StoreError> {
     let (archive, meta) = load_archive(path)?;
+    Ok((archive.realize()?, meta))
+}
+
+/// Maps the file read-only where the platform supports it, else reads it
+/// into a 16-aligned heap buffer (either way the buffer address is
+/// alignment-compatible with the format's 16-byte discipline).
+fn map_or_read(path: &Path) -> Result<Arc<dyn StableBytes>, StoreError> {
+    // Mapping failures (empty file, exotic fs) degrade to a read — the
+    // borrowed decode works identically over the aligned copy.
+    #[cfg(unix)]
+    if let Ok(m) = crate::map::MappedFile::open(path) {
+        return Ok(Arc::new(m));
+    }
+    Ok(Arc::new(AlignedBytes::copy_from(&read_file(path)?)))
+}
+
+/// The borrowed archive load: verify, then decode with zero-copy columns
+/// anchored in `owner`, falling back to the owned decode when the buffer
+/// cannot support views. `meta.borrowed` reports which path was taken.
+fn load_archive_from_owner(
+    owner: Arc<dyn StableBytes>,
+    image_start: usize,
+) -> Result<(ArtifactArchive, SnapshotMeta), StoreError> {
+    let all = owner.stable_bytes();
+    let bytes = all.get(image_start..).ok_or(StoreError::TruncatedFile {
+        expected: image_start as u64,
+        actual: all.len() as u64,
+    })?;
+    let verified = verify_bytes(bytes)?;
+    let sections = section_map(&verified, bytes, image_start);
+    match ArtifactArchive::from_sections(verified.meta.kind, &sections, Some(&owner)) {
+        Ok(archive) => {
+            let mut meta = verified.meta;
+            meta.borrowed = true;
+            Ok((archive, meta))
+        }
+        Err(StoreError::Unborrowable { .. }) => {
+            let archive = ArtifactArchive::from_sections(verified.meta.kind, &sections, None)?;
+            Ok((archive, verified.meta))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// [`load_archive`], zero-copy: the archive's numeric tables are views
+/// into a read-only mapping of the file (kept alive by the archive
+/// itself). Falls back to the owned decode — same artifact, same digest —
+/// when views cannot be constructed; `meta.borrowed` says which happened.
+pub fn load_archive_borrowed(path: &Path) -> Result<(ArtifactArchive, SnapshotMeta), StoreError> {
+    load_archive_from_owner(map_or_read(path)?, 0)
+}
+
+/// [`load`], zero-copy: the validated live index serves counts, accesses,
+/// rank descents, and samples straight from the mapped snapshot bytes.
+/// Validation is identical to the owned path — every checksum, the
+/// artifact digest, and the full `from_archive` semantic re-validation
+/// run before any borrowed view escapes.
+pub fn load_borrowed(path: &Path) -> Result<(Artifact, SnapshotMeta), StoreError> {
+    let (archive, meta) = load_archive_borrowed(path)?;
+    Ok((archive.realize()?, meta))
+}
+
+/// Test hook: loads through a deliberately misaligned in-memory copy (the
+/// image starts `prefix` bytes into an aligned buffer), to prove the
+/// misalignment fallback returns a correct owned index instead of UB.
+#[doc(hidden)]
+pub fn load_borrowed_at_offset(
+    path: &Path,
+    prefix: usize,
+) -> Result<(Artifact, SnapshotMeta), StoreError> {
+    let bytes = read_file(path)?;
+    let owner: Arc<dyn StableBytes> = Arc::new(AlignedBytes::copy_from_at(prefix, &bytes));
+    let (archive, meta) = load_archive_from_owner(owner, prefix)?;
     Ok((archive.realize()?, meta))
 }
 
@@ -441,6 +569,17 @@ pub fn quarantine(path: &Path) -> Result<PathBuf, StoreError> {
 /// Returns [`StoreError::NoSnapshot`] — listing the quarantined files —
 /// when nothing loadable remains.
 pub fn recover_dir(dir: &Path) -> Result<(PathBuf, Artifact, SnapshotMeta), StoreError> {
+    recover_dir_with(dir, false)
+}
+
+/// [`recover_dir`] with a choice of load path: `prefer_borrowed` loads
+/// the winning snapshot zero-copy (falling back to owned on buffers that
+/// cannot support views). Validation and quarantine behavior are
+/// identical either way.
+pub fn recover_dir_with(
+    dir: &Path,
+    prefer_borrowed: bool,
+) -> Result<(PathBuf, Artifact, SnapshotMeta), StoreError> {
     let entries = fs::read_dir(dir).map_err(io_err("read snapshot directory"))?;
     let mut quarantined = Vec::new();
     let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
@@ -464,7 +603,12 @@ pub fn recover_dir(dir: &Path) -> Result<(PathBuf, Artifact, SnapshotMeta), Stor
     // Newest first.
     candidates.sort_by(|a, b| b.cmp(a));
     for (_, path) in candidates {
-        match load(&path) {
+        let loaded = if prefer_borrowed {
+            load_borrowed(&path)
+        } else {
+            load(&path)
+        };
+        match loaded {
             Ok((artifact, meta)) => return Ok((path, artifact, meta)),
             Err(StoreError::Io { .. }) => continue,
             Err(_) => match quarantine(&path) {

@@ -23,6 +23,12 @@
 //!   is quarantined (renamed aside), never deleted, never served.
 //! * [`recover_dir`] — cold-start entry point: newest valid snapshot wins,
 //!   everything invalid is quarantined.
+//! * [`load_borrowed`] / [`recover_dir_with`] — the zero-copy variants
+//!   (DESIGN.md §16): the file is mapped read-only and the index serves
+//!   rank descents from views into the mapped, 16-byte-aligned section
+//!   payloads — same validation, no column copies. Misalignment or a
+//!   foreign-endian host falls back to the owned decode (`meta.borrowed`
+//!   reports which path served).
 //!
 //! The `artifact_digest` is computed over the process-independent archive
 //! bytes (value-table references, never dictionary codes), so the same
@@ -35,14 +41,17 @@ mod artifact;
 mod checksum;
 mod error;
 mod format;
+#[cfg(unix)]
+mod map;
 mod wire;
 
 pub use artifact::{Artifact, ArtifactArchive, ArtifactKind};
 pub use checksum::{fnv64, fnv64_fast, Fnv64};
 pub use error::StoreError;
 pub use format::{
-    load, load_archive, quarantine, recover_dir, save, verify, SnapshotMeta, CRASH_ENV,
-    FORMAT_VERSION, SNAPSHOT_EXT,
+    load, load_archive, load_archive_borrowed, load_borrowed, load_borrowed_at_offset, quarantine,
+    recover_dir, recover_dir_with, save, verify, SnapshotMeta, CRASH_ENV, FORMAT_VERSION,
+    SNAPSHOT_EXT,
 };
 
 /// Crate-level result alias.

@@ -1,0 +1,128 @@
+//! Read-only file mapping behind a safe owner handle (unix only; other
+//! platforms read into an aligned heap buffer instead).
+//!
+//! The mapping is `PROT_READ`/`MAP_PRIVATE` over a snapshot that was
+//! published by atomic rename and is never mutated in place by this
+//! store, so the bytes behind the pointer are stable for the mapping's
+//! lifetime — the contract [`StableBytes`] asks for. External truncation
+//! of a mapped file is outside that contract (as for any mmap consumer);
+//! the quarantine path renames, which keeps the inode alive.
+//!
+//! Hand-rolled `extern "C"` bindings: this workspace links no C-binding
+//! crates, and the two calls needed here are stable POSIX.
+
+use rae_core::StableBytes;
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut core::ffi::c_void;
+    fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+}
+
+/// A read-only memory mapping of a whole file. Page alignment of the base
+/// address satisfies the format's 16-byte discipline by construction.
+pub(crate) struct MappedFile {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and never remapped; concurrent reads
+// from any thread are sound, and the raw pointer is only dereferenced
+// through `stable_bytes`.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Maps `path` read-only. Empty files are an error (there is nothing
+    /// to map; callers fall back to a heap read, which then fails
+    /// validation with the proper truncation error).
+    pub fn open(path: &Path) -> io::Result<MappedFile> {
+        let file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty file"));
+        }
+        // SAFETY: length is the file's current size and nonzero; the fd is
+        // valid for the duration of the call; a MAP_FAILED return is
+        // checked before the pointer is used.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedFile {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` are exactly what mmap returned; the mapping
+        // is unmapped once, here.
+        unsafe {
+            munmap(self.ptr as *mut core::ffi::c_void, self.len);
+        }
+    }
+}
+
+// SAFETY: the bytes are a private read-only mapping of a file the store
+// never mutates in place; address and length are fixed until drop, and
+// every `Col` view holds the owning `Arc`, so the mapping outlives them.
+unsafe impl StableBytes for MappedFile {
+    fn stable_bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is valid for `len` bytes for the mapping lifetime.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("rae-map-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let m = MappedFile::open(&path).unwrap();
+        assert_eq!(m.stable_bytes(), payload.as_slice());
+        drop(m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_file_is_refused() {
+        let dir = std::env::temp_dir().join(format!("rae-map-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        assert!(MappedFile::open(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -2,9 +2,35 @@
 //! the format is little-endian regardless of host; the header's endianness
 //! tag exists so a corrupted or foreign byte order is a structured error,
 //! not a reinterpretation.
+//!
+//! Format v2 adds *aligned columns*: numeric arrays sit at 16-byte-aligned
+//! payload offsets (reached via zero padding that is part of the
+//! checksummed payload and verified to be zero on decode), so the borrowed
+//! load path can hand out zero-copy [`Col`] views straight into the file.
+//! [`Writer::pad_to_16`] / [`Reader::align_16`] / [`Reader::finish_padded`]
+//! implement the padding discipline; `get_*_col` decodes a column either
+//! owned (bulk copy) or borrowed (validated view), per the reader's
+//! [`ColSource`].
 
 use crate::error::StoreError;
+use rae_core::column::{pod_bytes, pod_vec_from_bytes, FromLeBytes};
+use rae_core::{Col, ColumnError, Pod, StableBytes};
 use rae_data::{Symbol, Value};
+use std::sync::Arc;
+
+/// Where a decoded column's storage comes from.
+#[derive(Clone)]
+pub(crate) enum ColSource {
+    /// Copy into owned vectors (the classic decode).
+    Owned,
+    /// Borrow zero-copy views from `owner`; `payload_base` is the
+    /// absolute offset of the current section's payload within
+    /// `owner.stable_bytes()`.
+    Borrowed {
+        owner: Arc<dyn StableBytes>,
+        payload_base: usize,
+    },
+}
 
 /// An append-only byte buffer for one section payload.
 #[derive(Debug, Default)]
@@ -33,6 +59,9 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    // Part of the scalar wire vocabulary; v2 writes u128s in bulk via
+    // `put_col`, leaving this to tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn put_u128(&mut self, v: u128) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -75,7 +104,47 @@ impl Writer {
             }
         }
     }
+
+    /// Zero-pads to the next 16-byte payload boundary (a no-op when
+    /// already aligned). The padding is inside the checksummed payload;
+    /// [`Reader::align_16`] verifies it decodes back as zeros.
+    pub fn pad_to_16(&mut self) {
+        let rem = self.buf.len() % 16;
+        if rem != 0 {
+            self.buf.resize(self.buf.len() + (16 - rem), 0);
+        }
+    }
+
+    /// Appends a numeric column's little-endian bytes in bulk (a single
+    /// `memcpy` on little-endian hosts). Callers align first.
+    pub fn put_col<T: Pod + PutLe>(&mut self, v: &[T]) {
+        debug_assert_eq!(self.buf.len() % 16, 0, "column written unaligned");
+        #[cfg(target_endian = "little")]
+        self.buf.extend_from_slice(pod_bytes(v));
+        #[cfg(target_endian = "big")]
+        for x in v {
+            x.put_le(&mut self.buf);
+        }
+    }
 }
+
+/// Per-type little-endian append (the big-endian fallback of
+/// [`Writer::put_col`]).
+pub(crate) trait PutLe {
+    #[cfg_attr(target_endian = "little", allow(dead_code))]
+    fn put_le(&self, buf: &mut Vec<u8>);
+}
+
+macro_rules! impl_put_le {
+    ($($t:ty),*) => {$(
+        impl PutLe for $t {
+            fn put_le(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+impl_put_le!(u32, u64, u128);
 
 /// A bounds-checked cursor over one section payload. Every read failure is
 /// a [`StoreError::Corrupt`] naming the section.
@@ -83,6 +152,7 @@ pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
     section: &'a str,
+    source: ColSource,
 }
 
 impl<'a> Reader<'a> {
@@ -91,6 +161,18 @@ impl<'a> Reader<'a> {
             buf,
             pos: 0,
             section,
+            source: ColSource::Owned,
+        }
+    }
+
+    /// A reader whose `get_*_col` calls decode per `source` (owned copy
+    /// or zero-copy borrow).
+    pub fn with_source(section: &'a str, buf: &'a [u8], source: ColSource) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            section,
+            source,
         }
     }
 
@@ -130,6 +212,8 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(a))
     }
 
+    // See `put_u128`: v2 reads u128 columns in bulk via `get_col`.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn get_u128(&mut self) -> Result<u128, StoreError> {
         let b = self.take(16)?;
         let mut a = [0u8; 16];
@@ -184,6 +268,58 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Advances to the next 16-byte payload boundary, verifying the
+    /// skipped padding is all zeros (any flipped padding bit is
+    /// corruption — the padding is part of the checksummed payload).
+    pub fn align_16(&mut self) -> Result<(), StoreError> {
+        let rem = self.pos % 16;
+        if rem != 0 {
+            let pad = self.take(16 - rem)?;
+            if pad.iter().any(|&b| b != 0) {
+                return Err(self.corrupt("nonzero alignment padding"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes an aligned numeric column of `len` elements: an owned
+    /// bulk copy, or (borrowed source) a validated zero-copy view into
+    /// the snapshot buffer. A view that cannot be constructed because of
+    /// misalignment or a big-endian host surfaces as
+    /// [`StoreError::Unborrowable`] — the loader's signal to fall back
+    /// to the owned decode; true bounds violations stay `Corrupt`.
+    pub fn get_col<T: Pod + FromLeBytes>(&mut self, len: usize) -> Result<Col<T>, StoreError> {
+        self.align_16()?;
+        let width = std::mem::size_of::<T>();
+        let nbytes = len
+            .checked_mul(width)
+            .ok_or_else(|| self.corrupt("column byte length overflows"))?;
+        let start = self.pos;
+        let bytes = self.take(nbytes)?;
+        match &self.source {
+            ColSource::Owned => Ok(Col::Owned(pod_vec_from_bytes(bytes))),
+            ColSource::Borrowed {
+                owner,
+                payload_base,
+            } => {
+                let abs = payload_base
+                    .checked_add(start)
+                    .ok_or_else(|| self.corrupt("column offset overflows"))?;
+                Col::borrowed(Arc::clone(owner), abs, len).map_err(|e| match e {
+                    ColumnError::Misaligned { .. } | ColumnError::ForeignEndian => {
+                        StoreError::Unborrowable {
+                            detail: e.to_string(),
+                        }
+                    }
+                    // `take` already bounds-checked against the section,
+                    // so an out-of-bounds here means the section table
+                    // itself points outside the buffer.
+                    ColumnError::OutOfBounds { .. } => self.corrupt(e.to_string()),
+                })
+            }
+        }
+    }
+
     /// Asserts the payload was consumed exactly (trailing garbage is
     /// corruption, not padding).
     pub fn finish(self) -> Result<(), StoreError> {
@@ -194,6 +330,14 @@ impl<'a> Reader<'a> {
             )));
         }
         Ok(())
+    }
+
+    /// [`Reader::finish`] for v2 sections, whose payloads are zero-padded
+    /// to a 16-byte multiple: consumes the zero tail, then requires exact
+    /// consumption. Nonzero tail bytes are corruption.
+    pub fn finish_padded(mut self) -> Result<(), StoreError> {
+        self.align_16()?;
+        self.finish()
     }
 }
 
@@ -247,5 +391,34 @@ mod tests {
         let mut r = Reader::new("s", &bytes);
         r.get_u32().unwrap();
         assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn aligned_columns_round_trip_owned() {
+        let vals: Vec<u64> = (0..7u64).map(|i| i * 977).collect();
+        let mut w = Writer::new();
+        w.put_len(vals.len());
+        w.pad_to_16();
+        w.put_col(&vals);
+        w.pad_to_16();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len() % 16, 0);
+        let mut r = Reader::new("s", &bytes);
+        let n = r.get_len(8).unwrap();
+        let col: Col<u64> = r.get_col(n).unwrap();
+        assert_eq!(col.as_slice(), vals.as_slice());
+        r.finish_padded().unwrap();
+    }
+
+    #[test]
+    fn nonzero_padding_is_corruption() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.pad_to_16();
+        let mut bytes = w.into_bytes();
+        bytes[7] = 0xAA; // flip a padding byte
+        let mut r = Reader::new("s", &bytes);
+        r.get_u8().unwrap();
+        assert!(matches!(r.finish_padded(), Err(StoreError::Corrupt { .. })));
     }
 }

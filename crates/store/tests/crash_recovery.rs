@@ -213,6 +213,58 @@ fn crash_at_every_protocol_point_recovers_old_or_new() {
     }
 }
 
+/// The same protocol sweep through the zero-copy cold start
+/// (`recover_dir_with(dir, true)`, the path `rae-serve` boots on): after
+/// every crash point, recovery must serve the old or new snapshot with the
+/// exact digest — and because the surviving file is a well-formed aligned
+/// image, the recovered index must actually borrow its tables from it.
+#[test]
+fn crash_sweep_through_borrowed_recovery_serves_old_or_new() {
+    let old = artifact_old();
+    let new = artifact_new();
+    let digest_old = digest_of(&old);
+    let digest_new = digest_of(&new);
+
+    for seed in seeds() {
+        for point in ["temp-created", "after-fsync", "after-rename"] {
+            let dir = scratch("borrowed");
+            let old_path = dir.join(format!("snap-1.{SNAPSHOT_EXT}"));
+            save(&old_path, &old, 1, "crash-old").unwrap();
+
+            run_child(&dir, point);
+
+            let (_, artifact, meta) = rae_store::recover_dir_with(&dir, true)
+                .unwrap_or_else(|e| panic!("seed {seed} point {point}: recovery failed: {e}"));
+            if point == "after-rename" {
+                assert_eq!(meta.epoch, 2, "seed {seed} point {point}");
+                assert_eq!(
+                    meta.artifact_digest, digest_new,
+                    "seed {seed} point {point}"
+                );
+            } else {
+                assert_eq!(meta.epoch, 1, "seed {seed} point {point}");
+                assert_eq!(
+                    meta.artifact_digest, digest_old,
+                    "seed {seed} point {point}"
+                );
+            }
+            assert!(
+                meta.borrowed,
+                "seed {seed} point {point}: recovery fell back to the owned decode"
+            );
+            let rae_store::Artifact::Ordered(idx) = artifact else {
+                panic!("seed {seed} point {point}: wrong artifact kind");
+            };
+            assert!(
+                idx.index().storage_is_borrowed(),
+                "seed {seed} point {point}: recovered index does not serve zero-copy"
+            );
+            assert!(idx.count() > 0, "seed {seed} point {point}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
 #[test]
 fn crash_before_rename_with_no_prior_snapshot_reports_nothing_durable() {
     let dir = scratch("empty");

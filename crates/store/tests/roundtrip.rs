@@ -7,7 +7,8 @@ use proptest::prelude::*;
 use rae_core::{CqIndex, OrderedCqIndex, OrderedMcUcqIndex};
 use rae_data::{Database, Relation, Schema, Symbol, Value};
 use rae_store::{
-    digest_of, load, save, verify, Artifact, ArtifactArchive, StoreError, SNAPSHOT_EXT,
+    digest_of, load, load_borrowed, save, verify, Artifact, ArtifactArchive, StoreError,
+    SNAPSHOT_EXT,
 };
 use rae_tpch::{generate, prepare_selections, queries, TpchScale};
 use std::path::PathBuf;
@@ -198,19 +199,86 @@ fn every_single_byte_corruption_is_refused() {
                     meta.artifact_digest
                 ),
             }
+            // The zero-copy path must refuse the identical corruption —
+            // same checksums, same structured errors, no mapped-memory UB.
+            match load_borrowed(&path) {
+                Err(_) => {}
+                Ok((_, meta)) => panic!(
+                    "flip at byte {i} bit {bit} borrow-loaded silently (digest {:#x})",
+                    meta.artifact_digest
+                ),
+            }
         }
     }
     assert_eq!(refused, pristine.len() * 8);
 
-    // And every truncation.
+    // And every truncation, on both paths.
     for cut in 0..pristine.len() {
         std::fs::write(&path, &pristine[..cut]).unwrap();
         assert!(load(&path).is_err(), "truncation to {cut} bytes loaded");
+        assert!(
+            load_borrowed(&path).is_err(),
+            "truncation to {cut} bytes borrow-loaded"
+        );
     }
 
     // The pristine bytes still load — the harness itself isn't broken.
     std::fs::write(&path, &pristine).unwrap();
     assert_eq!(load(&path).unwrap().1.artifact_digest, expected);
+    let (_, meta) = load_borrowed(&path).unwrap();
+    assert_eq!(meta.artifact_digest, expected);
+    assert!(meta.borrowed, "aligned mapping should serve zero-copy");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A dense single-attribute index whose startIndex serializes as
+/// Elias-Fano (asserted in the test), so the corruption sweep also covers
+/// the succinct rank-structure sections.
+fn dense_archive() -> ArtifactArchive {
+    let mut db = Database::new();
+    db.add_relation(
+        "R",
+        Relation::from_rows(
+            Schema::new(["a"]).unwrap(),
+            (0..256i64).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let cq = "Q(x) :- R(x)".parse().unwrap();
+    ArtifactArchive::Cq(CqIndex::build(&cq, &db).unwrap().to_archive())
+}
+
+#[test]
+fn every_byte_corruption_of_ef_snapshot_is_refused() {
+    let dir = scratch("ef-fuzz");
+    let path = dir.join(format!("victim.{SNAPSHOT_EXT}"));
+    save(&path, &dense_archive(), 1, "ef-fuzz").unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Sanity: this snapshot really is served zero-copy off an Elias-Fano
+    // startIndex — otherwise the sweep would not cover what it claims.
+    let (artifact, meta) = load_borrowed(&path).unwrap();
+    assert!(meta.borrowed);
+    let Artifact::Cq(idx) = artifact else {
+        panic!("wrong artifact kind");
+    };
+    assert!(idx.storage_is_borrowed());
+    assert_eq!(idx.starts_encoding(0), "elias-fano");
+    assert_eq!(idx.count(), 256);
+
+    // One flip per byte (rotating bit) on both load paths: a structured
+    // error every time, never a panic, never a wrong load.
+    for i in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[i] ^= 1 << (i % 8);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(&path).is_err(), "EF flip at byte {i} loaded");
+        assert!(
+            load_borrowed(&path).is_err(),
+            "EF flip at byte {i} borrow-loaded"
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -226,9 +294,10 @@ fn corruption_errors_are_structured() {
     // Unsupported version.
     let mut bytes = pristine.clone();
     bytes[8] = 0xFF;
-    // Re-stamp the header checksum so the version check itself is reached.
-    let sum = rae_store::fnv64(&bytes[..16]).to_le_bytes();
-    bytes[16..24].copy_from_slice(&sum);
+    // Re-stamp the v2 header checksum (FNV over the first 24 bytes) so
+    // the version check itself is reached even if checks reorder.
+    let sum = rae_store::fnv64(&bytes[..24]).to_le_bytes();
+    bytes[24..32].copy_from_slice(&sum);
     std::fs::write(&path, &bytes).unwrap();
     assert!(matches!(
         load(&path),

@@ -428,3 +428,57 @@ fn ranked_union_paths_do_not_allocate() {
     });
     assert_eq!(allocs, 0, "RankedUcq rank descent allocated");
 }
+
+/// The zero-copy cold start must preserve the guarantee: an index served
+/// straight from borrowed snapshot bytes (`rae_store::load_borrowed`, the
+/// node tables are views into the mapped file) answers random access and
+/// inverted-access rank descents with zero heap allocations per answer,
+/// exactly like the freshly built index above.
+#[test]
+fn borrowed_snapshot_answer_paths_do_not_allocate() {
+    let built = index();
+    let dir = std::env::temp_dir().join(format!("rae-zero-alloc-borrowed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("q.{}", rae_store::SNAPSHOT_EXT));
+    let archive = rae_store::ArtifactArchive::Cq(built.to_archive());
+    rae_store::save(&path, &archive, 1, "Q").unwrap();
+
+    let (artifact, meta) = rae_store::load_borrowed(&path).unwrap();
+    assert!(meta.borrowed, "snapshot should serve zero-copy here");
+    let rae_store::Artifact::Cq(idx) = artifact else {
+        panic!("wrong artifact kind");
+    };
+    assert!(idx.storage_is_borrowed());
+
+    let n = idx.count();
+    assert_eq!(n, built.count());
+    let mut scratch = AccessScratch::new();
+    let mut rng = StdRng::seed_from_u64(4242);
+
+    // Random access (the Algorithm 2 weighted rank descent) through the
+    // mapped bytes.
+    idx.access_into(0, &mut scratch).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..1000 {
+            let j = rng.gen_range(0..n);
+            std::hint::black_box(idx.access_into(j, &mut scratch).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "borrowed access_into allocated per answer");
+
+    // Inverted access (the Algorithm 4 rank reconstruction) through the
+    // same borrowed tables.
+    idx.prepare_inverted_access();
+    let owned: Vec<Vec<Value>> = (0..64).map(|j| idx.access(j * (n / 64)).unwrap()).collect();
+    let mut probe = AccessScratch::new();
+    idx.inverted_access_of(&owned[0], &mut probe).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for answer in &owned {
+            std::hint::black_box(idx.inverted_access_of(answer, &mut probe).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "borrowed inverted_access_of allocated per probe");
+
+    drop(idx);
+    std::fs::remove_dir_all(&dir).ok();
+}
