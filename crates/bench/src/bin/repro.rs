@@ -129,6 +129,17 @@ fn run_command(command: &str, cfg: &BenchConfig) -> String {
             eprintln!("[repro] wrote BENCH_6.json");
             json
         }
+        "weighted" => {
+            // Weighted ranked access (DESIGN.md §17): build overhead of the
+            // block directory over the ordered index, per-op costs for the
+            // weighted rank operations, and the materialize-then-sort
+            // baseline they replace. A rank diverging from that baseline
+            // panics, failing the CI step.
+            let json = rae_bench::weighted::weighted_json(cfg);
+            std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+            eprintln!("[repro] wrote BENCH_7.json");
+            json
+        }
         "ablation-delete" => ablation::ablation_delete(cfg),
         "ablation-fold" => ablation::ablation_fold(cfg),
         "ablation-binary" => ablation::ablation_binary(cfg),
@@ -170,7 +181,8 @@ fn usage(message: &str) -> ! {
          \u{20}         rs-note ablation-delete ablation-binary ablation-fold\n\
          \u{20}         bench-json (writes BENCH_1.json) churn (writes BENCH_2.json)\n\
          \u{20}         preprocessing (writes BENCH_3.json) robustness (writes BENCH_4.json)\n\
-         \u{20}         serving (writes BENCH_5.json) persistence (writes BENCH_6.json) all"
+         \u{20}         serving (writes BENCH_5.json) persistence (writes BENCH_6.json)\n\
+         \u{20}         weighted (writes BENCH_7.json) all"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }

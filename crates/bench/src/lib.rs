@@ -22,6 +22,7 @@
 //! | Churn boundedness (DESIGN.md §9) | [`churn`] | `churn` (writes `BENCH_2.json`) |
 //! | Preprocessing pipeline (DESIGN.md §10) | [`preprocessing`] | `preprocessing` (writes `BENCH_3.json`) |
 //! | Concurrent serving (DESIGN.md §14) | [`serving`] | `serving` (writes `BENCH_5.json`) |
+//! | Weighted ranked access (DESIGN.md §17) | [`weighted`] | `weighted` (writes `BENCH_7.json`) |
 //!
 //! Absolute numbers are machine- and scale-dependent; the *shapes* (who
 //! wins, by what factor, where crossovers fall) are the reproduction target.
@@ -40,6 +41,7 @@ pub mod serving;
 pub mod setup;
 pub mod stats;
 pub mod table;
+pub mod weighted;
 
 pub use setup::BenchConfig;
 pub use stats::BoxStats;

@@ -1,0 +1,202 @@
+//! The weighted ranked-access performance report (`BENCH_7.json`).
+//!
+//! `repro weighted` measures what the DESIGN.md §17 block directory costs
+//! and buys on TPC-H Q3 under a sum-of-weights order (randomized
+//! per-customer weights over the ⟨ck, …⟩ order): the weighted build
+//! overhead on top of the underlying ordered build, steady-state
+//! nanoseconds per `ranked_access_into` / `ranked_inverted_access` /
+//! `weight_range_count` op, and the one-shot materialize-then-sort
+//! baseline those logarithmic ops replace. Before anything is timed the
+//! index is checked rank-by-rank against that baseline on a stride of
+//! ranks — a divergence **panics**, so every recorded number is for a
+//! verified index.
+
+use rae_core::{AccessScratch, OrderedCqIndex, Weight, WeightedCqIndex};
+use rae_data::{Symbol, Value, VarWeights};
+use rae_tpch::{generate, queries, TpchScale};
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `run()` over `samples` rounds.
+fn median_ns<T>(samples: u32, mut run: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let out = run();
+            let ns = start.elapsed().as_nanos() as f64;
+            drop(out);
+            ns
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// A deterministic pseudo-random weight per customer key.
+fn weight_of_key(i: usize) -> u128 {
+    ((i as u128).wrapping_mul(2_654_435_761) % 997) + 1
+}
+
+/// Runs the weighted-access benchmark and renders `BENCH_7.json`'s
+/// contents.
+pub fn weighted_json(cfg: &crate::BenchConfig) -> String {
+    let db = generate(&TpchScale::from_sf(cfg.sf), cfg.seed);
+    let q3 = queries::q3();
+    // ORDER BY ck first — the weighted variable must be an order prefix.
+    let order: Vec<Symbol> = ["ck", "ok", "pk", "sk", "ln"]
+        .iter()
+        .map(Symbol::new)
+        .collect();
+
+    let t = Instant::now();
+    let ordered = OrderedCqIndex::build(&q3, &db, &order).expect("q3 ordered build");
+    let ordered_build_ns = t.elapsed().as_nanos() as f64;
+    let answers = ordered.count();
+    let rows: usize = (0..ordered.index().node_count())
+        .map(|n| ordered.index().node_relation(n).len())
+        .sum();
+
+    // Randomized per-customer weights, one entry per distinct ck.
+    let ck_pos = ordered.order_to_head()[0];
+    let mut weights = VarWeights::new();
+    let mut at: Weight = 0;
+    let mut customers = 0usize;
+    while at < answers {
+        let row = ordered.ordered_access(at).expect("at < count");
+        let ck = row[ck_pos].clone();
+        let window = ordered
+            .range_of_prefix(std::slice::from_ref(&ck))
+            .expect("prefix of the built order");
+        weights.set("ck", ck, weight_of_key(customers));
+        customers += 1;
+        at = window.end;
+    }
+
+    let build_ns = median_ns(5, || {
+        WeightedCqIndex::build(&q3, &db, &order, &weights).expect("weighted build")
+    });
+    let idx = WeightedCqIndex::build(&q3, &db, &order, &weights).expect("weighted build");
+
+    // The baseline the directory replaces: materialize every answer, score
+    // it, sort by (weight, lex). Also the correctness oracle.
+    let head = q3.head().to_vec();
+    let order_pos: Vec<usize> = order
+        .iter()
+        .map(|v| head.iter().position(|h| h == v).expect("order ⊆ head"))
+        .collect();
+    let sort_all = || {
+        let mut all: Vec<(u128, Vec<Value>)> = (0..answers)
+            .map(|k| {
+                let row = ordered.ordered_access(k).expect("k < count");
+                let w = weights.answer_weight(&head, &row).expect("fits u128");
+                (w, row)
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| {
+                order_pos
+                    .iter()
+                    .map(|&p| a.1[p].cmp(&b.1[p]))
+                    .find(|o| *o != Ordering::Equal)
+                    .unwrap_or(Ordering::Equal)
+            })
+        });
+        all
+    };
+    let naive_sort_ns = median_ns(3, sort_all);
+
+    // Verification gate: a stride of ranks must agree with the oracle in
+    // both directions before any per-op number is recorded.
+    let oracle = sort_all();
+    let stride = (oracle.len() / 256).max(1);
+    for (k, (w, expected)) in oracle.iter().enumerate().step_by(stride) {
+        let k = k as Weight;
+        assert_eq!(
+            idx.ranked_access(k).as_ref(),
+            Some(expected),
+            "WEIGHTED RANK {k} DIVERGED FROM THE SORT BASELINE — this is a bug"
+        );
+        assert_eq!(idx.weight_at(k), Some(*w));
+        assert_eq!(idx.ranked_inverted_access(expected), Some(k));
+    }
+
+    // Steady-state per-op costs (batched; scratch warm).
+    let mut scratch = AccessScratch::new();
+    idx.ranked_access_into(0, &mut scratch).expect("non-empty");
+    let ops: Weight = 4096;
+    let access_ns = median_ns(5, || {
+        for i in 0..ops {
+            let k = (i * 2_654_435_761) % answers;
+            std::hint::black_box(idx.ranked_access_into(k, &mut scratch).expect("k < count"));
+        }
+    }) / ops as f64;
+    let probes: Vec<Vec<Value>> = (0..64)
+        .map(|i| idx.ranked_access(i * (answers / 64)).expect("in range"))
+        .collect();
+    let inverted_ns = median_ns(5, || {
+        for p in &probes {
+            std::hint::black_box(idx.ranked_inverted_access(p).expect("an answer"));
+        }
+    }) / probes.len() as f64;
+    let (wlo, whi) = (
+        idx.min_weight().expect("non-empty"),
+        idx.max_weight().expect("non-empty"),
+    );
+    let band_ns = median_ns(5, || {
+        for i in 0..ops {
+            let a = wlo + (i * 37) % (whi - wlo + 1);
+            std::hint::black_box(idx.weight_range_count(wlo..a));
+        }
+    }) / ops as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"rae-bench-weighted-v1\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"sf\": {}, \"seed\": {}, \"query\": \"Q3\", \
+         \"order\": \"ck, ok, pk, sk, ln\", \"weighted_vars\": \"ck\" }},",
+        cfg.sf, cfg.seed
+    );
+    let _ = writeln!(
+        out,
+        "  \"instance\": {{ \"base_rows\": {}, \"answers\": {}, \
+         \"customers\": {}, \"weight_blocks\": {} }},",
+        rows,
+        answers,
+        customers,
+        idx.block_count()
+    );
+    let _ = writeln!(
+        out,
+        "  \"build\": {{ \"ordered_build_ns\": {:.0}, \"weighted_build_ns\": {:.0}, \
+         \"weighted_overhead\": {:.3}, \"naive_sort_ns\": {:.0} }},",
+        ordered_build_ns,
+        build_ns,
+        build_ns / ordered_build_ns,
+        naive_sort_ns
+    );
+    let _ = writeln!(
+        out,
+        "  \"per_op_ns\": {{ \"ranked_access\": {:.0}, \"ranked_inverted_access\": {:.0}, \
+         \"weight_range_count\": {:.0} }}",
+        access_ns, inverted_ns, band_ns
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchConfig;
+
+    #[test]
+    fn weighted_report_renders_and_verifies() {
+        let json = weighted_json(&BenchConfig::smoke());
+        assert!(json.contains("\"schema\": \"rae-bench-weighted-v1\""));
+        assert!(json.contains("weighted_overhead"));
+        assert!(json.contains("ranked_inverted_access"));
+    }
+}

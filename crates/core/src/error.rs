@@ -38,12 +38,23 @@ pub enum CoreError {
     },
     /// A structural count (row ids, bucket ids) exceeded the `u32` id space
     /// the index uses; relations beyond ~4.29 billion rows per node are not
-    /// supported by this layout.
+    /// supported by this layout. A `count` of `usize::MAX` is the sentinel
+    /// for rank arithmetic overflowing the `u128` rank space instead (see
+    /// the crate-internal `rank_overflow` constructor).
     CapacityExceeded {
         /// What overflowed ("rows", "buckets", …).
         what: &'static str,
-        /// The observed count.
+        /// The observed count (`usize::MAX` ⇒ u128 rank-space overflow).
         count: usize,
+    },
+    /// A rank window names an order style (lexicographic vs weighted) the
+    /// index it is applied to was not built under; serving it would
+    /// silently fall back to the wrong order.
+    MismatchedOrderStyle {
+        /// Style the consumer requires ("weighted", "lexicographic").
+        expected: &'static str,
+        /// Style the window or index actually carries.
+        got: &'static str,
     },
     /// The index was built against a dictionary generation that has since
     /// been advanced; its code-based lookup tables may hold recycled codes,
@@ -99,6 +110,7 @@ impl rae_faults::Transient for CoreError {
             | CoreError::IncompatibleTemplates { .. }
             | CoreError::UncoveredHeadAttribute(_)
             | CoreError::MismatchedOrders { .. }
+            | CoreError::MismatchedOrderStyle { .. }
             | CoreError::InvalidArchive(_)
             | CoreError::CapacityExceeded { .. } => false,
         }
@@ -112,6 +124,19 @@ impl rae_faults::Transient for CoreError {
 #[inline]
 pub fn ensure_u32(what: &'static str, count: usize) -> Result<u32, CoreError> {
     u32::try_from(count).map_err(|_| CoreError::CapacityExceeded { what, count })
+}
+
+/// The structured error for rank arithmetic (descent sums, inclusion–
+/// exclusion totals) overflowing the `u128` rank space. Uses the
+/// `usize::MAX` sentinel in [`CoreError::CapacityExceeded::count`] because
+/// the overflowing quantity, by definition, does not fit any machine
+/// integer we could report.
+#[inline]
+pub(crate) fn rank_overflow(what: &'static str) -> CoreError {
+    CoreError::CapacityExceeded {
+        what,
+        count: usize::MAX,
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -138,9 +163,23 @@ impl fmt::Display for CoreError {
                 "ordered-union members must share one head layout and \
                  variable order, expected {expected:?} but got {got:?}"
             ),
-            CoreError::CapacityExceeded { what, count } => write!(
+            CoreError::CapacityExceeded { what, count } => {
+                if *count == usize::MAX {
+                    write!(
+                        f,
+                        "index capacity exceeded: {what} overflowed the u128 rank space"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "index capacity exceeded: {count} {what} do not fit the u32 id space"
+                    )
+                }
+            }
+            CoreError::MismatchedOrderStyle { expected, got } => write!(
                 f,
-                "index capacity exceeded: {count} {what} do not fit the u32 id space"
+                "rank window order-style mismatch: this consumer requires a \
+                 {expected} order, but the index/window carries a {got} order"
             ),
             CoreError::StaleGeneration { built, current } => write!(
                 f,

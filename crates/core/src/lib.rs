@@ -43,6 +43,7 @@ pub mod renum_ucq;
 pub mod scratch;
 pub mod shuffle;
 pub mod weight;
+pub mod weighted;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -66,6 +67,7 @@ pub use renum_ucq::{OrderedUcq, OrderedUnionEnumeration, UcqEvent, UcqShuffle};
 pub use scratch::AccessScratch;
 pub use shuffle::LazyShuffle;
 pub use weight::{combine_index, split_index, Weight};
+pub use weighted::{OrderStyle, RankWindow, WeightedCqIndex};
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

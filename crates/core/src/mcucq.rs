@@ -136,6 +136,17 @@ impl McUcqIndex {
             structs[mask] = Some(idx);
         }
 
+        // Access-time inclusion–exclusion (Algorithm 8) sums subset ranks
+        // on the hot path; every term is bounded by its subset's count, so
+        // proving here that Σ subset counts fits `u128` makes those sums
+        // overflow-free by construction. Extreme synthetic cardinalities
+        // surface as a structured capacity error instead of wrapping.
+        let over = || crate::error::rank_overflow("inclusion–exclusion sums");
+        let mut all: Weight = 0;
+        for s in structs.iter().flatten() {
+            all = all.checked_add(s.count()).ok_or_else(over)?;
+        }
+
         // |S_ℓ ∩ suffix-union| by inclusion–exclusion; then suffix counts.
         let count_of = |mask: usize| structs[mask].as_ref().expect("built").count();
         let mut cap_ab = vec![0 as Weight; m];
@@ -147,19 +158,22 @@ impl McUcqIndex {
             while sub != 0 {
                 let t = count_of(sub | (1 << l));
                 if sub.count_ones() % 2 == 1 {
-                    plus += t;
+                    plus = plus.checked_add(t).ok_or_else(over)?;
                 } else {
-                    minus += t;
+                    minus = minus.checked_add(t).ok_or_else(over)?;
                 }
                 sub = (sub - 1) & suffix_mask;
             }
-            cap_ab[l] = plus - minus;
+            cap_ab[l] = plus.checked_sub(minus).ok_or_else(over)?;
         }
 
         let mut suffix_counts = vec![0 as Weight; m];
         suffix_counts[m - 1] = count_of(1 << (m - 1));
         for l in (0..m - 1).rev() {
-            suffix_counts[l] = count_of(1 << l) + suffix_counts[l + 1] - cap_ab[l];
+            suffix_counts[l] = count_of(1 << l)
+                .checked_add(suffix_counts[l + 1])
+                .and_then(|s| s.checked_sub(cap_ab[l]))
+                .ok_or_else(over)?;
         }
 
         Ok(McUcqIndex {
@@ -468,15 +482,21 @@ impl OrderedMcUcqIndex {
             }
         }
 
-        let mut total: Weight = 0;
+        // Checked inclusion–exclusion, as for the archive path: extreme
+        // synthetic cardinalities surface as a structured capacity error,
+        // never a debug panic / release wraparound.
+        let over = || crate::error::rank_overflow("inclusion–exclusion sums");
+        let (mut plus, mut minus) = (0 as Weight, 0 as Weight);
         for (mask, s) in structs.iter().enumerate().skip(1) {
             let c = s.as_ref().expect("non-empty masks built").count();
-            if mask.count_ones() % 2 == 1 {
-                total += c;
+            let acc = if mask.count_ones() % 2 == 1 {
+                &mut plus
             } else {
-                total -= c;
-            }
+                &mut minus
+            };
+            *acc = acc.checked_add(c).ok_or_else(over)?;
         }
+        let total = plus.checked_sub(minus).ok_or_else(over)?;
 
         Ok(OrderedMcUcqIndex {
             m,
@@ -517,28 +537,35 @@ impl OrderedMcUcqIndex {
     }
 
     /// Inclusion–exclusion over the per-subset `(lt, le)` rank pairs of a
-    /// bound (each produced by the ordered rank descent).
+    /// bound (each produced by the ordered rank descent). All sums are
+    /// checked: overflow of the `u128` rank space surfaces as
+    /// [`CoreError::CapacityExceeded`] (unreachable for indexes this crate
+    /// built — the build proved Σ subset counts fits — but a violated
+    /// invariant must not wrap silently).
     fn union_bounds(
         &self,
-        bounds_of: impl Fn(&OrderedCqIndex) -> (Weight, Weight),
-    ) -> (Weight, Weight) {
+        bounds_of: impl Fn(&OrderedCqIndex) -> Result<(Weight, Weight)>,
+    ) -> Result<(Weight, Weight)> {
+        let over = || crate::error::rank_overflow("inclusion–exclusion sums");
         let (mut lt_plus, mut lt_minus) = (0 as Weight, 0 as Weight);
         let (mut le_plus, mut le_minus) = (0 as Weight, 0 as Weight);
         for (mask, s) in self.structs.iter().enumerate().skip(1) {
-            let (lt, le) = bounds_of(s.as_ref().expect("built"));
+            let (lt, le) = bounds_of(s.as_ref().expect("built"))?;
             if mask.count_ones() % 2 == 1 {
-                lt_plus += lt;
-                le_plus += le;
+                lt_plus = lt_plus.checked_add(lt).ok_or_else(over)?;
+                le_plus = le_plus.checked_add(le).ok_or_else(over)?;
             } else {
-                lt_minus += lt;
-                le_minus += le;
+                lt_minus = lt_minus.checked_add(lt).ok_or_else(over)?;
+                le_minus = le_minus.checked_add(le).ok_or_else(over)?;
             }
         }
-        (lt_plus - lt_minus, le_plus - le_minus)
+        let lt = lt_plus.checked_sub(lt_minus).ok_or_else(over)?;
+        let le = le_plus.checked_sub(le_minus).ok_or_else(over)?;
+        Ok((lt, le))
     }
 
     /// The union's `(lt, le)` ranks of a full tuple (head order).
-    fn tuple_union_bounds(&self, tuple: &[Value]) -> (Weight, Weight) {
+    pub(crate) fn tuple_union_bounds(&self, tuple: &[Value]) -> Result<(Weight, Weight)> {
         self.union_bounds(|s| s.tuple_bounds(tuple))
     }
 
@@ -565,7 +592,10 @@ impl OrderedMcUcqIndex {
                 let ans = member
                     .ordered_access_into(mid, &mut scratch)
                     .expect("mid < count");
-                let (_, le) = self.tuple_union_bounds(ans);
+                // Overflow is unreachable for a built index (the build
+                // proved Σ subset counts fits u128); a violated invariant
+                // degrades to "not found" rather than panicking.
+                let (_, le) = self.tuple_union_bounds(ans).ok()?;
                 if le > k {
                     hi = mid;
                 } else {
@@ -596,21 +626,24 @@ impl OrderedMcUcqIndex {
         if !is_member {
             return None;
         }
-        Some(self.tuple_union_bounds(answer).0)
+        // Same invariant as `ordered_access`: checked sums cannot fire for
+        // a built index; degrade to "not found" if they ever do.
+        self.tuple_union_bounds(answer).ok().map(|(lt, _)| lt)
     }
 
     /// The number of distinct union answers matching a prefix of order
     /// values (duplicates across members counted once) — O(2^m · log n).
-    pub fn range_count(&self, prefix: &[Value]) -> Weight {
-        let (lt, le) = self.union_bounds(|s| s.prefix_bounds(prefix));
-        le - lt
+    /// Rank-space overflow surfaces as [`CoreError::CapacityExceeded`].
+    pub fn range_count(&self, prefix: &[Value]) -> Result<Weight> {
+        let (lt, le) = self.union_bounds(|s| s.prefix_bounds(prefix))?;
+        Ok(le - lt)
     }
 
     /// The contiguous union-rank range of all answers matching a prefix of
     /// order values.
-    pub fn range_of_prefix(&self, prefix: &[Value]) -> Range<Weight> {
-        let (lt, le) = self.union_bounds(|s| s.prefix_bounds(prefix));
-        lt..le
+    pub fn range_of_prefix(&self, prefix: &[Value]) -> Result<Range<Weight>> {
+        let (lt, le) = self.union_bounds(|s| s.prefix_bounds(prefix))?;
+        Ok(lt..le)
     }
 
     /// Constant-delay ordered scan of the whole union (the k-way member
@@ -1039,11 +1072,11 @@ mod tests {
         for v in prefix_values {
             let expected_count = expected.iter().filter(|r| r[first_head] == v).count() as Weight;
             assert_eq!(
-                mc.range_count(std::slice::from_ref(&v)),
+                mc.range_count(std::slice::from_ref(&v)).unwrap(),
                 expected_count,
                 "prefix {v:?}"
             );
-            let range = mc.range_of_prefix(std::slice::from_ref(&v));
+            let range = mc.range_of_prefix(std::slice::from_ref(&v)).unwrap();
             assert_eq!(range.end - range.start, expected_count);
             if expected_count > 0 {
                 let first_in_range = mc.ordered_access(range.start).unwrap();

@@ -74,7 +74,7 @@ use std::ops::Range;
 /// assert_eq!(idx.ordered_inverted_access(&[Value::Int(1), Value::Int(20)]), Some(2));
 ///
 /// // Range counting over an order prefix: how many answers have y = 10?
-/// assert_eq!(idx.range_count(&[Value::Int(10)]), 2);
+/// assert_eq!(idx.range_count(&[Value::Int(10)]).unwrap(), 2);
 /// ```
 #[derive(Debug)]
 pub struct OrderedCqIndex {
@@ -269,9 +269,15 @@ impl OrderedCqIndex {
     /// `prefix[p]` is the required value of `order()[p]`; a full-arity
     /// prefix brackets a single candidate answer.
     ///
+    /// The rank sums are checked: overflow of the `u128` rank space
+    /// surfaces as [`CoreError::CapacityExceeded`] instead of a debug
+    /// panic / release wraparound. For an index this crate built the sums
+    /// are bounded by the (build-checked) answer count, so the error is
+    /// defense-in-depth, not an expected outcome.
+    ///
     /// # Panics
     /// When `prefix` is longer than the arity.
-    pub fn prefix_bounds(&self, prefix: &[Value]) -> (Weight, Weight) {
+    pub fn prefix_bounds(&self, prefix: &[Value]) -> Result<(Weight, Weight)> {
         assert!(
             prefix.len() <= self.order.len(),
             "prefix longer than the variable order"
@@ -281,23 +287,23 @@ impl OrderedCqIndex {
 
     /// `(lt, le)` ranks of a full tuple given in **head** order (used by
     /// the union structures to rank candidate answers of other members).
-    pub(crate) fn tuple_bounds(&self, tuple: &[Value]) -> (Weight, Weight) {
+    pub(crate) fn tuple_bounds(&self, tuple: &[Value]) -> Result<(Weight, Weight)> {
         debug_assert_eq!(tuple.len(), self.index.arity());
         self.bounds(self.order.len(), &|p| &tuple[self.order_to_head[p]])
     }
 
     /// The contiguous rank range of all answers matching a prefix of order
     /// values (`ORDER BY`-prefix point lookup; empty prefix ⇒ everything).
-    pub fn range_of_prefix(&self, prefix: &[Value]) -> Range<Weight> {
-        let (lt, le) = self.prefix_bounds(prefix);
-        lt..le
+    pub fn range_of_prefix(&self, prefix: &[Value]) -> Result<Range<Weight>> {
+        let (lt, le) = self.prefix_bounds(prefix)?;
+        Ok(lt..le)
     }
 
     /// The number of answers matching a prefix of order values — O(log n),
     /// without enumerating them.
-    pub fn range_count(&self, prefix: &[Value]) -> Weight {
-        let (lt, le) = self.prefix_bounds(prefix);
-        le - lt
+    pub fn range_count(&self, prefix: &[Value]) -> Result<Weight> {
+        let (lt, le) = self.prefix_bounds(prefix)?;
+        Ok(le - lt)
     }
 
     /// A constant-delay scan over a rank window `[range.start, range.end)`
@@ -317,8 +323,23 @@ impl OrderedCqIndex {
 
     /// A constant-delay scan of every answer matching a prefix of order
     /// values, in order.
-    pub fn enumerate_prefix(&self, prefix: &[Value]) -> OrderedEnumeration<'_> {
-        self.range(self.range_of_prefix(prefix))
+    pub fn enumerate_prefix(&self, prefix: &[Value]) -> Result<OrderedEnumeration<'_>> {
+        Ok(self.range(self.range_of_prefix(prefix)?))
+    }
+
+    /// Mints a style-tagged [`RankWindow`](crate::weighted::RankWindow)
+    /// over this index's **lexicographic** order, clamping out-of-bounds
+    /// ends. Window consumers (the samplers in `rae-sampler`) check the
+    /// tag, so a window minted here cannot silently be served against a
+    /// weighted order or vice versa.
+    pub fn rank_window(&self, ranks: Range<Weight>) -> crate::weighted::RankWindow {
+        let lo = ranks.start.min(self.count());
+        let hi = ranks.end.min(self.count()).max(lo);
+        crate::weighted::RankWindow::new(
+            lo..hi,
+            crate::weighted::OrderStyle::Lexicographic,
+            self.order.clone(),
+        )
     }
 
     /// A constant-delay scan of all answers in the requested order.
@@ -329,19 +350,34 @@ impl OrderedCqIndex {
     /// The `(lt, le)` rank pair for `covered` order positions whose bound
     /// values are produced by `bound`. Implements the mixed-radix rank
     /// combine over roots (first root most significant).
-    fn bounds<'v>(&self, covered: usize, bound: &dyn Fn(usize) -> &'v Value) -> (Weight, Weight) {
+    ///
+    /// Every sum/product is checked: for an index this crate built,
+    /// `lt + eq ≤ Π bucket totals` at each combine step and the build
+    /// already verified that product fits `u128` (`checked_product`), so
+    /// overflow here is unreachable — the checks keep a violated invariant
+    /// (corrupt archive, future bug) from wrapping silently in release.
+    fn bounds<'v>(
+        &self,
+        covered: usize,
+        bound: &dyn Fn(usize) -> &'v Value,
+    ) -> Result<(Weight, Weight)> {
+        let over = || crate::error::rank_overflow("rank-descent sums");
         if self.index.count() == 0 {
-            return (0, 0);
+            return Ok((0, 0));
         }
         let mut lt: Weight = 0;
         let mut eq: Weight = 1;
         for &root in self.index.plan().roots() {
             let bucket = self.index.root_bucket(root).expect("non-empty index");
-            let (l, le) = self.node_bounds(root, bucket, covered, bound);
-            lt = lt * bucket.total + eq * l;
-            eq *= le - l;
+            let (l, le) = self.node_bounds(root, bucket, covered, bound)?;
+            lt = lt
+                .checked_mul(bucket.total)
+                .and_then(|t| t.checked_add(eq.checked_mul(l)?))
+                .ok_or_else(over)?;
+            eq = eq.checked_mul(le - l).ok_or_else(over)?;
         }
-        (lt, lt + eq)
+        let up = lt.checked_add(eq).ok_or_else(over)?;
+        Ok((lt, up))
     }
 
     /// The `(lt, le)` rank pair of one node's bucket: how many of the
@@ -357,7 +393,8 @@ impl OrderedCqIndex {
         bucket: BucketView,
         covered: usize,
         bound: &dyn Fn(usize) -> &'v Value,
-    ) -> (Weight, Weight) {
+    ) -> Result<(Weight, Weight)> {
+        let over = || crate::error::rank_overflow("rank-descent sums");
         let new = &self.node_new[node];
         let rel = self.index.node_relation(node);
         let c = new.iter().take_while(|&&(_, pos)| pos < covered).count();
@@ -401,25 +438,30 @@ impl OrderedCqIndex {
                     lo2 = mid + 1;
                 }
             }
-            return (lt, weight_before(lo2));
+            return Ok((lt, weight_before(lo2)));
         }
         // Node fully covered: bucket rows are distinct on (pAtts ∪ new) =
         // all columns, so at most one row compares equal; descend into its
         // children (uncovered children report (0, total), keeping `eq`
         // multiplicative).
         if lo == bucket.end || cmp_row(lo) != Ordering::Equal {
-            return (lt, lt);
+            return Ok((lt, lt));
         }
         let row = lo;
         let mut clt: Weight = 0;
         let mut ceq: Weight = 1;
         for (child_pos, &child) in self.index.plan().children(node).iter().enumerate() {
             let cb = self.index.child_bucket(node, row, child_pos);
-            let (l, le) = self.node_bounds(child, cb, covered, bound);
-            clt = clt * cb.total + ceq * l;
-            ceq *= le - l;
+            let (l, le) = self.node_bounds(child, cb, covered, bound)?;
+            clt = clt
+                .checked_mul(cb.total)
+                .and_then(|t| t.checked_add(ceq.checked_mul(l)?))
+                .ok_or_else(over)?;
+            ceq = ceq.checked_mul(le - l).ok_or_else(over)?;
         }
-        (lt + clt, lt + clt + ceq)
+        let below = lt.checked_add(clt).ok_or_else(over)?;
+        let upto = below.checked_add(ceq).ok_or_else(over)?;
+        Ok((below, upto))
     }
 }
 
@@ -746,9 +788,13 @@ mod tests {
                             .all(|(&h, v)| &a[h] == v)
                     })
                     .count() as Weight;
-                assert_eq!(idx.range_count(&prefix), expected, "prefix {prefix:?}");
+                assert_eq!(
+                    idx.range_count(&prefix).unwrap(),
+                    expected,
+                    "prefix {prefix:?}"
+                );
                 // The range window scans exactly the matching answers.
-                let window: Vec<Vec<Value>> = idx.enumerate_prefix(&prefix).collect();
+                let window: Vec<Vec<Value>> = idx.enumerate_prefix(&prefix).unwrap().collect();
                 assert_eq!(window.len() as Weight, expected);
                 for w in &window {
                     assert!(idx.order_to_head()[..p]
@@ -759,10 +805,10 @@ mod tests {
             }
         }
         // Misses: values below/above/absent.
-        assert_eq!(idx.range_count(&[Value::str("c0")]), 0);
-        assert_eq!(idx.range_count(&[Value::str("zzz")]), 0);
-        assert_eq!(idx.range_count(&[Value::Int(5)]), 0);
-        assert_eq!(idx.range_count(&[]), idx.count());
+        assert_eq!(idx.range_count(&[Value::str("c0")]).unwrap(), 0);
+        assert_eq!(idx.range_count(&[Value::str("zzz")]).unwrap(), 0);
+        assert_eq!(idx.range_count(&[Value::Int(5)]).unwrap(), 0);
+        assert_eq!(idx.range_count(&[]).unwrap(), idx.count());
     }
 
     #[test]
@@ -825,7 +871,7 @@ mod tests {
         let idx = OrderedCqIndex::build(&cq, &db, &[]).unwrap();
         assert_eq!(idx.count(), 1);
         assert_eq!(idx.ordered_access(0).unwrap(), Vec::<Value>::new());
-        assert_eq!(idx.range_count(&[]), 1);
+        assert_eq!(idx.range_count(&[]).unwrap(), 1);
     }
 
     #[test]
@@ -836,7 +882,7 @@ mod tests {
         let idx = OrderedCqIndex::build(&cq, &db, &syms(&["y", "x"])).unwrap();
         assert_eq!(idx.count(), 0);
         assert!(idx.ordered_access(0).is_none());
-        assert_eq!(idx.range_count(&[Value::Int(1)]), 0);
+        assert_eq!(idx.range_count(&[Value::Int(1)]).unwrap(), 0);
         assert_eq!(idx.enumerate().count(), 0);
     }
 

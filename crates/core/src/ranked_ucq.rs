@@ -38,12 +38,24 @@
 //! linear in the member outputs. The mc-UCQ structure remains the
 //! guaranteed-near-linear option for shared-template unions, and the two
 //! agree answer-for-answer (`tests/ordered_access.rs`).
+//!
+//! **Shared-template switch.** Even the merge bound approaches output-size
+//! preprocessing when members are near-identical (the ROADMAP carried
+//! item). [`RankedUcq::build`] therefore estimates both costs after the
+//! member builds: when every disjunct reduced to one join-tree shape and
+//! the pairwise-intersection bound `Σ_{i<j} min(nᵢ, nⱼ)` exceeds the
+//! mc-UCQ's extra-index bound `(2^m − 1 − m)·max nᵢ`, it builds an
+//! [`OrderedMcUcqIndex`] over the same order and serves union ranks from
+//! its inclusion–exclusion structure instead of pairwise discovery
+//! ([`RankedUcq::uses_shared_backend`]). Rank-by-rank agreement between
+//! the two backends is asserted in the union differential suite.
 
 // Sanctioned panics: each `expect` names a rank-structure invariant (members are built over
 // the same order, so windows and cursors stay in bounds); violation is a bug.
 #![allow(clippy::expect_used)]
 
 use crate::error::CoreError;
+use crate::mcucq::{OrderedMcUcqIndex, MAX_DISJUNCTS};
 use crate::ordered::{OrderedCqIndex, OrderedEnumeration};
 use crate::renum_ucq::{ensure_shared_layout, OrderedUnionEnumeration};
 use crate::scratch::AccessScratch;
@@ -90,7 +102,7 @@ use std::sync::Arc;
 ///     ranked.ordered_inverted_access(&[Value::Int(3), Value::Int(3)]),
 ///     Some(2)
 /// );
-/// assert_eq!(ranked.range_count(&[Value::Int(2)]), 1);
+/// assert_eq!(ranked.range_count(&[Value::Int(2)]).unwrap(), 1);
 /// ```
 #[derive(Debug)]
 pub struct RankedUcq {
@@ -104,6 +116,11 @@ pub struct RankedUcq {
     cmp_positions: Vec<usize>,
     /// `|Q_1(D) ∪ … ∪ Q_m(D)|`.
     total: Weight,
+    /// The shared-template inclusion–exclusion backend, when the cost
+    /// model chose it over pairwise duplicate discovery (see the module
+    /// docs). `None` on every `from_members` path: pre-built members carry
+    /// no query to re-plan from.
+    shared: Option<OrderedMcUcqIndex>,
 }
 
 /// Reusable buffers for [`RankedUcq`]'s allocation-free accessors: three
@@ -146,6 +163,25 @@ impl RankedUcq {
                 OrderedCqIndex::build_budgeted(d, db, order, crate::BuildOptions::default(), budget)
             })
             .collect::<Result<Vec<_>>>()?;
+        if shared_backend_pays_off(&members) {
+            if let Ok(mc) =
+                OrderedMcUcqIndex::build_with(ucq, db, order, crate::BuildOptions::default())
+            {
+                let members: Vec<Arc<OrderedCqIndex>> = members.into_iter().map(Arc::new).collect();
+                let cmp_positions = ensure_shared_layout(members.iter().map(Arc::as_ref))?;
+                let total = mc.count();
+                return Ok(RankedUcq {
+                    non_owned: vec![Vec::new(); members.len()],
+                    members,
+                    cmp_positions,
+                    total,
+                    shared: Some(mc),
+                });
+            }
+            // The shape check is a heuristic over realized plans; if the
+            // mc-UCQ builder still refuses the union (template subtleties,
+            // capacity), pairwise discovery below handles it.
+        }
         Self::from_members_budgeted(members, budget)
     }
 
@@ -184,6 +220,15 @@ impl RankedUcq {
                 return Err(CoreError::Query(QueryError::EmptyUnion));
             }
             let cmp_positions = ensure_shared_layout(members.iter().map(Arc::as_ref))?;
+            // Guard the union's rank space before the (possibly expensive)
+            // duplicate discovery: every union rank sum below is bounded by
+            // Σ member counts, so checking that one sum here makes extreme
+            // synthetic cardinalities fail fast and structured instead of
+            // wrapping inside a rank query.
+            let over = || crate::error::rank_overflow("union rank sums");
+            members.iter().try_fold(0 as Weight, |acc, m| {
+                acc.checked_add(m.count()).ok_or_else(over)
+            })?;
             let non_owned = discover_non_owned(&members, &cmp_positions, budget)?;
             let total = members
                 .iter()
@@ -195,6 +240,7 @@ impl RankedUcq {
                 non_owned,
                 cmp_positions,
                 total,
+                shared: None,
             })
         })
     }
@@ -220,6 +266,13 @@ impl RankedUcq {
         self.total
     }
 
+    /// Whether union ranks are served by the shared-template
+    /// inclusion–exclusion backend instead of pairwise ownership (chosen by
+    /// the build-time cost model; see the module docs).
+    pub fn uses_shared_backend(&self) -> bool {
+        self.shared.is_some()
+    }
+
     /// Answers among member `i`'s first `p` positions that member `i` owns.
     #[inline]
     fn owned_before(&self, i: usize, p: Weight) -> Weight {
@@ -227,14 +280,18 @@ impl RankedUcq {
     }
 
     /// The union's `(lt, le)` ranks of a full tuple (head order).
-    fn tuple_union_bounds(&self, tuple: &[Value]) -> (Weight, Weight) {
+    fn tuple_union_bounds(&self, tuple: &[Value]) -> Result<(Weight, Weight)> {
+        if let Some(mc) = &self.shared {
+            return mc.tuple_union_bounds(tuple);
+        }
+        let over = || crate::error::rank_overflow("union rank sums");
         let (mut lt, mut le) = (0 as Weight, 0 as Weight);
         for (i, m) in self.members.iter().enumerate() {
-            let (l, e) = m.tuple_bounds(tuple);
-            lt += self.owned_before(i, l);
-            le += self.owned_before(i, e);
+            let (l, e) = m.tuple_bounds(tuple)?;
+            lt = lt.checked_add(self.owned_before(i, l)).ok_or_else(over)?;
+            le = le.checked_add(self.owned_before(i, e)).ok_or_else(over)?;
         }
-        (lt, le)
+        Ok((lt, le))
     }
 
     /// The `(lt, le)` union ranks bracketing a prefix of order values:
@@ -243,28 +300,33 @@ impl RankedUcq {
     ///
     /// # Panics
     /// When `prefix` is longer than the arity.
-    pub fn prefix_bounds(&self, prefix: &[Value]) -> (Weight, Weight) {
+    pub fn prefix_bounds(&self, prefix: &[Value]) -> Result<(Weight, Weight)> {
+        if let Some(mc) = &self.shared {
+            let r = mc.range_of_prefix(prefix)?;
+            return Ok((r.start, r.end));
+        }
+        let over = || crate::error::rank_overflow("union rank sums");
         let (mut lt, mut le) = (0 as Weight, 0 as Weight);
         for (i, m) in self.members.iter().enumerate() {
-            let (l, e) = m.prefix_bounds(prefix);
-            lt += self.owned_before(i, l);
-            le += self.owned_before(i, e);
+            let (l, e) = m.prefix_bounds(prefix)?;
+            lt = lt.checked_add(self.owned_before(i, l)).ok_or_else(over)?;
+            le = le.checked_add(self.owned_before(i, e)).ok_or_else(over)?;
         }
-        (lt, le)
+        Ok((lt, le))
     }
 
     /// The number of distinct union answers matching a prefix of order
     /// values — O(m log n), nothing enumerated.
-    pub fn range_count(&self, prefix: &[Value]) -> Weight {
-        let (lt, le) = self.prefix_bounds(prefix);
-        le - lt
+    pub fn range_count(&self, prefix: &[Value]) -> Result<Weight> {
+        let (lt, le) = self.prefix_bounds(prefix)?;
+        Ok(le - lt)
     }
 
     /// The contiguous union-rank range of all answers matching a prefix of
     /// order values.
-    pub fn range_of_prefix(&self, prefix: &[Value]) -> Range<Weight> {
-        let (lt, le) = self.prefix_bounds(prefix);
-        lt..le
+    pub fn range_of_prefix(&self, prefix: &[Value]) -> Result<Range<Weight>> {
+        let (lt, le) = self.prefix_bounds(prefix)?;
+        Ok(lt..le)
     }
 
     /// The `k`-th distinct union answer under the order, or `None` when
@@ -285,6 +347,17 @@ impl RankedUcq {
         if k >= self.total {
             return None;
         }
+        if let Some(mc) = &self.shared {
+            // The inclusion–exclusion backend materializes its own answer
+            // buffer; copy it into the caller's scratch so both backends
+            // expose the one borrow-based signature. This path allocates the
+            // candidate vector internally — the cost model only picks the
+            // backend when pairwise discovery would be far more expensive.
+            let ans = mc.ordered_access(k)?;
+            scratch.out.reset_answer(ans.len());
+            scratch.out.answer_mut().clone_from_slice(&ans);
+            return Some(scratch.out.answer());
+        }
         // Per member: the first position whose answer's union le-rank
         // exceeds k (the union rank is monotone along the member's order).
         // The owner of the k-th union answer lands exactly on it; every
@@ -299,7 +372,10 @@ impl RankedUcq {
                 let ans = member
                     .ordered_access_into(mid, &mut scratch.probe)
                     .expect("mid < count");
-                let (_, le) = self.tuple_union_bounds(ans);
+                // Build-checked: Σ member counts fits the rank space and
+                // bounds every union sum, so the checked arithmetic cannot
+                // trip on a successfully built structure.
+                let (_, le) = self.tuple_union_bounds(ans).ok()?;
                 if le > k {
                     hi = mid;
                 } else {
@@ -336,13 +412,18 @@ impl RankedUcq {
         if answer.len() != self.head().len() {
             return None;
         }
+        if let Some(mc) = &self.shared {
+            return mc.ordered_inverted_access(answer);
+        }
         // Membership falls out of the same rank descents: a member contains
-        // the tuple iff its (lt, le) bracket is non-empty.
+        // the tuple iff its (lt, le) bracket is non-empty. The checked sums
+        // are build-guarded (Σ member counts fits the rank space); a trip
+        // would mean a corrupted structure and degrades to "not found".
         let (mut lt, mut contained) = (0 as Weight, false);
         for (i, m) in self.members.iter().enumerate() {
-            let (l, e) = m.tuple_bounds(answer);
+            let (l, e) = m.tuple_bounds(answer).ok()?;
             contained |= e > l;
-            lt += self.owned_before(i, l);
+            lt = lt.checked_add(self.owned_before(i, l))?;
         }
         contained.then_some(lt)
     }
@@ -393,7 +474,9 @@ impl RankedUcq {
             .members
             .iter()
             .map(|m| {
-                let (lt, _) = m.tuple_bounds(first);
+                let (lt, _) = m
+                    .tuple_bounds(first)
+                    .expect("rank sums bounded by build-checked member counts");
                 (m.as_ref(), m.range(lt..m.count()))
             })
             .collect();
@@ -407,8 +490,8 @@ impl RankedUcq {
 
     /// A duplicate-eliminating scan of every union answer matching a prefix
     /// of order values, in order.
-    pub fn enumerate_prefix(&self, prefix: &[Value]) -> RankedUnionWindow<'_> {
-        self.range(self.range_of_prefix(prefix))
+    pub fn enumerate_prefix(&self, prefix: &[Value]) -> Result<RankedUnionWindow<'_>> {
+        Ok(self.range(self.range_of_prefix(prefix)?))
     }
 }
 
@@ -443,6 +526,36 @@ impl Iterator for RankedUnionWindow<'_> {
     fn next(&mut self) -> Option<Vec<Value>> {
         self.next_ref().map(<[Value]>::to_vec)
     }
+}
+
+/// Cost model for the shared-template switch (module docs): pairwise
+/// duplicate discovery costs up to `Σ_{i<j} min(nᵢ, nⱼ)` merge steps
+/// (near-identical members hit that bound), while the mc-UCQ backend builds
+/// `2^m − 1 − m` extra intersection indexes of at most `max nᵢ` rows each.
+/// Switch only when every member realized the same join-tree shape and the
+/// discovery bound covers the backend's extra build work; the constant
+/// floor keeps tiny unions on the simpler, budget-aware discovery path.
+fn shared_backend_pays_off(members: &[OrderedCqIndex]) -> bool {
+    let m = members.len();
+    if !(2..=MAX_DISJUNCTS).contains(&m) {
+        return false;
+    }
+    let plan = members[0].index().plan();
+    if !members[1..]
+        .iter()
+        .all(|x| x.index().plan().same_shape(plan))
+    {
+        return false;
+    }
+    let mut pairwise: Weight = 0;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            pairwise = pairwise.saturating_add(members[i].count().min(members[j].count()));
+        }
+    }
+    let cmax = members.iter().map(OrderedCqIndex::count).max().unwrap_or(0);
+    let extra = (((1 as Weight) << m) - 1 - m as Weight).saturating_mul(cmax);
+    pairwise >= extra.max(1024)
 }
 
 /// Per member: sorted ranks of answers also contained in an earlier member
@@ -515,7 +628,9 @@ fn leapfrog_matches(
         let Some(ta) = a.ordered_access_into(pa, scratch) else {
             unreachable!("pa < member count");
         };
-        let (lt_b, le_b) = b.tuple_bounds(ta);
+        let (lt_b, le_b) = b
+            .tuple_bounds(ta)
+            .expect("rank descents over a built member stay in rank space");
         if le_b > lt_b {
             // ta ∈ b at position lt_b; continue after it on both sides.
             out.insert(lt_b);
@@ -530,7 +645,9 @@ fn leapfrog_matches(
             let Some(tb) = b.ordered_access_into(lt_b, scratch) else {
                 unreachable!("lt_b < member count");
             };
-            let (lt_a, _) = a.tuple_bounds(tb);
+            let (lt_a, _) = a
+                .tuple_bounds(tb)
+                .expect("rank descents over a built member stay in rank space");
             pa = lt_a;
             pb = lt_b;
         }
@@ -697,13 +814,17 @@ mod tests {
                     .iter()
                     .filter(|r| (0..plen).all(|p| r[head_of(p)] == prefix[p]))
                     .count() as Weight;
-                assert_eq!(ranked.range_count(&prefix), expected, "prefix {prefix:?}");
-                let window: Vec<Vec<Value>> = ranked.enumerate_prefix(&prefix).collect();
+                assert_eq!(
+                    ranked.range_count(&prefix).unwrap(),
+                    expected,
+                    "prefix {prefix:?}"
+                );
+                let window: Vec<Vec<Value>> = ranked.enumerate_prefix(&prefix).unwrap().collect();
                 assert_eq!(window.len() as Weight, expected);
             }
         }
-        assert_eq!(ranked.range_count(&[Value::Int(999)]), 0);
-        assert_eq!(ranked.range_count(&[]), ranked.count());
+        assert_eq!(ranked.range_count(&[Value::Int(999)]).unwrap(), 0);
+        assert_eq!(ranked.range_count(&[]).unwrap(), ranked.count());
     }
 
     #[test]

@@ -261,8 +261,8 @@ impl OrderedUcq {
         OrderedUnionEnumeration::from_windows(
             self.members
                 .iter()
-                .map(|m| (m, m.enumerate_prefix(prefix)))
-                .collect(),
+                .map(|m| Ok((m, m.enumerate_prefix(prefix)?)))
+                .collect::<Result<Vec<_>>>()?,
         )
     }
 }

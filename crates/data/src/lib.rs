@@ -48,6 +48,7 @@ pub mod sort;
 pub mod symbol;
 pub mod tbl;
 pub mod value;
+pub mod weights;
 
 pub use codemap::CodeKeyMap;
 pub use database::Database;
@@ -61,6 +62,7 @@ pub use sort::{with_sort_scratch, SortAlgorithm, SortScratch};
 pub use symbol::Symbol;
 pub use tbl::{read_tbl, write_tbl, ColumnType};
 pub use value::Value;
+pub use weights::VarWeights;
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, DataError>;

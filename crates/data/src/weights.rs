@@ -1,0 +1,148 @@
+//! Per-variable weight assignments for sum-of-weights ranked access.
+//!
+//! A [`VarWeights`] maps `(variable, value)` pairs to `u128` weights; the
+//! weight of an answer is the sum of its weighted variables' value weights
+//! (`w(answer) = Σ_x w_x(answer[x])` — the sum-of-weights orders of
+//! Carmeli et al., arXiv:2012.11965). Values without an explicit entry
+//! weigh `0`, so sparse assignments ("boost these few keys") stay sparse.
+//!
+//! The type lives in the data layer because weights ride the same
+//! dictionary-encoded value pipeline as sort keys: the index builders above
+//! (`rae-core`'s `WeightedCqIndex`) resolve each weighted column's values
+//! through this map while walking their sorted runs.
+
+use crate::fxhash::FxHashMap;
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// A per-variable, per-value weight assignment.
+///
+/// Insertion order of variables is preserved (and deduplicated), so every
+/// derived artifact — classifier witnesses, block layouts — is
+/// deterministic regardless of hash-map iteration order.
+///
+/// ```
+/// use rae_data::{Symbol, Value, VarWeights};
+///
+/// let mut w = VarWeights::new();
+/// w.set("x", Value::Int(7), 100);
+/// w.set("x", Value::Int(9), 250);
+/// w.set("y", Value::str("gold"), 1_000);
+///
+/// assert_eq!(w.weight_of(&Symbol::new("x"), &Value::Int(9)), 250);
+/// // Unassigned values (and unassigned variables) weigh zero.
+/// assert_eq!(w.weight_of(&Symbol::new("x"), &Value::Int(8)), 0);
+/// assert_eq!(w.weight_of(&Symbol::new("z"), &Value::Int(8)), 0);
+/// assert!(w.is_weighted(&Symbol::new("y")));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VarWeights {
+    /// `(variable, value → weight)`, in first-`set` order. The variable
+    /// count is tiny (bounded by the query arity), so lookups scan.
+    vars: Vec<(Symbol, FxHashMap<Value, u128>)>,
+}
+
+impl VarWeights {
+    /// An empty assignment (every variable unweighted).
+    pub fn new() -> Self {
+        VarWeights::default()
+    }
+
+    /// Assigns `weight` to `value` under `var`, replacing any previous
+    /// assignment for that pair. Marks `var` as weighted even when
+    /// `weight == 0`.
+    pub fn set(&mut self, var: impl Into<Symbol>, value: Value, weight: u128) {
+        let var = var.into();
+        match self.vars.iter_mut().find(|(v, _)| *v == var) {
+            Some((_, map)) => {
+                map.insert(value, weight);
+            }
+            None => {
+                let mut map = FxHashMap::default();
+                map.insert(value, weight);
+                self.vars.push((var, map));
+            }
+        }
+    }
+
+    /// The weight of `value` under `var` (`0` when unassigned).
+    #[inline]
+    pub fn weight_of(&self, var: &Symbol, value: &Value) -> u128 {
+        self.vars
+            .iter()
+            .find(|(v, _)| v == var)
+            .and_then(|(_, map)| map.get(value).copied())
+            .unwrap_or(0)
+    }
+
+    /// Whether any value of `var` has been assigned a weight.
+    #[inline]
+    pub fn is_weighted(&self, var: &Symbol) -> bool {
+        self.vars.iter().any(|(v, _)| v == var)
+    }
+
+    /// The weighted variables, in first-`set` order.
+    pub fn weighted_vars(&self) -> impl Iterator<Item = &Symbol> {
+        self.vars.iter().map(|(v, _)| v)
+    }
+
+    /// Number of weighted variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variable is weighted.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The checked sum-of-weights of one answer row: `head[i]` names the
+    /// variable at `row[i]`. `None` on `u128` overflow (the caller surfaces
+    /// that as its structured overflow error).
+    pub fn answer_weight(&self, head: &[Symbol], row: &[Value]) -> Option<u128> {
+        let mut total: u128 = 0;
+        for (var, value) in head.iter().zip(row) {
+            total = total.checked_add(self.weight_of(var, value))?;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_is_preserved_and_deduplicated() {
+        let mut w = VarWeights::new();
+        w.set("b", Value::Int(1), 10);
+        w.set("a", Value::Int(1), 20);
+        w.set("b", Value::Int(2), 30);
+        let vars: Vec<String> = w.weighted_vars().map(|s| s.as_str().into()).collect();
+        assert_eq!(vars, ["b", "a"]);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn zero_weight_still_marks_the_variable() {
+        let mut w = VarWeights::new();
+        w.set("x", Value::Int(1), 0);
+        assert!(w.is_weighted(&Symbol::new("x")));
+        assert_eq!(w.weight_of(&Symbol::new("x"), &Value::Int(1)), 0);
+    }
+
+    #[test]
+    fn answer_weight_sums_and_overflows_checked() {
+        let mut w = VarWeights::new();
+        w.set("x", Value::Int(1), 5);
+        w.set("y", Value::Int(2), 7);
+        let head = [Symbol::new("x"), Symbol::new("y"), Symbol::new("z")];
+        let row = [Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(w.answer_weight(&head, &row), Some(12));
+
+        let mut big = VarWeights::new();
+        big.set("x", Value::Int(1), u128::MAX);
+        big.set("y", Value::Int(2), 1);
+        assert_eq!(big.answer_weight(&head, &row), None);
+    }
+}

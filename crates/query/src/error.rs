@@ -54,6 +54,31 @@ pub enum QueryError {
         /// shares an atom with each, while the pair shares none.
         witness: Option<Symbol>,
     },
+    /// A weighted (sum-of-weights) order assigns a weight to an existential
+    /// variable; weights must range over free variables only.
+    WeightedExistentialVariable {
+        /// The weighted variable that is not in the head.
+        variable: Symbol,
+    },
+    /// A weighted order interleaves weighted and unweighted variables: the
+    /// weighted variables must form a prefix of the requested order, else
+    /// the weighted blocks do not nest inside lexicographic buckets.
+    WeightedOrderInterleaved {
+        /// The unweighted order variable that precedes a weighted one.
+        unweighted: Symbol,
+        /// The weighted variable ordered after it.
+        weighted: Symbol,
+    },
+    /// A weighted order over variables no single atom covers: ranked direct
+    /// access under such an order is at least as hard as X+Y sorting
+    /// (Carmeli et al., arXiv:2012.11965), so it is rejected with a witness
+    /// pair of weighted variables that co-occur in no atom.
+    IntractableWeightedOrder {
+        /// One weighted variable of the witness pair.
+        left: Symbol,
+        /// The other weighted variable; no atom contains both.
+        right: Symbol,
+    },
     /// An atom's arity does not match its relation's arity.
     AtomArityMismatch {
         /// The relation symbol.
@@ -109,6 +134,24 @@ impl fmt::Display for QueryError {
                 }
                 Ok(())
             }
+            QueryError::WeightedExistentialVariable { variable } => write!(
+                f,
+                "weighted order assigns a weight to existential variable {variable}; \
+                 only free (head) variables may carry weights"
+            ),
+            QueryError::WeightedOrderInterleaved {
+                unweighted,
+                weighted,
+            } => write!(
+                f,
+                "weighted variables must form a prefix of the order, but unweighted \
+                 {unweighted} is ordered before weighted {weighted}"
+            ),
+            QueryError::IntractableWeightedOrder { left, right } => write!(
+                f,
+                "weighted order is intractable: weighted variables {left} and {right} \
+                 co-occur in no atom, so ranked access embeds X+Y sorting"
+            ),
             QueryError::NotAcyclic(q) => write!(f, "query {q} is not acyclic"),
             QueryError::NotFreeConnex(q) => write!(f, "query {q} is not free-connex"),
             QueryError::AtomArityMismatch {

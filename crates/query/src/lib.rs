@@ -25,6 +25,7 @@ pub mod join_tree;
 pub mod naive;
 pub mod order;
 pub mod parser;
+pub mod weighted;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
 pub use classify::{classify, CqClass};
@@ -34,6 +35,7 @@ pub use hypergraph::Hypergraph;
 pub use join_tree::TreePlan;
 pub use naive::{naive_eval, naive_eval_union};
 pub use order::{realize_order, validate_order, LexPlan};
+pub use weighted::classify_weighted_order;
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,213 @@
+//! Tractability classification for sum-of-weights ranked orders.
+//!
+//! "Tractable Orders for Direct Access to Ranked Answers of Conjunctive
+//! Queries" (Carmeli et al., arXiv:2012.11965) shows that ranked direct
+//! access under `w(answer) = Σ_x w_x(answer[x])` is tractable exactly when
+//! the weighted variables avoid the hardness gadgets; outside that class
+//! even counting below a weight threshold embeds X+Y sorting. This module
+//! implements the acceptor: [`classify_weighted_order`] admits the orders
+//! the engine can serve with O(log n) descent and rejects the rest with a
+//! structured [`QueryError`] naming a witness, in the style of
+//! [`realize_order`](crate::order::realize_order).
+//!
+//! The accepted fragment, for a free-connex CQ with weighted variable set
+//! `W` and requested order `order`:
+//!
+//! 1. **`W` ⊆ free variables.** Weights over existential variables are not
+//!    part of the answer tuple and are rejected
+//!    ([`QueryError::WeightedExistentialVariable`]).
+//! 2. **`W` is a prefix of `order`.** The weighted comparison is primary;
+//!    interleaving an unweighted lexicographic variable before a weighted
+//!    one would make blocks non-contiguous
+//!    ([`QueryError::WeightedOrderInterleaved`]).
+//! 3. **Some atom covers `W`.** Then every weighted combination is
+//!    materialized in one relation and the per-answer weight is a function
+//!    of a single bucket path. If no atom covers `W`, two weighted
+//!    variables co-occur in no atom (acyclic hypergraphs are conformal:
+//!    any pairwise-co-occurring set is contained in an atom), and summing
+//!    weights across two independent atoms is the X+Y sorting obstruction
+//!    — rejected with that pair as witness
+//!    ([`QueryError::IntractableWeightedOrder`]).
+//!
+//! Realizability of `order` itself (the lexicographic part) is checked
+//! separately by [`validate_order`](crate::order::validate_order) /
+//! [`realize_order`](crate::order::realize_order); callers run both.
+
+use crate::ast::ConjunctiveQuery;
+use crate::error::QueryError;
+use crate::Result;
+use rae_data::Symbol;
+
+/// Accepts a sum-of-weights order as tractable or rejects it with a
+/// structured witness. `order` is the requested variable order (weighted
+/// comparison first, lexicographic tie-break after); `weighted` is the set
+/// `W` of variables carrying weights, in any order.
+///
+/// An empty `W` is trivially tractable (the order degenerates to the
+/// lexicographic one). Duplicate entries in `weighted` are tolerated.
+///
+/// ```
+/// use rae_query::{classify_weighted_order, parser, QueryError};
+/// use rae_data::Symbol;
+///
+/// let cq = parser::parse_cq("Q(x, y) :- R(x), S(y).").unwrap();
+/// let order: Vec<Symbol> = vec!["x".into(), "y".into()];
+///
+/// // Weighting only x is fine: R covers {x}.
+/// assert!(classify_weighted_order(&cq, &order, &[Symbol::new("x")]).is_ok());
+///
+/// // Weighting both embeds X+Y sorting — rejected with the pair as witness.
+/// let w: Vec<Symbol> = vec!["x".into(), "y".into()];
+/// match classify_weighted_order(&cq, &order, &w) {
+///     Err(QueryError::IntractableWeightedOrder { left, right }) => {
+///         assert_ne!(left, right);
+///     }
+///     other => panic!("expected intractability witness, got {other:?}"),
+/// }
+/// ```
+pub fn classify_weighted_order(
+    cq: &ConjunctiveQuery,
+    order: &[Symbol],
+    weighted: &[Symbol],
+) -> Result<()> {
+    if weighted.is_empty() {
+        return Ok(());
+    }
+
+    // 1. Weighted variables must be free: an existential variable is
+    // projected away, so its "weight" is not a function of the answer.
+    let head = cq.head_set();
+    for w in weighted {
+        if !head.contains(w) {
+            return Err(QueryError::WeightedExistentialVariable {
+                variable: w.clone(),
+            });
+        }
+    }
+
+    // 2. Weighted variables must form a prefix of the order. Witness: the
+    // first unweighted order variable that precedes some weighted one.
+    let is_weighted = |v: &Symbol| weighted.contains(v);
+    if let Some(first_unweighted) = order.iter().position(|v| !is_weighted(v)) {
+        if let Some(late_weighted) = order[first_unweighted..].iter().find(|v| is_weighted(v)) {
+            return Err(QueryError::WeightedOrderInterleaved {
+                unweighted: order[first_unweighted].clone(),
+                weighted: (*late_weighted).clone(),
+            });
+        }
+    }
+
+    // 3. Some atom must cover all of W. Acyclic hypergraphs are conformal,
+    // so if no atom covers W there is a pair of weighted variables sharing
+    // no atom — the canonical X+Y obstruction — and we report it.
+    if cq
+        .body()
+        .iter()
+        .any(|atom| weighted.iter().all(|w| atom.vars().contains(w)))
+    {
+        return Ok(());
+    }
+    for (i, left) in weighted.iter().enumerate() {
+        for right in &weighted[i + 1..] {
+            if left == right {
+                continue;
+            }
+            let co_occur = cq
+                .body()
+                .iter()
+                .any(|atom| atom.vars().contains(left) && atom.vars().contains(right));
+            if !co_occur {
+                return Err(QueryError::IntractableWeightedOrder {
+                    left: left.clone(),
+                    right: right.clone(),
+                });
+            }
+        }
+    }
+    // Unreachable for acyclic CQs (conformality), but cyclic bodies reach
+    // here before the acyclicity check runs: report the first distinct pair
+    // rather than panic on the classification path.
+    let left = weighted[0].clone();
+    let right = weighted
+        .iter()
+        .find(|v| **v != left)
+        .cloned()
+        .unwrap_or_else(|| left.clone());
+    Err(QueryError::IntractableWeightedOrder { left, right })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    fn syms(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(Symbol::new).collect()
+    }
+
+    #[test]
+    fn empty_weight_set_is_trivially_tractable() {
+        let cq = parser::parse_cq("Q(x, y) :- R(x, y).").unwrap();
+        assert!(classify_weighted_order(&cq, &syms(&["x", "y"]), &[]).is_ok());
+    }
+
+    #[test]
+    fn covered_prefix_is_accepted() {
+        let cq = parser::parse_cq("Q(x, y, z) :- R(x, y), S(y, z).").unwrap();
+        assert!(classify_weighted_order(&cq, &syms(&["x", "y", "z"]), &syms(&["x", "y"])).is_ok());
+        assert!(classify_weighted_order(&cq, &syms(&["y", "x", "z"]), &syms(&["x", "y"])).is_ok());
+        assert!(classify_weighted_order(&cq, &syms(&["z", "y", "x"]), &syms(&["z"])).is_ok());
+    }
+
+    #[test]
+    fn existential_weight_is_rejected_with_the_variable() {
+        let cq = parser::parse_cq("Q(x) :- R(x, y).").unwrap();
+        match classify_weighted_order(&cq, &syms(&["x"]), &syms(&["y"])) {
+            Err(QueryError::WeightedExistentialVariable { variable }) => {
+                assert_eq!(variable.as_str(), "y");
+            }
+            other => panic!("expected existential rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_order_is_rejected_with_the_pair() {
+        let cq = parser::parse_cq("Q(x, y, z) :- R(x, y, z).").unwrap();
+        match classify_weighted_order(&cq, &syms(&["x", "y", "z"]), &syms(&["x", "z"])) {
+            Err(QueryError::WeightedOrderInterleaved {
+                unweighted,
+                weighted,
+            }) => {
+                assert_eq!(unweighted.as_str(), "y");
+                assert_eq!(weighted.as_str(), "z");
+            }
+            other => panic!("expected interleaving rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncovered_pair_is_rejected_with_a_non_co_occurring_witness() {
+        let cq = parser::parse_cq("Q(x, y, z) :- R(x, y), S(y, z).").unwrap();
+        match classify_weighted_order(&cq, &syms(&["x", "z", "y"]), &syms(&["x", "z"])) {
+            Err(QueryError::IntractableWeightedOrder { left, right }) => {
+                let pair = [left.as_str(), right.as_str()];
+                assert!(pair.contains(&"x") && pair.contains(&"z"), "got {pair:?}");
+                // The witness pair genuinely shares no atom.
+                for atom in cq.body() {
+                    let vars = atom.vars();
+                    assert!(
+                        !(vars.contains(&left) && vars.contains(&right)),
+                        "witness pair co-occurs in {atom:?}"
+                    );
+                }
+            }
+            other => panic!("expected intractability rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_cover_by_one_atom_accepts_all_free_weights() {
+        let cq = parser::parse_cq("Q(x, y) :- R(x, y), S(y).").unwrap();
+        assert!(classify_weighted_order(&cq, &syms(&["x", "y"]), &syms(&["x", "y"])).is_ok());
+    }
+}

@@ -46,7 +46,7 @@ pub use dedup::WithoutReplacement;
 pub use eo::EoSampler;
 pub use ew::EwSampler;
 pub use oe::OeSampler;
-pub use ranked::OrderedWindowSampler;
+pub use ranked::{OrderedWindowSampler, WeightedWindowSampler};
 pub use rs::RsSampler;
 
 use rae_core::{AccessScratch, CqIndex};

@@ -171,11 +171,11 @@ impl Snapshot {
 
     /// How many live answers match a prefix of order values — two rank
     /// descents plus two binary searches over the tombstones.
-    pub fn range_count(&self, prefix: &[Value]) -> Weight {
-        let (lt, le) = self.union.prefix_bounds(prefix);
+    pub fn range_count(&self, prefix: &[Value]) -> rae_core::Result<Weight> {
+        let (lt, le) = self.union.prefix_bounds(prefix)?;
         let dead = self.tombstone_ranks.partition_point(|&r| r < le)
             - self.tombstone_ranks.partition_point(|&r| r < lt);
-        (le - lt) - dead as Weight
+        Ok((le - lt) - dead as Weight)
     }
 
     /// A constant-delay-per-answer scan of the live answers in order.

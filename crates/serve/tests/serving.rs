@@ -116,7 +116,7 @@ fn check_snapshot(snap: &rae_serve::Snapshot, cq: &ConjunctiveQuery, m: &Mirror)
     let firsts: std::collections::BTreeSet<Value> = ordered.iter().map(|t| t[0].clone()).collect();
     let total: Weight = firsts
         .iter()
-        .map(|v| snap.range_count(std::slice::from_ref(v)))
+        .map(|v| snap.range_count(std::slice::from_ref(v)).unwrap())
         .sum();
     assert_eq!(total, n);
     // Sampling stays within the live answers.

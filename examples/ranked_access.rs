@@ -82,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while cursor < index.count() && shown < 5 {
         let row = index.ordered_access(cursor).expect("cursor < count");
         let customer = row[ck_pos].clone();
-        let window = index.range_of_prefix(std::slice::from_ref(&customer));
+        let window = index.range_of_prefix(std::slice::from_ref(&customer))?;
         println!(
             "  ck = {customer:?}: {} answers (ranks {}..{})",
             window.end - window.start,
@@ -93,6 +93,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         debug_assert!(index.range(window.clone()).all(|r| r[ck_pos] == customer));
         cursor = window.end; // jump straight past the whole customer
         shown += 1;
+    }
+
+    // --- Weighted ranked access (DESIGN.md §17) ---------------------------
+    // ORDER BY a *sum of per-variable weights*: score each customer key,
+    // then top-k retrieval, rank round-trips, and weight-band counts all
+    // stay O(log n) — the order ⟨ck, …⟩ has its weighted variable as a
+    // prefix, which is exactly the tractable case.
+    let mut weights = VarWeights::new();
+    let mut at: Weight = 0;
+    while at < index.count() {
+        let row = index.ordered_access(at).expect("at < count");
+        let ck = row[ck_pos].clone();
+        let window = index.range_of_prefix(std::slice::from_ref(&ck))?;
+        // Deterministic demo score: customers with more answers are cheaper.
+        weights.set("ck", ck, 1000 / (window.end - window.start));
+        at = window.end;
+    }
+    let t = Instant::now();
+    let weighted = WeightedCqIndex::build(&q, &db, &order, &weights)?;
+    println!(
+        "\nweighted preprocessing: {:.1} ms, {} weight blocks, weights {:?}..={:?}",
+        t.elapsed().as_secs_f64() * 1e3,
+        weighted.block_count(),
+        weighted.min_weight(),
+        weighted.max_weight()
+    );
+    println!("top-5 answers by total weight:");
+    let mut wscratch = AccessScratch::default();
+    for k in 0..weighted.count().min(5) {
+        let w = weighted.weight_at(k).expect("k < count");
+        let row = weighted
+            .ranked_access_into(k, &mut wscratch)
+            .expect("k < count");
+        println!("  #{k} w={w} {row:?}");
+    }
+    if weighted.count() > 0 {
+        let mid = weighted.count() / 2;
+        let answer = weighted.ranked_access(mid).expect("mid < count");
+        assert_eq!(weighted.ranked_inverted_access(&answer), Some(mid));
+        let (lo, hi) = (
+            weighted.min_weight().expect("non-empty"),
+            weighted.max_weight().expect("non-empty"),
+        );
+        println!(
+            "weight band {lo}..{hi} holds {} of {} answers",
+            weighted.weight_range_count(lo..hi),
+            weighted.count()
+        );
+        // Uniform, rejection-free sampling among the cheapest quarter.
+        let cheapest = (weighted.count() / 4).max(1);
+        let wsampler = WeightedWindowSampler::new(&weighted, 0..cheapest);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        if let Some(sample) = wsampler.sample_into(&mut rng, &mut wscratch) {
+            println!("uniform sample among the {cheapest} cheapest: {sample:?}");
+        }
     }
 
     // --- The same machinery across a union -------------------------------
@@ -148,7 +203,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // drawing a uniform rank serves an exactly uniform, rejection-free
     // sample from that group.
     if let Some(customer) = index.ordered_access(0).map(|a| a[ck_pos].clone()) {
-        let sampler = OrderedWindowSampler::for_prefix(&index, std::slice::from_ref(&customer));
+        let sampler = OrderedWindowSampler::for_prefix(&index, std::slice::from_ref(&customer))?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mut scratch = AccessScratch::default();
         if let Some(sample) = sampler.sample_into(&mut rng, &mut scratch) {

@@ -85,18 +85,19 @@ pub mod prelude {
     pub use rae_core::Budgeted;
     pub use rae_core::{
         AccessScratch, CqIndex, CqSequential, CqShuffle, DeletableSet, LazyShuffle, McUcqIndex,
-        McUcqShuffle, OrderedCqIndex, OrderedEnumeration, OrderedMcUcqIndex, OrderedUcq,
-        OrderedUnionEnumeration, RankStrategy, RankedScratch, RankedUcq, RankedUnionWindow,
-        UcqEvent, UcqShuffle, Weight,
+        McUcqShuffle, OrderStyle, OrderedCqIndex, OrderedEnumeration, OrderedMcUcqIndex,
+        OrderedUcq, OrderedUnionEnumeration, RankStrategy, RankWindow, RankedScratch, RankedUcq,
+        RankedUnionWindow, UcqEvent, UcqShuffle, Weight, WeightedCqIndex,
     };
-    pub use rae_data::{Database, Relation, Schema, Symbol, Value};
+    pub use rae_data::{Database, Relation, Schema, Symbol, Value, VarWeights};
     pub use rae_faults::{Budget, Transient};
+    pub use rae_query::classify_weighted_order;
     pub use rae_query::{
         classify, naive_eval, naive_eval_union, Atom, ConjunctiveQuery, CqClass, Term, UnionQuery,
     };
     pub use rae_sampler::{
         EoSampler, EwSampler, JoinSampler, OeSampler, OrderedWindowSampler, RsSampler,
-        WithoutReplacement,
+        WeightedWindowSampler, WithoutReplacement,
     };
     pub use rae_serve::{
         enumeration_digest, AdmissionPolicy, Batch, Op, ServeError, ServeWriter, ServingIndex,

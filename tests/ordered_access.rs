@@ -82,7 +82,7 @@ fn check_realized_order(idx: &OrderedCqIndex, sorted_rows: &[Vec<Value>], label:
                 })
                 .count() as Weight;
             assert_eq!(
-                idx.range_count(&prefix),
+                idx.range_count(&prefix).unwrap(),
                 expected,
                 "{label}: range_count p={p}"
             );
@@ -213,12 +213,93 @@ fn tpch_general_union_ranked_access_agrees_with_mcucq() {
         prefix_values.dedup();
         for v in prefix_values {
             assert_eq!(
-                ranked.range_count(std::slice::from_ref(&v)),
-                mc.range_count(std::slice::from_ref(&v)),
+                ranked.range_count(std::slice::from_ref(&v)).unwrap(),
+                mc.range_count(std::slice::from_ref(&v)).unwrap(),
                 "{name}: range_count {v:?}"
             );
         }
     }
+}
+
+#[test]
+fn near_identical_union_switches_to_shared_backend_and_agrees() {
+    // Two near-identical single-atom members (2900 of 3000 rows shared) —
+    // the ROADMAP's pairwise-discovery blowup case. The build-time cost
+    // model must switch `RankedUcq::build` to the shared-template mc-UCQ
+    // backend, while `from_members` (pre-built members carry no query to
+    // re-plan from) keeps pairwise ownership — and the two backends must
+    // agree rank-by-rank with each other and with naive
+    // materialize-sort-dedup.
+    let rows_r: Edges = (0..3000).map(|i| (i, i % 13)).collect();
+    let rows_s: Edges = (100..3100).map(|i| (i, i % 13)).collect();
+    let mut db = Database::new();
+    db.add_relation("R", edge_relation(&rows_r)).unwrap();
+    db.add_relation("S", edge_relation(&rows_s)).unwrap();
+    let u: UnionQuery = "Q1(x, y) :- R(x, y). Q2(x, y) :- S(x, y).".parse().unwrap();
+    let order: Vec<Symbol> = ["y", "x"].iter().map(Symbol::new).collect();
+
+    let switched = RankedUcq::build(&u, &db, &order).unwrap();
+    assert!(
+        switched.uses_shared_backend(),
+        "cost model must pick the mc-UCQ backend for near-identical members"
+    );
+    let members: Vec<OrderedCqIndex> = u
+        .disjuncts()
+        .iter()
+        .map(|d| OrderedCqIndex::build(d, &db, &order).unwrap())
+        .collect();
+    let pairwise = RankedUcq::from_members(members).unwrap();
+    assert!(
+        !pairwise.uses_shared_backend(),
+        "pre-built members cannot re-plan into the shared backend"
+    );
+
+    let naive = naive_eval_union(&u, &db).unwrap();
+    let head = u.head().to_vec();
+    let perm: Vec<usize> = order
+        .iter()
+        .map(|v| head.iter().position(|h| h == v).unwrap())
+        .collect();
+    let mut rows: Vec<Vec<Value>> = naive.rows().map(<[Value]>::to_vec).collect();
+    sort_rows_by(&mut rows, &perm);
+    assert_eq!(switched.count() as usize, rows.len(), "switched count");
+    assert_eq!(pairwise.count(), switched.count(), "backend counts");
+
+    let stride = (rows.len() / 97).max(1);
+    for (k, expected) in rows.iter().enumerate().step_by(stride) {
+        let k = k as Weight;
+        assert_eq!(
+            switched.ordered_access(k).as_ref(),
+            Some(expected),
+            "switched rank {k}"
+        );
+        assert_eq!(
+            pairwise.ordered_access(k).as_ref(),
+            Some(expected),
+            "pairwise rank {k}"
+        );
+        assert_eq!(switched.ordered_inverted_access(expected), Some(k));
+        assert_eq!(pairwise.ordered_inverted_access(expected), Some(k));
+    }
+    // Range counts agree on every distinct first-order value.
+    let mut firsts: Vec<Value> = rows.iter().map(|r| r[perm[0]].clone()).collect();
+    firsts.dedup();
+    assert!(firsts.len() > 1);
+    for v in firsts {
+        assert_eq!(
+            switched.range_count(std::slice::from_ref(&v)).unwrap(),
+            pairwise.range_count(std::slice::from_ref(&v)).unwrap(),
+            "range_count {v:?}"
+        );
+    }
+    // Windows paginate the switched backend's merge identically to naive.
+    let mut paged: Vec<Vec<Value>> = Vec::new();
+    let mut at: Weight = 0;
+    while at < switched.count() {
+        paged.extend(switched.range(at..at + 512));
+        at += 512;
+    }
+    assert_eq!(paged, rows, "switched pagination");
 }
 
 #[test]
@@ -296,10 +377,14 @@ fn mixed_template_union_ranked_access_matches_naive() {
                     .iter()
                     .filter(|r| perm[..p].iter().zip(&prefix).all(|(&h, v)| &r[h] == v))
                     .count() as Weight;
-                assert_eq!(ranked.range_count(&prefix), expected, "prefix {prefix:?}");
+                assert_eq!(
+                    ranked.range_count(&prefix).unwrap(),
+                    expected,
+                    "prefix {prefix:?}"
+                );
             }
         }
-        assert_eq!(ranked.range_count(&[Value::Int(-7)]), 0);
+        assert_eq!(ranked.range_count(&[Value::Int(-7)]).unwrap(), 0);
         // Windows paginate the merged stream consistently.
         let all: Vec<Vec<Value>> = ranked.enumerate().collect();
         assert_eq!(all, rows, "merge under {ord:?}");
@@ -397,9 +482,13 @@ fn union_structures_serve_projection_node_orders() {
                 .iter()
                 .filter(|r| perm[..p].iter().zip(&prefix).all(|(&h, v)| &r[h] == v))
                 .count() as Weight;
-            assert_eq!(mc.range_count(&prefix), expected, "mc prefix {prefix:?}");
             assert_eq!(
-                ranked.range_count(&prefix),
+                mc.range_count(&prefix).unwrap(),
+                expected,
+                "mc prefix {prefix:?}"
+            );
+            assert_eq!(
+                ranked.range_count(&prefix).unwrap(),
                 expected,
                 "ranked prefix {prefix:?}"
             );
@@ -566,7 +655,7 @@ proptest! {
                 .iter()
                 .filter(|row| row[perm[0]] == prefix[0])
                 .count() as Weight;
-            prop_assert_eq!(ranked.range_count(&prefix), expected);
+            prop_assert_eq!(ranked.range_count(&prefix).unwrap(), expected);
         }
         // Absent answers have no rank.
         prop_assert_eq!(

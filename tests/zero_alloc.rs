@@ -251,11 +251,11 @@ fn ordered_paths_do_not_allocate() {
                 .collect()
         })
         .collect();
-    std::hint::black_box(idx.range_count(&prefixes[0])); // warm-up (no-op)
+    std::hint::black_box(idx.range_count(&prefixes[0]).unwrap()); // warm-up (no-op)
     let ((), allocs) = count_allocations(|| {
         for p in &prefixes {
-            std::hint::black_box(idx.range_count(p));
-            std::hint::black_box(idx.prefix_bounds(p));
+            std::hint::black_box(idx.range_count(p).unwrap());
+            std::hint::black_box(idx.prefix_bounds(p).unwrap());
         }
     });
     assert_eq!(allocs, 0, "the rank descent allocated");
@@ -355,11 +355,11 @@ fn synthesized_projection_plan_paths_do_not_allocate() {
                 .collect()
         })
         .collect();
-    std::hint::black_box(idx.range_count(&prefixes[0])); // warm-up (no-op)
+    std::hint::black_box(idx.range_count(&prefixes[0]).unwrap()); // warm-up (no-op)
     let ((), allocs) = count_allocations(|| {
         for p in &prefixes {
-            std::hint::black_box(idx.range_count(p));
-            std::hint::black_box(idx.prefix_bounds(p));
+            std::hint::black_box(idx.range_count(p).unwrap());
+            std::hint::black_box(idx.prefix_bounds(p).unwrap());
         }
     });
     assert_eq!(allocs, 0, "synthesized-plan rank descent allocated");
@@ -419,14 +419,95 @@ fn ranked_union_paths_do_not_allocate() {
             vec![a[h].clone()]
         })
         .collect();
-    std::hint::black_box(ranked.range_count(&prefixes[0])); // warm-up (no-op)
+    std::hint::black_box(ranked.range_count(&prefixes[0]).unwrap()); // warm-up (no-op)
     let ((), allocs) = count_allocations(|| {
         for p in &prefixes {
-            std::hint::black_box(ranked.range_count(p));
-            std::hint::black_box(ranked.prefix_bounds(p));
+            std::hint::black_box(ranked.range_count(p).unwrap());
+            std::hint::black_box(ranked.prefix_bounds(p).unwrap());
         }
     });
     assert_eq!(allocs, 0, "RankedUcq rank descent allocated");
+}
+
+/// The weighted ranked-access path (DESIGN.md §17) inherits the
+/// zero-allocation discipline: steady-state `ranked_access_into`, the
+/// inverted rank + weight probes, min/max extraction, the weight-band
+/// descent, and the weighted window sampler must all serve answers
+/// without touching the heap.
+#[test]
+fn weighted_paths_do_not_allocate() {
+    let db = skewed_db();
+    let q: ConjunctiveQuery = "Q(x, y, z) :- R(x, y), S(y, z)".parse().unwrap();
+    // ORDER BY y, x, z with weights on the ⟨y, x⟩ prefix ({x, y} co-occur
+    // in R) — many distinct weight sums, so block boundaries are real.
+    let order: Vec<Symbol> = ["y", "x", "z"].iter().map(Symbol::new).collect();
+    let mut weights = VarWeights::new();
+    for v in 0..17i64 {
+        weights.set("y", Value::Int(v), (v as u128 * 7) % 23);
+    }
+    for v in 0..200i64 {
+        weights.set("x", Value::Int(v), (v as u128 * 13) % 31);
+    }
+    let idx = WeightedCqIndex::build(&q, &db, &order, &weights).unwrap();
+    let n = idx.count();
+    assert!(n > 100);
+    assert!(idx.block_count() > 10, "weights should form many blocks");
+    let mut scratch = AccessScratch::new();
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // --- ranked_access_into ------------------------------------------------
+    idx.ranked_access_into(0, &mut scratch).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..1000 {
+            let k = rng.gen_range(0..n);
+            std::hint::black_box(idx.ranked_access_into(k, &mut scratch).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "ranked_access_into allocated");
+
+    // --- inverted rank + weight probes --------------------------------------
+    idx.index().index().prepare_inverted_access();
+    let owned: Vec<Vec<Value>> = (0..64)
+        .map(|k| idx.ranked_access(k * (n / 64)).unwrap())
+        .collect();
+    let mut probe = AccessScratch::new();
+    idx.ranked_inverted_access_of(&owned[0], &mut probe)
+        .unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for answer in &owned {
+            std::hint::black_box(idx.ranked_inverted_access_of(answer, &mut probe).unwrap());
+            std::hint::black_box(idx.weight_of(answer, &mut probe).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "weighted inverted access / weight_of allocated");
+
+    // --- min/max extraction and the weight-band descent ---------------------
+    idx.min_answer_into(&mut scratch).unwrap(); // warm-up
+    let (lo, hi) = (idx.min_weight().unwrap(), idx.max_weight().unwrap());
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..200 {
+            std::hint::black_box(idx.min_answer_into(&mut scratch).unwrap());
+            std::hint::black_box(idx.max_answer_into(&mut scratch).unwrap());
+            let a = rng.gen_range(lo..=hi);
+            let b = rng.gen_range(lo..=hi);
+            std::hint::black_box(idx.weight_range_count(a.min(b)..a.max(b)));
+            std::hint::black_box(idx.weight_at(rng.gen_range(0..n)));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "min/max extraction or the band descent allocated"
+    );
+
+    // --- the weighted window sampler ----------------------------------------
+    let sampler = WeightedWindowSampler::new(&idx, 0..n / 2);
+    sampler.attempt_into(&mut rng, &mut scratch).unwrap(); // warm-up
+    let ((), allocs) = count_allocations(|| {
+        for _ in 0..500 {
+            std::hint::black_box(sampler.attempt_into(&mut rng, &mut scratch).unwrap());
+        }
+    });
+    assert_eq!(allocs, 0, "WeightedWindowSampler allocated during attempts");
 }
 
 /// The zero-copy cold start must preserve the guarantee: an index served
